@@ -1,0 +1,83 @@
+//! # onesched-baselines — comparison heuristics from the literature
+//!
+//! The paper's §4.2 compares ILHA against five heuristics: PCT (Maheswaran &
+//! Siegel), BIL (Oh & Ha), CPOP (Topcuoglu, Hariri, Wu), GDL (Sih & Lee) and
+//! HEFT. HEFT lives in `onesched-heuristics`; this crate implements the
+//! other four — adapted to the one-port model through the same transactional
+//! placement machinery — plus standard sanity baselines (min-min, max-min,
+//! round-robin, random allocation, serial execution).
+//!
+//! Fidelity note: the original heuristics were specified for the
+//! macro-dataflow model; as with HEFT (paper §4.3), the adaptation
+//! serializes each placement's incoming messages greedily on the one-port
+//! timelines. Priority definitions follow the original papers; where an
+//! original definition leaves a degree of freedom, the choice is documented
+//! on the item.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bil;
+mod cpop;
+mod gdl;
+mod minmin;
+mod pct;
+mod simple;
+
+pub use bil::Bil;
+pub use cpop::Cpop;
+pub use gdl::Gdl;
+pub use minmin::{MaxMin, MinMin};
+pub use pct::Pct;
+pub use simple::{RandomAlloc, RoundRobin, Serial};
+
+use onesched_heuristics::Scheduler;
+
+/// All baselines (boxed), for comparison harnesses. `seed` feeds
+/// [`RandomAlloc`].
+pub fn all_baselines(seed: u64) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Cpop::new()),
+        Box::new(Gdl::new()),
+        Box::new(Bil::new()),
+        Box::new(Pct::new()),
+        Box::new(MinMin::new()),
+        Box::new(MaxMin::new()),
+        Box::new(RoundRobin),
+        Box::new(RandomAlloc::new(seed)),
+        Box::new(Serial),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_heuristics::CommModel;
+    use onesched_platform::Platform;
+    use onesched_sim::validate;
+    use onesched_testbeds::{Testbed, PAPER_C};
+
+    /// Every baseline must produce valid schedules on every testbed under
+    /// every communication model (the workspace-wide correctness bar).
+    #[test]
+    fn all_baselines_valid_on_all_testbeds() {
+        let p = Platform::paper();
+        for tb in Testbed::ALL {
+            let g = tb.generate(5, PAPER_C);
+            for s in all_baselines(7) {
+                for m in [CommModel::MacroDataflow, CommModel::OnePortBidir] {
+                    let sched = s.schedule(&g, &p, m);
+                    let v = validate(&g, &p, m, &sched);
+                    assert!(v.is_empty(), "{} on {tb} under {m}: {v:?}", s.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<String> =
+            all_baselines(0).iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), all_baselines(0).len());
+    }
+}

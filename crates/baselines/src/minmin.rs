@@ -1,0 +1,147 @@
+//! Min-min and max-min batch heuristics.
+
+use onesched_dag::{TaskGraph, TaskId};
+use onesched_heuristics::{
+    commit_placement, place_on, PlacementPolicy, Scheduler, TentativePlacement,
+};
+use onesched_platform::Platform;
+use onesched_sim::{CommModel, ResourcePool, Schedule, EPS};
+
+/// Min-min: repeatedly compute, for every ready task, its minimum completion
+/// time over all processors; schedule the task whose minimum is smallest.
+/// Favors short tasks and tends to finish the easy work first.
+#[derive(Debug, Clone, Default)]
+pub struct MinMin {
+    /// Placement policy for the tentative evaluations.
+    pub policy: PlacementPolicy,
+}
+
+/// Max-min: like [`MinMin`], but schedules the task whose minimum completion
+/// time is *largest* — giving long tasks a head start.
+#[derive(Debug, Clone, Default)]
+pub struct MaxMin {
+    /// Placement policy for the tentative evaluations.
+    pub policy: PlacementPolicy,
+}
+
+impl MinMin {
+    /// Min-min adapted to the one-port machinery.
+    pub fn new() -> MinMin {
+        MinMin {
+            policy: PlacementPolicy::paper(),
+        }
+    }
+}
+
+impl MaxMin {
+    /// Max-min adapted to the one-port machinery.
+    pub fn new() -> MaxMin {
+        MaxMin {
+            policy: PlacementPolicy::paper(),
+        }
+    }
+}
+
+fn batch_schedule(
+    g: &TaskGraph,
+    platform: &Platform,
+    model: CommModel,
+    policy: PlacementPolicy,
+    pick_max: bool,
+) -> Schedule {
+    let mut pool = ResourcePool::new(platform.num_procs(), model);
+    let mut sched = Schedule::with_tasks(g.num_tasks());
+    let mut pending: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
+    let mut ready: Vec<TaskId> = g.tasks().filter(|&v| pending[v.index()] == 0).collect();
+
+    while !ready.is_empty() {
+        let mut chosen: Option<(usize, TentativePlacement)> = None;
+        for (ri, &task) in ready.iter().enumerate() {
+            // the task's own best processor
+            let mut best: Option<TentativePlacement> = None;
+            for proc in platform.procs() {
+                let tp = place_on(g, platform, &sched, pool.begin(), task, proc, policy);
+                if best.as_ref().is_none_or(|b| tp.finish < b.finish - EPS) {
+                    best = Some(tp);
+                }
+            }
+            let tp = best.expect("at least one processor");
+            let replace = match &chosen {
+                None => true,
+                Some((_, c)) => {
+                    if pick_max {
+                        tp.finish > c.finish + EPS
+                    } else {
+                        tp.finish < c.finish - EPS
+                    }
+                }
+            };
+            if replace {
+                chosen = Some((ri, tp));
+            }
+        }
+        let (ri, tp) = chosen.expect("ready set non-empty");
+        let task = tp.task;
+        commit_placement(&mut pool, &mut sched, tp);
+        ready.swap_remove(ri);
+        for (succ, _) in g.successors(task) {
+            pending[succ.index()] -= 1;
+            if pending[succ.index()] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    sched
+}
+
+impl Scheduler for MinMin {
+    fn name(&self) -> String {
+        "min-min".into()
+    }
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        batch_schedule(g, platform, model, self.policy, false)
+    }
+}
+
+impl Scheduler for MaxMin {
+    fn name(&self) -> String {
+        "max-min".into()
+    }
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        batch_schedule(g, platform, model, self.policy, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_sim::validate;
+    use onesched_testbeds::toy;
+
+    #[test]
+    fn minmin_maxmin_valid() {
+        let g = toy();
+        let p = Platform::homogeneous(2);
+        for m in CommModel::ALL {
+            for s in [&MinMin::new() as &dyn Scheduler, &MaxMin::new()] {
+                let sched = s.schedule(&g, &p, m);
+                assert!(validate(&g, &p, m, &sched).is_empty(), "{} {m}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn minmin_picks_short_task_first() {
+        // two independent tasks, one short one long, single processor:
+        // min-min runs the short one first, max-min the long one.
+        let mut b = onesched_dag::TaskGraphBuilder::new();
+        let short = b.add_task(1.0);
+        let long = b.add_task(5.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(1);
+        let s = MinMin::new().schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(s.task(short).unwrap().start < s.task(long).unwrap().start);
+        let s = MaxMin::new().schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(s.task(long).unwrap().start < s.task(short).unwrap().start);
+    }
+}

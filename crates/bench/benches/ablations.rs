@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. insertion-based vs append-only compute placement in one-port HEFT;
+//! 2. incoming-message ordering when serializing on the ports;
+//! 3. ILHA's zero-communication scan depth (paper step 1 vs the §4.4
+//!    one-message variation);
+//! 4. the §4.4 third-step communication rescheduling;
+//! 5. the four communication models on one workload.
+//!
+//! Each bench prints the resulting makespans once (the quality side of the
+//! ablation) and times schedule construction (the cost side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onesched_heuristics::resched::WithResched;
+use onesched_heuristics::{
+    CommModel, CommOrder, Heft, Ilha, PlacementPolicy, ScanDepth, Scheduler,
+};
+use onesched_platform::Platform;
+use onesched_testbeds::{Testbed, PAPER_C};
+
+fn ablation_insertion(c: &mut Criterion) {
+    let g = Testbed::Lu.generate(40, PAPER_C);
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut group = c.benchmark_group("ablation_insertion");
+    group.sample_size(10);
+    for (label, insertion) in [("insertion", true), ("append", false)] {
+        let s = Heft::with_policy(PlacementPolicy {
+            insertion,
+            ..PlacementPolicy::paper()
+        });
+        println!(
+            "[ablation_insertion] {label}: makespan {:.0}",
+            s.schedule(&g, &p, m).makespan()
+        );
+        group.bench_function(label, |b| b.iter(|| s.schedule(&g, &p, m).makespan()));
+    }
+    group.finish();
+}
+
+fn ablation_comm_order(c: &mut Criterion) {
+    let g = Testbed::Ldmt.generate(30, PAPER_C);
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut group = c.benchmark_group("ablation_comm_order");
+    group.sample_size(10);
+    for (label, order) in [
+        ("parent-finish", CommOrder::ByParentFinish),
+        ("data-desc", CommOrder::ByDataDesc),
+        ("data-asc", CommOrder::ByDataAsc),
+        ("parent-id", CommOrder::ByParentId),
+    ] {
+        let s = Heft::with_policy(PlacementPolicy {
+            comm_order: order,
+            ..PlacementPolicy::paper()
+        });
+        println!(
+            "[ablation_comm_order] {label}: makespan {:.0}",
+            s.schedule(&g, &p, m).makespan()
+        );
+        group.bench_function(label, |b| b.iter(|| s.schedule(&g, &p, m).makespan()));
+    }
+    group.finish();
+}
+
+fn ablation_scan_depth(c: &mut Criterion) {
+    let g = Testbed::Laplace.generate(40, PAPER_C);
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut group = c.benchmark_group("ablation_scan_depth");
+    group.sample_size(10);
+    for (label, scan) in [
+        ("zero-comm", ScanDepth::ZeroComm),
+        ("one-comm", ScanDepth::UpToOneComm),
+    ] {
+        let mut s = Ilha::new(38);
+        s.scan = scan;
+        println!(
+            "[ablation_scan_depth] {label}: makespan {:.0}",
+            s.schedule(&g, &p, m).makespan()
+        );
+        group.bench_function(label, |b| b.iter(|| s.schedule(&g, &p, m).makespan()));
+    }
+    group.finish();
+}
+
+fn ablation_resched(c: &mut Criterion) {
+    let g = Testbed::Doolittle.generate(30, PAPER_C);
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut group = c.benchmark_group("ablation_resched");
+    group.sample_size(10);
+    let plain = Ilha::new(20);
+    let resched = WithResched::new(Ilha::new(20));
+    println!(
+        "[ablation_resched] plain: {:.0}, +resched: {:.0}",
+        plain.schedule(&g, &p, m).makespan(),
+        resched.schedule(&g, &p, m).makespan()
+    );
+    group.bench_function("plain", |b| b.iter(|| plain.schedule(&g, &p, m).makespan()));
+    group.bench_function("resched", |b| {
+        b.iter(|| resched.schedule(&g, &p, m).makespan())
+    });
+    group.finish();
+}
+
+fn ablation_models(c: &mut Criterion) {
+    let g = Testbed::Stencil.generate(40, PAPER_C);
+    let p = Platform::paper();
+    let mut group = c.benchmark_group("ablation_models");
+    group.sample_size(10);
+    let s = Heft::new();
+    for m in CommModel::ALL {
+        println!(
+            "[ablation_models] {m}: makespan {:.0}",
+            s.schedule(&g, &p, m).makespan()
+        );
+        group.bench_function(m.name(), |b| b.iter(|| s.schedule(&g, &p, m).makespan()));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_insertion,
+    ablation_comm_order,
+    ablation_scan_depth,
+    ablation_resched,
+    ablation_models
+);
+criterion_main!(benches);

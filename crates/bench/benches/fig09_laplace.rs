@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 09 series (Laplace testbed): HEFT vs
+//! ILHA under the bi-directional one-port model on the paper platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onesched_bench::bench_figure;
+use onesched_testbeds::Testbed;
+
+fn bench(c: &mut Criterion) {
+    bench_figure(c, Testbed::Laplace);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks for the substrates the schedulers are built on:
+//! timeline gap search (dense and sparse), graph construction, rank
+//! computation, and the schedule validator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use onesched_dag::{bottom_levels, RankWeights, TopoOrder};
+use onesched_heuristics::{CommModel, Heft, Scheduler};
+use onesched_platform::Platform;
+use onesched_sim::{validate, Timeline};
+use onesched_testbeds::{Testbed, PAPER_C};
+
+fn timeline_dense_gap_search(c: &mut Criterion) {
+    // A timeline with 10k back-to-back intervals and a single gap near the
+    // end: the worst case for naive scanning, the motivating case for the
+    // block-skip metadata.
+    let mut tl = Timeline::new();
+    for i in 0..10_000 {
+        tl.occupy(i as f64 * 2.0, 2.0 - f64::from(i == 7_000));
+    }
+    c.bench_function("timeline/dense_gap_search", |b| {
+        b.iter(|| tl.earliest_gap(0.0, 1.5))
+    });
+}
+
+fn timeline_occupy(c: &mut Criterion) {
+    c.bench_function("timeline/occupy_10k_appends", |b| {
+        b.iter_batched(
+            Timeline::new,
+            |mut tl| {
+                for i in 0..10_000 {
+                    tl.occupy(i as f64, 1.0);
+                }
+                tl.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn graph_generation(c: &mut Criterion) {
+    c.bench_function("testbeds/lu_n100_generate", |b| {
+        b.iter(|| Testbed::Lu.generate(100, PAPER_C).num_tasks())
+    });
+    c.bench_function("testbeds/laplace_n100_generate", |b| {
+        b.iter(|| Testbed::Laplace.generate(100, PAPER_C).num_tasks())
+    });
+}
+
+fn ranks(c: &mut Criterion) {
+    let g = Testbed::Lu.generate(100, PAPER_C);
+    let topo = TopoOrder::new(&g);
+    c.bench_function("dag/bottom_levels_lu_n100", |b| {
+        b.iter(|| bottom_levels(&g, &topo, RankWeights::homogeneous()))
+    });
+}
+
+fn validator(c: &mut Criterion) {
+    let g = Testbed::Laplace.generate(50, PAPER_C);
+    let p = Platform::paper();
+    let s = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+    c.bench_function("sim/validate_laplace_n50", |b| {
+        b.iter(|| validate(&g, &p, CommModel::OnePortBidir, &s).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    timeline_dense_gap_search,
+    timeline_occupy,
+    graph_generation,
+    ranks,
+    validator
+);
+criterion_main!(benches);

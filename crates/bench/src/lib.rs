@@ -1,0 +1,50 @@
+//! Shared helpers for the criterion benchmark harness.
+//!
+//! Each `benches/figNN_*.rs` target regenerates one figure of the paper:
+//! it times HEFT and ILHA (with the paper's per-testbed chunk size `B`)
+//! under the bi-directional one-port model on the paper platform, and
+//! reports the resulting speedups through criterion's output so the curve
+//! shape can be compared against the paper's (EXPERIMENTS.md records the
+//! series produced by the `experiments` binary, which shares this code
+//! path).
+//!
+//! Benchmark sizes are smaller than the paper's 100–500 sweep so that
+//! `cargo bench --workspace` completes in minutes; the `experiments` binary
+//! runs the full-size sweep.
+
+use criterion::{BenchmarkId, Criterion};
+use onesched_heuristics::{CommModel, Heft, Ilha, Scheduler};
+use onesched_platform::Platform;
+use onesched_testbeds::{Testbed, PAPER_C};
+
+/// Problem sizes used by the figure benches (kept small; see module docs).
+pub const BENCH_SIZES: [usize; 2] = [30, 60];
+
+/// Benchmark one testbed: schedule-construction time of HEFT and ILHA at
+/// [`BENCH_SIZES`], printing each schedule's speedup once as context.
+pub fn bench_figure(c: &mut Criterion, tb: Testbed) {
+    let platform = Platform::paper();
+    let model = CommModel::OnePortBidir;
+    let mut group = c.benchmark_group(format!("fig{:02}_{}", tb.figure(), tb.name()));
+    group.sample_size(10);
+    for &n in &BENCH_SIZES {
+        let g = tb.generate(n, PAPER_C);
+        let heft = Heft::new();
+        let ilha = Ilha::new(tb.paper_best_b());
+        // Print the figure's datapoint (the *quality* result) once.
+        let hs = heft.schedule(&g, &platform, model).speedup(&g, &platform);
+        let is = ilha.schedule(&g, &platform, model).speedup(&g, &platform);
+        println!(
+            "[fig{:02}] {tb} n={n}: HEFT speedup {hs:.3}, ILHA(B={}) speedup {is:.3}",
+            tb.figure(),
+            tb.paper_best_b()
+        );
+        group.bench_with_input(BenchmarkId::new("HEFT", n), &g, |b, g| {
+            b.iter(|| heft.schedule(g, &platform, model).makespan())
+        });
+        group.bench_with_input(BenchmarkId::new("ILHA", n), &g, |b, g| {
+            b.iter(|| ilha.schedule(g, &platform, model).makespan())
+        });
+    }
+    group.finish();
+}

@@ -1,0 +1,82 @@
+//! Structural statistics of a task graph.
+
+use crate::{IsoLevels, TaskGraph};
+
+/// Summary statistics of a task graph, mostly for reporting and for the
+/// experiment harness (EXPERIMENTS.md quotes these for every testbed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProfile {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Total computation work `Σ w(v)`.
+    pub total_work: f64,
+    /// Total communication volume `Σ data(e)`.
+    pub total_data: f64,
+    /// Hop depth (number of iso-levels).
+    pub depth: usize,
+    /// Maximum iso-level size.
+    pub width: usize,
+    /// Number of entry tasks.
+    pub entries: usize,
+    /// Number of exit tasks.
+    pub exits: usize,
+    /// Communication-to-computation ratio `total_data / total_work`
+    /// (`NaN` for an empty graph).
+    pub ccr: f64,
+}
+
+impl GraphProfile {
+    /// Profile the graph `g`.
+    pub fn of(g: &TaskGraph) -> GraphProfile {
+        let lv = IsoLevels::new(g);
+        GraphProfile {
+            tasks: g.num_tasks(),
+            edges: g.num_edges(),
+            total_work: g.total_work(),
+            total_data: g.total_data(),
+            depth: lv.num_levels(),
+            width: lv.width(),
+            entries: g.entry_tasks().len(),
+            exits: g.exit_tasks().len(),
+            ccr: g.total_data() / g.total_work(),
+        }
+    }
+
+    /// Average parallelism: total work divided by (hop) critical-path work.
+    ///
+    /// This is an upper bound on achievable speedup with unit-speed
+    /// processors and free communications.
+    pub fn average_parallelism(&self) -> f64 {
+        self.tasks as f64 / self.depth as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskGraphBuilder;
+
+    #[test]
+    fn profile_of_fork() {
+        let mut b = TaskGraphBuilder::new();
+        let p = b.add_task(1.0);
+        for _ in 0..4 {
+            let c = b.add_task(2.0);
+            b.add_edge(p, c, 3.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pr = GraphProfile::of(&g);
+        assert_eq!(pr.tasks, 5);
+        assert_eq!(pr.edges, 4);
+        assert_eq!(pr.total_work, 9.0);
+        assert_eq!(pr.total_data, 12.0);
+        assert_eq!(pr.depth, 2);
+        assert_eq!(pr.width, 4);
+        assert_eq!(pr.entries, 1);
+        assert_eq!(pr.exits, 4);
+        assert!((pr.ccr - 12.0 / 9.0).abs() < 1e-12);
+        assert!((pr.average_parallelism() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,266 @@
+//! Mutable builder producing validated [`TaskGraph`]s.
+
+use crate::{Edge, EdgeId, GraphError, TaskGraph, TaskId};
+use std::collections::HashSet;
+
+/// Incremental builder for [`TaskGraph`].
+///
+/// Tasks receive dense ids in insertion order. `build` checks acyclicity and
+/// assembles the CSR adjacency.
+#[derive(Debug, Default, Clone)]
+pub struct TaskGraphBuilder {
+    weights: Vec<f64>,
+    edges: Vec<Edge>,
+    seen: HashSet<(u32, u32)>,
+}
+
+impl TaskGraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New builder with pre-reserved capacity for `n` tasks and `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        TaskGraphBuilder {
+            weights: Vec::with_capacity(n),
+            edges: Vec::with_capacity(m),
+            seen: HashSet::with_capacity(m),
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The weight of an already-added task.
+    ///
+    /// # Panics
+    /// Panics if `t` was not produced by this builder.
+    pub fn weight_of(&self, t: TaskId) -> f64 {
+        self.weights[t.index()]
+    }
+
+    /// Add a task with computation cost `weight`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX` tasks are added.
+    pub fn add_task(&mut self, weight: f64) -> TaskId {
+        let id = TaskId(u32::try_from(self.weights.len()).expect("too many tasks"));
+        self.weights.push(weight);
+        id
+    }
+
+    /// Add `n` tasks of identical weight, returning the id of the first.
+    pub fn add_tasks(&mut self, n: usize, weight: f64) -> TaskId {
+        let first = TaskId(self.weights.len() as u32);
+        self.weights.extend(std::iter::repeat_n(weight, n));
+        first
+    }
+
+    /// Add the precedence edge `src -> dst` carrying `data` items.
+    ///
+    /// Rejects unknown endpoints, self-loops, duplicate edges, and negative
+    /// or non-finite volumes. Cycles are only detected at [`build`] time.
+    ///
+    /// [`build`]: TaskGraphBuilder::build
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, data: f64) -> Result<EdgeId, GraphError> {
+        let n = self.weights.len() as u32;
+        if src.0 >= n {
+            return Err(GraphError::UnknownTask(src));
+        }
+        if dst.0 >= n {
+            return Err(GraphError::UnknownTask(dst));
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
+        }
+        if !data.is_finite() || data < 0.0 {
+            return Err(GraphError::InvalidWeight {
+                what: format!("edge {src} -> {dst}"),
+                value: data,
+            });
+        }
+        if !self.seen.insert((src.0, dst.0)) {
+            return Err(GraphError::DuplicateEdge(src, dst));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, data });
+        Ok(id)
+    }
+
+    /// Validate and freeze into an immutable [`TaskGraph`].
+    ///
+    /// Checks every task weight is finite and non-negative and that the edge
+    /// set is acyclic (Kahn's algorithm); on a cycle, returns a witness task.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        let n = self.weights.len();
+        for (i, &w) in self.weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight {
+                    what: format!("task v{i}"),
+                    value: w,
+                });
+            }
+        }
+
+        // CSR for successors.
+        let mut succ_off = vec![0u32; n + 1];
+        for e in &self.edges {
+            succ_off[e.src.index() + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut cursor = succ_off.clone();
+        let mut succ_edges = vec![EdgeId(0); self.edges.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            let slot = cursor[e.src.index()] as usize;
+            succ_edges[slot] = EdgeId(i as u32);
+            cursor[e.src.index()] += 1;
+        }
+
+        // CSR for predecessors.
+        let mut pred_off = vec![0u32; n + 1];
+        for e in &self.edges {
+            pred_off[e.dst.index() + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut cursor = pred_off.clone();
+        let mut pred_edges = vec![EdgeId(0); self.edges.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            let slot = cursor[e.dst.index()] as usize;
+            pred_edges[slot] = EdgeId(i as u32);
+            cursor[e.dst.index()] += 1;
+        }
+
+        let g = TaskGraph {
+            weights: self.weights,
+            edges: self.edges,
+            succ_off,
+            succ_edges,
+            pred_off,
+            pred_edges,
+        };
+
+        // Kahn's algorithm: if not all tasks drain, there is a cycle.
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|v| g.in_degree(TaskId(v as u32)) as u32)
+            .collect();
+        let mut queue: Vec<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|v| indeg[v.index()] == 0)
+            .collect();
+        let mut drained = 0usize;
+        while let Some(v) = queue.pop() {
+            drained += 1;
+            for (s, _) in g.successors(v) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if drained != n {
+            let witness = (0..n as u32)
+                .map(TaskId)
+                .find(|v| indeg[v.index()] > 0)
+                .expect("cycle implies a task with remaining in-degree");
+            return Err(GraphError::Cycle(witness));
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_endpoints() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        assert_eq!(
+            b.add_edge(a, TaskId(5), 1.0),
+            Err(GraphError::UnknownTask(TaskId(5)))
+        );
+        assert_eq!(
+            b.add_edge(TaskId(9), a, 1.0),
+            Err(GraphError::UnknownTask(TaskId(9)))
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        assert_eq!(b.add_edge(a, a, 1.0), Err(GraphError::SelfLoop(a)));
+        b.add_edge(a, c, 1.0).unwrap();
+        assert_eq!(b.add_edge(a, c, 2.0), Err(GraphError::DuplicateEdge(a, c)));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(-1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::InvalidWeight { .. })));
+
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        assert!(matches!(
+            b.add_edge(a, c, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let d = b.add_task(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, d, 1.0).unwrap();
+        b.add_edge(d, a, 1.0).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = TaskGraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_tasks(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.entry_tasks().is_empty());
+    }
+
+    #[test]
+    fn add_tasks_bulk() {
+        let mut b = TaskGraphBuilder::new();
+        let first = b.add_tasks(5, 2.0);
+        assert_eq!(first, TaskId(0));
+        assert_eq!(b.num_tasks(), 5);
+        let g = b.build().unwrap();
+        assert_eq!(g.total_work(), 10.0);
+    }
+
+    #[test]
+    fn independent_tasks_build() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_tasks(10, 1.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.entry_tasks().len(), 10);
+        assert_eq!(g.exit_tasks().len(), 10);
+    }
+}

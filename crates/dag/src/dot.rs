@@ -1,0 +1,44 @@
+//! Graphviz DOT export, for inspecting the testbed shapes.
+
+use crate::TaskGraph;
+use std::fmt::Write;
+
+impl TaskGraph {
+    /// Render the graph in Graphviz DOT syntax.
+    ///
+    /// Node labels show `id (weight)`, edge labels show the data volume.
+    /// Intended for debugging the miniature testbeds of the paper's
+    /// Figures 5–6.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::with_capacity(64 + 32 * (self.num_tasks() + self.num_edges()));
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        for v in self.tasks() {
+            let _ = writeln!(out, "  {} [label=\"v{} ({})\"];", v.0, v.0, self.weight(v));
+        }
+        for e in self.edges() {
+            let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", e.src.0, e.dst.0, e.data);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TaskGraphBuilder;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.5);
+        let c = b.add_task(2.0);
+        b.add_edge(a, c, 7.0).unwrap();
+        let g = b.build().unwrap();
+        let dot = g.to_dot("toy");
+        assert!(dot.starts_with("digraph toy {"));
+        assert!(dot.contains("v0 (1.5)"));
+        assert!(dot.contains("0 -> 1 [label=\"7\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for graph construction.
+
+use crate::TaskId;
+use std::fmt;
+
+/// Errors raised while building or manipulating a [`TaskGraph`](crate::TaskGraph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a task id that was never added.
+    UnknownTask(TaskId),
+    /// A task weight or an edge data volume is negative or non-finite.
+    InvalidWeight {
+        /// Human-readable description of the offending entity.
+        what: String,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The same directed edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// A self-loop `v -> v` was added.
+    SelfLoop(TaskId),
+    /// The edge set contains a directed cycle; the witness is one task on it.
+    Cycle(TaskId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            GraphError::InvalidWeight { what, value } => {
+                write!(f, "invalid weight for {what}: {value}")
+            }
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            GraphError::SelfLoop(t) => write!(f, "self-loop on {t}"),
+            GraphError::Cycle(t) => write!(f, "graph contains a cycle through {t}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::DuplicateEdge(TaskId(1), TaskId(2));
+        assert_eq!(e.to_string(), "duplicate edge v1 -> v2");
+        let e = GraphError::Cycle(TaskId(0));
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::InvalidWeight {
+            what: "task v3".into(),
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,248 @@
+//! The immutable CSR task graph.
+
+use crate::{EdgeId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A directed edge of the task graph: the precedence constraint
+/// `src -> dst` labelled with the communication volume `data(src, dst)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source task (the producer).
+    pub src: TaskId,
+    /// Destination task (the consumer).
+    pub dst: TaskId,
+    /// Number of data items transferred from `src` to `dst`
+    /// (`data(i, j)` in the paper). The time cost of the transfer between
+    /// distinct processors `q`, `r` is `data * link(q, r)`.
+    pub data: f64,
+}
+
+/// An immutable, validated, vertex-weighted edge-weighted DAG.
+///
+/// Construction goes through [`TaskGraphBuilder`](crate::TaskGraphBuilder),
+/// which checks weights, rejects duplicate edges and self-loops, and verifies
+/// acyclicity. Both successor and predecessor adjacency are stored in CSR
+/// form so traversal is allocation-free.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskGraph {
+    /// `w(v)` per task, indexed by `TaskId`.
+    pub(crate) weights: Vec<f64>,
+    /// All edges in insertion order, indexed by `EdgeId`.
+    pub(crate) edges: Vec<Edge>,
+    /// CSR offsets into `succ_edges`, length `n + 1`.
+    pub(crate) succ_off: Vec<u32>,
+    /// Edge ids sorted by source task (then by insertion order).
+    pub(crate) succ_edges: Vec<EdgeId>,
+    /// CSR offsets into `pred_edges`, length `n + 1`.
+    pub(crate) pred_off: Vec<u32>,
+    /// Edge ids sorted by destination task (then by insertion order).
+    pub(crate) pred_edges: Vec<EdgeId>,
+}
+
+impl TaskGraph {
+    /// Number of tasks `|V|`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Computation cost `w(v)` of task `v` in abstract cycles.
+    ///
+    /// The running time of `v` on a processor of cycle-time `t` is `w(v) * t`.
+    #[inline]
+    pub fn weight(&self, v: TaskId) -> f64 {
+        self.weights[v.index()]
+    }
+
+    /// All task weights, indexed by task id.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// All edges in insertion order (index = `EdgeId`).
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Communication volume `data(src, dst)` of edge `e`.
+    #[inline]
+    pub fn data(&self, e: EdgeId) -> f64 {
+        self.edges[e.index()].data
+    }
+
+    /// Iterate over all task ids `0..n`.
+    pub fn tasks(&self) -> impl ExactSizeIterator<Item = TaskId> + Clone {
+        (0..self.num_tasks() as u32).map(TaskId)
+    }
+
+    /// Ids of the edges leaving `v`, i.e. constraints `v -> succ`.
+    #[inline]
+    pub fn out_edges(&self, v: TaskId) -> &[EdgeId] {
+        let lo = self.succ_off[v.index()] as usize;
+        let hi = self.succ_off[v.index() + 1] as usize;
+        &self.succ_edges[lo..hi]
+    }
+
+    /// Ids of the edges entering `v`, i.e. constraints `pred -> v`.
+    #[inline]
+    pub fn in_edges(&self, v: TaskId) -> &[EdgeId] {
+        let lo = self.pred_off[v.index()] as usize;
+        let hi = self.pred_off[v.index() + 1] as usize;
+        &self.pred_edges[lo..hi]
+    }
+
+    /// Successors of `v` with the connecting edge id.
+    pub fn successors(&self, v: TaskId) -> impl ExactSizeIterator<Item = (TaskId, EdgeId)> + '_ {
+        self.out_edges(v)
+            .iter()
+            .map(|&e| (self.edges[e.index()].dst, e))
+    }
+
+    /// Predecessors of `v` with the connecting edge id.
+    pub fn predecessors(&self, v: TaskId) -> impl ExactSizeIterator<Item = (TaskId, EdgeId)> + '_ {
+        self.in_edges(v)
+            .iter()
+            .map(|&e| (self.edges[e.index()].src, e))
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: TaskId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: TaskId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Tasks with no predecessors (the graph's sources).
+    pub fn entry_tasks(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Tasks with no successors (the graph's sinks).
+    pub fn exit_tasks(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Total computation work `Σ_v w(v)`.
+    pub fn total_work(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Total communication volume `Σ_e data(e)`.
+    pub fn total_data(&self) -> f64 {
+        self.edges.iter().map(|e| e.data).sum()
+    }
+
+    /// The graph with every edge reversed (weights and data preserved).
+    ///
+    /// Useful for computing bottom levels as top levels of the transpose.
+    pub fn transpose(&self) -> TaskGraph {
+        let mut b = crate::TaskGraphBuilder::with_capacity(self.num_tasks(), self.num_edges());
+        for w in &self.weights {
+            b.add_task(*w);
+        }
+        for e in &self.edges {
+            b.add_edge(e.dst, e.src, e.data)
+                .expect("transposing a valid graph cannot fail");
+        }
+        b.build().expect("transpose of a DAG is a DAG")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{TaskGraphBuilder, TaskId};
+
+    fn diamond() -> crate::TaskGraph {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let t_b = b.add_task(2.0);
+        let c = b.add_task(3.0);
+        let d = b.add_task(4.0);
+        b.add_edge(a, t_b, 10.0).unwrap();
+        b.add_edge(a, c, 20.0).unwrap();
+        b.add_edge(t_b, d, 30.0).unwrap();
+        b.add_edge(c, d, 40.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(TaskId(0)), 2);
+        assert_eq!(g.in_degree(TaskId(0)), 0);
+        assert_eq!(g.in_degree(TaskId(3)), 2);
+        let succs: Vec<_> = g.successors(TaskId(0)).map(|(t, _)| t).collect();
+        assert_eq!(succs, vec![TaskId(1), TaskId(2)]);
+        let preds: Vec<_> = g.predecessors(TaskId(3)).map(|(t, _)| t).collect();
+        assert_eq!(preds, vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn entry_and_exit_tasks() {
+        let g = diamond();
+        assert_eq!(g.entry_tasks(), vec![TaskId(0)]);
+        assert_eq!(g.exit_tasks(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn totals() {
+        let g = diamond();
+        assert_eq!(g.total_work(), 10.0);
+        assert_eq!(g.total_data(), 100.0);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.entry_tasks(), vec![TaskId(3)]);
+        assert_eq!(t.exit_tasks(), vec![TaskId(0)]);
+        assert_eq!(t.total_work(), g.total_work());
+        assert_eq!(t.total_data(), g.total_data());
+        // data volumes follow the reversed edges
+        let (_, e) = t.successors(TaskId(3)).next().unwrap();
+        assert!(t.data(e) == 30.0 || t.data(e) == 40.0);
+    }
+
+    #[test]
+    fn edge_accessors() {
+        let g = diamond();
+        let e = g.out_edges(TaskId(0))[0];
+        let edge = g.edge(e);
+        assert_eq!(edge.src, TaskId(0));
+        assert_eq!(edge.dst, TaskId(1));
+        assert_eq!(g.data(e), 10.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: crate::TaskGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.num_tasks(), g.num_tasks());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_work(), g.total_work());
+    }
+}

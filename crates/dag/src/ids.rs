@@ -1,0 +1,106 @@
+//! Strongly-typed indices for tasks and edges.
+//!
+//! Task graphs in the evaluation section of the paper reach ~125 000 tasks
+//! (LU at problem size 500), so ids are `u32` to keep hot scheduler state
+//! compact (see the type-size guidance in the Rust Performance Book).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (a node of the [`TaskGraph`](crate::TaskGraph)).
+///
+/// Ids are dense: a graph with `n` tasks uses ids `0..n` in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Identifier of a directed edge (a precedence constraint) of the graph.
+///
+/// Ids are dense in insertion order, matching `TaskGraph::edge`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize`, for indexing per-task state vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize`, for indexing per-edge state vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for TaskId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t = TaskId::from(7u32);
+        assert_eq!(t.index(), 7);
+        assert_eq!(format!("{t}"), "v7");
+        assert_eq!(format!("{t:?}"), "v7");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(3u32);
+        assert_eq!(e.index(), 3);
+        assert_eq!(format!("{e}"), "e3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<TaskId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Iso-levels: the level decomposition used by the ILHA heuristic.
+//!
+//! Two tasks belong to the same iso-level when they have the same *hop*
+//! top-level — the length in edges of the longest path from an entry task
+//! (paper §4.2: "Initially, the 0-level is composed of the entry tasks. The
+//! (i+1)-th level groups the tasks that are ready when the i-th level is
+//! achieved"). All tasks in a level are pairwise independent, which is what
+//! lets ILHA load-balance a chunk of them at once.
+
+use crate::{TaskGraph, TaskId, TopoOrder};
+
+/// The partition of tasks into iso-levels of pairwise-independent tasks.
+#[derive(Debug, Clone)]
+pub struct IsoLevels {
+    /// `level[v]` = hop depth of task `v`.
+    level_of: Vec<u32>,
+    /// Tasks grouped by level, level 0 first; within a level, by id.
+    groups: Vec<Vec<TaskId>>,
+}
+
+impl IsoLevels {
+    /// Compute the iso-level decomposition of `g`.
+    pub fn new(g: &TaskGraph) -> IsoLevels {
+        let topo = TopoOrder::new(g);
+        Self::with_topo(g, &topo)
+    }
+
+    /// Compute the decomposition reusing an existing topological order.
+    pub fn with_topo(g: &TaskGraph, topo: &TopoOrder) -> IsoLevels {
+        let n = g.num_tasks();
+        let mut level_of = vec![0u32; n];
+        let mut max_level = 0u32;
+        for &v in topo.order() {
+            let mut lvl = 0u32;
+            for (p, _) in g.predecessors(v) {
+                lvl = lvl.max(level_of[p.index()] + 1);
+            }
+            level_of[v.index()] = lvl;
+            max_level = max_level.max(lvl);
+        }
+        let mut groups = vec![Vec::new(); if n == 0 { 0 } else { max_level as usize + 1 }];
+        for v in g.tasks() {
+            groups[level_of[v.index()] as usize].push(v);
+        }
+        IsoLevels { level_of, groups }
+    }
+
+    /// Number of levels (the hop depth of the graph plus one; 0 when empty).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The iso-level (hop depth) of task `v`.
+    #[inline]
+    pub fn level(&self, v: TaskId) -> usize {
+        self.level_of[v.index()] as usize
+    }
+
+    /// Tasks of level `l`, sorted by id.
+    #[inline]
+    pub fn tasks_at(&self, l: usize) -> &[TaskId] {
+        &self.groups[l]
+    }
+
+    /// Iterate over all levels in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[TaskId]> {
+        self.groups.iter().map(|v| v.as_slice())
+    }
+
+    /// The maximum number of tasks in any level (the graph's width).
+    pub fn width(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskGraphBuilder;
+
+    #[test]
+    fn fork_has_two_levels() {
+        let mut b = TaskGraphBuilder::new();
+        let parent = b.add_task(1.0);
+        for _ in 0..6 {
+            let c = b.add_task(1.0);
+            b.add_edge(parent, c, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let lv = IsoLevels::new(&g);
+        assert_eq!(lv.num_levels(), 2);
+        assert_eq!(lv.tasks_at(0), &[parent]);
+        assert_eq!(lv.tasks_at(1).len(), 6);
+        assert_eq!(lv.width(), 6);
+    }
+
+    #[test]
+    fn level_is_longest_hop_path() {
+        // a -> b -> d ; a -> d : d is at level 2, not 1.
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let t_b = b.add_task(1.0);
+        let d = b.add_task(1.0);
+        b.add_edge(a, t_b, 1.0).unwrap();
+        b.add_edge(t_b, d, 1.0).unwrap();
+        b.add_edge(a, d, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let lv = IsoLevels::new(&g);
+        assert_eq!(lv.level(a), 0);
+        assert_eq!(lv.level(t_b), 1);
+        assert_eq!(lv.level(d), 2);
+    }
+
+    #[test]
+    fn levels_are_independent_sets() {
+        // Build a random-ish layered graph and check no edge stays inside a level.
+        let mut b = TaskGraphBuilder::new();
+        let tasks: Vec<_> = (0..20).map(|_| b.add_task(1.0)).collect();
+        for i in 0..15 {
+            b.add_edge(tasks[i], tasks[i + 5], 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let lv = IsoLevels::new(&g);
+        for e in g.edges() {
+            assert!(lv.level(e.src) < lv.level(e.dst));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraphBuilder::new().build().unwrap();
+        let lv = IsoLevels::new(&g);
+        assert_eq!(lv.num_levels(), 0);
+        assert_eq!(lv.width(), 0);
+    }
+
+    #[test]
+    fn all_tasks_covered_exactly_once() {
+        let mut b = TaskGraphBuilder::new();
+        let tasks: Vec<_> = (0..10).map(|_| b.add_task(1.0)).collect();
+        b.add_edge(tasks[0], tasks[5], 1.0).unwrap();
+        b.add_edge(tasks[5], tasks[9], 1.0).unwrap();
+        let g = b.build().unwrap();
+        let lv = IsoLevels::new(&g);
+        let total: usize = lv.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 10);
+    }
+}

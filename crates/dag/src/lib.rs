@@ -1,0 +1,52 @@
+//! # onesched-dag — weighted task-DAG substrate
+//!
+//! This crate implements the application model of the macro-dataflow /
+//! one-port scheduling literature (Beaumont, Boudet, Robert, IPDPS 2002,
+//! §2.1): a directed acyclic graph `G = (V, E, w, data)` where each task
+//! `v ∈ V` carries a non-negative computation cost `w(v)` (abstract cycles)
+//! and each edge `(u, v) ∈ E` carries a communication volume `data(u, v)`
+//! (abstract data items transferred from `u` to `v`).
+//!
+//! The graph is stored in a compressed sparse-row (CSR) layout for both
+//! successor and predecessor adjacency, so the schedulers in
+//! `onesched-heuristics` can iterate neighbourhoods without allocation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use onesched_dag::TaskGraphBuilder;
+//!
+//! // The fork graph of the paper's Figure 1: one parent, six unit children.
+//! let mut b = TaskGraphBuilder::new();
+//! let parent = b.add_task(1.0);
+//! for _ in 0..6 {
+//!     let child = b.add_task(1.0);
+//!     b.add_edge(parent, child, 1.0).unwrap();
+//! }
+//! let g = b.build().unwrap();
+//! assert_eq!(g.num_tasks(), 7);
+//! assert_eq!(g.num_edges(), 6);
+//! assert_eq!(g.successors(parent).count(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod builder;
+mod dot;
+mod error;
+mod graph;
+mod ids;
+mod levels;
+mod ranks;
+mod traversal;
+
+pub use analysis::GraphProfile;
+pub use builder::TaskGraphBuilder;
+pub use error::GraphError;
+pub use graph::{Edge, TaskGraph};
+pub use ids::{EdgeId, TaskId};
+pub use levels::IsoLevels;
+pub use ranks::{bottom_levels, top_levels, RankWeights};
+pub use traversal::TopoOrder;

@@ -1,0 +1,171 @@
+//! Bottom levels and top levels with pluggable cost estimates.
+//!
+//! On heterogeneous platforms the length of a path mixes computation and
+//! communication times, so the costs must be *averaged* over the resources
+//! (paper §4.1). This module is agnostic about the averaging: the caller
+//! provides a per-unit computation estimate and a per-unit communication
+//! estimate, and we run the dynamic programs. The paper-faithful averages
+//! (harmonic means over processors/links) live in
+//! `onesched-heuristics::avg_weights`.
+
+use crate::{TaskGraph, TopoOrder};
+
+/// Per-unit cost estimates used when ranking tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankWeights {
+    /// Estimated time to execute one unit of task weight
+    /// (e.g. `p / Σ 1/t_i`, the harmonic-mean cycle-time; paper §4.1).
+    pub unit_comp: f64,
+    /// Estimated time to transfer one data item between two distinct
+    /// processors (e.g. the harmonic mean of off-diagonal `link` entries).
+    pub unit_comm: f64,
+}
+
+impl RankWeights {
+    /// Costs for a fully homogeneous platform with unit cycle-time and links.
+    pub fn homogeneous() -> RankWeights {
+        RankWeights {
+            unit_comp: 1.0,
+            unit_comm: 1.0,
+        }
+    }
+}
+
+/// Bottom level of every task: the length of the longest path from the task
+/// to an exit task, *including* the task's own estimated execution time and
+/// every communication on the path (communications are conservatively always
+/// counted — paper §4.1: "it is (conservatively) estimated that
+/// communications cannot be avoided").
+///
+/// Higher bottom level = more urgent.
+pub fn bottom_levels(g: &TaskGraph, topo: &TopoOrder, w: RankWeights) -> Vec<f64> {
+    let mut bl = vec![0.0f64; g.num_tasks()];
+    for v in topo.reversed() {
+        let own = g.weight(v) * w.unit_comp;
+        let mut best = 0.0f64;
+        for &e in g.out_edges(v) {
+            let edge = g.edge(e);
+            let through = edge.data * w.unit_comm + bl[edge.dst.index()];
+            if through > best {
+                best = through;
+            }
+        }
+        bl[v.index()] = own + best;
+    }
+    bl
+}
+
+/// Top level of every task: the length of the longest path from an entry
+/// task to the task, *excluding* the task's own execution time (the earliest
+/// possible start under the averaged-cost estimate).
+pub fn top_levels(g: &TaskGraph, topo: &TopoOrder, w: RankWeights) -> Vec<f64> {
+    let mut tl = vec![0.0f64; g.num_tasks()];
+    for &v in topo.order() {
+        let mut best = 0.0f64;
+        for &e in g.in_edges(v) {
+            let edge = g.edge(e);
+            let p = edge.src;
+            let through = tl[p.index()] + g.weight(p) * w.unit_comp + edge.data * w.unit_comm;
+            if through > best {
+                best = through;
+            }
+        }
+        tl[v.index()] = best;
+    }
+    tl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TaskGraphBuilder, TopoOrder};
+
+    /// chain a(2) -> b(3) -> c(1), data 10 each, unit costs.
+    fn chain() -> crate::TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(2.0);
+        let t_b = b.add_task(3.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, t_b, 10.0).unwrap();
+        b.add_edge(t_b, c, 10.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_bottom_levels() {
+        let g = chain();
+        let topo = TopoOrder::new(&g);
+        let bl = bottom_levels(&g, &topo, RankWeights::homogeneous());
+        // c: 1 ; b: 3 + 10 + 1 = 14 ; a: 2 + 10 + 14 = 26
+        assert_eq!(bl, vec![26.0, 14.0, 1.0]);
+    }
+
+    #[test]
+    fn chain_top_levels() {
+        let g = chain();
+        let topo = TopoOrder::new(&g);
+        let tl = top_levels(&g, &topo, RankWeights::homogeneous());
+        // a: 0 ; b: 2 + 10 = 12 ; c: 12 + 3 + 10 = 25
+        assert_eq!(tl, vec![0.0, 12.0, 25.0]);
+    }
+
+    #[test]
+    fn bottom_plus_top_bounds_critical_path() {
+        let g = chain();
+        let topo = TopoOrder::new(&g);
+        let w = RankWeights::homogeneous();
+        let bl = bottom_levels(&g, &topo, w);
+        let tl = top_levels(&g, &topo, w);
+        let cp = bl[0]; // entry task's bottom level is the critical path
+        for v in g.tasks() {
+            let through = tl[v.index()] + bl[v.index()];
+            assert!(through <= cp + 1e-12);
+        }
+        // tasks on the critical path achieve equality
+        assert_eq!(tl[2] + bl[2], cp);
+    }
+
+    #[test]
+    fn rank_weights_scale() {
+        let g = chain();
+        let topo = TopoOrder::new(&g);
+        let w = RankWeights {
+            unit_comp: 2.0,
+            unit_comm: 0.5,
+        };
+        let bl = bottom_levels(&g, &topo, w);
+        // c: 2 ; b: 6 + 5 + 2 = 13 ; a: 4 + 5 + 13 = 22
+        assert_eq!(bl, vec![22.0, 13.0, 2.0]);
+    }
+
+    #[test]
+    fn diamond_takes_longest_branch() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let short = b.add_task(1.0);
+        let long = b.add_task(10.0);
+        let d = b.add_task(1.0);
+        b.add_edge(a, short, 1.0).unwrap();
+        b.add_edge(a, long, 1.0).unwrap();
+        b.add_edge(short, d, 1.0).unwrap();
+        b.add_edge(long, d, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let topo = TopoOrder::new(&g);
+        let bl = bottom_levels(&g, &topo, RankWeights::homogeneous());
+        // through long: 1 + 1 + (10 + 1 + 1) = 14
+        assert_eq!(bl[a.index()], 14.0);
+        assert!(bl[long.index()] > bl[short.index()]);
+    }
+
+    #[test]
+    fn zero_comm_weights_reduce_to_computation_path() {
+        let g = chain();
+        let topo = TopoOrder::new(&g);
+        let w = RankWeights {
+            unit_comp: 1.0,
+            unit_comm: 0.0,
+        };
+        let bl = bottom_levels(&g, &topo, w);
+        assert_eq!(bl, vec![6.0, 4.0, 1.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Topological orderings of a task graph.
+
+use crate::{TaskGraph, TaskId};
+
+/// A topological order of the tasks, cached with its inverse permutation.
+///
+/// The order is deterministic: among simultaneously-available tasks, the one
+/// with the smallest id comes first (a binary-heap-free variant would not be
+/// deterministic across runs; determinism keeps schedules and tests
+/// reproducible, mirroring the paper's explicit tie-breaking by processor
+/// index).
+#[derive(Debug, Clone)]
+pub struct TopoOrder {
+    order: Vec<TaskId>,
+    position: Vec<u32>,
+}
+
+impl TopoOrder {
+    /// Compute a deterministic topological order of `g`.
+    ///
+    /// # Panics
+    /// Never panics for graphs produced by `TaskGraphBuilder::build`, which
+    /// guarantees acyclicity.
+    pub fn new(g: &TaskGraph) -> TopoOrder {
+        let n = g.num_tasks();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|v| g.in_degree(TaskId(v as u32)) as u32)
+            .collect();
+        // Min-heap on task id for determinism.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>> = (0..n as u32)
+            .map(TaskId)
+            .filter(|v| indeg[v.index()] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut position = vec![0u32; n];
+        while let Some(std::cmp::Reverse(v)) = heap.pop() {
+            position[v.index()] = order.len() as u32;
+            order.push(v);
+            for (s, _) in g.successors(v) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    heap.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "TaskGraph invariant violated: cycle found");
+        TopoOrder { order, position }
+    }
+
+    /// The tasks in topological order (sources first).
+    #[inline]
+    pub fn order(&self) -> &[TaskId] {
+        &self.order
+    }
+
+    /// The position of task `v` in the order.
+    #[inline]
+    pub fn position(&self, v: TaskId) -> usize {
+        self.position[v.index()] as usize
+    }
+
+    /// Iterate the tasks in reverse topological order (sinks first).
+    pub fn reversed(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.order.iter().rev().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskGraphBuilder;
+
+    #[test]
+    fn respects_precedence() {
+        let mut b = TaskGraphBuilder::new();
+        let t: Vec<_> = (0..6).map(|_| b.add_task(1.0)).collect();
+        // 5 -> 4 -> 3 -> 2 -> 1 -> 0 (reverse of id order)
+        for i in (1..6).rev() {
+            b.add_edge(t[i], t[i - 1], 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let topo = TopoOrder::new(&g);
+        let pos = |i: usize| topo.position(t[i]);
+        for i in (1..6).rev() {
+            assert!(pos(i) < pos(i - 1), "edge {} -> {} violated", i, i - 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_small_id_first() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_tasks(4, 1.0);
+        let g = b.build().unwrap();
+        let topo = TopoOrder::new(&g);
+        let ids: Vec<u32> = topo.order().iter().map(|t| t.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reversed_is_reverse() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let topo = TopoOrder::new(&g);
+        let fwd: Vec<_> = topo.order().to_vec();
+        let bwd: Vec<_> = topo.reversed().collect();
+        assert_eq!(fwd.iter().rev().copied().collect::<Vec<_>>(), bwd);
+    }
+
+    #[test]
+    fn positions_match_order() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let d = b.add_task(1.0);
+        b.add_edge(a, d, 1.0).unwrap();
+        b.add_edge(c, d, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let topo = TopoOrder::new(&g);
+        for (i, &v) in topo.order().iter().enumerate() {
+            assert_eq!(topo.position(v), i);
+        }
+    }
+}

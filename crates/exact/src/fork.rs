@@ -1,0 +1,238 @@
+//! Exact FORK-SCHED: optimal one-port scheduling of fork graphs on an
+//! unlimited number of same-speed processors (the §3 setting).
+//!
+//! ## Why subset enumeration is exact
+//!
+//! In the §3 setting (`t_i = 1`, `link = 1`, as many processors as tasks,
+//! bi-directional one-port), there is always an optimal schedule of the
+//! following shape:
+//!
+//! * the parent `v0` runs on `P0` at time 0;
+//! * some subset `A` of the children runs on `P0` (no messages needed),
+//!   back-to-back after `v0`;
+//! * every other child runs on its own processor (co-locating two remote
+//!   children on one processor only delays the second — both messages must
+//!   still be sent by `P0`, and the children would additionally share a
+//!   core);
+//! * `P0` sends the remote messages back-to-back starting when `v0`
+//!   completes (the send port is the only contended resource), in
+//!   **Jackson's order** — non-increasing remote execution time `w_i`.
+//!   Jackson's rule (earliest due date / longest delivery time first) is
+//!   optimal for single-machine sequencing with delivery times, which is
+//!   exactly what the send port is.
+//!
+//! The solver therefore enumerates all `2^N` subsets and sequences the rest
+//! with Jackson's rule — exact, and fast enough for the reduction instances
+//! (`N = n + 3` with small `n`).
+
+use onesched_dag::TaskGraph;
+
+/// A fork instance: parent weight and per-child `(weight, data)` pairs,
+/// matching `onesched_testbeds::fork`'s argument order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForkInstance {
+    /// `w_0`: parent computation cost.
+    pub parent_weight: f64,
+    /// `(w_i, d_i)` for each child.
+    pub children: Vec<(f64, f64)>,
+}
+
+impl ForkInstance {
+    /// Extract the instance from a fork-shaped task graph.
+    ///
+    /// # Panics
+    /// Panics if `g` is not a fork (one entry task, all others its direct
+    /// children).
+    pub fn from_graph(g: &TaskGraph) -> ForkInstance {
+        let entries = g.entry_tasks();
+        assert_eq!(entries.len(), 1, "fork graphs have one entry task");
+        let root = entries[0];
+        assert_eq!(
+            g.out_degree(root) + 1,
+            g.num_tasks(),
+            "every non-root task must be a direct child of the root"
+        );
+        let children = g
+            .successors(root)
+            .map(|(c, e)| {
+                assert_eq!(g.in_degree(c), 1, "children have a single parent");
+                assert_eq!(g.out_degree(c), 0, "children are leaves");
+                (g.weight(c), g.data(e))
+            })
+            .collect();
+        ForkInstance {
+            parent_weight: g.weight(root),
+            children,
+        }
+    }
+
+    /// Makespan when the subset `local` (bitmask over children) runs on
+    /// `P0` and the rest are remote, messages in Jackson's order.
+    fn makespan_for_subset(&self, local: u64) -> f64 {
+        let w0 = self.parent_weight;
+        let mut local_work = 0.0;
+        let mut remote: Vec<(f64, f64)> = Vec::new();
+        for (i, &(w, d)) in self.children.iter().enumerate() {
+            if local & (1 << i) != 0 {
+                local_work += w;
+            } else {
+                remote.push((w, d));
+            }
+        }
+        // Jackson: longest remaining execution (delivery) time first.
+        remote.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut t = w0; // send port free once v0 completes
+        let mut remote_finish = 0.0f64;
+        for (w, d) in remote {
+            t += d;
+            remote_finish = remote_finish.max(t + w);
+        }
+        (w0 + local_work).max(remote_finish)
+    }
+
+    /// The exact optimal one-port makespan (unlimited same-speed
+    /// processors, unit links, bi-directional one-port).
+    ///
+    /// # Panics
+    /// Panics if there are more than 24 children (subset enumeration).
+    pub fn optimal_makespan(&self) -> f64 {
+        let n = self.children.len();
+        assert!(n <= 24, "subset enumeration limited to 24 children");
+        let mut best = f64::INFINITY;
+        for local in 0..(1u64 << n) {
+            best = best.min(self.makespan_for_subset(local));
+        }
+        best
+    }
+
+    /// Decision form: is there a schedule with makespan at most `t`?
+    /// (The FORK-SCHED(G, P, T) problem of Definition 1.)
+    pub fn decide(&self, t: f64) -> bool {
+        self.optimal_makespan() <= t + onesched_sim::EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_testbeds::fork;
+
+    #[test]
+    fn figure1_fork_optimum_is_5() {
+        // §2.3: fork with 6 unit children, unit messages, 5 processors
+        // available (we have unlimited, which can only help): optimum 5,
+        // versus 3 in the macro-dataflow model.
+        let g = fork(1.0, &[(1.0, 1.0); 6]);
+        let inst = ForkInstance::from_graph(&g);
+        assert_eq!(inst.optimal_makespan(), 5.0);
+        assert!(inst.decide(5.0));
+        assert!(!inst.decide(4.9));
+    }
+
+    #[test]
+    fn all_local_when_comms_expensive() {
+        let g = fork(1.0, &[(1.0, 100.0); 4]);
+        let inst = ForkInstance::from_graph(&g);
+        // run everything on P0: 1 + 4 = 5
+        assert_eq!(inst.optimal_makespan(), 5.0);
+    }
+
+    #[test]
+    fn all_remote_when_comms_free() {
+        let g = fork(1.0, &[(5.0, 0.0); 4]);
+        let inst = ForkInstance::from_graph(&g);
+        // messages are instantaneous: 1 + 5
+        assert_eq!(inst.optimal_makespan(), 6.0);
+    }
+
+    #[test]
+    fn jackson_order_matters() {
+        // two remote children: long-execution child must be served first.
+        // children (w, d): (10, 1) and (1, 1); parent weight 0.
+        let inst = ForkInstance {
+            parent_weight: 0.0,
+            children: vec![(10.0, 1.0), (1.0, 1.0)],
+        };
+        // remote both, Jackson: send to w=10 first -> finishes 1 + 10 = 11;
+        // then w=1 -> 2 + 1 = 3. Makespan 11. (Reverse order would be 12.)
+        assert_eq!(inst.makespan_for_subset(0), 11.0);
+    }
+
+    #[test]
+    fn empty_fork() {
+        let inst = ForkInstance {
+            parent_weight: 3.0,
+            children: vec![],
+        };
+        assert_eq!(inst.optimal_makespan(), 3.0);
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_bruteforce_orders() {
+        // Check Jackson's rule against brute-force message orders for all
+        // subsets on random small instances.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=5usize);
+            let inst = ForkInstance {
+                parent_weight: rng.gen_range(0..4) as f64,
+                children: (0..n)
+                    .map(|_| (rng.gen_range(1..8) as f64, rng.gen_range(1..8) as f64))
+                    .collect(),
+            };
+            // brute force: all subsets x all permutations of remote sends
+            let mut best = f64::INFINITY;
+            for local in 0..(1u64 << n) {
+                let remote: Vec<(f64, f64)> = (0..n)
+                    .filter(|i| local & (1 << i) == 0)
+                    .map(|i| inst.children[i])
+                    .collect();
+                let local_work: f64 = (0..n)
+                    .filter(|i| local & (1 << i) != 0)
+                    .map(|i| inst.children[i].0)
+                    .sum();
+                let mut perm: Vec<usize> = (0..remote.len()).collect();
+                loop {
+                    let mut t = inst.parent_weight;
+                    let mut fin: f64 = inst.parent_weight + local_work;
+                    for &ri in &perm {
+                        t += remote[ri].1;
+                        fin = fin.max(t + remote[ri].0);
+                    }
+                    best = best.min(fin);
+                    if !next_permutation(&mut perm) {
+                        break;
+                    }
+                }
+            }
+            let got = inst.optimal_makespan();
+            assert!(
+                (got - best).abs() < 1e-9,
+                "instance {inst:?}: subset+Jackson {got} vs brute force {best}"
+            );
+        }
+    }
+
+    /// Lexicographic next permutation; false when wrapped.
+    fn next_permutation(p: &mut [usize]) -> bool {
+        if p.len() < 2 {
+            return false;
+        }
+        let mut i = p.len() - 1;
+        while i > 0 && p[i - 1] >= p[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            return false;
+        }
+        let mut j = p.len() - 1;
+        while p[j] <= p[i - 1] {
+            j -= 1;
+        }
+        p.swap(i - 1, j);
+        p[i..].reverse();
+        true
+    }
+}

@@ -1,0 +1,25 @@
+//! # onesched-exact — exact solvers and NP-completeness machinery
+//!
+//! The paper's §3 proves FORK-SCHED (one-port scheduling of a fork graph on
+//! unlimited same-speed processors) NP-complete by reduction from
+//! 2-PARTITION, and the appendix does the same for COMM-SCHED
+//! (post-allocation communication scheduling of a bipartite graph). This
+//! crate makes both theorems *executable*:
+//!
+//! * [`partition`] — a pseudo-polynomial exact 2-PARTITION solver;
+//! * [`reduction`] — generators for the Theorem 1 and Theorem 2 instances;
+//! * [`fork`] — an exact FORK-SCHED solver (subset enumeration + Jackson's
+//!   rule), used to verify the Theorem 1 equivalence on small instances;
+//! * [`commsched`] — an exact one-port message scheduler over active
+//!   schedules, used to verify the Theorem 2 equivalence;
+//! * [`bnb`] — a small branch-and-bound over task placements giving
+//!   reference makespans for the heuristics on small general graphs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bnb;
+pub mod commsched;
+pub mod fork;
+pub mod partition;
+pub mod reduction;

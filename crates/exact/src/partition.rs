@@ -1,0 +1,268 @@
+//! Exact 2-PARTITION (Garey & Johnson problem SP12).
+//!
+//! Given integers `a_1..a_n`, decide whether the index set splits into two
+//! halves of equal sum. Pseudo-polynomial subset-sum dynamic program; also
+//! reconstructs a witness partition, which the reduction tests use to build
+//! the corresponding optimal schedules.
+
+/// The result of solving a 2-PARTITION instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionResult {
+    /// The total is odd or no subset reaches half: no solution.
+    No,
+    /// A witness: indices of one half (the other half is the complement).
+    Yes(Vec<usize>),
+}
+
+impl PartitionResult {
+    /// Whether the instance is a yes-instance.
+    pub fn is_yes(&self) -> bool {
+        matches!(self, PartitionResult::Yes(_))
+    }
+}
+
+/// Solve 2-PARTITION exactly in `O(n × Σa)` time and space.
+pub fn two_partition(a: &[u64]) -> PartitionResult {
+    let total: u64 = a.iter().sum();
+    if !total.is_multiple_of(2) {
+        return PartitionResult::No;
+    }
+    let target = (total / 2) as usize;
+    // reach[s] = Some(i) -> sum s is reachable, last item used is a[i]
+    let mut reach: Vec<Option<usize>> = vec![None; target + 1];
+    // usize::MAX marks "reachable using no item" (the empty subset).
+    reach[0] = Some(usize::MAX);
+    for (i, &ai) in a.iter().enumerate() {
+        let ai = ai as usize;
+        if ai > target {
+            continue;
+        }
+        // descend to avoid reusing item i
+        for s in (ai..=target).rev() {
+            if reach[s].is_none() && reach[s - ai].is_some() {
+                reach[s] = Some(i);
+            }
+        }
+    }
+    if reach[target].is_none() {
+        return PartitionResult::No;
+    }
+    // Reconstruct the witness.
+    let mut witness = Vec::new();
+    let mut s = target;
+    while s > 0 {
+        let i = reach[s].expect("reachable sums have a last item");
+        debug_assert_ne!(i, usize::MAX, "only the empty sum lacks a last item");
+        witness.push(i);
+        s -= a[i] as usize;
+    }
+    witness.sort_unstable();
+    PartitionResult::Yes(witness)
+}
+
+/// Solve the *equal-cardinality* variant exactly: is there a partition into
+/// two halves of equal sum **and** equal size (`n` even)? This is the
+/// variant the paper's Theorem 1 construction actually encodes — its mod-10
+/// argument pins exactly two of the three padding tasks on `P0`, and hitting
+/// the bound `T = ½ Σ w_i + 2 w_min` then forces `|A1| = n/2` because every
+/// child weight carries the same `10(M + 1)` offset. (The variant is also
+/// NP-complete; Garey & Johnson's SP12 notes the cardinality-constrained
+/// form.)
+pub fn two_partition_equal_cardinality(a: &[u64]) -> PartitionResult {
+    let n = a.len();
+    if !n.is_multiple_of(2) {
+        return PartitionResult::No;
+    }
+    let total: u64 = a.iter().sum();
+    if !total.is_multiple_of(2) {
+        return PartitionResult::No;
+    }
+    let target = (total / 2) as usize;
+    let half = n / 2;
+    // reach[k][s] = Some(last item index) if sum s is reachable with k items.
+    let mut reach: Vec<Vec<Option<usize>>> = vec![vec![None; target + 1]; half + 1];
+    reach[0][0] = Some(usize::MAX);
+    for (i, &ai) in a.iter().enumerate() {
+        let ai = ai as usize;
+        if ai > target {
+            continue;
+        }
+        for k in (1..=half).rev() {
+            for s in (ai..=target).rev() {
+                if reach[k][s].is_none() && reach[k - 1][s - ai].is_some() {
+                    // mark reachable; remember the item for reconstruction
+                    reach[k][s] = Some(i);
+                }
+            }
+        }
+    }
+    if reach[half][target].is_none() {
+        return PartitionResult::No;
+    }
+    // Reconstruct greedily: walk back re-checking reachability without the
+    // chosen item (recompute-free walk using the stored last-item markers is
+    // not sound for 2-D DP filled in this order, so re-verify via search).
+    let mut witness = Vec::new();
+    let mut used = vec![false; n];
+    let mut k = half;
+    let mut s = target;
+    'outer: while k > 0 {
+        for i in (0..n).rev() {
+            if used[i] || a[i] as usize > s {
+                continue;
+            }
+            // can we finish with items < i... simply test: is (k-1, s-a[i])
+            // reachable using the remaining items? Recompute a small DP.
+            if reachable_without(a, &used, i, k - 1, s - a[i] as usize) {
+                used[i] = true;
+                witness.push(i);
+                k -= 1;
+                s -= a[i] as usize;
+                continue 'outer;
+            }
+        }
+        unreachable!("reachable state must decompose");
+    }
+    witness.sort_unstable();
+    PartitionResult::Yes(witness)
+}
+
+/// Is a sum `s` with exactly `k` items reachable from the unused items,
+/// additionally excluding item `skip`? (Helper for witness reconstruction;
+/// instances are gadget-sized, so the repeated DP is fine.)
+fn reachable_without(a: &[u64], used: &[bool], skip: usize, k: usize, s: usize) -> bool {
+    let mut reach = vec![vec![false; s + 1]; k + 1];
+    reach[0][0] = true;
+    for (i, &ai) in a.iter().enumerate() {
+        if used[i] || i == skip {
+            continue;
+        }
+        let ai = ai as usize;
+        if ai > s {
+            continue;
+        }
+        for kk in (1..=k).rev() {
+            for ss in (ai..=s).rev() {
+                if reach[kk - 1][ss - ai] {
+                    reach[kk][ss] = true;
+                }
+            }
+        }
+    }
+    reach[k][s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_witness(a: &[u64], w: &[usize]) {
+        let total: u64 = a.iter().sum();
+        let half: u64 = w.iter().map(|&i| a[i]).sum();
+        assert_eq!(2 * half, total, "witness must sum to half");
+        let mut sorted = w.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), w.len(), "witness indices distinct");
+    }
+
+    #[test]
+    fn simple_yes() {
+        match two_partition(&[1, 5, 11, 5]) {
+            PartitionResult::Yes(w) => check_witness(&[1, 5, 11, 5], &w),
+            no => panic!("expected yes, got {no:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_no() {
+        assert_eq!(two_partition(&[1, 2, 5]), PartitionResult::No);
+        // odd total
+        assert_eq!(two_partition(&[1, 2]), PartitionResult::No);
+    }
+
+    #[test]
+    fn empty_and_singletons() {
+        assert!(two_partition(&[]).is_yes(), "empty set splits trivially");
+        assert_eq!(two_partition(&[4]), PartitionResult::No);
+        assert!(two_partition(&[3, 3]).is_yes());
+    }
+
+    #[test]
+    fn zeroes_are_fine() {
+        assert!(two_partition(&[0, 0]).is_yes());
+        match two_partition(&[0, 2, 2]) {
+            PartitionResult::Yes(w) => check_witness(&[0, 2, 2], &w),
+            no => panic!("expected yes, got {no:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_cardinality_basics() {
+        // {1,2,3}: plain yes ({3} vs {1,2}) but no equal-cardinality split
+        assert!(two_partition(&[1, 2, 3]).is_yes());
+        assert!(!two_partition_equal_cardinality(&[1, 2, 3]).is_yes());
+        // {7,3,2,2}: plain yes ({7} vs {3,2,2}) but not with 2 vs 2
+        assert!(two_partition(&[7, 3, 2, 2]).is_yes());
+        assert!(!two_partition_equal_cardinality(&[7, 3, 2, 2]).is_yes());
+        // {1,5,5,1}: {1,5} vs {5,1} works
+        match two_partition_equal_cardinality(&[1, 5, 5, 1]) {
+            PartitionResult::Yes(w) => {
+                assert_eq!(w.len(), 2);
+                check_witness(&[1, 5, 5, 1], &w);
+            }
+            no => panic!("expected yes, got {no:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_cardinality_brute_force_agreement() {
+        for mask_len in 2..=6u32 {
+            for seed in 0..64u64 {
+                let a: Vec<u64> = (0..mask_len)
+                    .map(|i| (seed / 2u64.pow(i)) % 4 + 1)
+                    .collect();
+                let total: u64 = a.iter().sum();
+                let mut brute = false;
+                for m in 0u32..(1 << mask_len) {
+                    let idx: Vec<u32> = (0..mask_len).filter(|i| m & (1 << i) != 0).collect();
+                    let s: u64 = idx.iter().map(|&i| a[i as usize]).sum();
+                    if 2 * s == total && 2 * idx.len() as u32 == mask_len {
+                        brute = true;
+                        break;
+                    }
+                }
+                let got = two_partition_equal_cardinality(&a);
+                assert_eq!(got.is_yes(), brute, "a = {a:?}");
+                if let PartitionResult::Yes(w) = got {
+                    assert_eq!(2 * w.len(), a.len());
+                    check_witness(&a, &w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        // compare DP against brute force on all small instances
+        for mask_len in 1..=4u32 {
+            for seed in 0..81u64 {
+                let a: Vec<u64> = (0..mask_len)
+                    .map(|i| (seed / 3u64.pow(i)) % 3 + 1)
+                    .collect();
+                let total: u64 = a.iter().sum();
+                let mut brute = false;
+                for m in 0u32..(1 << mask_len) {
+                    let s: u64 = (0..mask_len)
+                        .filter(|i| m & (1 << i) != 0)
+                        .map(|i| a[i as usize])
+                        .sum();
+                    if 2 * s == total {
+                        brute = true;
+                        break;
+                    }
+                }
+                assert_eq!(two_partition(&a).is_yes(), brute, "a = {a:?}");
+            }
+        }
+    }
+}

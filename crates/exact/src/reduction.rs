@@ -1,0 +1,167 @@
+//! Generators for the paper's NP-completeness reduction instances.
+//!
+//! * [`fork_sched_instance`] — Theorem 1 (§3): 2-PARTITION ⟶ FORK-SCHED.
+//! * [`comm_sched_instance`] — Theorem 2 (appendix): 2-PARTITION ⟶
+//!   COMM-SCHED.
+//!
+//! Tests in `tests/np_reductions.rs` verify the equivalences empirically:
+//! the constructed instance admits a schedule within the time bound **iff**
+//! the original 2-PARTITION instance is a yes-instance.
+
+use crate::commsched::{CommInstance, Message};
+use crate::fork::ForkInstance;
+use onesched_platform::ProcId;
+
+/// The Theorem 1 construction. Given `a_1..a_n` with sum `2S`:
+///
+/// * `N = n + 3` children; the parent has weight `w_0 = 0`;
+/// * child `i ≤ n` has weight `w_i = 10(M + a_i + 1)` where `M = max a_i`;
+/// * the last three children all have the minimal weight
+///   `w_min = 10(M + m) + 1` where `m = min a_i`;
+/// * every data volume equals the child weight (`d_i = w_i`);
+/// * the time bound is `T = ½ Σ_{i≤n} w_i + 2 w_min
+///   = 5n(M+1) + 10S + 20(M+m) + 2`.
+///
+/// **Cardinality note.** The construction encodes the *equal-cardinality*
+/// variant of 2-PARTITION: the proof's mod-10 argument pins exactly two of
+/// the three `w_min` children on `P0`, and meeting the bound then requires
+/// `Σ_{i∈A1} w_i = ½ Σ w_i`; since every child weight carries the same
+/// `10(M+1)` offset, this forces `|A1| = n/2` *and* `Σ_{A1} a_i = S`. The
+/// equal-cardinality variant is itself NP-complete, so Theorem 1 stands;
+/// the empirical equivalence tests use
+/// [`crate::partition::two_partition_equal_cardinality`] as the oracle.
+///
+/// Returns the fork instance and the bound `T`.
+pub fn fork_sched_instance(a: &[u64]) -> (ForkInstance, f64) {
+    assert!(
+        !a.is_empty(),
+        "2-PARTITION instances have at least one item"
+    );
+    let m_max = *a.iter().max().expect("non-empty") as f64;
+    let m_min = *a.iter().min().expect("non-empty") as f64;
+    let w_min = 10.0 * (m_max + m_min) + 1.0;
+    let mut children: Vec<(f64, f64)> = a
+        .iter()
+        .map(|&ai| {
+            let w = 10.0 * (m_max + ai as f64 + 1.0);
+            (w, w)
+        })
+        .collect();
+    for _ in 0..3 {
+        children.push((w_min, w_min));
+    }
+    let half_sum: f64 = children[..a.len()].iter().map(|c| c.0).sum::<f64>() / 2.0;
+    let t = half_sum + 2.0 * w_min;
+    (
+        ForkInstance {
+            parent_weight: 0.0,
+            children,
+        },
+        t,
+    )
+}
+
+/// The Theorem 2 construction. Given `a_1..a_n` with sum `2S`, build the
+/// bipartite message-scheduling instance on `2n + 1` processors:
+///
+/// * `P0` must send message `a_i` to `P_i` for every `i` (the fork
+///   `v_0 → v_i` with `alloc(v_i) = P_i`);
+/// * `P_{n+i}` must send a message of size `S` to `P_i` (the pair
+///   `v_{2n+i} → v_{n+i}`, both endpoints pre-allocated);
+/// * all task weights are zero; links are homogeneous with unit latency.
+///
+/// The consistent time bound is `T = 2S`: `P0`'s send port needs `2S`, and
+/// the schedule meeting it exists iff the `a_i` split into two halves of sum
+/// `S` (the paper prints the bound as `T = S`, which cannot even
+/// accommodate `P0`'s sends; `2S` is the bound its own feasibility argument
+/// establishes — sends `A_1` in `[0, S]`, then `A_2` in `[S, 2S]`).
+///
+/// Returns the message set and the bound `T`.
+pub fn comm_sched_instance(a: &[u64]) -> (CommInstance, f64) {
+    assert!(
+        !a.is_empty(),
+        "2-PARTITION instances have at least one item"
+    );
+    let n = a.len();
+    let s: u64 = a.iter().sum::<u64>() / 2;
+    let mut messages = Vec::with_capacity(2 * n);
+    for (i, &ai) in a.iter().enumerate() {
+        messages.push(Message {
+            from: ProcId(0),
+            to: ProcId(i as u32 + 1),
+            duration: ai as f64,
+            release: 0.0,
+        });
+        messages.push(Message {
+            from: ProcId((n + 1 + i) as u32),
+            to: ProcId(i as u32 + 1),
+            duration: s as f64,
+            release: 0.0,
+        });
+    }
+    (
+        CommInstance {
+            num_procs: 2 * n + 1,
+            messages,
+        },
+        2.0 * s as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_instance_matches_formula() {
+        // a = {1, 2, 3}: S = 3, M = 3, m = 1.
+        let (inst, t) = fork_sched_instance(&[1, 2, 3]);
+        assert_eq!(inst.children.len(), 6);
+        assert_eq!(inst.parent_weight, 0.0);
+        // w_i = 10(M + a_i + 1): 50, 60, 70
+        assert_eq!(inst.children[0].0, 50.0);
+        assert_eq!(inst.children[1].0, 60.0);
+        assert_eq!(inst.children[2].0, 70.0);
+        // w_min = 10(M + m) + 1 = 41
+        for c in &inst.children[3..] {
+            assert_eq!(c.0, 41.0);
+            assert_eq!(c.1, 41.0);
+        }
+        // T = 5n(M+1) + 10S + 20(M+m) + 2 = 60 + 30 + 80 + 2 = 172
+        assert_eq!(t, 172.0);
+        // also equals half the big weights plus two w_min
+        assert_eq!(t, (50.0 + 60.0 + 70.0) / 2.0 + 2.0 * 41.0);
+    }
+
+    #[test]
+    fn wmin_bound_of_the_proof_holds() {
+        // The proof uses w_min ≤ w_i ≤ 2 w_min for i ≤ n.
+        for a in [[1u64, 2, 3].as_slice(), &[5, 5, 6, 8], &[2, 9, 4, 7, 10]] {
+            let (inst, _) = fork_sched_instance(a);
+            let w_min = inst.children.last().expect("three padding children").0;
+            for &(w, _) in &inst.children[..a.len()] {
+                assert!(w >= w_min - 1e-12, "w = {w} < w_min = {w_min}");
+                assert!(
+                    w <= 2.0 * w_min + 1e-12,
+                    "w = {w} > 2 w_min = {}",
+                    2.0 * w_min
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comm_instance_shape() {
+        let (inst, t) = comm_sched_instance(&[2, 4, 6]);
+        assert_eq!(inst.num_procs, 7);
+        assert_eq!(inst.messages.len(), 6);
+        assert_eq!(t, 12.0); // 2S with S = 6
+                             // each P_i receives exactly two messages: a_i from P0, S from P_{n+i}
+        for i in 1..=3u32 {
+            let inbound: Vec<_> = inst.messages.iter().filter(|m| m.to == ProcId(i)).collect();
+            assert_eq!(inbound.len(), 2);
+            assert!(inbound.iter().any(|m| m.from == ProcId(0)));
+            assert!(inbound.iter().any(|m| m.duration == 6.0));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Heterogeneous cost averaging for task priorities (paper §4.1).
+//!
+//! With different-speed processors, the length of a path in the graph mixes
+//! computation and communication, so bottom levels need per-unit estimates:
+//!
+//! * a task of weight `w` is estimated at `w × p / Σ 1/t_i` — the total
+//!   weight `W` of a perfectly balanced bag of tasks is processed in
+//!   `W / Σ 1/t_i` time units, so the *per-task* share is the harmonic-mean
+//!   cycle-time;
+//! * a transfer of `d` items is estimated at `d × h` where `h` is the
+//!   harmonic mean of the off-diagonal link entries ("replace link(q,r) by
+//!   the inverse of the harmonic mean" — i.e. use the average bandwidth).
+//!
+//! Communications are *always* counted, even though two tasks might end up
+//! on the same processor: the paper calls this the conservative estimate.
+
+use onesched_dag::{bottom_levels, top_levels, RankWeights, TaskGraph, TopoOrder};
+use onesched_platform::Platform;
+
+/// The paper's §4.1 per-unit estimates for `platform`.
+pub fn paper_rank_weights(platform: &Platform) -> RankWeights {
+    RankWeights {
+        unit_comp: platform.avg_cycle_time(),
+        unit_comm: platform.avg_link_time(),
+    }
+}
+
+/// Bottom levels under the paper's averaging (most urgent = largest).
+pub fn paper_bottom_levels(g: &TaskGraph, topo: &TopoOrder, platform: &Platform) -> Vec<f64> {
+    bottom_levels(g, topo, paper_rank_weights(platform))
+}
+
+/// Top levels under the paper's averaging.
+pub fn paper_top_levels(g: &TaskGraph, topo: &TopoOrder, platform: &Platform) -> Vec<f64> {
+    top_levels(g, topo, paper_rank_weights(platform))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::TaskGraphBuilder;
+
+    #[test]
+    fn paper_platform_unit_costs() {
+        let p = Platform::paper();
+        let rw = paper_rank_weights(&p);
+        // harmonic-mean cycle-time: 10 / (19/15) = 150/19
+        assert!((rw.unit_comp - 150.0 / 19.0).abs() < 1e-9);
+        // homogeneous unit links -> 1
+        assert!((rw.unit_comm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_reduces_to_unit() {
+        let p = Platform::homogeneous(4);
+        let rw = paper_rank_weights(&p);
+        assert_eq!(rw.unit_comp, 1.0);
+        assert_eq!(rw.unit_comm, 1.0);
+    }
+
+    #[test]
+    fn bottom_levels_scale_with_platform() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let topo = TopoOrder::new(&g);
+
+        let slow = Platform::uniform_links(vec![2.0, 2.0], 3.0).unwrap();
+        let bl = paper_bottom_levels(&g, &topo, &slow);
+        // each task estimated at 2, comm at 3: bl(a) = 2 + 3 + 2
+        assert!((bl[0] - 7.0).abs() < 1e-12);
+        assert!((bl[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Experimental search for the ILHA chunk size `B` (§5.3).
+//!
+//! The paper reports "we have not found any systematic technique to predict
+//! the optimal value of B" and notes the useful range is `[1 .. M]` with
+//! `M = lcm(t_1..t_p) × Σ 1/t_i` (perfect-balance chunk). This module sweeps
+//! candidate values and reports the best.
+
+use crate::{Ilha, Scheduler};
+use onesched_dag::TaskGraph;
+use onesched_platform::{bounds::perfect_balance_chunk, Platform};
+use onesched_sim::CommModel;
+
+/// Candidate chunk sizes to try: 1, the processor count, the
+/// perfect-balance chunk `M`, and a geometric fill in between (deduplicated,
+/// sorted).
+pub fn candidate_bs(platform: &Platform) -> Vec<usize> {
+    let p = platform.num_procs();
+    let m = perfect_balance_chunk(platform)
+        .map(|m| m as usize)
+        .unwrap_or(4 * p)
+        .max(p);
+    let mut out = vec![1, 2, 4, p.max(1)];
+    let mut v = p.max(2);
+    while v < m {
+        out.push(v);
+        v = (v * 3).div_ceil(2);
+    }
+    out.push(m);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Makespans of ILHA for each chunk size in `bs`.
+pub fn sweep_b(
+    g: &TaskGraph,
+    platform: &Platform,
+    model: CommModel,
+    bs: &[usize],
+) -> Vec<(usize, f64)> {
+    bs.iter()
+        .map(|&b| (b, Ilha::new(b).schedule(g, platform, model).makespan()))
+        .collect()
+}
+
+/// The chunk size minimizing the makespan among `bs` (ties: smallest `B`).
+pub fn best_b(g: &TaskGraph, platform: &Platform, model: CommModel, bs: &[usize]) -> (usize, f64) {
+    sweep_b(g, platform, model, bs)
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .expect("bs must be non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::TaskGraphBuilder;
+
+    #[test]
+    fn candidates_cover_range() {
+        let p = Platform::paper();
+        let bs = candidate_bs(&p);
+        assert!(bs.contains(&1));
+        assert!(bs.contains(&10));
+        assert!(bs.contains(&38));
+        assert!(bs.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+    }
+
+    #[test]
+    fn sweep_and_best() {
+        let mut b = TaskGraphBuilder::new();
+        let root = b.add_task(1.0);
+        for _ in 0..12 {
+            let c = b.add_task(1.0);
+            b.add_edge(root, c, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(4);
+        let bs = [1usize, 4, 8, 13];
+        let sweep = sweep_b(&g, &p, CommModel::OnePortBidir, &bs);
+        assert_eq!(sweep.len(), 4);
+        let (best, mk) = best_b(&g, &p, CommModel::OnePortBidir, &bs);
+        assert!(bs.contains(&best));
+        assert!(sweep.iter().all(|&(_, m)| m >= mk - 1e-9));
+    }
+}

@@ -1,0 +1,142 @@
+//! The optimal load-balancing distribution of §4.2.
+//!
+//! Processor `P_i` of cycle-time `t_i` should receive a fraction
+//! `c_i = (1/t_i) / Σ_j 1/t_j` of the total work so that all processors
+//! finish simultaneously. Because tasks are indivisible, the integer version
+//! starts from the floors of `c_i × n` and hands out the remaining tasks one
+//! by one, each time to the processor whose finish time after one more task
+//! is smallest (`min_k t_k × (c_k + 1)`). The paper cites its reference
+//! \[2\] (Boudet–Rastello–Robert, PDPTA'99) for the
+//! optimality of this greedy completion.
+
+use onesched_platform::Platform;
+
+/// The ideal fractional shares `c_i = (1/t_i) / Σ 1/t_j` (sum to 1).
+pub fn fractional_shares(platform: &Platform) -> Vec<f64> {
+    let total = platform.total_speed();
+    platform
+        .cycle_times()
+        .iter()
+        .map(|t| (1.0 / t) / total)
+        .collect()
+}
+
+/// The paper's *Optimal distribution* algorithm (§4.2): distribute `n`
+/// equal-size tasks to the processors, minimizing the parallel finish time
+/// `max_i c_i × t_i`. Returns the per-processor task counts (sum = `n`).
+pub fn optimal_distribution(platform: &Platform, n: usize) -> Vec<usize> {
+    let shares = fractional_shares(platform);
+    // Step 1: floors of the ideal fractional allocation.
+    // Guard against floating error pushing e.g. 5.0 down to 4 via 4.999...:
+    // add a tiny epsilon before flooring.
+    let mut counts: Vec<usize> = shares
+        .iter()
+        .map(|c| ((c * n as f64) + 1e-9).floor() as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    debug_assert!(assigned <= n, "floors cannot exceed n");
+    // Step 2: greedy completion — give the next task to the processor that
+    // finishes it earliest.
+    while assigned < n {
+        let mut best = 0usize;
+        let mut best_finish = f64::INFINITY;
+        for (i, &c) in counts.iter().enumerate() {
+            let finish = platform.cycle_times()[i] * (c as f64 + 1.0);
+            if finish < best_finish {
+                best_finish = finish;
+                best = i;
+            }
+        }
+        counts[best] += 1;
+        assigned += 1;
+    }
+    counts
+}
+
+/// The parallel finish time of a distribution: `max_i counts_i × t_i × w`
+/// for equal task weight `w`.
+pub fn distribution_finish_time(platform: &Platform, counts: &[usize], task_weight: f64) -> f64 {
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c as f64 * task_weight * platform.cycle_times()[i])
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = Platform::paper();
+        let s = fractional_shares(&p);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // five fast procs get the largest share
+        assert!(s[0] > s[5] && s[5] > s[8]);
+    }
+
+    #[test]
+    fn paper_b38_distribution() {
+        // §5.2: with B = 38, five tasks to each cycle-time-6 processor,
+        // three to each cycle-time-10, two to each cycle-time-15 — all
+        // finish at exactly 30 time units.
+        let p = Platform::paper();
+        let d = optimal_distribution(&p, 38);
+        assert_eq!(d, vec![5, 5, 5, 5, 5, 3, 3, 3, 2, 2]);
+        assert_eq!(distribution_finish_time(&p, &d, 1.0), 30.0);
+    }
+
+    #[test]
+    fn homogeneous_distribution_is_even() {
+        let p = Platform::homogeneous(4);
+        assert_eq!(optimal_distribution(&p, 8), vec![2, 2, 2, 2]);
+        // remainder goes to the lowest-indexed processors first
+        assert_eq!(optimal_distribution(&p, 10), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let p = Platform::paper();
+        assert_eq!(optimal_distribution(&p, 0), vec![0; 10]);
+    }
+
+    #[test]
+    fn single_task_goes_to_fastest() {
+        let p = Platform::uniform_links(vec![10.0, 1.0, 5.0], 1.0).unwrap();
+        assert_eq!(optimal_distribution(&p, 1), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn greedy_completion_is_optimal_small() {
+        // exhaustive check against brute force for small instances
+        let p = Platform::uniform_links(vec![2.0, 3.0, 5.0], 1.0).unwrap();
+        for n in 0..=12usize {
+            let d = optimal_distribution(&p, n);
+            assert_eq!(d.iter().sum::<usize>(), n);
+            let got = distribution_finish_time(&p, &d, 1.0);
+            // brute force all splits
+            let mut best = f64::INFINITY;
+            for a in 0..=n {
+                for b in 0..=(n - a) {
+                    let c = n - a - b;
+                    let f = (a as f64 * 2.0).max(b as f64 * 3.0).max(c as f64 * 5.0);
+                    best = best.min(f);
+                }
+            }
+            assert!(
+                (got - best).abs() < 1e-12,
+                "n = {n}: greedy {got} vs optimal {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_proportional_for_large_n() {
+        let p = Platform::paper();
+        let d = optimal_distribution(&p, 3800);
+        assert_eq!(d[0], 500);
+        assert_eq!(d[5], 300);
+        assert_eq!(d[9], 200);
+    }
+}

@@ -1,0 +1,230 @@
+//! HEFT for the one-port model (paper §4.1 / §4.3).
+//!
+//! Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu) extended to
+//! serialize communications: tasks are prioritized by bottom level (computed
+//! with the §4.1 heterogeneous averages); at each step the highest-priority
+//! ready task is placed on the processor minimizing its finish time, where
+//! the evaluation of a candidate processor greedily schedules the incoming
+//! messages on the one-port send/receive timelines.
+//!
+//! With [`CommModel::MacroDataflow`] the same code is the classical HEFT
+//! (ports never contend), which serves as the macro-dataflow baseline.
+
+use crate::avg_weights::paper_bottom_levels;
+use crate::placement::{best_placement, commit_placement, PlacementPolicy};
+use crate::Scheduler;
+use onesched_dag::{TaskGraph, TaskId, TopoOrder};
+use onesched_platform::Platform;
+use onesched_sim::{CommModel, ResourcePool, Schedule};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The HEFT scheduler, parameterized by placement policy.
+#[derive(Debug, Clone, Default)]
+pub struct Heft {
+    /// Compute-slot and communication-ordering policy.
+    pub policy: PlacementPolicy,
+}
+
+impl Heft {
+    /// Paper-faithful HEFT: insertion-based, messages ordered by parent
+    /// finish time.
+    pub fn new() -> Heft {
+        Heft {
+            policy: PlacementPolicy::paper(),
+        }
+    }
+
+    /// HEFT with a custom placement policy (used by the ablation benches).
+    pub fn with_policy(policy: PlacementPolicy) -> Heft {
+        Heft { policy }
+    }
+}
+
+/// Heap entry: max bottom level first, then min task id (deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ReadyEntry {
+    pub bl: f64,
+    pub task: TaskId,
+}
+
+impl Eq for ReadyEntry {}
+
+impl Ord for ReadyEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bl
+            .total_cmp(&other.bl)
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+impl PartialOrd for ReadyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Scheduler for Heft {
+    fn name(&self) -> String {
+        let mut n = String::from("HEFT");
+        if !self.policy.insertion {
+            n.push_str("-append");
+        }
+        n
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        let topo = TopoOrder::new(g);
+        let bl = paper_bottom_levels(g, &topo, platform);
+
+        let mut pool = ResourcePool::new(platform.num_procs(), model);
+        let mut sched = Schedule::with_tasks(g.num_tasks());
+
+        let mut pending_preds: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
+        let mut ready: BinaryHeap<ReadyEntry> = g
+            .tasks()
+            .filter(|&v| pending_preds[v.index()] == 0)
+            .map(|task| ReadyEntry {
+                bl: bl[task.index()],
+                task,
+            })
+            .collect();
+
+        while let Some(ReadyEntry { task, .. }) = ready.pop() {
+            let tp = best_placement(g, platform, &pool, &sched, task, self.policy);
+            commit_placement(&mut pool, &mut sched, tp);
+            for (succ, _) in g.successors(task) {
+                pending_preds[succ.index()] -= 1;
+                if pending_preds[succ.index()] == 0 {
+                    ready.push(ReadyEntry {
+                        bl: bl[succ.index()],
+                        task: succ,
+                    });
+                }
+            }
+        }
+        debug_assert!(sched.is_complete());
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::TaskGraphBuilder;
+    use onesched_sim::validate;
+
+    /// Paper Figure 1: fork with six unit children, unit comms.
+    fn fig1_fork() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let v0 = b.add_task(1.0);
+        for _ in 0..6 {
+            let c = b.add_task(1.0);
+            b.add_edge(v0, c, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn heft_valid_on_fig1_all_models() {
+        let g = fig1_fork();
+        let p = Platform::homogeneous(5);
+        for m in CommModel::ALL {
+            let s = Heft::new().schedule(&g, &p, m);
+            assert!(validate(&g, &p, m, &s).is_empty(), "model {m}");
+            assert!(s.is_complete());
+        }
+    }
+
+    #[test]
+    fn macro_dataflow_fig1_makespan_3() {
+        // §2.3: in the macro-dataflow model the fork of Figure 1 can finish
+        // at time 3 (all four remote messages in parallel). HEFT achieves it.
+        let g = fig1_fork();
+        let p = Platform::homogeneous(5);
+        let s = Heft::new().schedule(&g, &p, CommModel::MacroDataflow);
+        assert_eq!(s.makespan(), 3.0);
+    }
+
+    #[test]
+    fn one_port_fig1_worse_than_macro() {
+        // §2.3: serializing the sends makes the same graph strictly slower;
+        // the one-port optimum is 5.
+        let g = fig1_fork();
+        let p = Platform::homogeneous(5);
+        let s = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(s.makespan() >= 5.0 - 1e-9, "makespan {}", s.makespan());
+        assert!(validate(&g, &p, CommModel::OnePortBidir, &s).is_empty());
+    }
+
+    #[test]
+    fn chain_stays_on_one_proc() {
+        // a chain should never pay a communication under HEFT
+        let mut b = TaskGraphBuilder::new();
+        let t: Vec<TaskId> = (0..5).map(|_| b.add_task(1.0)).collect();
+        for w in t.windows(2) {
+            b.add_edge(w[0], w[1], 10.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(4);
+        let s = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        assert_eq!(s.makespan(), 5.0);
+        assert_eq!(s.num_effective_comms(), 0);
+        assert_eq!(s.procs_used(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_prefers_fast_proc() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(10.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform_links(vec![5.0, 1.0, 2.0], 1.0).unwrap();
+        let s = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        assert_eq!(s.alloc(TaskId(0)), Some(onesched_platform::ProcId(1)));
+        assert_eq!(s.makespan(), 10.0);
+    }
+
+    #[test]
+    fn independent_tasks_load_balance() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_tasks(38, 1.0);
+        let g = b.build().unwrap();
+        let p = Platform::paper();
+        let s = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        // §5.2: perfect balance finishes 38 unit tasks at exactly 30.
+        assert_eq!(s.makespan(), 30.0);
+        assert!(validate(&g, &p, CommModel::OnePortBidir, &s).is_empty());
+    }
+
+    #[test]
+    fn append_policy_also_valid() {
+        let g = fig1_fork();
+        let p = Platform::paper();
+        let pol = PlacementPolicy {
+            insertion: false,
+            ..PlacementPolicy::paper()
+        };
+        let s = Heft::with_policy(pol).schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(validate(&g, &p, CommModel::OnePortBidir, &s).is_empty());
+    }
+
+    use onesched_dag::TaskId;
+
+    #[test]
+    fn ready_entry_ordering() {
+        let a = ReadyEntry {
+            bl: 5.0,
+            task: TaskId(3),
+        };
+        let b = ReadyEntry {
+            bl: 7.0,
+            task: TaskId(9),
+        };
+        let c = ReadyEntry {
+            bl: 5.0,
+            task: TaskId(1),
+        };
+        assert!(b > a, "higher bottom level wins");
+        assert!(c > a, "equal level: smaller id wins");
+    }
+}

@@ -1,0 +1,323 @@
+//! ILHA — Iso-Level Heterogeneous Allocation — for the one-port model
+//! (paper §4.2 / §4.4).
+//!
+//! ILHA considers a *chunk* of `B` ready tasks at once (sorted by bottom
+//! level) and proceeds in two steps:
+//!
+//! 1. **Zero-communication scan.** A task whose parents were all allocated
+//!    to the same processor `P_i` is assigned to `P_i` — generating no
+//!    communication — provided `P_i` is not yet saturated by its
+//!    load-balancing share of the chunk (the §4.2 *optimal distribution* of
+//!    the chunk's task count; cf. the §4.4 toy example where each of the two
+//!    processors "could receive up to 4 tasks in this allocation step").
+//! 2. **Earliest-finish fallback.** Remaining tasks are placed like HEFT:
+//!    on the processor minimizing their completion time, with incoming
+//!    messages serialized on the one-port timelines.
+//!
+//! The chunk size `B` trades off load-balancing quality (large `B`) against
+//! fast progress along the critical path (small `B`); the paper found the
+//! best `B` experimentally per testbed (LU: 4, DOOLITTLE/LDMt: 20,
+//! LAPLACE/STENCIL/FORK-JOIN: 38).
+
+use crate::avg_weights::paper_bottom_levels;
+use crate::distribution::optimal_distribution;
+use crate::heft::ReadyEntry;
+use crate::placement::{best_placement, commit_placement, place_on, PlacementPolicy};
+use crate::Scheduler;
+use onesched_dag::{TaskGraph, TaskId, TopoOrder};
+use onesched_platform::{Platform, ProcId};
+use onesched_sim::{CommModel, ResourcePool, Schedule};
+
+/// How far the zero-communication scan of step 1 goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanDepth {
+    /// Paper's step 1: only tasks whose parents share a single processor.
+    #[default]
+    ZeroComm,
+    /// §4.4 first variation: additionally pre-place tasks whose parents span
+    /// exactly two processors (one message), on the parent processor holding
+    /// the larger incoming volume, still under the load cap.
+    UpToOneComm,
+}
+
+/// The ILHA scheduler.
+#[derive(Debug, Clone)]
+pub struct Ilha {
+    /// Chunk size `B` (must be at least 1; the paper recommends `B ≥ p`).
+    pub b: usize,
+    /// Compute-slot and communication-ordering policy for step 2.
+    pub policy: PlacementPolicy,
+    /// Scan depth of step 1.
+    pub scan: ScanDepth,
+}
+
+impl Ilha {
+    /// ILHA with chunk size `b` and the paper-faithful policy.
+    pub fn new(b: usize) -> Ilha {
+        assert!(b >= 1, "chunk size B must be at least 1");
+        Ilha {
+            b,
+            policy: PlacementPolicy::paper(),
+            scan: ScanDepth::ZeroComm,
+        }
+    }
+
+    /// ILHA with the perfect-load-balance chunk of §5.2 (`B = 38` on the
+    /// paper platform), falling back to the processor count if the platform
+    /// has non-integer cycle-times.
+    pub fn auto(platform: &Platform) -> Ilha {
+        let b = onesched_platform::bounds::perfect_balance_chunk(platform)
+            .map(|b| b as usize)
+            .unwrap_or(platform.num_procs())
+            .max(platform.num_procs());
+        Ilha::new(b)
+    }
+}
+
+impl Scheduler for Ilha {
+    fn name(&self) -> String {
+        match self.scan {
+            ScanDepth::ZeroComm => format!("ILHA(B={})", self.b),
+            ScanDepth::UpToOneComm => format!("ILHA1(B={})", self.b),
+        }
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        let topo = TopoOrder::new(g);
+        let bl = paper_bottom_levels(g, &topo, platform);
+
+        let mut pool = ResourcePool::new(platform.num_procs(), model);
+        let mut sched = Schedule::with_tasks(g.num_tasks());
+
+        let mut pending_preds: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
+        // Ready list kept sorted by decreasing priority (front = highest).
+        let mut ready: Vec<ReadyEntry> = g
+            .tasks()
+            .filter(|&v| pending_preds[v.index()] == 0)
+            .map(|task| ReadyEntry {
+                bl: bl[task.index()],
+                task,
+            })
+            .collect();
+        ready.sort_by(|a, b| b.cmp(a));
+
+        let mut chunk: Vec<TaskId> = Vec::with_capacity(self.b);
+        let mut deferred: Vec<TaskId> = Vec::with_capacity(self.b);
+
+        while !ready.is_empty() {
+            // Take the B highest-priority ready tasks.
+            let take = self.b.min(ready.len());
+            chunk.clear();
+            chunk.extend(ready.drain(..take).map(|e| e.task));
+
+            // Load-balancing caps for this round: the §4.2 "optimal
+            // distribution" of the chunk's task count over the processors
+            // (the ILHA listing's line 5, "Compute the optimal distribution
+            // with B tasks"). A processor saturated by its count receives no
+            // further zero-communication task this round — cf. the §4.4 toy
+            // example where "each processor could receive up to 4 tasks in
+            // this allocation step" (c_1 = c_2 = 0.5, chunk of 8).
+            let counts = optimal_distribution(platform, chunk.len());
+            let mut used = vec![0usize; platform.num_procs()];
+
+            // Step 1: place communication-free tasks under the caps.
+            deferred.clear();
+            for &task in &chunk {
+                match step1_target(g, &sched, task, self.scan) {
+                    Some(proc) if used[proc.index()] < counts[proc.index()] => {
+                        let tp =
+                            place_on(g, platform, &sched, pool.begin(), task, proc, self.policy);
+                        used[proc.index()] += 1;
+                        commit_placement(&mut pool, &mut sched, tp);
+                    }
+                    _ => deferred.push(task),
+                }
+            }
+
+            // Step 2: HEFT-style earliest finish time for the rest (§4.4:
+            // "we select the processor that allows for the earliest
+            // completion time").
+            for &task in &deferred {
+                let tp = best_placement(g, platform, &pool, &sched, task, self.policy);
+                commit_placement(&mut pool, &mut sched, tp);
+            }
+
+            // Release newly ready tasks into the sorted list.
+            for &task in &chunk {
+                for (succ, _) in g.successors(task) {
+                    pending_preds[succ.index()] -= 1;
+                    if pending_preds[succ.index()] == 0 {
+                        let entry = ReadyEntry {
+                            bl: bl[succ.index()],
+                            task: succ,
+                        };
+                        let pos = ready.partition_point(|e| e > &entry);
+                        ready.insert(pos, entry);
+                    }
+                }
+            }
+        }
+        debug_assert!(sched.is_complete());
+        sched
+    }
+}
+
+/// The processor that lets `task` run without communication (step 1), if
+/// any: all parents on one processor. Under [`ScanDepth::UpToOneComm`], a
+/// task whose parents span exactly two processors is directed to the parent
+/// processor receiving the larger incoming volume (one message).
+fn step1_target(g: &TaskGraph, sched: &Schedule, task: TaskId, scan: ScanDepth) -> Option<ProcId> {
+    let mut iter = g.predecessors(task);
+    let (first, first_edge) = iter.next()?; // entry tasks -> step 2
+    let first_proc = sched.task(first).expect("parents scheduled").proc;
+    let mut procs: Vec<(ProcId, f64)> = vec![(first_proc, g.data(first_edge))];
+    for (parent, e) in iter {
+        let proc = sched.task(parent).expect("parents scheduled").proc;
+        match procs.iter_mut().find(|(q, _)| *q == proc) {
+            Some((_, vol)) => *vol += g.data(e),
+            None => procs.push((proc, g.data(e))),
+        }
+    }
+    match (procs.len(), scan) {
+        (1, _) => Some(procs[0].0),
+        (2, ScanDepth::UpToOneComm) => {
+            // Put the task where more data already lives.
+            let best = if procs[0].1 >= procs[1].1 {
+                procs[0].0
+            } else {
+                procs[1].0
+            };
+            Some(best)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::TaskGraphBuilder;
+    use onesched_sim::validate;
+
+    /// The toy example of §4.4 (Figure 3): two fork roots a0, b0; children
+    /// a1-a3 of a0, b1-b3 of b0, and ab1, ab2 depending on both roots. All
+    /// weights and communication costs are 1.
+    pub(crate) fn toy_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a0 = b.add_task(1.0); // v0
+        let b0 = b.add_task(1.0); // v1
+        let mut children = Vec::new();
+        for _ in 0..3 {
+            let c = b.add_task(1.0);
+            b.add_edge(a0, c, 1.0).unwrap();
+            children.push(c);
+        }
+        for _ in 0..3 {
+            let c = b.add_task(1.0);
+            b.add_edge(b0, c, 1.0).unwrap();
+            children.push(c);
+        }
+        for _ in 0..2 {
+            let c = b.add_task(1.0);
+            b.add_edge(a0, c, 1.0).unwrap();
+            b.add_edge(b0, c, 1.0).unwrap();
+            children.push(c);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ilha_valid_all_models() {
+        let g = toy_graph();
+        let p = Platform::homogeneous(2);
+        for m in CommModel::ALL {
+            let s = Ilha::new(8).schedule(&g, &p, m);
+            assert!(validate(&g, &p, m, &s).is_empty(), "model {m}");
+        }
+    }
+
+    #[test]
+    fn ilha_reduces_communications_on_toy() {
+        // §4.4: with B >= 8 ILHA assigns a1..a3 to a0's processor and
+        // b1..b3 to b0's, so only the ab tasks may communicate. HEFT's
+        // eager earliest-finish rule generates more messages.
+        let g = toy_graph();
+        let p = Platform::homogeneous(2);
+        let ilha = Ilha::new(8).schedule(&g, &p, CommModel::OnePortBidir);
+        let heft = crate::Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(
+            ilha.num_effective_comms() <= heft.num_effective_comms(),
+            "ILHA comms {} > HEFT comms {}",
+            ilha.num_effective_comms(),
+            heft.num_effective_comms()
+        );
+        assert!(ilha.makespan() <= heft.makespan() + 1e-9);
+        // ILHA's schedule avoids almost all communication: at most the two
+        // shared children need one message each.
+        assert!(ilha.num_effective_comms() <= 2);
+    }
+
+    #[test]
+    fn ilha_b1_still_valid() {
+        let g = toy_graph();
+        let p = Platform::homogeneous(2);
+        let s = Ilha::new(1).schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(validate(&g, &p, CommModel::OnePortBidir, &s).is_empty());
+    }
+
+    #[test]
+    fn auto_chunk_matches_paper_platform() {
+        let p = Platform::paper();
+        assert_eq!(Ilha::auto(&p).b, 38);
+        let ph = Platform::homogeneous(4);
+        assert_eq!(Ilha::auto(&ph).b, 4);
+    }
+
+    #[test]
+    fn independent_tasks_perfectly_balanced() {
+        // 38 unit tasks on the paper platform with B = 38: ILHA's
+        // load-balancing should achieve the ideal 30-unit makespan.
+        let mut b = TaskGraphBuilder::new();
+        b.add_tasks(38, 1.0);
+        let g = b.build().unwrap();
+        let p = Platform::paper();
+        let s = Ilha::new(38).schedule(&g, &p, CommModel::OnePortBidir);
+        assert_eq!(s.makespan(), 30.0);
+        assert!(validate(&g, &p, CommModel::OnePortBidir, &s).is_empty());
+    }
+
+    #[test]
+    fn one_comm_scan_valid() {
+        let g = toy_graph();
+        let p = Platform::homogeneous(2);
+        let mut ilha = Ilha::new(8);
+        ilha.scan = ScanDepth::UpToOneComm;
+        let s = ilha.schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(validate(&g, &p, CommModel::OnePortBidir, &s).is_empty());
+        assert_eq!(ilha.name(), "ILHA1(B=8)");
+    }
+
+    #[test]
+    fn caps_prevent_overload_of_one_proc() {
+        // Wide fork from one root: without caps, step 1 would put every
+        // child on the root's processor. The cap forces spreading.
+        let mut b = TaskGraphBuilder::new();
+        let root = b.add_task(1.0);
+        for _ in 0..10 {
+            let c = b.add_task(1.0);
+            // tiny messages so remote placement is cheap
+            b.add_edge(root, c, 0.01).unwrap();
+        }
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(5);
+        let s = Ilha::new(10).schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(validate(&g, &p, CommModel::OnePortBidir, &s).is_empty());
+        assert!(s.procs_used() > 1, "cap must force remote placements");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn b_zero_rejected() {
+        let _ = Ilha::new(0);
+    }
+}

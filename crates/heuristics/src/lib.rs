@@ -1,0 +1,51 @@
+//! # onesched-heuristics — HEFT and ILHA under the one-port model
+//!
+//! The primary contribution of the reproduced paper (Beaumont, Boudet,
+//! Robert, IPDPS 2002): list-scheduling heuristics for heterogeneous
+//! processors that serialize communications according to the bi-directional
+//! one-port model.
+//!
+//! * [`Heft`] — the Heterogeneous Earliest Finish Time heuristic of
+//!   Topcuoglu/Hariri/Wu, adapted to the one-port model (§4.3): when the
+//!   highest-priority ready task is placed, its incoming messages are
+//!   greedily scheduled on the senders' send ports and the candidate's
+//!   receive port.
+//! * [`Ilha`] — the Iso-Level Heterogeneous Allocation heuristic (§4.4):
+//!   schedules a chunk of `B` ready tasks at once; first places tasks that
+//!   incur *no* communication under a load-balancing cap, then falls back to
+//!   HEFT-style earliest-finish placement for the rest.
+//! * [`distribution`] — the optimal integer load-balancing distribution of
+//!   §4.2.
+//! * [`avg_weights`] — the heterogeneous cost averaging used for bottom
+//!   levels (§4.1).
+//! * [`resched`] — the §4.4 "second variation": keep only the allocation and
+//!   greedily re-schedule all communications in a third step.
+//! * [`bsweep`] — experimental search for the chunk size `B` (the paper
+//!   found the best `B` by trying several values; §5.3).
+//!
+//! Every scheduler works under all four [`CommModel`]s through the same
+//! transactional resource machinery — the macro-dataflow variants of HEFT
+//! and ILHA are the same code with free communication ports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod avg_weights;
+pub mod bsweep;
+pub mod distribution;
+mod heft;
+mod ilha;
+mod placement;
+pub mod resched;
+pub mod routed;
+mod scheduler;
+
+pub use heft::Heft;
+pub use ilha::{Ilha, ScanDepth};
+pub use placement::{
+    best_placement, commit_placement, place_on, CommOrder, PlacementPolicy, TentativePlacement,
+};
+pub use scheduler::Scheduler;
+
+// Re-export the model enum so downstream users need one import.
+pub use onesched_sim::CommModel;

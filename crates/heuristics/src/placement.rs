@@ -1,0 +1,399 @@
+//! Shared placement machinery: tentatively place one task (plus its incoming
+//! communications) on a candidate processor.
+//!
+//! This implements the §4.3 evaluation step: "in addition to scheduling the
+//! selected task we must also schedule eventual incoming communications …
+//! we can assign the new communications as early as possible, in a greedy
+//! fashion". Both HEFT and ILHA's step 2 use it, as do all the baseline
+//! heuristics in `onesched-baselines`.
+
+use onesched_dag::{TaskGraph, TaskId};
+use onesched_platform::{Platform, ProcId};
+use onesched_sim::{CommPlacement, Schedule, StagedPlacements, TaskPlacement, Txn};
+
+/// How a task's incoming messages are ordered when they are greedily
+/// serialized on the ports. The paper leaves the order unspecified; the
+/// choice matters under one-port contention, so it is an ablation knob
+/// (DESIGN.md, ablation 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommOrder {
+    /// Earliest parent finish time first (default: data available first is
+    /// sent first).
+    #[default]
+    ByParentFinish,
+    /// Largest message first.
+    ByDataDesc,
+    /// Smallest message first.
+    ByDataAsc,
+    /// Parent task id order (insertion order of the graph).
+    ByParentId,
+}
+
+/// Compute-slot and communication-ordering policy for a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementPolicy {
+    /// Allow the task to fill idle gaps between already placed tasks
+    /// (insertion-based list scheduling). When `false`, tasks are appended
+    /// after the processor's current horizon.
+    pub insertion: bool,
+    /// Ordering of the incoming messages.
+    pub comm_order: CommOrder,
+}
+
+impl PlacementPolicy {
+    /// The default paper-faithful policy: insertion-based, messages in
+    /// parent-finish order.
+    pub fn paper() -> PlacementPolicy {
+        PlacementPolicy {
+            insertion: true,
+            comm_order: CommOrder::ByParentFinish,
+        }
+    }
+}
+
+/// The outcome of tentatively placing a task on one candidate processor.
+#[derive(Debug, Clone)]
+pub struct TentativePlacement {
+    /// The placed task.
+    pub task: TaskId,
+    /// The candidate processor.
+    pub proc: ProcId,
+    /// Task start time on the candidate.
+    pub start: f64,
+    /// Task finish time on the candidate (the EFT criterion).
+    pub finish: f64,
+    /// The incoming communications that the placement would schedule.
+    pub comms: Vec<CommPlacement>,
+    /// The staged resource occupancy, ready to commit if this candidate wins.
+    pub staged: StagedPlacements,
+}
+
+/// Tentatively place `task` on `proc`, scheduling its incoming
+/// communications greedily (earliest possible slot under the pool's
+/// communication model), then finding the earliest compute slot.
+///
+/// Every predecessor of `task` must already be placed in `sched`.
+/// The transaction is consumed; nothing is committed.
+pub fn place_on(
+    g: &TaskGraph,
+    platform: &Platform,
+    sched: &Schedule,
+    mut txn: Txn<'_>,
+    task: TaskId,
+    proc: ProcId,
+    policy: PlacementPolicy,
+) -> TentativePlacement {
+    // Gather incoming transfers: (parent finish, parent proc, data, edge id).
+    let mut incoming: Vec<(f64, ProcId, f64, onesched_dag::EdgeId)> = g
+        .predecessors(task)
+        .map(|(parent, e)| {
+            let p = sched
+                .task(parent)
+                .expect("all predecessors must be scheduled before placing a task");
+            (p.finish, p.proc, g.data(e), e)
+        })
+        .collect();
+    match policy.comm_order {
+        CommOrder::ByParentFinish => {
+            incoming.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.3.cmp(&b.3)));
+        }
+        CommOrder::ByDataDesc => incoming.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.3.cmp(&b.3))),
+        CommOrder::ByDataAsc => incoming.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.3.cmp(&b.3))),
+        CommOrder::ByParentId => incoming.sort_by_key(|x| x.3),
+    }
+
+    let mut ready = 0.0f64;
+    let mut comms = Vec::new();
+    for (src_finish, src_proc, data, edge) in incoming {
+        if src_proc == proc || data <= onesched_sim::EPS {
+            // Local or free edge: data is available when the parent finishes.
+            ready = ready.max(src_finish);
+            continue;
+        }
+        let dur = platform.comm_time(data, src_proc, proc);
+        assert!(
+            dur.is_finite(),
+            "no direct link {src_proc} -> {proc}: route the graph first"
+        );
+        let start = txn.earliest_comm_slot(src_proc, proc, src_finish, dur);
+        txn.add_comm(src_proc, proc, start, dur);
+        comms.push(CommPlacement {
+            edge,
+            from: src_proc,
+            to: proc,
+            start,
+            finish: start + dur,
+        });
+        ready = ready.max(start + dur);
+    }
+
+    let dur = platform.exec_time(g.weight(task), proc);
+    let start = txn.earliest_compute_slot(proc, ready, dur, policy.insertion);
+    txn.add_compute(proc, start, dur);
+
+    TentativePlacement {
+        task,
+        proc,
+        start,
+        finish: start + dur,
+        comms,
+        staged: txn.finish(),
+    }
+}
+
+/// Commit a winning tentative placement: apply its staged occupancy to the
+/// pool and record the task and communication placements in the schedule.
+pub fn commit_placement(
+    pool: &mut onesched_sim::ResourcePool,
+    sched: &mut Schedule,
+    tp: TentativePlacement,
+) {
+    pool.commit(tp.staged);
+    for c in &tp.comms {
+        sched.place_comm(*c);
+    }
+    sched.place_task(TaskPlacement {
+        task: tp.task,
+        proc: tp.proc,
+        start: tp.start,
+        finish: tp.finish,
+    });
+}
+
+/// Evaluate every processor for `task` and return the placement with the
+/// earliest finish time (ties: lowest processor id, the paper's tie-break).
+pub fn best_placement(
+    g: &TaskGraph,
+    platform: &Platform,
+    pool: &onesched_sim::ResourcePool,
+    sched: &Schedule,
+    task: TaskId,
+    policy: PlacementPolicy,
+) -> TentativePlacement {
+    let mut best: Option<TentativePlacement> = None;
+    for proc in platform.procs() {
+        let tp = place_on(g, platform, sched, pool.begin(), task, proc, policy);
+        let better = match &best {
+            None => true,
+            Some(b) => tp.finish < b.finish - onesched_sim::EPS,
+        };
+        if better {
+            best = Some(tp);
+        }
+    }
+    best.expect("platform has at least one processor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::TaskGraphBuilder;
+    use onesched_sim::{CommModel, ResourcePool};
+
+    /// fork: v0 -> v1, v2 with unit weights/data, 2 homogeneous procs.
+    fn fork2() -> (TaskGraph, Platform) {
+        let mut b = TaskGraphBuilder::new();
+        let v0 = b.add_task(1.0);
+        for _ in 0..2 {
+            let c = b.add_task(1.0);
+            b.add_edge(v0, c, 1.0).unwrap();
+        }
+        (b.build().unwrap(), Platform::homogeneous(2))
+    }
+
+    #[test]
+    fn entry_task_placement() {
+        let (g, p) = fork2();
+        let pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        let sched = Schedule::with_tasks(3);
+        let tp = place_on(
+            &g,
+            &p,
+            &sched,
+            pool.begin(),
+            TaskId(0),
+            ProcId(0),
+            PlacementPolicy::paper(),
+        );
+        assert_eq!(tp.start, 0.0);
+        assert_eq!(tp.finish, 1.0);
+        assert!(tp.comms.is_empty());
+    }
+
+    #[test]
+    fn remote_child_pays_communication() {
+        let (g, p) = fork2();
+        let mut pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        let mut sched = Schedule::with_tasks(3);
+        let tp = place_on(
+            &g,
+            &p,
+            &sched,
+            pool.begin(),
+            TaskId(0),
+            ProcId(0),
+            PlacementPolicy::paper(),
+        );
+        commit_placement(&mut pool, &mut sched, tp);
+        // place child 1 on the other processor: 1 (parent) + 1 (comm) + 1 (exec)
+        let tp = place_on(
+            &g,
+            &p,
+            &sched,
+            pool.begin(),
+            TaskId(1),
+            ProcId(1),
+            PlacementPolicy::paper(),
+        );
+        assert_eq!(tp.comms.len(), 1);
+        assert_eq!(tp.start, 2.0);
+        assert_eq!(tp.finish, 3.0);
+        // on the same processor: no comm, starts right after the parent
+        let tp0 = place_on(
+            &g,
+            &p,
+            &sched,
+            pool.begin(),
+            TaskId(1),
+            ProcId(0),
+            PlacementPolicy::paper(),
+        );
+        assert!(tp0.comms.is_empty());
+        assert_eq!(tp0.start, 1.0);
+    }
+
+    #[test]
+    fn best_placement_prefers_lower_id_on_tie() {
+        let (g, p) = fork2();
+        let pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        let sched = Schedule::with_tasks(3);
+        let tp = best_placement(&g, &p, &pool, &sched, TaskId(0), PlacementPolicy::paper());
+        assert_eq!(tp.proc, ProcId(0));
+    }
+
+    #[test]
+    fn one_port_serializes_sends_across_placements() {
+        // both children remote: second child's message waits for the first
+        let (g, p3) = {
+            let mut b = TaskGraphBuilder::new();
+            let v0 = b.add_task(1.0);
+            for _ in 0..2 {
+                let c = b.add_task(1.0);
+                b.add_edge(v0, c, 2.0).unwrap();
+            }
+            (b.build().unwrap(), Platform::homogeneous(3))
+        };
+        let mut pool = ResourcePool::new(3, CommModel::OnePortBidir);
+        let mut sched = Schedule::with_tasks(3);
+        let tp = place_on(
+            &g,
+            &p3,
+            &sched,
+            pool.begin(),
+            TaskId(0),
+            ProcId(0),
+            PlacementPolicy::paper(),
+        );
+        commit_placement(&mut pool, &mut sched, tp);
+        let tp1 = place_on(
+            &g,
+            &p3,
+            &sched,
+            pool.begin(),
+            TaskId(1),
+            ProcId(1),
+            PlacementPolicy::paper(),
+        );
+        commit_placement(&mut pool, &mut sched, tp1);
+        let tp2 = place_on(
+            &g,
+            &p3,
+            &sched,
+            pool.begin(),
+            TaskId(2),
+            ProcId(2),
+            PlacementPolicy::paper(),
+        );
+        // send port of P0: [1,3) then [3,5); so task 2 starts at 5
+        assert_eq!(tp2.start, 5.0);
+        // under macro-dataflow both messages would go in parallel
+        let mut mpool = ResourcePool::new(3, CommModel::MacroDataflow);
+        let mut msched = Schedule::with_tasks(3);
+        let tp = place_on(
+            &g,
+            &p3,
+            &msched,
+            mpool.begin(),
+            TaskId(0),
+            ProcId(0),
+            PlacementPolicy::paper(),
+        );
+        commit_placement(&mut mpool, &mut msched, tp);
+        let tp1 = place_on(
+            &g,
+            &p3,
+            &msched,
+            mpool.begin(),
+            TaskId(1),
+            ProcId(1),
+            PlacementPolicy::paper(),
+        );
+        commit_placement(&mut mpool, &mut msched, tp1);
+        let tp2m = place_on(
+            &g,
+            &p3,
+            &msched,
+            mpool.begin(),
+            TaskId(2),
+            ProcId(2),
+            PlacementPolicy::paper(),
+        );
+        assert_eq!(tp2m.start, 3.0);
+    }
+
+    use onesched_dag::{TaskGraph, TaskId};
+
+    #[test]
+    fn comm_order_by_data_desc() {
+        // join: two parents on different procs, different message sizes.
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let sink = b.add_task(1.0);
+        b.add_edge(a, sink, 1.0).unwrap(); // small message
+        b.add_edge(c, sink, 5.0).unwrap(); // large message
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(3);
+        let mut pool = ResourcePool::new(3, CommModel::OnePortBidir);
+        let mut sched = Schedule::with_tasks(3);
+        for (t, proc) in [(a, ProcId(0)), (c, ProcId(1))] {
+            let tp = place_on(
+                &g,
+                &p,
+                &sched,
+                pool.begin(),
+                t,
+                proc,
+                PlacementPolicy::paper(),
+            );
+            commit_placement(&mut pool, &mut sched, tp);
+        }
+        let pol = PlacementPolicy {
+            insertion: true,
+            comm_order: CommOrder::ByDataDesc,
+        };
+        let tp = place_on(&g, &p, &sched, pool.begin(), sink, ProcId(2), pol);
+        // large message [1,6), small [1,2)?? both receive on P2: recv port
+        // serializes: large [1,6), then small [6,7) -> ready 7.
+        assert_eq!(tp.comms[0].finish - tp.comms[0].start, 5.0);
+        assert_eq!(tp.start, 7.0);
+        // small-first order: small [1,2), large [2,7) -> ready 7 as well
+        let pol = PlacementPolicy {
+            insertion: true,
+            comm_order: CommOrder::ByDataAsc,
+        };
+        let tp2 = place_on(&g, &p, &sched, pool.begin(), sink, ProcId(2), pol);
+        assert_eq!(tp2.start, 7.0);
+        assert_eq!(tp2.comms[0].finish - tp2.comms[0].start, 1.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Scheduling on non-fully-connected networks (§4.3 extension).
+//!
+//! "Note that the model can easily be extended to the case where the
+//! interconnection network is such that messages must be routed between some
+//! processor pairs: if there is no direct link from P2 to P1, we redo the
+//! previous step for all intermediate messages between adjacent processors."
+//!
+//! This module implements exactly that: a placement routine that, for every
+//! incoming edge whose endpoints lack a direct link, schedules a *chain* of
+//! store-and-forward hops along the platform's static shortest route (each
+//! hop greedily as early as possible on its own send/receive ports), and a
+//! [`RoutedHeft`] scheduler using it. Intermediate processors relay with
+//! their communication ports only — relaying does not occupy their compute
+//! core (consistent with the overlap assumption; under
+//! [`CommModel::OnePortNoOverlap`] the relay hops do exclude computation on
+//! the relay processors, which the resource pool enforces).
+
+use crate::avg_weights::paper_bottom_levels;
+use crate::heft::ReadyEntry;
+use crate::{PlacementPolicy, Scheduler};
+use onesched_dag::{TaskGraph, TaskId, TopoOrder};
+use onesched_platform::{Platform, ProcId, RoutingTable};
+use onesched_sim::{CommModel, CommPlacement, ResourcePool, Schedule, TaskPlacement, Txn, EPS};
+use std::collections::BinaryHeap;
+
+/// Outcome of a routed tentative placement (mirrors
+/// [`crate::TentativePlacement`], with multi-hop communications).
+#[derive(Debug, Clone)]
+pub struct RoutedPlacement {
+    /// The placed task.
+    pub task: TaskId,
+    /// The candidate processor.
+    pub proc: ProcId,
+    /// Task start time.
+    pub start: f64,
+    /// Task finish time.
+    pub finish: f64,
+    /// All communication hops the placement schedules.
+    pub comms: Vec<CommPlacement>,
+    /// Staged resource occupancy.
+    pub staged: onesched_sim::StagedPlacements,
+}
+
+/// Tentatively place `task` on `proc`, routing each incoming message along
+/// the static shortest path and scheduling every hop greedily.
+///
+/// # Panics
+/// Panics if some predecessor's processor cannot reach `proc` at all.
+#[allow(clippy::too_many_arguments)] // mirrors `place_on` plus the routing table
+pub fn place_on_routed(
+    g: &TaskGraph,
+    platform: &Platform,
+    routes: &RoutingTable,
+    sched: &Schedule,
+    mut txn: Txn<'_>,
+    task: TaskId,
+    proc: ProcId,
+    policy: PlacementPolicy,
+) -> RoutedPlacement {
+    let mut incoming: Vec<(f64, ProcId, f64, onesched_dag::EdgeId)> = g
+        .predecessors(task)
+        .map(|(parent, e)| {
+            let p = sched
+                .task(parent)
+                .expect("all predecessors must be scheduled before placing a task");
+            (p.finish, p.proc, g.data(e), e)
+        })
+        .collect();
+    incoming.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.3.cmp(&b.3)));
+
+    let mut ready = 0.0f64;
+    let mut comms = Vec::new();
+    for (src_finish, src_proc, data, edge) in incoming {
+        if src_proc == proc || data <= EPS {
+            ready = ready.max(src_finish);
+            continue;
+        }
+        let path = routes
+            .path(src_proc, proc)
+            .unwrap_or_else(|| panic!("no route {src_proc} -> {proc}"));
+        let mut available = src_finish; // when the data is ready at the hop's source
+        for (from, to) in path {
+            let dur = platform.comm_time(data, from, to);
+            debug_assert!(dur.is_finite(), "routes only use existing links");
+            let start = txn.earliest_comm_slot(from, to, available, dur);
+            txn.add_comm(from, to, start, dur);
+            comms.push(CommPlacement {
+                edge,
+                from,
+                to,
+                start,
+                finish: start + dur,
+            });
+            available = start + dur; // store-and-forward
+        }
+        ready = ready.max(available);
+    }
+
+    let dur = platform.exec_time(g.weight(task), proc);
+    let start = txn.earliest_compute_slot(proc, ready, dur, policy.insertion);
+    txn.add_compute(proc, start, dur);
+    RoutedPlacement {
+        task,
+        proc,
+        start,
+        finish: start + dur,
+        comms,
+        staged: txn.finish(),
+    }
+}
+
+/// Commit a winning routed placement.
+pub fn commit_routed(pool: &mut ResourcePool, sched: &mut Schedule, rp: RoutedPlacement) {
+    pool.commit(rp.staged);
+    for c in &rp.comms {
+        sched.place_comm(*c);
+    }
+    sched.place_task(TaskPlacement {
+        task: rp.task,
+        proc: rp.proc,
+        start: rp.start,
+        finish: rp.finish,
+    });
+}
+
+/// HEFT over an arbitrary (connected) topology: identical to [`crate::Heft`]
+/// on fully-connected platforms, but messages between unlinked processors
+/// are relayed hop by hop. Candidate processors unreachable from some parent
+/// are skipped.
+#[derive(Debug, Clone, Default)]
+pub struct RoutedHeft {
+    /// Compute-slot policy (message order is fixed to parent-finish order).
+    pub policy: PlacementPolicy,
+}
+
+impl RoutedHeft {
+    /// Paper-faithful policy.
+    pub fn new() -> RoutedHeft {
+        RoutedHeft {
+            policy: PlacementPolicy::paper(),
+        }
+    }
+}
+
+impl Scheduler for RoutedHeft {
+    fn name(&self) -> String {
+        "HEFT-routed".into()
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        let routes = RoutingTable::new(platform);
+        let topo = TopoOrder::new(g);
+        let bl = paper_bottom_levels(g, &topo, platform);
+
+        let mut pool = ResourcePool::new(platform.num_procs(), model);
+        let mut sched = Schedule::with_tasks(g.num_tasks());
+        let mut pending: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
+        let mut ready: BinaryHeap<ReadyEntry> = g
+            .tasks()
+            .filter(|&v| pending[v.index()] == 0)
+            .map(|task| ReadyEntry {
+                bl: bl[task.index()],
+                task,
+            })
+            .collect();
+
+        while let Some(ReadyEntry { task, .. }) = ready.pop() {
+            let mut best: Option<RoutedPlacement> = None;
+            for proc in platform.procs() {
+                // skip candidates unreachable from any placed parent
+                let reachable = g.predecessors(task).all(|(parent, _)| {
+                    let pp = sched.task(parent).expect("parents placed").proc;
+                    routes.reachable(pp, proc)
+                });
+                if !reachable {
+                    continue;
+                }
+                let rp = place_on_routed(
+                    g,
+                    platform,
+                    &routes,
+                    &sched,
+                    pool.begin(),
+                    task,
+                    proc,
+                    self.policy,
+                );
+                if best.as_ref().is_none_or(|b| rp.finish < b.finish - EPS) {
+                    best = Some(rp);
+                }
+            }
+            let rp = best.expect("connected platforms always offer a candidate");
+            commit_routed(&mut pool, &mut sched, rp);
+            for (succ, _) in g.successors(task) {
+                pending[succ.index()] -= 1;
+                if pending[succ.index()] == 0 {
+                    ready.push(ReadyEntry {
+                        bl: bl[succ.index()],
+                        task: succ,
+                    });
+                }
+            }
+        }
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Heft;
+    use onesched_dag::TaskGraphBuilder;
+    use onesched_platform::topology;
+    use onesched_sim::validate;
+
+    fn fork(n: usize, data: f64) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let root = b.add_task(1.0);
+        for _ in 0..n {
+            let c = b.add_task(1.0);
+            b.add_edge(root, c, data).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_heft_on_complete_networks() {
+        let g = fork(6, 1.0);
+        let p = Platform::paper();
+        for m in CommModel::ALL {
+            let routed = RoutedHeft::new().schedule(&g, &p, m);
+            let plain = Heft::new().schedule(&g, &p, m);
+            assert!(validate(&g, &p, m, &routed).is_empty(), "{m}");
+            assert_eq!(routed.makespan(), plain.makespan(), "{m}");
+        }
+    }
+
+    #[test]
+    fn valid_on_star_topology() {
+        let g = fork(5, 2.0);
+        let p = topology::star(vec![1.0; 4], 1.0).unwrap();
+        for m in [CommModel::OnePortBidir, CommModel::OnePortUnidir] {
+            let s = RoutedHeft::new().schedule(&g, &p, m);
+            let v = validate(&g, &p, m, &s);
+            assert!(v.is_empty(), "{m}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn valid_on_line_topology_with_relays() {
+        // chain a -> b with a forced placement gap: put enough load that the
+        // scheduler spreads to the far end of a 4-node line.
+        let g = fork(8, 0.5);
+        let p = topology::line(vec![1.0; 4], 1.0).unwrap();
+        let s = RoutedHeft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        let v = validate(&g, &p, CommModel::OnePortBidir, &s);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn relay_chain_is_store_and_forward() {
+        // Force a relay: two processors linked only through a hub; the
+        // child must run on P2, so the message goes P1 -> P0 -> P2.
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, 3.0).unwrap();
+        let g = b.build().unwrap();
+        let p = topology::star(vec![1.0; 3], 1.0).unwrap();
+        let routes = RoutingTable::new(&p);
+        let pool = ResourcePool::new(3, CommModel::OnePortBidir);
+        let mut sched = Schedule::with_tasks(2);
+        sched.place_task(TaskPlacement {
+            task: a,
+            proc: ProcId(1),
+            start: 0.0,
+            finish: 1.0,
+        });
+        let rp = place_on_routed(
+            &g,
+            &p,
+            &routes,
+            &sched,
+            pool.begin(),
+            c,
+            ProcId(2),
+            PlacementPolicy::paper(),
+        );
+        assert_eq!(rp.comms.len(), 2, "two hops through the hub");
+        assert_eq!(rp.comms[0].from, ProcId(1));
+        assert_eq!(rp.comms[0].to, ProcId(0));
+        assert_eq!(rp.comms[1].from, ProcId(0));
+        assert_eq!(rp.comms[1].to, ProcId(2));
+        // store-and-forward: second hop starts after the first completes
+        assert!(rp.comms[1].start >= rp.comms[0].finish - EPS);
+        assert_eq!(rp.start, 7.0, "1 (task) + 3 + 3 (two hops of duration 3)");
+    }
+
+    #[test]
+    fn larger_graph_on_ring() {
+        let g = onesched_testbeds::laplace(6, 2.0);
+        let p = topology::ring(vec![1.0, 2.0, 1.0, 2.0, 1.0], 1.0).unwrap();
+        let s = RoutedHeft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        let v = validate(&g, &p, CommModel::OnePortBidir, &s);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! The common scheduler interface.
+
+use onesched_dag::TaskGraph;
+use onesched_platform::Platform;
+use onesched_sim::{CommModel, Schedule};
+
+/// A static task-graph scheduler: maps every task to a processor and a start
+/// time, emitting explicit communication placements, under a given
+/// communication model.
+pub trait Scheduler {
+    /// Stable display name (used in experiment CSVs and bench labels).
+    fn name(&self) -> String;
+
+    /// Produce a complete schedule of `g` on `platform` under `model`.
+    ///
+    /// Implementations must return schedules that pass
+    /// [`onesched_sim::validate()`] for the same `(g, platform, model)`.
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        (**self).schedule(g, platform, model)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        (**self).schedule(g, platform, model)
+    }
+}

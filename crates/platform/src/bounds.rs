@@ -1,0 +1,106 @@
+//! Speedup bounds and the perfect-load-balance chunk size (paper §5.2).
+//!
+//! With processors of cycle-times `t_1..t_p`, a workload of total weight `W`
+//! runs sequentially on the fastest processor in `W × min_i t_i` and, with a
+//! perfect load balance and free communications, in parallel in
+//! `W / Σ_i 1/t_i`. The speedup is therefore bounded by
+//! `min_i t_i × Σ_i 1/t_i` — for the paper's platform
+//! `6 × (5/6 + 3/10 + 2/15) = 7.6`.
+
+use crate::Platform;
+
+/// Upper bound on the achievable speedup over the fastest processor,
+/// neglecting all communications and dependences (paper §5.2: 7.6 for the
+/// experimental platform).
+pub fn speedup_upper_bound(p: &Platform) -> f64 {
+    p.min_cycle_time() * p.total_speed()
+}
+
+/// Idealized parallel execution time of total work `w` on `p`, assuming a
+/// perfect load balance and free communications: `w / Σ 1/t_i`.
+pub fn ideal_parallel_time(p: &Platform, w: f64) -> f64 {
+    w / p.total_speed()
+}
+
+/// Sequential execution time of total work `w` on the fastest processor.
+pub fn sequential_time(p: &Platform, w: f64) -> f64 {
+    w * p.min_cycle_time()
+}
+
+/// The smallest number of equal-size tasks that can be distributed to the
+/// processors with *perfect* load balance, for integer cycle-times:
+/// `B = lcm(t_1..t_p) × Σ 1/t_i = Σ_i lcm / t_i` (paper §4.2 / §5.2 — 38 for
+/// the experimental platform: 5·5 + 3·3 + 2·2).
+///
+/// Returns `None` if any cycle-time is not a positive integer (the formula
+/// is only meaningful for integer cycle-times) or on overflow.
+pub fn perfect_balance_chunk(p: &Platform) -> Option<u64> {
+    let mut ts: Vec<u64> = Vec::with_capacity(p.num_procs());
+    for &t in p.cycle_times() {
+        if t <= 0.0 || t.fract() != 0.0 || t > u64::MAX as f64 {
+            return None;
+        }
+        ts.push(t as u64);
+    }
+    let l = ts.iter().try_fold(1u64, |acc, &t| {
+        let g = gcd(acc, t);
+        acc.checked_mul(t / g)
+    })?;
+    ts.iter().try_fold(0u64, |acc, &t| acc.checked_add(l / t))
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+
+    #[test]
+    fn paper_speedup_bound_is_7_6() {
+        let p = Platform::paper();
+        assert!((speedup_upper_bound(&p) - 7.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_perfect_balance_chunk_is_38() {
+        let p = Platform::paper();
+        assert_eq!(perfect_balance_chunk(&p), Some(38));
+    }
+
+    #[test]
+    fn paper_38_tasks_in_30_units() {
+        // §5.2: 38 unit tasks run in 30 time units; sequentially 228.
+        let p = Platform::paper();
+        assert!((ideal_parallel_time(&p, 38.0) - 30.0).abs() < 1e-12);
+        assert!((sequential_time(&p, 38.0) - 228.0).abs() < 1e-12);
+        assert!((sequential_time(&p, 38.0) / ideal_parallel_time(&p, 38.0) - 7.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_bound_is_p() {
+        let p = Platform::homogeneous(8);
+        assert_eq!(speedup_upper_bound(&p), 8.0);
+        assert_eq!(perfect_balance_chunk(&p), Some(8));
+    }
+
+    #[test]
+    fn non_integer_cycle_times_have_no_chunk() {
+        let p = Platform::uniform_links(vec![1.5, 2.0], 1.0).unwrap();
+        assert_eq!(perfect_balance_chunk(&p), None);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Strongly-typed processor index.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processor; dense `0..p`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The id as a `usize`, for indexing per-processor state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ProcId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ProcId(v)
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let p = ProcId::from(4u32);
+        assert_eq!(p.index(), 4);
+        assert_eq!(p.to_string(), "P4");
+    }
+}

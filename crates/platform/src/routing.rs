@@ -1,0 +1,177 @@
+//! Static shortest-path routing over non-fully-connected networks.
+//!
+//! The paper's §4.3 notes the one-port machinery extends to routed networks:
+//! "if there is no direct link from P2 to P1, we redo the previous step for
+//! all intermediate messages between adjacent processors". This module
+//! provides the static routing table (Floyd–Warshall over link latencies, as
+//! in the Sinnen–Sousa model the paper cites, where "each processor is
+//! provided with a routing table" and routing is fully static).
+
+use crate::{Platform, ProcId};
+
+/// All-pairs static routes over the platform's direct links.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    p: usize,
+    /// `dist[q * p + r]` = total per-item latency along the chosen route.
+    dist: Vec<f64>,
+    /// `next[q * p + r]` = next hop from `q` towards `r` (`u32::MAX` if
+    /// unreachable).
+    next: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Build the routing table for `platform` (Floyd–Warshall,
+    /// `O(p³)` — platforms are small).
+    pub fn new(platform: &Platform) -> RoutingTable {
+        let p = platform.num_procs();
+        let mut dist = vec![f64::INFINITY; p * p];
+        let mut next = vec![u32::MAX; p * p];
+        for q in 0..p {
+            for r in 0..p {
+                let l = platform.link(ProcId(q as u32), ProcId(r as u32));
+                if q == r {
+                    dist[q * p + r] = 0.0;
+                    next[q * p + r] = r as u32;
+                } else if l.is_finite() {
+                    dist[q * p + r] = l;
+                    next[q * p + r] = r as u32;
+                }
+            }
+        }
+        for k in 0..p {
+            for q in 0..p {
+                let dqk = dist[q * p + k];
+                if !dqk.is_finite() {
+                    continue;
+                }
+                for r in 0..p {
+                    let alt = dqk + dist[k * p + r];
+                    if alt < dist[q * p + r] {
+                        dist[q * p + r] = alt;
+                        next[q * p + r] = next[q * p + k];
+                    }
+                }
+            }
+        }
+        RoutingTable { p, dist, next }
+    }
+
+    /// Total per-item latency of the static route from `q` to `r`
+    /// (`+∞` if disconnected, 0 if `q == r`).
+    #[inline]
+    pub fn route_latency(&self, q: ProcId, r: ProcId) -> f64 {
+        self.dist[q.index() * self.p + r.index()]
+    }
+
+    /// Whether `r` is reachable from `q`.
+    #[inline]
+    pub fn reachable(&self, q: ProcId, r: ProcId) -> bool {
+        self.route_latency(q, r).is_finite()
+    }
+
+    /// The sequence of hops `(from, to)` of the static route from `q` to `r`.
+    /// Empty when `q == r`; `None` when disconnected.
+    pub fn path(&self, q: ProcId, r: ProcId) -> Option<Vec<(ProcId, ProcId)>> {
+        if q == r {
+            return Some(Vec::new());
+        }
+        if !self.reachable(q, r) {
+            return None;
+        }
+        let mut hops = Vec::new();
+        let mut cur = q;
+        while cur != r {
+            let nxt = self.next[cur.index() * self.p + r.index()];
+            debug_assert_ne!(nxt, u32::MAX);
+            let nxt = ProcId(nxt);
+            hops.push((cur, nxt));
+            cur = nxt;
+            if hops.len() > self.p {
+                unreachable!("routing loop: Floyd-Warshall next-hop table is loop-free");
+            }
+        }
+        Some(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+
+    /// Line topology 0 - 1 - 2 with unit links, no direct 0-2 link.
+    fn line3() -> Platform {
+        let inf = f64::INFINITY;
+        let link = vec![
+            0.0, 1.0, inf, //
+            1.0, 0.0, 1.0, //
+            inf, 1.0, 0.0,
+        ];
+        Platform::new(vec![1.0; 3], link).unwrap()
+    }
+
+    #[test]
+    fn direct_links_route_directly() {
+        let p = Platform::paper();
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(0), ProcId(9)), 1.0);
+        assert_eq!(
+            rt.path(ProcId(0), ProcId(9)).unwrap(),
+            vec![(ProcId(0), ProcId(9))]
+        );
+    }
+
+    #[test]
+    fn line_routes_through_middle() {
+        let p = line3();
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(0), ProcId(2)), 2.0);
+        assert_eq!(
+            rt.path(ProcId(0), ProcId(2)).unwrap(),
+            vec![(ProcId(0), ProcId(1)), (ProcId(1), ProcId(2))]
+        );
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let p = line3();
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(1), ProcId(1)), 0.0);
+        assert_eq!(rt.path(ProcId(1), ProcId(1)).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn disconnected_is_unreachable() {
+        let inf = f64::INFINITY;
+        let link = vec![0.0, inf, inf, 0.0];
+        let p = Platform::new(vec![1.0, 1.0], link).unwrap();
+        let rt = RoutingTable::new(&p);
+        assert!(!rt.reachable(ProcId(0), ProcId(1)));
+        assert_eq!(rt.path(ProcId(0), ProcId(1)), None);
+    }
+
+    #[test]
+    fn asymmetric_links_respected() {
+        // 0 -> 1 costs 1, 1 -> 0 costs 5.
+        let link = vec![0.0, 1.0, 5.0, 0.0];
+        let p = Platform::new(vec![1.0, 1.0], link).unwrap();
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(0), ProcId(1)), 1.0);
+        assert_eq!(rt.route_latency(ProcId(1), ProcId(0)), 5.0);
+    }
+
+    #[test]
+    fn routing_prefers_cheap_detour() {
+        // direct 0->2 costs 10, through 1 costs 2.
+        let link = vec![
+            0.0, 1.0, 10.0, //
+            1.0, 0.0, 1.0, //
+            10.0, 1.0, 0.0,
+        ];
+        let p = Platform::new(vec![1.0; 3], link).unwrap();
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(0), ProcId(2)), 2.0);
+        assert_eq!(rt.path(ProcId(0), ProcId(2)).unwrap().len(), 2);
+    }
+}

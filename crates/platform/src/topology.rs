@@ -1,0 +1,106 @@
+//! Constructors for common interconnect topologies.
+//!
+//! The paper's experiments use a fully-connected homogeneous network, but the
+//! model (and the one-port machinery) supports arbitrary static topologies;
+//! these constructors make it easy to study stars, rings and buses.
+
+use crate::{Platform, PlatformError};
+
+/// Star topology: processor 0 is the hub; every other processor has a direct
+/// link only to the hub, with per-item latency `link_time`.
+pub fn star(cycle_times: Vec<f64>, link_time: f64) -> Result<Platform, PlatformError> {
+    let p = cycle_times.len();
+    let inf = f64::INFINITY;
+    let mut link = vec![inf; p * p];
+    for q in 0..p {
+        link[q * p + q] = 0.0;
+        if q != 0 {
+            link[q * p] = link_time;
+            link[q] = link_time;
+        }
+    }
+    Platform::new(cycle_times, link)
+}
+
+/// Bidirectional ring: processor `i` is linked to `(i±1) mod p` with per-item
+/// latency `link_time`.
+pub fn ring(cycle_times: Vec<f64>, link_time: f64) -> Result<Platform, PlatformError> {
+    let p = cycle_times.len();
+    let inf = f64::INFINITY;
+    let mut link = vec![inf; p * p];
+    for q in 0..p {
+        link[q * p + q] = 0.0;
+        if p > 1 {
+            let next = (q + 1) % p;
+            let prev = (q + p - 1) % p;
+            link[q * p + next] = link_time;
+            link[q * p + prev] = link_time;
+        }
+    }
+    Platform::new(cycle_times, link)
+}
+
+/// Linear array (open chain): processor `i` is linked to `i±1` only.
+pub fn line(cycle_times: Vec<f64>, link_time: f64) -> Result<Platform, PlatformError> {
+    let p = cycle_times.len();
+    let inf = f64::INFINITY;
+    let mut link = vec![inf; p * p];
+    for q in 0..p {
+        link[q * p + q] = 0.0;
+        if q + 1 < p {
+            link[q * p + q + 1] = link_time;
+            link[(q + 1) * p + q] = link_time;
+        }
+    }
+    Platform::new(cycle_times, link)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProcId, RoutingTable};
+
+    #[test]
+    fn star_routes_via_hub() {
+        let p = star(vec![1.0; 4], 2.0).unwrap();
+        assert_eq!(p.link(ProcId(1), ProcId(0)), 2.0);
+        assert!(!p.link(ProcId(1), ProcId(2)).is_finite());
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(1), ProcId(2)), 4.0);
+        assert_eq!(
+            rt.path(ProcId(1), ProcId(2)).unwrap(),
+            vec![(ProcId(1), ProcId(0)), (ProcId(0), ProcId(2))]
+        );
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let p = ring(vec![1.0; 5], 1.0).unwrap();
+        assert_eq!(p.link(ProcId(0), ProcId(4)), 1.0);
+        assert_eq!(p.link(ProcId(4), ProcId(0)), 1.0);
+        assert!(!p.link(ProcId(0), ProcId(2)).is_finite());
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(0), ProcId(2)), 2.0);
+    }
+
+    #[test]
+    fn line_is_open() {
+        let p = line(vec![1.0; 4], 1.0).unwrap();
+        assert!(!p.link(ProcId(0), ProcId(3)).is_finite());
+        let rt = RoutingTable::new(&p);
+        assert_eq!(rt.route_latency(ProcId(0), ProcId(3)), 3.0);
+    }
+
+    #[test]
+    fn two_proc_ring_is_complete() {
+        let p = ring(vec![1.0, 2.0], 1.0).unwrap();
+        assert!(p.is_fully_connected());
+    }
+
+    #[test]
+    fn singleton_topologies() {
+        assert!(star(vec![1.0], 1.0).unwrap().is_fully_connected());
+        assert!(ring(vec![1.0], 1.0).unwrap().is_fully_connected());
+        assert!(line(vec![1.0], 1.0).unwrap().is_fully_connected());
+    }
+}

@@ -1,0 +1,173 @@
+//! ASCII Gantt charts for schedules.
+//!
+//! Renders one row per processor (compute) plus optional send/receive port
+//! rows, scaled to a fixed character width. Used by the examples and handy
+//! when debugging heuristics on the paper's toy graphs.
+
+use crate::Schedule;
+use onesched_platform::{Platform, ProcId};
+use std::fmt::Write;
+
+/// Options for [`render`].
+#[derive(Debug, Clone)]
+pub struct GanttOptions {
+    /// Total chart width in characters (time axis resolution).
+    pub width: usize,
+    /// Also render per-processor send/receive port rows.
+    pub show_ports: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 72,
+            show_ports: false,
+        }
+    }
+}
+
+fn glyph_for(id: u32) -> char {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    GLYPHS[(id as usize) % GLYPHS.len()] as char
+}
+
+/// Render `s` as an ASCII Gantt chart.
+///
+/// Each compute row shows task occupancy with a per-task glyph (task id mod
+/// 62); port rows show `>` for sends and `<` for receives. `.` is idle.
+pub fn render(platform: &Platform, s: &Schedule, opts: &GanttOptions) -> String {
+    let makespan = s.makespan();
+    let width = opts.width.max(10);
+    let scale = if makespan > 0.0 {
+        width as f64 / makespan
+    } else {
+        1.0
+    };
+    let col = |t: f64| -> usize { ((t * scale).floor() as usize).min(width.saturating_sub(1)) };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "makespan = {makespan:.3}  (one column ~ {:.3} time units)",
+        1.0 / scale
+    );
+    for proc in platform.procs() {
+        let mut row = vec!['.'; width];
+        for p in s.task_placements().filter(|p| p.proc == proc) {
+            let (a, b) = (col(p.start), col(p.finish - 1e-12).max(col(p.start)));
+            let ch = glyph_for(p.task.0);
+            for c in row.iter_mut().take(b + 1).skip(a) {
+                *c = ch;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>4} |{}|",
+            format!("P{}", proc.0),
+            row.iter().collect::<String>()
+        );
+        if opts.show_ports {
+            let _ = writeln!(out, "  tx |{}|", port_row(s, proc, true, width, col));
+            let _ = writeln!(out, "  rx |{}|", port_row(s, proc, false, width, col));
+        }
+    }
+    out
+}
+
+fn port_row(
+    s: &Schedule,
+    proc: ProcId,
+    send: bool,
+    width: usize,
+    col: impl Fn(f64) -> usize,
+) -> String {
+    let mut row = vec!['.'; width];
+    for c in s.comms() {
+        let relevant = if send { c.from == proc } else { c.to == proc };
+        if !relevant || c.finish - c.start <= crate::EPS {
+            continue;
+        }
+        let (a, b) = (col(c.start), col(c.finish - 1e-12).max(col(c.start)));
+        let ch = if send { '>' } else { '<' };
+        for g in row.iter_mut().take(b + 1).skip(a) {
+            *g = ch;
+        }
+    }
+    row.iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommPlacement, TaskPlacement};
+    use onesched_dag::EdgeId;
+    use onesched_dag::TaskId;
+
+    #[test]
+    fn renders_rows_per_proc() {
+        let p = Platform::homogeneous(2);
+        let mut s = Schedule::with_tasks(2);
+        s.place_task(TaskPlacement {
+            task: TaskId(0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 5.0,
+        });
+        s.place_task(TaskPlacement {
+            task: TaskId(1),
+            proc: ProcId(1),
+            start: 5.0,
+            finish: 10.0,
+        });
+        let txt = render(&p, &s, &GanttOptions::default());
+        assert!(txt.contains("P0"));
+        assert!(txt.contains("P1"));
+        assert!(txt.contains('0'));
+        assert!(txt.contains('1'));
+    }
+
+    #[test]
+    fn port_rows_shown_when_requested() {
+        let p = Platform::homogeneous(2);
+        let mut s = Schedule::with_tasks(2);
+        s.place_task(TaskPlacement {
+            task: TaskId(0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: EdgeId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 1.0,
+            finish: 3.0,
+        });
+        s.place_task(TaskPlacement {
+            task: TaskId(1),
+            proc: ProcId(1),
+            start: 3.0,
+            finish: 4.0,
+        });
+        let txt = render(
+            &p,
+            &s,
+            &GanttOptions {
+                width: 40,
+                show_ports: true,
+            },
+        );
+        assert!(txt.contains('>'));
+        assert!(txt.contains('<'));
+        assert!(txt.contains("tx"));
+        assert!(txt.contains("rx"));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let p = Platform::homogeneous(1);
+        let s = Schedule::with_tasks(0);
+        let txt = render(&p, &s, &GanttOptions::default());
+        assert!(txt.contains("makespan = 0.000"));
+    }
+}

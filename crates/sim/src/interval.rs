@@ -1,0 +1,415 @@
+//! Busy-interval timelines with earliest-gap queries.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerical tolerance used throughout schedule construction and validation.
+///
+/// All paper workloads produce times that are exact in `f64` (integer weights
+/// times integer cycle-times), but harmonic-mean rank estimates are not, so
+/// comparisons tolerate `EPS`.
+pub const EPS: f64 = 1e-6;
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeInterval {
+    /// Inclusive start time.
+    pub start: f64,
+    /// Exclusive end time.
+    pub end: f64,
+}
+
+impl TimeInterval {
+    /// Create the interval `[start, start + duration)`.
+    #[inline]
+    pub fn new(start: f64, duration: f64) -> TimeInterval {
+        debug_assert!(duration >= 0.0, "negative duration");
+        TimeInterval {
+            start,
+            end: start + duration,
+        }
+    }
+
+    /// Length of the interval.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether two intervals overlap by more than [`EPS`]
+    /// (touching intervals do not overlap).
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start < other.end - EPS && other.start < self.end - EPS
+    }
+
+    /// Whether the interval has (essentially) zero duration.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.duration() <= EPS
+    }
+}
+
+/// A set of pairwise-disjoint busy intervals kept sorted by start time.
+///
+/// This is the workhorse of one-port scheduling: each processor owns one
+/// timeline per resource (compute core, send port, receive port) and the
+/// schedulers query for the earliest gap that fits a task or a message
+/// (paper §4.3: "we look for the first available time-interval during which
+/// P2 is not sending and P1 is not receiving").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Sorted, pairwise non-overlapping busy intervals.
+    busy: Vec<TimeInterval>,
+    /// Block-skip metadata: `block_max_gap[b]` is the largest idle gap
+    /// `busy[k].start − busy[k−1].end` over `k` in block `b`'s index range
+    /// `[b·BLOCK, (b+1)·BLOCK)` (`k ≥ 1`; the predecessor may sit in the
+    /// previous block). Lets [`Timeline::earliest_gap`] skip whole blocks of
+    /// a densely packed timeline — one-port schedules of communication-bound
+    /// graphs pack tens of thousands of transfers per port, and the naive
+    /// interval-by-interval walk made scheduling quadratic in practice.
+    #[serde(skip, default)]
+    block_max_gap: Vec<f64>,
+}
+
+/// Intervals per skip block (power of two for cheap index arithmetic).
+const BLOCK: usize = 64;
+
+impl Timeline {
+    /// New empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Recompute `block_max_gap` for all blocks at or after the one
+    /// containing `from_idx` (insertion shifts every later index).
+    fn rebuild_blocks_from(&mut self, from_idx: usize) {
+        let nblocks = self.busy.len().div_ceil(BLOCK);
+        // A deserialized timeline arrives without metadata (serde skip):
+        // rebuild everything the first time it is touched.
+        let from_idx = if self.block_max_gap.is_empty() {
+            0
+        } else {
+            from_idx
+        };
+        self.block_max_gap.resize(nblocks, 0.0);
+        let first_block = from_idx / BLOCK;
+        for b in first_block..nblocks {
+            let lo = b * BLOCK;
+            let hi = ((b + 1) * BLOCK).min(self.busy.len());
+            let mut max_gap = 0.0f64;
+            for k in lo.max(1)..hi {
+                let gap = self.busy[k].start - self.busy[k - 1].end;
+                if gap > max_gap {
+                    max_gap = gap;
+                }
+            }
+            self.block_max_gap[b] = max_gap;
+        }
+    }
+
+    /// The busy intervals, sorted by start.
+    #[inline]
+    pub fn intervals(&self) -> &[TimeInterval] {
+        &self.busy
+    }
+
+    /// Number of busy intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Whether the timeline has no busy intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// End of the last busy interval (0 when empty).
+    pub fn horizon(&self) -> f64 {
+        self.busy.last().map_or(0.0, |iv| iv.end)
+    }
+
+    /// Total busy duration.
+    pub fn busy_time(&self) -> f64 {
+        self.busy.iter().map(TimeInterval::duration).sum()
+    }
+
+    /// Index of the first busy interval whose `end > t` (binary search).
+    #[inline]
+    fn first_ending_after(&self, t: f64) -> usize {
+        self.busy.partition_point(|iv| iv.end <= t + EPS)
+    }
+
+    /// The first busy interval that conflicts with `[start, start + dur)`,
+    /// if any. Zero-duration requests never conflict.
+    pub fn first_conflict(&self, start: f64, dur: f64) -> Option<TimeInterval> {
+        if dur <= EPS {
+            return None;
+        }
+        let probe = TimeInterval::new(start, dur);
+        let i = self.first_ending_after(start);
+        self.busy.get(i).copied().filter(|iv| iv.overlaps(&probe))
+    }
+
+    /// Whether `[start, start + dur)` is entirely free.
+    pub fn is_free(&self, start: f64, dur: f64) -> bool {
+        self.first_conflict(start, dur).is_none()
+    }
+
+    /// Earliest `t >= after` such that `[t, t + dur)` is free.
+    ///
+    /// Runs in `O(log n + visited)` where densely packed regions are skipped
+    /// block-wise via the `block_max_gap` metadata.
+    pub fn earliest_gap(&self, after: f64, dur: f64) -> f64 {
+        if dur <= EPS {
+            return after;
+        }
+        let mut t = after;
+        let mut i = self.first_ending_after(t);
+        while i < self.busy.len() {
+            // Block skip: once the scan is aligned on a block boundary and
+            // `t` equals the previous interval's end (i.e. we are walking
+            // busy runs, not starting fresh from `after`), a block whose
+            // max internal gap is too small cannot contain the answer.
+            if i.is_multiple_of(BLOCK) && i > 0 && t >= self.busy[i - 1].end - EPS {
+                let b = i / BLOCK;
+                if b < self.block_max_gap.len() && self.block_max_gap[b] < dur - EPS {
+                    let hi = ((b + 1) * BLOCK).min(self.busy.len());
+                    t = t.max(self.busy[hi - 1].end);
+                    i = hi;
+                    continue;
+                }
+            }
+            let iv = self.busy[i];
+            if iv.start >= t + dur - EPS {
+                return t; // gap before iv is big enough
+            }
+            t = t.max(iv.end);
+            i += 1;
+        }
+        t
+    }
+
+    /// Mark `[start, start + dur)` busy. Zero-duration intervals are ignored.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the interval overlaps an existing one.
+    pub fn occupy(&mut self, start: f64, dur: f64) {
+        if dur <= EPS {
+            return;
+        }
+        let iv = TimeInterval::new(start, dur);
+        let pos = self.busy.partition_point(|b| b.start < iv.start);
+        debug_assert!(
+            self.is_free(start, dur),
+            "occupy({start}, {dur}) overlaps an existing busy interval"
+        );
+        self.busy.insert(pos, iv);
+        self.rebuild_blocks_from(pos);
+    }
+
+    /// Idle time between `0` and `horizon` not covered by busy intervals.
+    pub fn idle_before_horizon(&self) -> f64 {
+        self.horizon() - self.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let a = TimeInterval::new(1.0, 2.0);
+        assert_eq!(a.duration(), 2.0);
+        assert!(!a.is_empty());
+        let b = TimeInterval::new(2.5, 1.0);
+        assert!(a.overlaps(&b));
+        let c = TimeInterval::new(3.0, 1.0);
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+    }
+
+    #[test]
+    fn occupy_keeps_sorted() {
+        let mut t = Timeline::new();
+        t.occupy(5.0, 1.0);
+        t.occupy(1.0, 1.0);
+        t.occupy(3.0, 1.0);
+        let starts: Vec<f64> = t.intervals().iter().map(|iv| iv.start).collect();
+        assert_eq!(starts, vec![1.0, 3.0, 5.0]);
+        assert_eq!(t.horizon(), 6.0);
+        assert_eq!(t.busy_time(), 3.0);
+        assert_eq!(t.idle_before_horizon(), 3.0);
+    }
+
+    #[test]
+    fn earliest_gap_empty_timeline() {
+        let t = Timeline::new();
+        assert_eq!(t.earliest_gap(3.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn earliest_gap_fits_between() {
+        let mut t = Timeline::new();
+        t.occupy(0.0, 2.0);
+        t.occupy(5.0, 2.0);
+        // gap [2, 5) fits a 3-unit job exactly
+        assert_eq!(t.earliest_gap(0.0, 3.0), 2.0);
+        // a 4-unit job must go after everything
+        assert_eq!(t.earliest_gap(0.0, 4.0), 7.0);
+        // starting later inside the gap
+        assert_eq!(t.earliest_gap(3.0, 1.0), 3.0);
+        // request overlapping the second interval gets pushed past it
+        assert_eq!(t.earliest_gap(4.5, 1.0), 7.0);
+    }
+
+    #[test]
+    fn earliest_gap_zero_duration() {
+        let mut t = Timeline::new();
+        t.occupy(0.0, 10.0);
+        assert_eq!(t.earliest_gap(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn is_free_and_conflicts() {
+        let mut t = Timeline::new();
+        t.occupy(2.0, 2.0);
+        assert!(t.is_free(0.0, 2.0));
+        assert!(t.is_free(4.0, 100.0));
+        assert!(!t.is_free(1.0, 2.0));
+        assert_eq!(
+            t.first_conflict(1.0, 2.0),
+            Some(TimeInterval::new(2.0, 2.0))
+        );
+        assert_eq!(
+            t.first_conflict(1.0, 0.0),
+            None,
+            "zero-length never conflicts"
+        );
+    }
+
+    #[test]
+    fn occupy_zero_is_noop() {
+        let mut t = Timeline::new();
+        t.occupy(1.0, 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn gap_search_skips_contiguous_blocks() {
+        let mut t = Timeline::new();
+        for i in 0..10 {
+            t.occupy(i as f64, 1.0);
+        }
+        assert_eq!(t.earliest_gap(0.0, 1.0), 10.0);
+    }
+
+    #[test]
+    fn touching_occupies_allowed() {
+        let mut t = Timeline::new();
+        t.occupy(0.0, 1.0);
+        t.occupy(1.0, 1.0); // exactly adjacent: allowed
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.horizon(), 2.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference implementation: linear scan, no block skipping.
+    fn naive_earliest_gap(busy: &[TimeInterval], after: f64, dur: f64) -> f64 {
+        if dur <= EPS {
+            return after;
+        }
+        let mut t = after;
+        for iv in busy {
+            if iv.end <= t + EPS {
+                continue;
+            }
+            if iv.start >= t + dur - EPS {
+                return t;
+            }
+            t = t.max(iv.end);
+        }
+        t
+    }
+
+    proptest! {
+        /// The block-skipping gap search agrees with the naive scan on
+        /// random dense timelines (hundreds of intervals, several blocks).
+        #[test]
+        fn earliest_gap_matches_naive(
+            seed_gaps in proptest::collection::vec(0.0f64..3.0, 1..400),
+            durs in proptest::collection::vec(0.01f64..8.0, 1..40),
+            after_frac in 0.0f64..1.2,
+        ) {
+            let mut tl = Timeline::new();
+            let mut t = 0.0;
+            for (i, g) in seed_gaps.iter().enumerate() {
+                t += g;
+                let d = 0.5 + (i % 7) as f64 * 0.25;
+                tl.occupy(t, d);
+                t += d;
+            }
+            let horizon = tl.horizon();
+            for (i, &dur) in durs.iter().enumerate() {
+                let after = horizon * after_frac * (i as f64 / durs.len() as f64);
+                let fast = tl.earliest_gap(after, dur);
+                let slow = naive_earliest_gap(tl.intervals(), after, dur);
+                prop_assert!((fast - slow).abs() < 1e-9,
+                    "after={after} dur={dur}: fast={fast} naive={slow}");
+                // and the returned slot really is free
+                prop_assert!(tl.is_free(fast, dur));
+            }
+        }
+
+        /// Occupying the slot returned by earliest_gap never panics
+        /// (i.e. the slot is genuinely free), for arbitrary interleavings.
+        #[test]
+        fn occupy_at_earliest_gap_is_safe(
+            reqs in proptest::collection::vec((0.0f64..50.0, 0.1f64..5.0), 1..200),
+        ) {
+            let mut tl = Timeline::new();
+            for (after, dur) in reqs {
+                let t = tl.earliest_gap(after, dur);
+                prop_assert!(t >= after);
+                tl.occupy(t, dur);
+            }
+            // invariant: sorted and non-overlapping
+            let iv = tl.intervals();
+            for w in iv.windows(2) {
+                prop_assert!(w[1].start >= w[0].end - EPS);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    /// `block_max_gap` is skipped by serde; a deserialized timeline must
+    /// rebuild it on the first mutation and keep gap queries exact.
+    #[test]
+    fn deserialized_timeline_rebuilds_block_metadata() {
+        let mut tl = Timeline::new();
+        for i in 0..200 {
+            tl.occupy(i as f64 * 2.0, 1.0); // gaps of 1.0 everywhere
+        }
+        let json = serde_json::to_string(&tl).unwrap();
+        let mut back: Timeline = serde_json::from_str(&json).unwrap();
+        // Before any mutation, queries must still be correct (no metadata ->
+        // pure scan fallback).
+        assert_eq!(back.earliest_gap(0.0, 0.5), 1.0);
+        assert_eq!(back.earliest_gap(0.0, 1.5), 399.0);
+        // After one occupy, the metadata covers ALL blocks, not just the
+        // insertion point's.
+        back.occupy(399.0, 0.25);
+        assert_eq!(back.earliest_gap(0.0, 0.5), 1.0, "early gaps still found");
+        assert!(back.is_free(1.0, 0.5));
+    }
+}

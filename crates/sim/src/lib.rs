@@ -1,0 +1,37 @@
+//! # onesched-sim — schedules, resource timelines, and the validator
+//!
+//! This crate is the execution-model substrate of the reproduction: it knows
+//! what a *valid* schedule is under each communication model of the paper and
+//! provides the resource bookkeeping the heuristics use to build one.
+//!
+//! * [`CommModel`] — the four communication models (macro-dataflow and the
+//!   one-port family, paper §2).
+//! * [`Timeline`] / [`TimeInterval`] — sorted busy-interval sets with
+//!   earliest-gap queries.
+//! * [`ResourcePool`] / [`Txn`] — per-processor compute/send/receive port
+//!   state with *transactional* tentative placement, so a scheduler can
+//!   evaluate every candidate processor (including the communications it
+//!   would trigger) and commit only the winner (paper §4.3).
+//! * [`Schedule`] — the produced mapping: task placements plus explicit
+//!   communication placements.
+//! * [`validate()`] — an independent checker that verifies *every* constraint
+//!   of the chosen model; all heuristics in the workspace are tested against
+//!   it.
+//! * [`gantt`] — ASCII Gantt rendering for debugging and the examples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gantt;
+mod interval;
+mod model;
+mod resources;
+mod schedule;
+pub mod stats;
+pub mod validate;
+
+pub use interval::{TimeInterval, Timeline, EPS};
+pub use model::CommModel;
+pub use resources::{ResourcePool, StagedPlacements, Txn};
+pub use schedule::{CommPlacement, Schedule, TaskPlacement};
+pub use validate::{validate, ScheduleViolation};

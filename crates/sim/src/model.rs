@@ -1,0 +1,91 @@
+//! The communication models of the paper (§2).
+
+use serde::{Deserialize, Serialize};
+
+/// How communication resources are constrained.
+///
+/// The paper argues the classical macro-dataflow model is unrealistic and
+/// proposes the bi-directional one-port model; §2.3 also mentions the
+/// stricter variants implemented here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommModel {
+    /// Macro-dataflow (§2.1): unlimited communication resources. A processor
+    /// may take part in any number of simultaneous transfers; only the
+    /// `data × link` delay is paid.
+    MacroDataflow,
+    /// Bi-directional one-port (§2.3, the paper's model): at any time-step a
+    /// processor sends to at most one processor *and* receives from at most
+    /// one processor; a send and a receive may proceed simultaneously, and
+    /// computation overlaps communication.
+    OnePortBidir,
+    /// Uni-directional one-port (§2.3 variant): a processor either sends or
+    /// receives at a given time-step, never both.
+    OnePortUnidir,
+    /// Bi-directional one-port without communication/computation overlap
+    /// (§2.3 variant): like [`CommModel::OnePortBidir`], but a processor
+    /// cannot compute while one of its ports is busy.
+    OnePortNoOverlap,
+}
+
+impl CommModel {
+    /// All models, for exhaustive tests and ablation sweeps.
+    pub const ALL: [CommModel; 4] = [
+        CommModel::MacroDataflow,
+        CommModel::OnePortBidir,
+        CommModel::OnePortUnidir,
+        CommModel::OnePortNoOverlap,
+    ];
+
+    /// Whether the model serializes each processor's communications at all.
+    pub fn is_one_port(self) -> bool {
+        !matches!(self, CommModel::MacroDataflow)
+    }
+
+    /// Whether a processor's send port and receive port are the *same*
+    /// resource (uni-directional variant).
+    pub fn shared_port(self) -> bool {
+        matches!(self, CommModel::OnePortUnidir)
+    }
+
+    /// Whether communication excludes computation on the involved processor.
+    pub fn excludes_compute(self) -> bool {
+        matches!(self, CommModel::OnePortNoOverlap)
+    }
+
+    /// Short stable name used in experiment CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommModel::MacroDataflow => "macro-dataflow",
+            CommModel::OnePortBidir => "one-port-bidir",
+            CommModel::OnePortUnidir => "one-port-unidir",
+            CommModel::OnePortNoOverlap => "one-port-no-overlap",
+        }
+    }
+}
+
+impl std::fmt::Display for CommModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(!CommModel::MacroDataflow.is_one_port());
+        assert!(CommModel::OnePortBidir.is_one_port());
+        assert!(CommModel::OnePortUnidir.shared_port());
+        assert!(!CommModel::OnePortBidir.shared_port());
+        assert!(CommModel::OnePortNoOverlap.excludes_compute());
+        assert!(!CommModel::OnePortBidir.excludes_compute());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> = CommModel::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), CommModel::ALL.len());
+    }
+}

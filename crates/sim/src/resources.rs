@@ -1,0 +1,412 @@
+//! Per-processor resource state with transactional tentative placement.
+//!
+//! One-port HEFT must evaluate *every* candidate processor for the selected
+//! task, and each evaluation schedules the task's incoming communications on
+//! the senders' ports (paper §4.3). Candidate evaluations must not disturb
+//! each other, so placements are staged in a [`Txn`] that overlays the base
+//! [`ResourcePool`]; only the winning candidate is committed.
+
+use crate::{CommModel, TimeInterval, Timeline, EPS};
+use onesched_platform::ProcId;
+
+/// Which per-processor resource an interval occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Port {
+    Compute,
+    Send,
+    Recv,
+}
+
+/// The committed resource state: three timelines per processor
+/// (compute core, send port, receive port).
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    model: CommModel,
+    compute: Vec<Timeline>,
+    send: Vec<Timeline>,
+    recv: Vec<Timeline>,
+}
+
+impl ResourcePool {
+    /// Empty pool for `p` processors under `model`.
+    pub fn new(p: usize, model: CommModel) -> ResourcePool {
+        ResourcePool {
+            model,
+            compute: vec![Timeline::new(); p],
+            send: vec![Timeline::new(); p],
+            recv: vec![Timeline::new(); p],
+        }
+    }
+
+    /// The communication model this pool enforces.
+    #[inline]
+    pub fn model(&self) -> CommModel {
+        self.model
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// The committed compute timeline of `p`.
+    pub fn compute_timeline(&self, p: ProcId) -> &Timeline {
+        &self.compute[p.index()]
+    }
+
+    /// The committed send-port timeline of `p`.
+    pub fn send_timeline(&self, p: ProcId) -> &Timeline {
+        &self.send[p.index()]
+    }
+
+    /// The committed receive-port timeline of `p`.
+    pub fn recv_timeline(&self, p: ProcId) -> &Timeline {
+        &self.recv[p.index()]
+    }
+
+    /// End of the last committed compute interval on `p`.
+    pub fn compute_horizon(&self, p: ProcId) -> f64 {
+        self.compute[p.index()].horizon()
+    }
+
+    /// Begin staging placements on top of the committed state.
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            pool: self,
+            added: Vec::new(),
+        }
+    }
+
+    /// Apply placements staged in a [`Txn`] (via [`Txn::finish`]) to the
+    /// committed state.
+    pub fn commit(&mut self, staged: StagedPlacements) {
+        for (port, proc, iv) in staged.added {
+            let tl = match port {
+                Port::Compute => &mut self.compute[proc.index()],
+                Port::Send => &mut self.send[proc.index()],
+                Port::Recv => &mut self.recv[proc.index()],
+            };
+            tl.occupy(iv.start, iv.duration());
+        }
+    }
+
+    fn timeline(&self, port: Port, proc: ProcId) -> &Timeline {
+        match port {
+            Port::Compute => &self.compute[proc.index()],
+            Port::Send => &self.send[proc.index()],
+            Port::Recv => &self.recv[proc.index()],
+        }
+    }
+
+    /// The busy views constraining a transfer `src -> dst` under `model`.
+    fn comm_views(&self, src: ProcId, dst: ProcId) -> Vec<(Port, ProcId)> {
+        match self.model {
+            CommModel::MacroDataflow => Vec::new(),
+            CommModel::OnePortBidir => vec![(Port::Send, src), (Port::Recv, dst)],
+            CommModel::OnePortUnidir => vec![
+                (Port::Send, src),
+                (Port::Recv, src),
+                (Port::Send, dst),
+                (Port::Recv, dst),
+            ],
+            CommModel::OnePortNoOverlap => vec![
+                (Port::Send, src),
+                (Port::Recv, dst),
+                (Port::Compute, src),
+                (Port::Compute, dst),
+            ],
+        }
+    }
+
+    /// The busy views constraining a computation on `p` under `model`.
+    fn compute_views(&self, p: ProcId) -> Vec<(Port, ProcId)> {
+        if self.model.excludes_compute() {
+            vec![(Port::Compute, p), (Port::Send, p), (Port::Recv, p)]
+        } else {
+            vec![(Port::Compute, p)]
+        }
+    }
+}
+
+/// The placements staged by a finished [`Txn`], detached from the pool
+/// borrow so they can be committed with [`ResourcePool::commit`].
+#[derive(Debug, Clone)]
+pub struct StagedPlacements {
+    added: Vec<(Port, ProcId, TimeInterval)>,
+}
+
+/// A staged set of placements overlaying a [`ResourcePool`].
+///
+/// All queries see both the committed state and the staged additions, so a
+/// scheduler can serialize several incoming messages for one candidate task
+/// correctly (two messages from the same sender contend for that sender's
+/// send port even before commit).
+#[derive(Debug, Clone)]
+pub struct Txn<'a> {
+    pool: &'a ResourcePool,
+    added: Vec<(Port, ProcId, TimeInterval)>,
+}
+
+impl<'a> Txn<'a> {
+    /// Number of staged intervals.
+    pub fn num_staged(&self) -> usize {
+        self.added.len()
+    }
+
+    /// Consume the transaction, releasing its borrow of the pool and
+    /// returning the staged placements for [`ResourcePool::commit`].
+    pub fn finish(self) -> StagedPlacements {
+        StagedPlacements { added: self.added }
+    }
+
+    /// Earliest `t >= after` such that `[t, t + dur)` is free on every view.
+    fn earliest_in_views(&self, views: &[(Port, ProcId)], after: f64, dur: f64) -> f64 {
+        let mut t = after;
+        if dur <= EPS {
+            return t;
+        }
+        loop {
+            let mut moved = false;
+            for &(port, proc) in views {
+                // earliest free slot in this view alone (block-skips packed
+                // regions); alternating to a fixpoint yields the earliest
+                // slot free in every view simultaneously.
+                let g = self.pool.timeline(port, proc).earliest_gap(t, dur);
+                if g > t {
+                    t = g;
+                    moved = true;
+                }
+                for &(ap, aproc, iv) in &self.added {
+                    if ap == port && aproc == proc {
+                        let probe = TimeInterval::new(t, dur);
+                        if iv.overlaps(&probe) && iv.end > t {
+                            t = iv.end;
+                            moved = true;
+                        }
+                    }
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// Earliest start `>= after` for a transfer of `dur` time units from
+    /// `src` to `dst`, respecting the pool's communication model.
+    ///
+    /// Local transfers (`src == dst`) and zero-duration transfers start at
+    /// `after` unconditionally.
+    pub fn earliest_comm_slot(&self, src: ProcId, dst: ProcId, after: f64, dur: f64) -> f64 {
+        if src == dst || dur <= EPS {
+            return after;
+        }
+        let views = self.pool.comm_views(src, dst);
+        self.earliest_in_views(&views, after, dur)
+    }
+
+    /// Stage a transfer `[start, start + dur)` from `src` to `dst`,
+    /// occupying `src`'s send port and `dst`'s receive port.
+    /// Local or zero-duration transfers stage nothing, and under
+    /// [`CommModel::MacroDataflow`] nothing is staged at all (ports are
+    /// unlimited, so transfers never occupy a resource).
+    pub fn add_comm(&mut self, src: ProcId, dst: ProcId, start: f64, dur: f64) {
+        if src == dst || dur <= EPS || !self.pool.model.is_one_port() {
+            return;
+        }
+        let iv = TimeInterval::new(start, dur);
+        self.added.push((Port::Send, src, iv));
+        self.added.push((Port::Recv, dst, iv));
+    }
+
+    /// Earliest start `>= after` for a computation of `dur` on `p`.
+    ///
+    /// With `insertion = true` the task may fill an idle gap between already
+    /// placed tasks (classical insertion-based HEFT); with `false` it can
+    /// only start after everything already placed on `p` (append-only).
+    pub fn earliest_compute_slot(&self, p: ProcId, after: f64, dur: f64, insertion: bool) -> f64 {
+        let views = self.pool.compute_views(p);
+        if insertion {
+            self.earliest_in_views(&views, after, dur)
+        } else {
+            // Start past the horizon of everything staged or committed on
+            // the compute core, then respect no-overlap port views.
+            let mut t = after.max(self.pool.compute[p.index()].horizon());
+            for &(ap, aproc, iv) in &self.added {
+                if ap == Port::Compute && aproc == p {
+                    t = t.max(iv.end);
+                }
+            }
+            self.earliest_in_views(&views, t, dur)
+        }
+    }
+
+    /// Stage a computation `[start, start + dur)` on `p`.
+    pub fn add_compute(&mut self, p: ProcId, start: f64, dur: f64) {
+        if dur <= EPS {
+            return;
+        }
+        self.added
+            .push((Port::Compute, p, TimeInterval::new(start, dur)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId(0);
+    const P1: ProcId = ProcId(1);
+    const P2: ProcId = ProcId(2);
+
+    #[test]
+    fn macro_dataflow_ignores_ports() {
+        let pool = ResourcePool::new(3, CommModel::MacroDataflow);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 10.0);
+        // a second transfer from P0 can start immediately: unlimited ports
+        assert_eq!(txn.earliest_comm_slot(P0, P2, 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn bidir_serializes_sends() {
+        let pool = ResourcePool::new(3, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        let s = txn.earliest_comm_slot(P0, P1, 0.0, 4.0);
+        assert_eq!(s, 0.0);
+        txn.add_comm(P0, P1, s, 4.0);
+        // same sender, different receiver: must wait for the send port
+        assert_eq!(txn.earliest_comm_slot(P0, P2, 0.0, 4.0), 4.0);
+        // different sender to different receiver: free
+        assert_eq!(txn.earliest_comm_slot(P1, P2, 0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn bidir_serializes_receives() {
+        let pool = ResourcePool::new(3, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P2, 0.0, 4.0);
+        // different sender, same receiver: wait for the receive port
+        assert_eq!(txn.earliest_comm_slot(P1, P2, 0.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn bidir_allows_simultaneous_send_and_receive() {
+        let pool = ResourcePool::new(3, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 4.0);
+        // P1 can send while receiving under the bidirectional model
+        assert_eq!(txn.earliest_comm_slot(P1, P2, 0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn unidir_forbids_simultaneous_send_and_receive() {
+        let pool = ResourcePool::new(3, CommModel::OnePortUnidir);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 4.0);
+        // P1's single port is busy receiving
+        assert_eq!(txn.earliest_comm_slot(P1, P2, 0.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn no_overlap_blocks_compute_during_comm() {
+        let pool = ResourcePool::new(2, CommModel::OnePortNoOverlap);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 4.0);
+        assert_eq!(txn.earliest_compute_slot(P0, 0.0, 2.0, true), 4.0);
+        assert_eq!(txn.earliest_compute_slot(P1, 0.0, 2.0, true), 4.0);
+        // ... and compute blocks communication
+        txn.add_compute(P0, 4.0, 2.0);
+        assert_eq!(txn.earliest_comm_slot(P0, P1, 4.0, 1.0), 6.0);
+    }
+
+    #[test]
+    fn overlap_models_compute_during_comm() {
+        let pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 4.0);
+        assert_eq!(txn.earliest_compute_slot(P0, 0.0, 2.0, true), 0.0);
+    }
+
+    #[test]
+    fn local_and_zero_comms_are_free() {
+        let pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 100.0);
+        assert_eq!(txn.earliest_comm_slot(P0, P0, 3.0, 50.0), 3.0);
+        assert_eq!(txn.earliest_comm_slot(P0, P1, 3.0, 0.0), 3.0);
+        assert_eq!(txn.num_staged(), 2, "local/zero comms stage nothing");
+    }
+
+    #[test]
+    fn insertion_vs_append_compute() {
+        let mut pool = ResourcePool::new(1, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        txn.add_compute(P0, 0.0, 2.0);
+        txn.add_compute(P0, 10.0, 2.0);
+        pool.commit(txn.finish());
+        let txn = pool.begin();
+        // insertion finds the [2, 10) gap
+        assert_eq!(txn.earliest_compute_slot(P0, 0.0, 3.0, true), 2.0);
+        // append-only goes after the horizon
+        assert_eq!(txn.earliest_compute_slot(P0, 0.0, 3.0, false), 12.0);
+    }
+
+    #[test]
+    fn commit_persists_staged_intervals() {
+        let mut pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 5.0);
+        txn.add_compute(P1, 5.0, 3.0);
+        pool.commit(txn.finish());
+        assert_eq!(pool.send_timeline(P0).busy_time(), 5.0);
+        assert_eq!(pool.recv_timeline(P1).busy_time(), 5.0);
+        assert_eq!(pool.compute_timeline(P1).busy_time(), 3.0);
+        assert_eq!(pool.compute_horizon(P1), 8.0);
+        // a fresh txn sees the committed state
+        let txn = pool.begin();
+        assert_eq!(txn.earliest_comm_slot(P0, P1, 0.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn discarding_txn_leaves_pool_untouched() {
+        let pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        {
+            let mut txn = pool.begin();
+            txn.add_comm(P0, P1, 0.0, 5.0);
+            // dropped without commit
+        }
+        let txn = pool.begin();
+        assert_eq!(txn.earliest_comm_slot(P0, P1, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn staged_intervals_interact_within_txn() {
+        let pool = ResourcePool::new(4, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        // Three messages into P3 from different senders must serialize on
+        // P3's receive port even before commit (paper Figure 1 phenomenon).
+        for src in [0u32, 1, 2] {
+            let s = txn.earliest_comm_slot(ProcId(src), ProcId(3), 0.0, 2.0);
+            txn.add_comm(ProcId(src), ProcId(3), s, 2.0);
+        }
+        assert_eq!(txn.earliest_comm_slot(P0, ProcId(3), 0.0, 2.0), 6.0);
+    }
+
+    #[test]
+    fn fixpoint_search_handles_interleaved_conflicts() {
+        let mut pool = ResourcePool::new(2, CommModel::OnePortBidir);
+        // send port of P0 busy [0,2) and [3,5); recv port of P1 busy [2,3).
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 0.0, 2.0);
+        pool.commit(txn.finish());
+        let mut txn = pool.begin();
+        txn.add_comm(P0, P1, 3.0, 2.0);
+        // 1-unit transfer P0 -> P1: [2,3) blocked? send free [2,3), recv free
+        // -> fits at 2.
+        assert_eq!(txn.earliest_comm_slot(P0, P1, 0.0, 1.0), 2.0);
+        // 2-unit transfer: [2,4) hits staged [3,5) on send; next free is 5.
+        assert_eq!(txn.earliest_comm_slot(P0, P1, 0.0, 2.0), 5.0);
+    }
+}

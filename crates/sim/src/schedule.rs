@@ -1,0 +1,243 @@
+//! The schedule produced by the heuristics: task and communication placements.
+
+use onesched_dag::{EdgeId, TaskGraph, TaskId};
+use onesched_platform::{Platform, ProcId};
+use serde::{Deserialize, Serialize};
+
+/// Placement of one task: `alloc(v)` and `σ(v)` of the paper plus the finish
+/// time `σ(v) + w(v) × t_alloc(v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskPlacement {
+    /// The placed task.
+    pub task: TaskId,
+    /// Processor executing it.
+    pub proc: ProcId,
+    /// Start time `σ(v)`.
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+}
+
+/// Placement of one (hop of a) communication.
+///
+/// On fully-connected networks each cross-processor edge gets exactly one
+/// placement `alloc(src) -> alloc(dst)`. On routed networks an edge may
+/// produce a chain of placements over adjacent processors (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommPlacement {
+    /// The task-graph edge this transfer implements.
+    pub edge: EdgeId,
+    /// Sending processor of this hop.
+    pub from: ProcId,
+    /// Receiving processor of this hop.
+    pub to: ProcId,
+    /// Transfer start time.
+    pub start: f64,
+    /// Transfer end time (`start + data × link(from, to)`).
+    pub finish: f64,
+}
+
+/// A complete schedule: every task placed, plus the explicit communication
+/// placements that realize the cross-processor edges.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    tasks: Vec<Option<TaskPlacement>>,
+    comms: Vec<CommPlacement>,
+}
+
+impl Schedule {
+    /// Empty schedule for a graph of `n` tasks.
+    pub fn with_tasks(n: usize) -> Schedule {
+        Schedule {
+            tasks: vec![None; n],
+            comms: Vec::new(),
+        }
+    }
+
+    /// Record the placement of a task.
+    ///
+    /// # Panics
+    /// Panics if the task was already placed (schedules are write-once).
+    pub fn place_task(&mut self, p: TaskPlacement) {
+        let slot = &mut self.tasks[p.task.index()];
+        assert!(slot.is_none(), "task {} placed twice", p.task);
+        *slot = Some(p);
+    }
+
+    /// Record a communication placement.
+    pub fn place_comm(&mut self, c: CommPlacement) {
+        self.comms.push(c);
+    }
+
+    /// Number of task slots (placed or not).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The placement of task `v`, if it has been scheduled.
+    #[inline]
+    pub fn task(&self, v: TaskId) -> Option<&TaskPlacement> {
+        self.tasks[v.index()].as_ref()
+    }
+
+    /// The processor of task `v` (`alloc(v)`), if placed.
+    #[inline]
+    pub fn alloc(&self, v: TaskId) -> Option<ProcId> {
+        self.tasks[v.index()].as_ref().map(|p| p.proc)
+    }
+
+    /// Iterate over all task placements (placed tasks only).
+    pub fn task_placements(&self) -> impl Iterator<Item = &TaskPlacement> {
+        self.tasks.iter().flatten()
+    }
+
+    /// All communication placements, in insertion order.
+    pub fn comms(&self) -> &[CommPlacement] {
+        &self.comms
+    }
+
+    /// Communication placements implementing edge `e`, in insertion order.
+    pub fn comms_for_edge(&self, e: EdgeId) -> impl Iterator<Item = &CommPlacement> {
+        self.comms.iter().filter(move |c| c.edge == e)
+    }
+
+    /// Whether every task has been placed.
+    pub fn is_complete(&self) -> bool {
+        self.tasks.iter().all(Option::is_some)
+    }
+
+    /// The makespan `max_v σ(v) + w(v) × t_alloc(v)` (0 for an empty
+    /// schedule). Communications always precede their sink task, so task
+    /// finish times dominate.
+    pub fn makespan(&self) -> f64 {
+        self.task_placements().map(|p| p.finish).fold(0.0, f64::max)
+    }
+
+    /// Number of *effective* communications: placements with non-zero
+    /// duration (ILHA's design goal is to reduce this count, §4.4).
+    pub fn num_effective_comms(&self) -> usize {
+        self.comms
+            .iter()
+            .filter(|c| c.finish - c.start > crate::EPS)
+            .count()
+    }
+
+    /// Total time spent communicating, summed over placements.
+    pub fn total_comm_time(&self) -> f64 {
+        self.comms.iter().map(|c| c.finish - c.start).sum()
+    }
+
+    /// Per-processor total busy (computing) time, indexed by processor id.
+    pub fn proc_busy_times(&self, platform: &Platform) -> Vec<f64> {
+        let mut busy = vec![0.0; platform.num_procs()];
+        for p in self.task_placements() {
+            busy[p.proc.index()] += p.finish - p.start;
+        }
+        busy
+    }
+
+    /// Number of distinct processors actually used.
+    pub fn procs_used(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for p in self.task_placements() {
+            seen.insert(p.proc);
+        }
+        seen.len()
+    }
+
+    /// Speedup relative to running the whole graph on the fastest processor
+    /// with zero communications: `(Σ w(v)) × min_i t_i / makespan`.
+    ///
+    /// This matches the paper's §5.2 arithmetic (sequential = 228 for 38 unit
+    /// tasks on the fastest cycle-time 6).
+    pub fn speedup(&self, g: &TaskGraph, platform: &Platform) -> f64 {
+        let seq = g.total_work() * platform.min_cycle_time();
+        seq / self.makespan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::TaskGraphBuilder;
+
+    fn two_task_schedule() -> (TaskGraph, Platform, Schedule) {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(2.0);
+        let c = b.add_task(3.0);
+        b.add_edge(a, c, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(2);
+        let mut s = Schedule::with_tasks(2);
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 2.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: EdgeId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 2.0,
+            finish: 6.0,
+        });
+        s.place_task(TaskPlacement {
+            task: c,
+            proc: ProcId(1),
+            start: 6.0,
+            finish: 9.0,
+        });
+        (g, p, s)
+    }
+
+    use onesched_dag::EdgeId;
+
+    #[test]
+    fn makespan_and_completeness() {
+        let (_, _, s) = two_task_schedule();
+        assert!(s.is_complete());
+        assert_eq!(s.makespan(), 9.0);
+        assert_eq!(s.procs_used(), 2);
+    }
+
+    #[test]
+    fn comm_stats() {
+        let (_, _, s) = two_task_schedule();
+        assert_eq!(s.num_effective_comms(), 1);
+        assert_eq!(s.total_comm_time(), 4.0);
+        assert_eq!(s.comms_for_edge(EdgeId(0)).count(), 1);
+    }
+
+    #[test]
+    fn busy_times_and_speedup() {
+        let (g, p, s) = two_task_schedule();
+        assert_eq!(s.proc_busy_times(&p), vec![2.0, 3.0]);
+        // sequential = 5, makespan = 9 -> speedup < 1 (communication-bound)
+        assert!((s.speedup(&g, &p) - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_placement_panics() {
+        let mut s = Schedule::with_tasks(1);
+        let p = TaskPlacement {
+            task: TaskId(0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 1.0,
+        };
+        s.place_task(p);
+        s.place_task(p);
+    }
+
+    use onesched_dag::TaskId;
+
+    #[test]
+    fn incomplete_schedule_reports() {
+        let s = Schedule::with_tasks(3);
+        assert!(!s.is_complete());
+        assert_eq!(s.makespan(), 0.0);
+        assert_eq!(s.alloc(TaskId(1)), None);
+    }
+}

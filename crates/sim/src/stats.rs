@@ -1,0 +1,160 @@
+//! Aggregate schedule statistics and model-independent lower bounds.
+
+use crate::Schedule;
+use onesched_dag::{bottom_levels, RankWeights, TaskGraph, TopoOrder};
+use onesched_platform::Platform;
+
+/// A bundle of summary statistics for a finished schedule, as reported by the
+/// experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// The makespan.
+    pub makespan: f64,
+    /// Speedup over the fastest single processor (paper's figure metric).
+    pub speedup: f64,
+    /// Number of non-zero-duration communications.
+    pub effective_comms: usize,
+    /// Total communication time over all placements.
+    pub total_comm_time: f64,
+    /// Number of processors with at least one task.
+    pub procs_used: usize,
+    /// Mean processor utilization: busy time / makespan, averaged over
+    /// processors.
+    pub mean_utilization: f64,
+    /// Load imbalance: max busy / mean busy (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl ScheduleStats {
+    /// Compute the statistics of `s` for graph `g` on `platform`.
+    pub fn of(g: &TaskGraph, platform: &Platform, s: &Schedule) -> ScheduleStats {
+        let makespan = s.makespan();
+        let busy = s.proc_busy_times(platform);
+        let total_busy: f64 = busy.iter().sum();
+        let mean_busy = total_busy / busy.len() as f64;
+        let max_busy = busy.iter().copied().fold(0.0, f64::max);
+        ScheduleStats {
+            makespan,
+            speedup: s.speedup(g, platform),
+            effective_comms: s.num_effective_comms(),
+            total_comm_time: s.total_comm_time(),
+            procs_used: s.procs_used(),
+            mean_utilization: if makespan > 0.0 {
+                total_busy / (busy.len() as f64 * makespan)
+            } else {
+                0.0
+            },
+            imbalance: if mean_busy > 0.0 {
+                max_busy / mean_busy
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+/// A lower bound on the makespan of *any* schedule, under *any* model:
+/// the maximum of
+///
+/// * the critical-path time with every task on a fastest processor and all
+///   communications free, and
+/// * the total work divided by the aggregate speed `Σ 1/t_i`.
+///
+/// Used by tests to sanity-check heuristic makespans from below.
+pub fn makespan_lower_bound(g: &TaskGraph, platform: &Platform) -> f64 {
+    if g.num_tasks() == 0 {
+        return 0.0;
+    }
+    let topo = TopoOrder::new(g);
+    let w = RankWeights {
+        unit_comp: platform.min_cycle_time(),
+        unit_comm: 0.0,
+    };
+    let bl = bottom_levels(g, &topo, w);
+    let cp = bl.iter().copied().fold(0.0, f64::max);
+    let area = g.total_work() / platform.total_speed();
+    cp.max(area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommPlacement, TaskPlacement};
+    use onesched_dag::{EdgeId, TaskGraphBuilder, TaskId};
+    use onesched_platform::ProcId;
+
+    #[test]
+    fn stats_of_simple_schedule() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(2.0);
+        let c = b.add_task(3.0);
+        b.add_edge(a, c, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(2);
+        let mut s = Schedule::with_tasks(2);
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 2.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: EdgeId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 2.0,
+            finish: 6.0,
+        });
+        s.place_task(TaskPlacement {
+            task: c,
+            proc: ProcId(1),
+            start: 6.0,
+            finish: 9.0,
+        });
+        let st = ScheduleStats::of(&g, &p, &s);
+        assert_eq!(st.makespan, 9.0);
+        assert_eq!(st.effective_comms, 1);
+        assert_eq!(st.procs_used, 2);
+        assert!((st.mean_utilization - 5.0 / 18.0).abs() < 1e-12);
+        assert!((st.imbalance - 3.0 / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_chain_dominates() {
+        // chain of 3 unit tasks on 10 fast procs: bound = critical path = 3
+        let mut b = TaskGraphBuilder::new();
+        let t: Vec<TaskId> = (0..3).map(|_| b.add_task(1.0)).collect();
+        b.add_edge(t[0], t[1], 1.0).unwrap();
+        b.add_edge(t[1], t[2], 1.0).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(10);
+        assert_eq!(makespan_lower_bound(&g, &p), 3.0);
+    }
+
+    #[test]
+    fn lower_bound_area_dominates() {
+        // 100 independent unit tasks on 2 unit procs: bound = 50
+        let mut b = TaskGraphBuilder::new();
+        b.add_tasks(100, 1.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(2);
+        assert_eq!(makespan_lower_bound(&g, &p), 50.0);
+    }
+
+    #[test]
+    fn lower_bound_heterogeneous() {
+        // paper platform: 38 unit tasks -> area bound 30 (§5.2)
+        let mut b = TaskGraphBuilder::new();
+        b.add_tasks(38, 1.0);
+        let g = b.build().unwrap();
+        let p = Platform::paper();
+        assert!((makespan_lower_bound(&g, &p) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_bound_zero() {
+        let g = TaskGraphBuilder::new().build().unwrap();
+        let p = Platform::homogeneous(2);
+        assert_eq!(makespan_lower_bound(&g, &p), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Triangular elimination DAGs: LU, DOOLITTLE, LDMt.
+//!
+//! All three kernels factor an `n × n` matrix in `n` elimination steps; the
+//! task shapes follow the parallel Gaussian-elimination literature the paper
+//! cites (Cosnard, Marrakchi, Robert, Trystram).
+
+use onesched_dag::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// LU decomposition task graph at problem size `n` (Figure 8 workload).
+///
+/// Step `k` (0-based, `k < n`) has a *pivot* task `t(k,k)` (prepare column
+/// `k`) and *update* tasks `t(k,j)` for `k < j < n` (update column `j`).
+/// Dependencies:
+///
+/// * `t(k,k) -> t(k,j)` — an update needs the pivot column;
+/// * `t(k,j) -> t(k+1,j)` — step `k+1` works on the columns produced by
+///   step `k` (this includes `t(k,k+1) -> t(k+1,k+1)`, the next pivot).
+///
+/// §5.2: every task at step `k` has weight `n − k`; every edge carries
+/// `c × w(src)` data items.
+pub fn lu(n: usize, c: f64) -> TaskGraph {
+    triangular(n, c, |k| (n - k) as f64)
+}
+
+/// Doolittle reduction task graph (Figure 11 workload).
+///
+/// Same triangular shape as [`lu`] — the Doolittle `kji` reduction computes
+/// row `k` of `U` and column `k` of `L` at step `k` — but the work *grows*
+/// with the step: a task at (1-based) step `k` has weight `k` (§5.2: the
+/// inner dot products lengthen as the factorization proceeds).
+pub fn doolittle(n: usize, c: f64) -> TaskGraph {
+    triangular(n, c, |k| (k + 1) as f64)
+}
+
+/// Shared triangular shape with a per-step weight rule (`k` is 0-based).
+fn triangular(n: usize, c: f64, weight: impl Fn(usize) -> f64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(n * (n + 1) / 2, n * n);
+    // ids[j] = the latest task owning column j (from the previous step)
+    let mut col_owner: Vec<Option<TaskId>> = vec![None; n];
+    for k in 0..n {
+        let w = weight(k);
+        let d = c * w;
+        let pivot = b.add_task(w);
+        if let Some(prev) = col_owner[k] {
+            // the previous step's update of column k feeds the pivot
+            let dp = c * b.weight_of(prev);
+            b.add_edge(prev, pivot, dp).unwrap();
+        }
+        col_owner[k] = Some(pivot);
+        for owner in col_owner.iter_mut().take(n).skip(k + 1) {
+            let upd = b.add_task(w);
+            b.add_edge(pivot, upd, d).unwrap();
+            if let Some(prev) = *owner {
+                let dp = c * b.weight_of(prev);
+                b.add_edge(prev, upd, dp).unwrap();
+            }
+            *owner = Some(upd);
+        }
+    }
+    b.build()
+        .expect("triangular elimination graphs are acyclic")
+}
+
+/// LDMt decomposition task graph (Figure 10 workload).
+///
+/// The `LDMᵗ` factorization of a *nonsymmetric* matrix computes a column of
+/// `L` **and** a column of `M` at every step, so each elimination step
+/// carries two independent triangular update families sharing one pivot
+/// chain: step `k` has a pivot `p(k)` and, for every trailing column `j`,
+/// an `L`-side update and an `M`-side update. Both sides chain column-wise
+/// into the next step, and the next pivot joins the two sides' updates of
+/// its column. Tasks at (1-based) step `k` have weight `k` (§5.2), and the
+/// doubled per-step width is what makes LDMt slightly more parallel than
+/// DOOLITTLE in Figure 10 vs Figure 11.
+pub fn ldmt(n: usize, c: f64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(n * n, 2 * n * n);
+    let mut l_owner: Vec<Option<TaskId>> = vec![None; n];
+    let mut m_owner: Vec<Option<TaskId>> = vec![None; n];
+    for k in 0..n {
+        let w = (k + 1) as f64;
+        let d = c * w;
+        let pivot = b.add_task(w);
+        for owner in [&l_owner, &m_owner] {
+            if let Some(prev) = owner[k] {
+                let dp = c * b.weight_of(prev);
+                b.add_edge(prev, pivot, dp).unwrap();
+            }
+        }
+        l_owner[k] = Some(pivot);
+        m_owner[k] = Some(pivot);
+        for j in (k + 1)..n {
+            for owner in [&mut l_owner, &mut m_owner] {
+                let upd = b.add_task(w);
+                b.add_edge(pivot, upd, d).unwrap();
+                if let Some(prev) = owner[j] {
+                    let dp = c * b.weight_of(prev);
+                    b.add_edge(prev, upd, dp).unwrap();
+                }
+                owner[j] = Some(upd);
+            }
+        }
+    }
+    b.build()
+        .expect("triangular elimination graphs are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::{GraphProfile, IsoLevels};
+
+    #[test]
+    fn lu_task_count_is_triangular() {
+        for n in [1usize, 2, 5, 10] {
+            let g = lu(n, 10.0);
+            assert_eq!(g.num_tasks(), n * (n + 1) / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lu_weights_decrease_per_step() {
+        let g = lu(4, 10.0);
+        // step 0: 4 tasks of weight 4; step 1: 3 of weight 3; ...
+        let mut weights: Vec<f64> = g.weights().to_vec();
+        weights.sort_by(f64::total_cmp);
+        assert_eq!(
+            weights,
+            vec![1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn lu_depth_is_two_per_step() {
+        // pivot -> update chains: hop depth 2n - 1
+        let g = lu(5, 10.0);
+        let lv = IsoLevels::new(&g);
+        assert_eq!(lv.num_levels(), 2 * 5 - 1);
+    }
+
+    #[test]
+    fn lu_single_entry_single_exit() {
+        let g = lu(6, 10.0);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 1, "last pivot is the only sink");
+    }
+
+    #[test]
+    fn doolittle_weights_increase_per_step() {
+        let g = doolittle(4, 10.0);
+        let mut weights: Vec<f64> = g.weights().to_vec();
+        weights.sort_by(f64::total_cmp);
+        assert_eq!(
+            weights,
+            vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn ldmt_is_two_triangles() {
+        let g = ldmt(4, 10.0);
+        // pivots: 4; updates: 2 × (3 + 2 + 1) = 12
+        assert_eq!(g.num_tasks(), 16);
+        let profile = GraphProfile::of(&g);
+        assert_eq!(profile.entries, 1);
+        assert_eq!(profile.exits, 1);
+        // per-step width doubles DOOLITTLE's
+        let lv = IsoLevels::new(&g);
+        assert_eq!(lv.num_levels(), 2 * 4 - 1);
+        assert_eq!(lv.width(), 6, "two sides of 3 updates at step 1");
+    }
+
+    #[test]
+    fn ldmt_pivot_joins_both_sides() {
+        let g = ldmt(3, 10.0);
+        // step 0: pivot=0, L/M updates of col 1 = 1,2; of col 2 = 3,4
+        // step 1: pivot=5 joins both column-1 updates
+        let p1 = onesched_dag::TaskId(5);
+        assert_eq!(g.in_degree(p1), 2, "next pivot needs L and M side");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(lu(1, 10.0).num_tasks(), 1);
+        assert_eq!(doolittle(1, 10.0).num_tasks(), 1);
+        assert_eq!(ldmt(1, 10.0).num_tasks(), 1);
+        assert_eq!(lu(0, 10.0).num_tasks(), 0);
+    }
+
+    #[test]
+    fn data_rule_lu() {
+        let g = lu(5, 7.0);
+        for e in g.edges() {
+            assert!((e.data - 7.0 * g.weight(e.src)).abs() < 1e-12);
+        }
+    }
+}

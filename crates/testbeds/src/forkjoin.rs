@@ -1,0 +1,88 @@
+//! Fork and fork-join graphs.
+
+use onesched_dag::{TaskGraph, TaskGraphBuilder};
+
+/// A fork graph: one parent `v0` and `n` children (the paper's Figure 2,
+/// and — with `n = 6`, unit weights and `data = 1` — Figure 1).
+///
+/// `weights[0]` is the parent weight, `weights[1..]` the children; `data[i]`
+/// is the volume sent to child `i`. This is the NP-completeness gadget of
+/// §3, so weights and volumes are fully explicit rather than derived from a
+/// `c` ratio.
+pub fn fork(parent_weight: f64, children: &[(f64, f64)]) -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(children.len() + 1, children.len());
+    let v0 = b.add_task(parent_weight);
+    for &(w, d) in children {
+        let c = b.add_task(w);
+        b.add_edge(v0, c, d).unwrap();
+    }
+    b.build().expect("forks are acyclic")
+}
+
+/// The FORK-JOIN testbed at problem size `n` (Figure 7 workload): a source
+/// task fans out to `n` independent intermediate tasks which join into a
+/// sink. All weights 1 (§5.2); every edge carries `c × w(src) = c` items.
+///
+/// §5.3 analyses this testbed: reaching speedup `s` requires
+/// `(s−1)/s × n` communications, bounding the speedup by `w·t/c + 1`
+/// (= 1.6 on the paper platform with `c = 10`).
+pub fn fork_join(n: usize, c: f64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(n + 2, 2 * n);
+    let source = b.add_task(1.0);
+    let sink_id = n as u32 + 1;
+    let mut mids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = b.add_task(1.0);
+        b.add_edge(source, m, c).unwrap();
+        mids.push(m);
+    }
+    let sink = b.add_task(1.0);
+    debug_assert_eq!(sink.0, sink_id);
+    for m in mids {
+        b.add_edge(m, sink, c).unwrap();
+    }
+    b.build().expect("fork-joins are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::{IsoLevels, TaskId};
+
+    #[test]
+    fn figure1_fork() {
+        let g = fork(1.0, &[(1.0, 1.0); 6]);
+        assert_eq!(g.num_tasks(), 7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_degree(TaskId(0)), 6);
+        assert!(g.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn heterogeneous_fork_weights() {
+        let g = fork(0.0, &[(3.0, 3.0), (5.0, 5.0)]);
+        assert_eq!(g.weight(TaskId(0)), 0.0);
+        assert_eq!(g.weight(TaskId(1)), 3.0);
+        let e = g.out_edges(TaskId(0))[1];
+        assert_eq!(g.data(e), 5.0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(10, 10.0);
+        assert_eq!(g.num_tasks(), 12);
+        assert_eq!(g.num_edges(), 20);
+        let lv = IsoLevels::new(&g);
+        assert_eq!(lv.num_levels(), 3);
+        assert_eq!(lv.width(), 10);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 1);
+    }
+
+    #[test]
+    fn fork_join_degenerate() {
+        let g = fork_join(0, 10.0);
+        assert_eq!(g.num_tasks(), 2, "source and sink only");
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Grid-shaped kernels: LAPLACE (2-D wavefront) and STENCIL (iterated 1-D
+//! stencil).
+
+use onesched_dag::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// LAPLACE equation solver task graph (Figure 9 workload): the classical
+/// 2-D wavefront over an `n × n` grid. Task `(i, j)` updates one grid point
+/// and depends on its north neighbour `(i−1, j)` and west neighbour
+/// `(i, j−1)`. All weights are 1 (§5.2); every edge carries `c` data items.
+///
+/// Every node sits on a critical path (all paths from `(0,0)` to
+/// `(n−1,n−1)` have the same length), which is why the paper uses the
+/// perfect-balance chunk `B = 38` here.
+pub fn laplace(n: usize, c: f64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(n * n, 2 * n * n);
+    let id = |i: usize, j: usize| TaskId((i * n + j) as u32);
+    b.add_tasks(n * n, 1.0);
+    for i in 0..n {
+        for j in 0..n {
+            if i > 0 {
+                b.add_edge(id(i - 1, j), id(i, j), c).unwrap();
+            }
+            if j > 0 {
+                b.add_edge(id(i, j - 1), id(i, j), c).unwrap();
+            }
+        }
+    }
+    b.build().expect("grid graphs are acyclic")
+}
+
+/// Iterated 1-D stencil task graph (Figure 12 workload): `n` rows of `n`
+/// tasks; task `(r, j)` depends on `(r−1, j−1)`, `(r−1, j)` and
+/// `(r−1, j+1)` (3-point stencil, truncated at the boundary). All weights 1;
+/// every edge carries `c` data items.
+///
+/// Each row must be spread over all processors, so boundary tasks import up
+/// to three remote values per row — under the one-port model those messages
+/// serialize, which is why the paper observes the speedup *decreasing* with
+/// problem size (§5.3).
+pub fn stencil(n: usize, c: f64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(n * n, 3 * n * n);
+    let id = |r: usize, j: usize| TaskId((r * n + j) as u32);
+    b.add_tasks(n * n, 1.0);
+    for r in 1..n {
+        for j in 0..n {
+            let lo = j.saturating_sub(1);
+            let hi = (j + 1).min(n - 1);
+            for k in lo..=hi {
+                b.add_edge(id(r - 1, k), id(r, j), c).unwrap();
+            }
+        }
+    }
+    b.build().expect("stencil graphs are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::IsoLevels;
+
+    #[test]
+    fn laplace_counts() {
+        let g = laplace(4, 10.0);
+        assert_eq!(g.num_tasks(), 16);
+        // edges: 2 n (n-1) = 24
+        assert_eq!(g.num_edges(), 24);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 1);
+    }
+
+    #[test]
+    fn laplace_is_wavefront() {
+        let g = laplace(4, 10.0);
+        let lv = IsoLevels::new(&g);
+        // anti-diagonals: 2n - 1 levels, widest has n tasks
+        assert_eq!(lv.num_levels(), 7);
+        assert_eq!(lv.width(), 4);
+    }
+
+    #[test]
+    fn stencil_counts() {
+        let g = stencil(4, 10.0);
+        assert_eq!(g.num_tasks(), 16);
+        // per row r>0: interior tasks have 3 preds, 2 boundary tasks have 2
+        // edges per row = 3*2 + 2*2 = 10; 3 rows -> 30
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn stencil_levels_are_rows() {
+        let g = stencil(5, 10.0);
+        let lv = IsoLevels::new(&g);
+        assert_eq!(lv.num_levels(), 5);
+        assert_eq!(lv.width(), 5);
+        for l in 0..5 {
+            assert_eq!(lv.tasks_at(l).len(), 5);
+        }
+    }
+
+    #[test]
+    fn unit_weights_everywhere() {
+        for g in [laplace(6, 10.0), stencil(6, 10.0)] {
+            assert!(g.weights().iter().all(|&w| w == 1.0));
+            for e in g.edges() {
+                assert_eq!(e.data, 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(laplace(0, 10.0).num_tasks(), 0);
+        assert_eq!(laplace(1, 10.0).num_tasks(), 1);
+        assert_eq!(stencil(1, 10.0).num_tasks(), 1);
+        assert_eq!(stencil(1, 10.0).num_edges(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Random layered DAGs for property-based testing and robustness studies.
+
+use onesched_dag::{TaskGraph, TaskGraphBuilder, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_layered`].
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Number of layers (depth).
+    pub layers: usize,
+    /// Maximum tasks per layer (actual count is 1..=max, uniform).
+    pub max_width: usize,
+    /// Probability of an edge between a task and each task of the previous
+    /// layer (at least one incoming edge is forced for non-entry layers so
+    /// the depth is exactly `layers`).
+    pub edge_prob: f64,
+    /// Task weights drawn uniformly from this inclusive range.
+    pub weight_range: (f64, f64),
+    /// Edge data volumes drawn uniformly from this inclusive range.
+    pub data_range: (f64, f64),
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            layers: 6,
+            max_width: 8,
+            edge_prob: 0.3,
+            weight_range: (1.0, 10.0),
+            data_range: (0.0, 20.0),
+        }
+    }
+}
+
+/// Generate a random layered DAG: tasks grouped into layers, edges only
+/// between consecutive layers. Deterministic for a given `seed`.
+pub fn random_layered(cfg: &RandomDagConfig, seed: u64) -> TaskGraph {
+    assert!(cfg.layers >= 1 && cfg.max_width >= 1, "degenerate config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TaskGraphBuilder::new();
+    let mut prev: Vec<TaskId> = Vec::new();
+    for layer in 0..cfg.layers {
+        let width = rng.gen_range(1..=cfg.max_width);
+        let mut cur = Vec::with_capacity(width);
+        for _ in 0..width {
+            let w = rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1);
+            let t = b.add_task(w);
+            if layer > 0 {
+                let mut any = false;
+                for &p in &prev {
+                    if rng.gen_bool(cfg.edge_prob) {
+                        let d = rng.gen_range(cfg.data_range.0..=cfg.data_range.1);
+                        b.add_edge(p, t, d).unwrap();
+                        any = true;
+                    }
+                }
+                if !any {
+                    // force one incoming edge so every layer is a new level
+                    let p = prev[rng.gen_range(0..prev.len())];
+                    let d = rng.gen_range(cfg.data_range.0..=cfg.data_range.1);
+                    b.add_edge(p, t, d).unwrap();
+                }
+            }
+            cur.push(t);
+        }
+        prev = cur;
+    }
+    b.build()
+        .expect("layered construction cannot create cycles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::IsoLevels;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomDagConfig::default();
+        let a = random_layered(&cfg, 42);
+        let b = random_layered(&cfg, 42);
+        assert_eq!(a.num_tasks(), b.num_tasks());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = random_layered(&cfg, 43);
+        // overwhelmingly likely to differ
+        assert!(a.num_tasks() != c.num_tasks() || a.num_edges() != c.num_edges());
+    }
+
+    #[test]
+    fn depth_matches_layers() {
+        let cfg = RandomDagConfig {
+            layers: 9,
+            ..Default::default()
+        };
+        for seed in 0..5 {
+            let g = random_layered(&cfg, seed);
+            assert_eq!(IsoLevels::new(&g).num_levels(), 9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weights_and_data_in_range() {
+        let cfg = RandomDagConfig::default();
+        let g = random_layered(&cfg, 7);
+        for &w in g.weights() {
+            assert!((1.0..=10.0).contains(&w));
+        }
+        for e in g.edges() {
+            assert!((0.0..=20.0).contains(&e.data));
+        }
+    }
+
+    #[test]
+    fn single_layer_is_independent_tasks() {
+        let cfg = RandomDagConfig {
+            layers: 1,
+            max_width: 5,
+            ..Default::default()
+        };
+        let g = random_layered(&cfg, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! The toy example of §4.4 (Figure 3).
+
+use onesched_dag::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// The §4.4 toy graph used to contrast HEFT and ILHA (Figure 3): two roots
+/// `a0` and `b0`; `a1..a3` depend on `a0` only, `b1..b3` on `b0` only, and
+/// `ab1`, `ab2` on both. All computation and communication costs are 1.
+///
+/// Task ids: `a0 = 0`, `b0 = 1`, `a1..a3 = 2..4`, `b1..b3 = 5..7`,
+/// `ab1 = 8`, `ab2 = 9`.
+pub fn toy() -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(10, 10);
+    let a0 = b.add_task(1.0);
+    let b0 = b.add_task(1.0);
+    for _ in 0..3 {
+        let c = b.add_task(1.0);
+        b.add_edge(a0, c, 1.0).unwrap();
+    }
+    for _ in 0..3 {
+        let c = b.add_task(1.0);
+        b.add_edge(b0, c, 1.0).unwrap();
+    }
+    for _ in 0..2 {
+        let c = b.add_task(1.0);
+        b.add_edge(a0, c, 1.0).unwrap();
+        b.add_edge(b0, c, 1.0).unwrap();
+    }
+    b.build().expect("the toy graph is acyclic")
+}
+
+/// Convenience ids for the toy graph's named nodes.
+#[allow(missing_docs)]
+pub mod toy_ids {
+    use super::TaskId;
+    pub const A0: TaskId = TaskId(0);
+    pub const B0: TaskId = TaskId(1);
+    pub const A: [TaskId; 3] = [TaskId(2), TaskId(3), TaskId(4)];
+    pub const B: [TaskId; 3] = [TaskId(5), TaskId(6), TaskId(7)];
+    pub const AB: [TaskId; 2] = [TaskId(8), TaskId(9)];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_shape() {
+        let g = toy();
+        assert_eq!(g.num_tasks(), 10);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.out_degree(toy_ids::A0), 5);
+        assert_eq!(g.out_degree(toy_ids::B0), 5);
+        for t in toy_ids::AB {
+            assert_eq!(g.in_degree(t), 2);
+        }
+        for t in toy_ids::A.iter().chain(toy_ids::B.iter()) {
+            assert_eq!(g.in_degree(*t), 1);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Domain scenario: tuning ILHA's chunk size `B` for a workload.
+//!
+//! The paper found the best `B` per testbed experimentally (§5.3: "we have
+//! not found any systematic technique to predict the optimal value of B")
+//! and notes the useful range is `[1 .. M]` where `M` is the
+//! perfect-load-balance chunk. This example reproduces that workflow on two
+//! contrasting workloads: LU (critical-path-bound, favors small B) and
+//! LAPLACE (all paths critical, favors large B).
+//!
+//! ```text
+//! cargo run --release --example chunk_tuning
+//! ```
+
+use onesched::heuristics::bsweep;
+use onesched::prelude::*;
+
+fn main() {
+    let platform = Platform::paper();
+    let model = CommModel::OnePortBidir;
+    let bs = bsweep::candidate_bs(&platform);
+    println!("candidate chunk sizes: {bs:?}\n");
+
+    for tb in [Testbed::Lu, Testbed::Laplace, Testbed::Stencil] {
+        let g = tb.generate(60, PAPER_C);
+        let seq = g.total_work() * platform.min_cycle_time();
+        println!("-- {tb} (n = 60, {} tasks) --", g.num_tasks());
+        let sweep = bsweep::sweep_b(&g, &platform, model, &bs);
+        for (b, mk) in &sweep {
+            let bar_len = ((seq / mk) * 8.0) as usize;
+            println!(
+                "  B = {b:>3}  speedup {:>6.3}  {}",
+                seq / mk,
+                "#".repeat(bar_len)
+            );
+        }
+        let (best_b, best_mk) = bsweep::best_b(&g, &platform, model, &bs);
+        println!(
+            "  best: B = {best_b} (speedup {:.3}); paper's best on this testbed: B = {}\n",
+            seq / best_mk,
+            tb.paper_best_b()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a task graph, schedule it under the one-port model,
+//! validate, and print the schedule.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use onesched::prelude::*;
+use onesched::sim::{gantt, stats::ScheduleStats, validate};
+
+fn main() {
+    // A small pipeline-with-fan-out application: one producer, four
+    // workers, one aggregator (weights in abstract cycles, edge labels in
+    // data items).
+    let mut b = TaskGraphBuilder::new();
+    let producer = b.add_task(4.0);
+    let workers: Vec<TaskId> = (0..4)
+        .map(|i| {
+            let w = b.add_task(6.0 + i as f64);
+            b.add_edge(producer, w, 2.0).expect("valid edge");
+            w
+        })
+        .collect();
+    let aggregator = b.add_task(3.0);
+    for w in &workers {
+        b.add_edge(*w, aggregator, 1.0).expect("valid edge");
+    }
+    let graph = b.build().expect("acyclic");
+
+    // Two fast processors and two slow ones, unit-latency complete network.
+    let platform = Platform::uniform_links(vec![1.0, 1.0, 2.0, 2.0], 1.0).expect("valid platform");
+
+    for model in [CommModel::MacroDataflow, CommModel::OnePortBidir] {
+        println!("=== {model} ===");
+        for scheduler in [&Heft::new() as &dyn Scheduler, &Ilha::new(4)] {
+            let schedule = scheduler.schedule(&graph, &platform, model);
+
+            // Every schedule in this workspace passes the independent
+            // validator; your code can rely on the same check.
+            let violations = validate(&graph, &platform, model, &schedule);
+            assert!(violations.is_empty(), "{violations:?}");
+
+            let stats = ScheduleStats::of(&graph, &platform, &schedule);
+            println!(
+                "{:<10} makespan {:>6.1}  speedup {:>5.2}  comms {}",
+                scheduler.name(),
+                stats.makespan,
+                stats.speedup,
+                stats.effective_comms
+            );
+            print!(
+                "{}",
+                gantt::render(
+                    &platform,
+                    &schedule,
+                    &gantt::GanttOptions {
+                        width: 56,
+                        show_ports: false
+                    }
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Experiment harness: regenerates every figure and worked example of the
+//! paper (see DESIGN.md for the experiment index and EXPERIMENTS.md for the
+//! recorded results).
+//!
+//! ```text
+//! experiments [--sizes 100,200,300,400,500] [--out results] <command>
+//!
+//! commands:
+//!   fig1        the §2.3 fork example (macro-dataflow vs one-port)
+//!   toy         the §4.4 toy example (HEFT vs ILHA, Gantt charts)
+//!   fig7..fig12 one testbed's size sweep (speedup curves)
+//!   figs        all six testbed sweeps
+//!   bsweep      ILHA chunk-size sensitivity per testbed
+//!   models      HEFT/ILHA under all four communication models
+//!   baselines   every scheduler on every testbed at one size
+//!   all         everything above
+//! ```
+//!
+//! Run in release mode: `cargo run --release --bin experiments -- all`.
+
+use onesched::prelude::*;
+use onesched_heuristics::bsweep;
+use onesched_sim::stats::ScheduleStats;
+use onesched_sim::{gantt, validate};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Opts {
+    sizes: Vec<usize>,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            sizes: vec![100, 200, 300, 400, 500],
+            out: "results".into(),
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                opts.sizes = args[i + 1]
+                    .split(',')
+                    .map(|s| s.parse().expect("size must be an integer"))
+                    .collect();
+                args.drain(i..=i + 1);
+            }
+            "--out" => {
+                opts.out = args[i + 1].clone();
+                args.drain(i..=i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    std::fs::create_dir_all(&opts.out).expect("create output directory");
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "fig1" => fig1(&opts),
+        "toy" => toy_example(&opts),
+        "fig7" => figure_sweep(&opts, Testbed::ForkJoin),
+        "fig8" => figure_sweep(&opts, Testbed::Lu),
+        "fig9" => figure_sweep(&opts, Testbed::Laplace),
+        "fig10" => figure_sweep(&opts, Testbed::Ldmt),
+        "fig11" => figure_sweep(&opts, Testbed::Doolittle),
+        "fig12" => figure_sweep(&opts, Testbed::Stencil),
+        "figs" => {
+            for tb in Testbed::ALL {
+                figure_sweep(&opts, tb);
+            }
+        }
+        "bsweep" => b_sensitivity(&opts),
+        "models" => model_ablation(&opts),
+        "baselines" => baseline_comparison(&opts),
+        "probe" => probe(&args[1..]),
+        "all" => {
+            fig1(&opts);
+            toy_example(&opts);
+            for tb in Testbed::ALL {
+                figure_sweep(&opts, tb);
+            }
+            b_sensitivity(&opts);
+            model_ablation(&opts);
+            baseline_comparison(&opts);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Diagnostic: `probe <testbed> <n>` prints detailed stats for HEFT/ILHA.
+fn probe(args: &[String]) {
+    let tb = Testbed::ALL
+        .iter()
+        .copied()
+        .find(|t| t.name().eq_ignore_ascii_case(&args[0]))
+        .expect("unknown testbed");
+    let n: usize = args[1].parse().expect("size");
+    let g = tb.generate(n, PAPER_C);
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    println!(
+        "{tb} n={n}: {} tasks, {} edges, work {}, data {}",
+        g.num_tasks(),
+        g.num_edges(),
+        g.total_work(),
+        g.total_data()
+    );
+    for s in [
+        &Heft::new() as &dyn Scheduler,
+        &Ilha::new(tb.paper_best_b()) as &dyn Scheduler,
+    ] {
+        let sched = s.schedule(&g, &p, m);
+        let st = ScheduleStats::of(&g, &p, &sched);
+        let busy = sched.proc_busy_times(&p);
+        println!(
+            "{:<12} speedup {:.3} makespan {:.0} comms {} commtime {:.0} util {:.3} imb {:.3}",
+            s.name(),
+            st.speedup,
+            st.makespan,
+            st.effective_comms,
+            st.total_comm_time,
+            st.mean_utilization,
+            st.imbalance
+        );
+        println!(
+            "  busy: {:?}",
+            busy.iter().map(|b| *b as i64).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn write_csv(opts: &Opts, name: &str, content: &str) {
+    let path = format!("{}/{}", opts.out, name);
+    std::fs::write(&path, content).expect("write CSV");
+    println!("  -> {path}");
+}
+
+/// §2.3 / Figure 1: fork with six unit children on five unit processors.
+fn fig1(opts: &Opts) {
+    println!("== fig1: the fork example of §2.3 ==");
+    let g = onesched_testbeds::fork(1.0, &[(1.0, 1.0); 6]);
+    let p = Platform::homogeneous(5);
+
+    let exact = onesched::exact::fork::ForkInstance::from_graph(&g).optimal_makespan();
+    let heft_macro = Heft::new().schedule(&g, &p, CommModel::MacroDataflow);
+    let heft_oneport = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+    let bnb_oneport =
+        onesched::exact::bnb::branch_and_bound(&g, &p, CommModel::OnePortBidir, 10_000_000);
+
+    let mut csv = String::from("schedule,model,makespan\n");
+    let _ = writeln!(csv, "macro-optimal(paper),macro-dataflow,3");
+    let _ = writeln!(csv, "HEFT,macro-dataflow,{}", heft_macro.makespan());
+    let _ = writeln!(csv, "one-port-optimal(paper),one-port-bidir,5");
+    let _ = writeln!(csv, "exact-fork,one-port-bidir,{exact}");
+    let _ = writeln!(csv, "exact-bnb,one-port-bidir,{}", bnb_oneport.makespan);
+    let _ = writeln!(csv, "HEFT,one-port-bidir,{}", heft_oneport.makespan());
+    print!("{csv}");
+    write_csv(opts, "fig1_fork_example.csv", &csv);
+}
+
+/// §4.4 / Figures 3–4: the toy example contrasting HEFT and ILHA.
+fn toy_example(opts: &Opts) {
+    println!("== toy: the §4.4 example (Figures 3-4) ==");
+    let g = onesched_testbeds::toy();
+    let p = Platform::homogeneous(2);
+    let m = CommModel::OnePortBidir;
+
+    let mut csv = String::from("scheduler,makespan,effective_comms\n");
+    for s in [
+        &Heft::new() as &dyn Scheduler,
+        &Ilha::new(8) as &dyn Scheduler,
+    ] {
+        let sched = s.schedule(&g, &p, m);
+        assert!(validate(&g, &p, m, &sched).is_empty());
+        let _ = writeln!(
+            csv,
+            "{},{},{}",
+            s.name(),
+            sched.makespan(),
+            sched.num_effective_comms()
+        );
+        println!("--- {} ---", s.name());
+        print!(
+            "{}",
+            gantt::render(
+                &p,
+                &sched,
+                &gantt::GanttOptions {
+                    width: 60,
+                    show_ports: true
+                }
+            )
+        );
+    }
+    print!("{csv}");
+    write_csv(opts, "toy_heft_vs_ilha.csv", &csv);
+}
+
+/// One testbed's size sweep (Figures 7–12): speedup of HEFT and ILHA under
+/// the one-port model, with the paper's per-testbed best B.
+fn figure_sweep(opts: &Opts, tb: Testbed) {
+    let b = tb.paper_best_b();
+    println!(
+        "== fig{}: {} sweep (B = {b}, c = {}, one-port-bidir) ==",
+        tb.figure(),
+        tb,
+        PAPER_C
+    );
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut csv = String::from(
+        "size,tasks,heft_makespan,heft_speedup,ilha_makespan,ilha_speedup,ilha_comms,heft_comms\n",
+    );
+    println!(
+        "{:>6} {:>9} {:>14} {:>14} {:>9}",
+        "size", "tasks", "HEFT speedup", "ILHA speedup", "gain"
+    );
+    for &n in &opts.sizes {
+        let g = tb.generate(n, PAPER_C);
+        let t0 = Instant::now();
+        let heft = Heft::new().schedule(&g, &p, m);
+        let ilha = Ilha::new(b).schedule(&g, &p, m);
+        let (hs, is) = (heft.speedup(&g, &p), ilha.speedup(&g, &p));
+        let _ = writeln!(
+            csv,
+            "{n},{},{},{hs},{},{is},{},{}",
+            g.num_tasks(),
+            heft.makespan(),
+            ilha.makespan(),
+            ilha.num_effective_comms(),
+            heft.num_effective_comms()
+        );
+        println!(
+            "{n:>6} {:>9} {hs:>14.3} {is:>14.3} {:>8.1}%  ({:.1?})",
+            g.num_tasks(),
+            (is / hs - 1.0) * 100.0,
+            t0.elapsed()
+        );
+    }
+    write_csv(
+        opts,
+        &format!(
+            "fig{:02}_{}.csv",
+            tb.figure(),
+            tb.name().to_lowercase().replace('-', "_")
+        ),
+        &csv,
+    );
+}
+
+/// ILHA chunk-size sensitivity (the §5.3 discussion of B).
+fn b_sensitivity(opts: &Opts) {
+    println!("== bsweep: ILHA chunk-size sensitivity ==");
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let n = *opts.sizes.iter().min().unwrap_or(&100);
+    let bs = bsweep::candidate_bs(&p);
+    let mut csv = String::from("testbed,b,makespan,speedup\n");
+    for tb in Testbed::ALL {
+        let g = tb.generate(n, PAPER_C);
+        let seq = g.total_work() * p.min_cycle_time();
+        let sweep = bsweep::sweep_b(&g, &p, m, &bs);
+        let (best_b, best_mk) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .expect("non-empty sweep");
+        for (b, mk) in &sweep {
+            let _ = writeln!(csv, "{tb},{b},{mk},{}", seq / mk);
+        }
+        println!(
+            "{tb:>10} (n = {n}): best B = {best_b} (speedup {:.3}); paper's best B = {}",
+            seq / best_mk,
+            tb.paper_best_b()
+        );
+    }
+    write_csv(opts, "bsweep.csv", &csv);
+}
+
+/// HEFT and ILHA under all four communication models.
+fn model_ablation(opts: &Opts) {
+    println!("== models: communication-model ablation ==");
+    let p = Platform::paper();
+    let n = *opts.sizes.iter().min().unwrap_or(&100);
+    let mut csv = String::from("testbed,model,scheduler,makespan,speedup\n");
+    for tb in Testbed::ALL {
+        let g = tb.generate(n, PAPER_C);
+        for m in CommModel::ALL {
+            for s in [
+                &Heft::new() as &dyn Scheduler,
+                &Ilha::new(tb.paper_best_b()) as &dyn Scheduler,
+            ] {
+                let sched = s.schedule(&g, &p, m);
+                debug_assert!(validate(&g, &p, m, &sched).is_empty());
+                let _ = writeln!(
+                    csv,
+                    "{tb},{m},{},{},{}",
+                    s.name(),
+                    sched.makespan(),
+                    sched.speedup(&g, &p)
+                );
+            }
+        }
+        println!("{tb:>10} done");
+    }
+    write_csv(opts, "model_ablation.csv", &csv);
+}
+
+/// Every scheduler (heuristics + baselines) on every testbed at one size.
+fn baseline_comparison(opts: &Opts) {
+    println!("== baselines: full scheduler comparison ==");
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let n = (*opts.sizes.iter().min().unwrap_or(&100)).min(30);
+    let mut csv = String::from("testbed,scheduler,makespan,speedup,comms,imbalance\n");
+    for tb in Testbed::ALL {
+        let g = tb.generate(n, PAPER_C);
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Heft::new()),
+            Box::new(Ilha::new(tb.paper_best_b())),
+        ];
+        schedulers.extend(onesched::baselines::all_baselines(42));
+        println!("-- {tb} (n = {n}, {} tasks) --", g.num_tasks());
+        for s in schedulers {
+            let sched = s.schedule(&g, &p, m);
+            assert!(validate(&g, &p, m, &sched).is_empty(), "{}", s.name());
+            let st = ScheduleStats::of(&g, &p, &sched);
+            let _ = writeln!(
+                csv,
+                "{tb},{},{},{},{},{}",
+                s.name(),
+                st.makespan,
+                st.speedup,
+                st.effective_comms,
+                st.imbalance
+            );
+            println!(
+                "  {:<14} speedup {:>7.3}  comms {:>6}",
+                s.name(),
+                st.speedup,
+                st.effective_comms
+            );
+        }
+    }
+    write_csv(opts, "baseline_comparison.csv", &csv);
+}

@@ -1,0 +1,120 @@
+//! The worked examples of the paper, verified end-to-end:
+//! Figure 1 (the fork makespan gap), the §4.4 toy example (Figures 3–4),
+//! and the §5.2 platform arithmetic.
+
+use onesched::exact::bnb::branch_and_bound;
+use onesched::exact::fork::ForkInstance;
+use onesched::prelude::*;
+use onesched::sim::validate;
+use onesched_heuristics::distribution::optimal_distribution;
+use onesched_platform::bounds;
+
+/// §2.3, Figure 1: fork with six unit children, unit messages, five
+/// same-speed processors, homogeneous unit links.
+#[test]
+fn figure1_macro_vs_one_port_gap() {
+    let g = onesched::testbeds::fork(1.0, &[(1.0, 1.0); 6]);
+    let p = Platform::homogeneous(5);
+
+    // Macro-dataflow: assign v0 + two children to P0, one child to each
+    // other processor; all four messages go in parallel -> makespan 3.
+    let macro_opt = branch_and_bound(&g, &p, CommModel::MacroDataflow, 20_000_000);
+    assert!(macro_opt.optimal);
+    assert_eq!(macro_opt.makespan, 3.0);
+
+    // One-port: the same graph cannot beat 5 (three children local, three
+    // messages serialized). Both the fork solver and the general B&B agree.
+    let fork_opt = ForkInstance::from_graph(&g).optimal_makespan();
+    assert_eq!(fork_opt, 5.0);
+    let bnb_opt = branch_and_bound(&g, &p, CommModel::OnePortBidir, 20_000_000);
+    assert!(bnb_opt.optimal);
+    assert_eq!(bnb_opt.makespan, 5.0);
+
+    // The naive "same allocation as macro-dataflow" schedule costs 6
+    // (1 + four serialized messages + 1), as the paper notes.
+    // (The heuristics must not do worse than that.)
+    let heft = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+    assert!(validate(&g, &p, CommModel::OnePortBidir, &heft).is_empty());
+    assert!(heft.makespan() <= 6.0 + 1e-9);
+    assert!(heft.makespan() >= 5.0 - 1e-9);
+}
+
+/// §4.4, Figures 3–4: on the toy graph ILHA produces no more communications
+/// and no worse a makespan than HEFT, thanks to its zero-communication scan.
+#[test]
+fn toy_example_ilha_beats_or_matches_heft() {
+    let g = onesched::testbeds::toy();
+    let p = Platform::homogeneous(2);
+    let m = CommModel::OnePortBidir;
+
+    let heft = Heft::new().schedule(&g, &p, m);
+    let ilha = Ilha::new(8).schedule(&g, &p, m);
+    assert!(validate(&g, &p, m, &heft).is_empty());
+    assert!(validate(&g, &p, m, &ilha).is_empty());
+
+    assert!(ilha.makespan() <= heft.makespan() + 1e-9);
+    assert!(ilha.num_effective_comms() <= heft.num_effective_comms());
+    // The figure's ILHA schedule: a-tasks with a0, b-tasks with b0, at most
+    // the two shared children communicate.
+    assert!(ilha.num_effective_comms() <= 2);
+    // 10 unit tasks on 2 unit processors: no schedule beats 5.
+    assert!(ilha.makespan() >= 5.0 - 1e-9);
+}
+
+/// The toy example's ILHA schedule keeps each private fork family on its
+/// root's processor (the mechanism behind the communication reduction).
+#[test]
+fn toy_example_families_stay_home() {
+    use onesched::testbeds::toy_ids;
+    let g = onesched::testbeds::toy();
+    let p = Platform::homogeneous(2);
+    let ilha = Ilha::new(8).schedule(&g, &p, CommModel::OnePortBidir);
+    let a_home = ilha.alloc(toy_ids::A0).unwrap();
+    let b_home = ilha.alloc(toy_ids::B0).unwrap();
+    assert_ne!(a_home, b_home, "roots spread over both processors");
+    for t in toy_ids::A {
+        assert_eq!(ilha.alloc(t), Some(a_home), "a-child moved off its root");
+    }
+    for t in toy_ids::B {
+        assert_eq!(ilha.alloc(t), Some(b_home), "b-child moved off its root");
+    }
+}
+
+/// §5.2: the experimental platform's arithmetic — speedup bound 7.6,
+/// perfect-balance chunk B = 38 distributed 5/5/5/5/5/3/3/3/2/2, 38 unit
+/// tasks in 30 time units versus 228 sequentially.
+#[test]
+fn section52_platform_arithmetic() {
+    let p = Platform::paper();
+    assert!((bounds::speedup_upper_bound(&p) - 7.6).abs() < 1e-12);
+    assert_eq!(bounds::perfect_balance_chunk(&p), Some(38));
+    assert_eq!(
+        optimal_distribution(&p, 38),
+        vec![5, 5, 5, 5, 5, 3, 3, 3, 2, 2]
+    );
+    assert!((bounds::ideal_parallel_time(&p, 38.0) - 30.0).abs() < 1e-12);
+    assert!((bounds::sequential_time(&p, 38.0) - 228.0).abs() < 1e-12);
+}
+
+/// §5.3's FORK-JOIN analysis: the speedup is bounded by `w·t/c + 1 = 1.6`
+/// on the paper platform, and both heuristics approach it from below.
+#[test]
+fn forkjoin_speedup_bound() {
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut last = 0.0;
+    for n in [50usize, 100, 200] {
+        let g = Testbed::ForkJoin.generate(n, PAPER_C);
+        let heft = Heft::new().schedule(&g, &p, m);
+        let ilha = Ilha::new(38).schedule(&g, &p, m);
+        let (hs, is) = (heft.speedup(&g, &p), ilha.speedup(&g, &p));
+        assert!(
+            (hs - is).abs() < 1e-9,
+            "HEFT and ILHA coincide on FORK-JOIN"
+        );
+        assert!(hs <= 1.6 + 1e-9, "speedup bound w*t/c + 1");
+        assert!(hs >= last - 1e-9, "speedup grows with problem size");
+        last = hs;
+    }
+    assert!(last > 1.5, "approaches the 1.6 bound (paper: 1.58)");
+}
