@@ -1,0 +1,254 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serialization framework with the same spelling as serde: a
+//! [`Serialize`]/[`Deserialize`] trait pair (derivable via the sibling
+//! `serde_derive` shim, including `#[serde(skip, default)]`), exchanged
+//! through an untyped [`Value`] tree that `serde_json` renders to and parses
+//! from JSON. The derive covers the shapes this workspace uses: structs with
+//! named fields, newtype/tuple structs, and fieldless enums. Swap these path
+//! dependencies for the real crates when a registry is available; no call
+//! site changes.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Untyped serialization tree (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number (ints round-trip exactly up to 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Error for an absent struct field.
+    pub fn missing_field(name: &str) -> Error {
+        Error(format!("missing field `{name}`"))
+    }
+
+    fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl Value {
+    /// Look up a struct field in a [`Value::Map`].
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::missing_field(name)),
+            other => Err(Error::expected("a map", other)),
+        }
+    }
+
+    /// The payload of a [`Value::Str`].
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::expected("a string", other)),
+        }
+    }
+
+    /// The payload of a [`Value::Seq`].
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::expected("a sequence", other)),
+        }
+    }
+
+    /// The payload of a [`Value::Num`].
+    pub fn as_num(&self) -> Result<f64, Error> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(Error::expected("a number", other)),
+        }
+    }
+}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Convert to the untyped tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Convert from the untyped tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("a bool", other)),
+        }
+    }
+}
+
+/// Largest magnitude safely convertible from the shim's `f64` number model
+/// (2^53 − 1, JavaScript's `MAX_SAFE_INTEGER`). At 2^53 and beyond, distinct
+/// integers collapse to the same `f64` during JSON parsing, so an in-range
+/// `Value::Num` could be a rounding artifact; deserialization refuses rather
+/// than silently corrupt.
+const MAX_EXACT_INT: f64 = 9_007_199_254_740_991.0;
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n = v.as_num()?;
+                if n.fract() != 0.0 || n.abs() > MAX_EXACT_INT {
+                    return Err(Error(format!(
+                        "number {n} is not an exactly-representable integer"
+                    )));
+                }
+                let cast = n as $t;
+                if cast as f64 != n {
+                    return Err(Error(format!(
+                        "number {n} does not fit in {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(cast)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                Ok(v.as_num()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_seq()?.iter().map(Deserialize::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_targets_accept_inexact_decimals() {
+        assert_eq!(f32::from_value(&Value::Num(0.1)), Ok(0.1f32));
+        assert_eq!(f64::from_value(&Value::Num(0.1)), Ok(0.1f64));
+    }
+
+    #[test]
+    fn int_targets_reject_unrepresentable_values() {
+        // 2^53 + 1 rounds to 2^53 in f64, so any value >= 2^53 may be a
+        // rounding artifact; refuse rather than corrupt.
+        assert!(u64::from_value(&Value::Num(9_007_199_254_740_993_u64 as f64)).is_err());
+        assert!(u64::from_value(&Value::Num(9_007_199_254_740_992.0)).is_err());
+        assert!(u64::from_value(&Value::Num(1.5)).is_err());
+        assert!(u8::from_value(&Value::Num(256.0)).is_err());
+        assert!(u32::from_value(&Value::Num(-1.0)).is_err());
+        assert_eq!(
+            u64::from_value(&Value::Num(9_007_199_254_740_991.0)),
+            Ok((1u64 << 53) - 1)
+        );
+        assert_eq!(i64::from_value(&Value::Num(-42.0)), Ok(-42));
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (a `Value`-tree model, not the real serde data model). The input
+//! is parsed by hand — no `syn`/`quote` available offline — so only the
+//! shapes this workspace derives are supported:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` /
+//!   `#[serde(skip, default)]`: omitted on write, defaulted on read);
+//! * tuple structs (newtypes serialize transparently, wider tuples as a
+//!   sequence);
+//! * fieldless enums (serialized as the variant-name string).
+//!
+//! Generics and data-carrying enums are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields with their skip flag.
+    Named(Vec<(String, bool)>),
+    /// Tuple struct of the given arity.
+    Tuple(usize),
+    /// Fieldless enum variants.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for (f, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Map(__m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        input.name
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for (f, skip) in fields {
+                if *skip {
+                    inits.push_str(&format!("{f}: ::core::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.get_field(\"{f}\")?)?,\n"
+                    ));
+                }
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq()?;\n\
+                 if __s.len() != {n} {{\n\
+                     return Err(::serde::Error(format!(\"expected {n} elements, got {{}}\", __s.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match __v.as_str()? {{\n{}\n\
+                 other => Err(::serde::Error(format!(\"unknown variant `{{other}}` of {name}\"))),\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Item-level attributes and visibility.
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive shim: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive shim: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+
+    Input { name, shape }
+}
+
+/// Advance past any `#[...]` attributes, returning whether a
+/// `#[serde(... skip ...)]` was among them.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            skip |= attr_is_serde_skip(g.stream());
+            *i += 2;
+        } else {
+            panic!("serde_derive shim: malformed attribute");
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)`, `pub(super)`, ...
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after `{field}`, got {other}"),
+        }
+        // Consume the type: tokens until a comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((field, skip));
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    fields - usize::from(trailing_comma)
+}
+
+fn parse_unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant of `{name}`, got {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde_derive shim: enum `{name}` variant `{variant}` carries data \
+                 or a discriminant ({other}); only fieldless enums are supported"
+            ),
+        }
+        variants.push(variant);
+    }
+    variants
+}

@@ -1,0 +1,288 @@
+//! Offline stand-in for `serde_json`: renders the serde shim's [`Value`]
+//! tree to JSON text and parses it back. Supports exactly what the shim's
+//! data model produces — null, booleans, finite numbers, strings (with
+//! escape handling), arrays, and objects. Swap this path dependency for the
+//! real crate when a registry is available; no call site changes.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value())?;
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(Error(format!("trailing input at byte {}", p.i)));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(out: &mut String, v: &Value) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if !n.is_finite() {
+                return Err(Error(format!("cannot serialize non-finite number {n}")));
+            }
+            // `{:?}` prints the shortest representation that round-trips,
+            // and always includes a `.0` on integral floats — legal JSON.
+            out.push_str(&format!("{n:?}"));
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, item)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON".to_string()))
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null").map(|()| Value::Null),
+            b't' => self.literal("true").map(|()| Value::Bool(true)),
+            b'f' => self.literal("false").map(|()| Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.i += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected `,` or `]`, got `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.eat(b'{')?;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.i += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    entries.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected `,` or `}}`, got `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            let b = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| Error("unterminated string".to_string()))?;
+            self.i += 1;
+            match b {
+                b'"' => break,
+                b'\\' => {
+                    let esc = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| Error("unterminated escape".to_string()))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0C),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("bad \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".to_string()))?;
+                            self.i += 4;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error("invalid \\u codepoint".to_string()))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                b => out.push(b),
+            }
+        }
+        String::from_utf8(out).map_err(|_| Error("invalid UTF-8 in string".to_string()))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'
+            )
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|_| Error("invalid number".to_string()))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v = Value::Map(vec![
+            (
+                "nums".to_string(),
+                Value::Seq(vec![Value::Num(1.0), Value::Num(-2.5)]),
+            ),
+            ("s".to_string(), Value::Str("a\"b\\c\nd".to_string())),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+        ]);
+        let mut text = String::new();
+        write_value(&mut text, &v).unwrap();
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        assert_eq!(p.value().unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_round_trip() {
+        let json = to_string(&vec![1.5f64, 2.0, 3.25]).unwrap();
+        assert_eq!(json, "[1.5,2.0,3.25]");
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(back, vec![1.5, 2.0, 3.25]);
+        let opt: Vec<Option<u32>> = from_str("[1, null, 3]").unwrap();
+        assert_eq!(opt, vec![Some(1), None, Some(3)]);
+    }
+}
