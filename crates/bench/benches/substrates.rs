@@ -35,6 +35,33 @@ fn timeline_occupy(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Front-loaded inserts: every occupy lands before everything already
+    // stored — the case that made the seed's flat sorted `Vec` quadratic
+    // (full memmove + metadata rebuild per insert) and that the chunked
+    // timeline absorbs with one small chunk shift.
+    c.bench_function("timeline/occupy_10k_front_inserts", |b| {
+        b.iter_batched(
+            Timeline::new,
+            |mut tl| {
+                for i in (0..10_000).rev() {
+                    tl.occupy(i as f64 * 2.0, 1.0);
+                }
+                tl.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn timeline_free_time_accounting(c: &mut Criterion) {
+    // The pruning bound's free-time query over a long fragmented timeline.
+    let mut tl = Timeline::new();
+    for i in 0..10_000 {
+        tl.occupy(i as f64 * 3.0, 2.0);
+    }
+    c.bench_function("timeline/earliest_finish_of_work_10k", |b| {
+        b.iter(|| tl.earliest_finish_of_work(0.0, 5_000.0))
+    });
 }
 
 fn graph_generation(c: &mut Criterion) {
@@ -67,6 +94,7 @@ criterion_group!(
     benches,
     timeline_dense_gap_search,
     timeline_occupy,
+    timeline_free_time_accounting,
     graph_generation,
     ranks,
     validator

@@ -11,7 +11,7 @@
 //! (ports never contend), which serves as the macro-dataflow baseline.
 
 use crate::avg_weights::paper_bottom_levels;
-use crate::placement::{best_placement, commit_placement, PlacementPolicy};
+use crate::placement::{best_placement_with, commit_placement, EftScratch, PlacementPolicy};
 use crate::Scheduler;
 use onesched_dag::{TaskGraph, TaskId, TopoOrder};
 use onesched_platform::Platform;
@@ -90,8 +90,10 @@ impl Scheduler for Heft {
             })
             .collect();
 
+        let mut scratch = EftScratch::default();
         while let Some(ReadyEntry { task, .. }) = ready.pop() {
-            let tp = best_placement(g, platform, &pool, &sched, task, self.policy);
+            let tp =
+                best_placement_with(g, platform, &pool, &sched, task, self.policy, &mut scratch);
             commit_placement(&mut pool, &mut sched, tp);
             for (succ, _) in g.successors(task) {
                 pending_preds[succ.index()] -= 1;

@@ -22,11 +22,14 @@
 use crate::avg_weights::paper_bottom_levels;
 use crate::distribution::optimal_distribution;
 use crate::heft::ReadyEntry;
-use crate::placement::{best_placement, commit_placement, place_on, PlacementPolicy};
+use crate::placement::{
+    best_placement_with, commit_placement, place_on, EftScratch, PlacementPolicy,
+};
 use crate::Scheduler;
 use onesched_dag::{TaskGraph, TaskId, TopoOrder};
 use onesched_platform::{Platform, ProcId};
 use onesched_sim::{CommModel, ResourcePool, Schedule};
+use std::collections::BinaryHeap;
 
 /// How far the zero-communication scan of step 1 goes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,8 +93,9 @@ impl Scheduler for Ilha {
         let mut sched = Schedule::with_tasks(g.num_tasks());
 
         let mut pending_preds: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
-        // Ready list kept sorted by decreasing priority (front = highest).
-        let mut ready: Vec<ReadyEntry> = g
+        // Ready tasks, highest priority first (same total order the seed's
+        // sorted list used; a heap makes release and take O(log n)).
+        let mut ready: BinaryHeap<ReadyEntry> = g
             .tasks()
             .filter(|&v| pending_preds[v.index()] == 0)
             .map(|task| ReadyEntry {
@@ -99,16 +103,16 @@ impl Scheduler for Ilha {
                 task,
             })
             .collect();
-        ready.sort_by(|a, b| b.cmp(a));
 
         let mut chunk: Vec<TaskId> = Vec::with_capacity(self.b);
         let mut deferred: Vec<TaskId> = Vec::with_capacity(self.b);
+        let mut scratch = EftScratch::default();
 
         while !ready.is_empty() {
             // Take the B highest-priority ready tasks.
             let take = self.b.min(ready.len());
             chunk.clear();
-            chunk.extend(ready.drain(..take).map(|e| e.task));
+            chunk.extend((0..take).map(|_| ready.pop().expect("len checked").task));
 
             // Load-balancing caps for this round: the §4.2 "optimal
             // distribution" of the chunk's task count over the processors
@@ -138,21 +142,27 @@ impl Scheduler for Ilha {
             // "we select the processor that allows for the earliest
             // completion time").
             for &task in &deferred {
-                let tp = best_placement(g, platform, &pool, &sched, task, self.policy);
+                let tp = best_placement_with(
+                    g,
+                    platform,
+                    &pool,
+                    &sched,
+                    task,
+                    self.policy,
+                    &mut scratch,
+                );
                 commit_placement(&mut pool, &mut sched, tp);
             }
 
-            // Release newly ready tasks into the sorted list.
+            // Release newly ready tasks.
             for &task in &chunk {
                 for (succ, _) in g.successors(task) {
                     pending_preds[succ.index()] -= 1;
                     if pending_preds[succ.index()] == 0 {
-                        let entry = ReadyEntry {
+                        ready.push(ReadyEntry {
                             bl: bl[succ.index()],
                             task: succ,
-                        };
-                        let pos = ready.partition_point(|e| e > &entry);
-                        ready.insert(pos, entry);
+                        });
                     }
                 }
             }
@@ -170,15 +180,22 @@ fn step1_target(g: &TaskGraph, sched: &Schedule, task: TaskId, scan: ScanDepth) 
     let mut iter = g.predecessors(task);
     let (first, first_edge) = iter.next()?; // entry tasks -> step 2
     let first_proc = sched.task(first).expect("parents scheduled").proc;
-    let mut procs: Vec<(ProcId, f64)> = vec![(first_proc, g.data(first_edge))];
+    // Track at most two distinct parent processors and their incoming
+    // volumes (allocation-free: three or more distinct always means step 2).
+    let mut procs = [(first_proc, g.data(first_edge)), (first_proc, 0.0)];
+    let mut distinct = 1usize;
     for (parent, e) in iter {
         let proc = sched.task(parent).expect("parents scheduled").proc;
-        match procs.iter_mut().find(|(q, _)| *q == proc) {
+        match procs[..distinct].iter_mut().find(|(q, _)| *q == proc) {
             Some((_, vol)) => *vol += g.data(e),
-            None => procs.push((proc, g.data(e))),
+            None if distinct < 2 => {
+                procs[1] = (proc, g.data(e));
+                distinct = 2;
+            }
+            None => return None,
         }
     }
-    match (procs.len(), scan) {
+    match (distinct, scan) {
         (1, _) => Some(procs[0].0),
         (2, ScanDepth::UpToOneComm) => {
             // Put the task where more data already lives.

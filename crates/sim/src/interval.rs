@@ -1,6 +1,6 @@
 //! Busy-interval timelines with earliest-gap queries.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Numerical tolerance used throughout schedule construction and validation.
 ///
@@ -49,6 +49,94 @@ impl TimeInterval {
     }
 }
 
+/// A chunk splits into two halves of this size when it outgrows
+/// [`MAX_CHUNK`]; deserialized timelines are packed at this size too.
+const TARGET_CHUNK: usize = 32;
+
+/// Maximum intervals per chunk before it splits.
+const MAX_CHUNK: usize = 2 * TARGET_CHUNK;
+
+/// One run of consecutive busy intervals, with skip metadata.
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// Sorted, pairwise non-overlapping busy intervals (never empty).
+    ivs: Vec<TimeInterval>,
+    /// Largest idle gap `ivs[k].start − ivs[k−1].end` *inside* the chunk
+    /// (`k ≥ 1`; the gap to the previous chunk is checked by the walk).
+    max_gap: f64,
+    /// Total busy duration of the chunk's intervals (lets
+    /// [`Timeline::earliest_finish_of_work`] account whole chunks at once).
+    busy: f64,
+    /// Cached `ivs[0].start`: the walks and binary searches over chunks
+    /// stay inside the contiguous chunk array instead of dereferencing
+    /// each chunk's interval storage.
+    start: f64,
+    /// Cached `ivs[last].end`.
+    end: f64,
+}
+
+impl Chunk {
+    fn new(ivs: Vec<TimeInterval>) -> Chunk {
+        debug_assert!(!ivs.is_empty());
+        let mut c = Chunk {
+            ivs,
+            max_gap: 0.0,
+            busy: 0.0,
+            start: 0.0,
+            end: 0.0,
+        };
+        c.recompute_meta();
+        c
+    }
+
+    #[inline]
+    fn start(&self) -> f64 {
+        self.start
+    }
+
+    #[inline]
+    fn end(&self) -> f64 {
+        self.end
+    }
+
+    fn recompute_meta(&mut self) {
+        self.max_gap = max_internal_gap(&self.ivs);
+        self.busy = self.ivs.iter().map(TimeInterval::duration).sum();
+        self.start = self.ivs[0].start;
+        self.end = self.ivs[self.ivs.len() - 1].end;
+    }
+}
+
+/// Largest idle gap between consecutive intervals of a sorted run.
+fn max_internal_gap(ivs: &[TimeInterval]) -> f64 {
+    let mut max_gap = 0.0f64;
+    for w in ivs.windows(2) {
+        let gap = w[1].start - w[0].end;
+        if gap > max_gap {
+            max_gap = gap;
+        }
+    }
+    max_gap
+}
+
+/// One step of idle-time accounting: consume the gap before `iv` from
+/// `(t, remaining)`, returning `Some(finish)` when the remaining work fits
+/// in that gap. Shared by every walk of
+/// [`Timeline::earliest_finish_of_work`] so the EPS semantics cannot drift
+/// apart between them.
+#[inline]
+fn consume_idle(t: &mut f64, remaining: &mut f64, iv: &TimeInterval) -> Option<f64> {
+    let gap = iv.start - *t;
+    if *remaining <= gap {
+        return Some(*t + *remaining);
+    }
+    if gap > 0.0 {
+        *remaining -= gap;
+    }
+    *t = t.max(iv.end);
+    None
+}
+
 /// A set of pairwise-disjoint busy intervals kept sorted by start time.
 ///
 /// This is the workhorse of one-port scheduling: each processor owns one
@@ -56,23 +144,28 @@ impl TimeInterval {
 /// schedulers query for the earliest gap that fits a task or a message
 /// (paper §4.3: "we look for the first available time-interval during which
 /// P2 is not sending and P1 is not receiving").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Storage is *chunked*: intervals live in runs of at most [`MAX_CHUNK`]
+/// entries, so [`Timeline::occupy`] shifts one small chunk instead of the
+/// whole timeline (`O(log n + chunk)` instead of the former sorted-`Vec`
+/// `O(n)` memmove plus `O(n)` metadata rebuild — which made schedule
+/// construction quadratic in practice). Each chunk carries its largest
+/// internal idle gap, so [`Timeline::earliest_gap`] skips densely packed
+/// runs wholesale.
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
-    /// Sorted, pairwise non-overlapping busy intervals.
-    busy: Vec<TimeInterval>,
-    /// Block-skip metadata: `block_max_gap[b]` is the largest idle gap
-    /// `busy[k].start − busy[k−1].end` over `k` in block `b`'s index range
-    /// `[b·BLOCK, (b+1)·BLOCK)` (`k ≥ 1`; the predecessor may sit in the
-    /// previous block). Lets [`Timeline::earliest_gap`] skip whole blocks of
-    /// a densely packed timeline — one-port schedules of communication-bound
-    /// graphs pack tens of thousands of transfers per port, and the naive
-    /// interval-by-interval walk made scheduling quadratic in practice.
-    #[serde(skip, default)]
-    block_max_gap: Vec<f64>,
+    /// Non-empty chunks, globally sorted; empty vec = empty timeline.
+    chunks: Vec<Chunk>,
+    /// `ends[i] == chunks[i].end`, kept as a flat array so the binary
+    /// search in `locate_ending_after` scans 8 densely packed keys per
+    /// cache line instead of pointer-hopping across `Chunk` structs.
+    ends: Vec<f64>,
+    /// Total number of intervals across chunks.
+    len: usize,
+    /// Running total busy duration (kept incrementally; the former
+    /// implementation re-summed every interval per `busy_time` call).
+    total_busy: f64,
 }
-
-/// Intervals per skip block (power of two for cheap index arithmetic).
-const BLOCK: usize = 64;
 
 impl Timeline {
     /// New empty timeline.
@@ -80,65 +173,69 @@ impl Timeline {
         Timeline::default()
     }
 
-    /// Recompute `block_max_gap` for all blocks at or after the one
-    /// containing `from_idx` (insertion shifts every later index).
-    fn rebuild_blocks_from(&mut self, from_idx: usize) {
-        let nblocks = self.busy.len().div_ceil(BLOCK);
-        // A deserialized timeline arrives without metadata (serde skip):
-        // rebuild everything the first time it is touched.
-        let from_idx = if self.block_max_gap.is_empty() {
-            0
-        } else {
-            from_idx
-        };
-        self.block_max_gap.resize(nblocks, 0.0);
-        let first_block = from_idx / BLOCK;
-        for b in first_block..nblocks {
-            let lo = b * BLOCK;
-            let hi = ((b + 1) * BLOCK).min(self.busy.len());
-            let mut max_gap = 0.0f64;
-            for k in lo.max(1)..hi {
-                let gap = self.busy[k].start - self.busy[k - 1].end;
-                if gap > max_gap {
-                    max_gap = gap;
-                }
-            }
-            self.block_max_gap[b] = max_gap;
+    /// Build from already sorted, pairwise non-overlapping intervals.
+    pub fn from_sorted(ivs: Vec<TimeInterval>) -> Timeline {
+        debug_assert!(ivs.windows(2).all(|w| w[1].start >= w[0].end - EPS));
+        let len = ivs.len();
+        let total_busy = ivs.iter().map(TimeInterval::duration).sum();
+        let chunks: Vec<Chunk> = ivs
+            .chunks(TARGET_CHUNK)
+            .map(|c| Chunk::new(c.to_vec()))
+            .collect();
+        let ends = chunks.iter().map(Chunk::end).collect();
+        Timeline {
+            chunks,
+            ends,
+            len,
+            total_busy,
         }
     }
 
-    /// The busy intervals, sorted by start.
-    #[inline]
-    pub fn intervals(&self) -> &[TimeInterval] {
-        &self.busy
+    /// Iterate over the busy intervals, sorted by start.
+    pub fn iter(&self) -> impl Iterator<Item = &TimeInterval> {
+        self.chunks.iter().flat_map(|c| c.ivs.iter())
+    }
+
+    /// The busy intervals as a flat vector, sorted by start.
+    pub fn to_vec(&self) -> Vec<TimeInterval> {
+        self.iter().copied().collect()
     }
 
     /// Number of busy intervals.
     #[inline]
     pub fn len(&self) -> usize {
-        self.busy.len()
+        self.len
     }
 
     /// Whether the timeline has no busy intervals.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.busy.is_empty()
+        self.len == 0
     }
 
     /// End of the last busy interval (0 when empty).
     pub fn horizon(&self) -> f64 {
-        self.busy.last().map_or(0.0, |iv| iv.end)
+        self.chunks.last().map_or(0.0, Chunk::end)
     }
 
-    /// Total busy duration.
-    pub fn busy_time(&self) -> f64 {
-        self.busy.iter().map(TimeInterval::duration).sum()
-    }
-
-    /// Index of the first busy interval whose `end > t` (binary search).
+    /// Total busy duration (maintained incrementally by [`Timeline::occupy`]).
     #[inline]
-    fn first_ending_after(&self, t: f64) -> usize {
-        self.busy.partition_point(|iv| iv.end <= t + EPS)
+    pub fn busy_time(&self) -> f64 {
+        self.total_busy
+    }
+
+    /// Index of the first chunk whose end is past `t`, plus the index of the
+    /// first interval in it with `end > t + EPS`. `None` when every interval
+    /// ends at or before `t`.
+    #[inline]
+    fn locate_ending_after(&self, t: f64) -> Option<(usize, usize)> {
+        let ci = self.ends.partition_point(|&e| e <= t + EPS);
+        if ci == self.chunks.len() {
+            return None;
+        }
+        let ii = self.chunks[ci].ivs.partition_point(|iv| iv.end <= t + EPS);
+        debug_assert!(ii < self.chunks[ci].ivs.len());
+        Some((ci, ii))
     }
 
     /// The first busy interval that conflicts with `[start, start + dur)`,
@@ -148,8 +245,9 @@ impl Timeline {
             return None;
         }
         let probe = TimeInterval::new(start, dur);
-        let i = self.first_ending_after(start);
-        self.busy.get(i).copied().filter(|iv| iv.overlaps(&probe))
+        let (ci, ii) = self.locate_ending_after(start)?;
+        let iv = self.chunks[ci].ivs[ii];
+        iv.overlaps(&probe).then_some(iv)
     }
 
     /// Whether `[start, start + dur)` is entirely free.
@@ -159,36 +257,94 @@ impl Timeline {
 
     /// Earliest `t >= after` such that `[t, t + dur)` is free.
     ///
-    /// Runs in `O(log n + visited)` where densely packed regions are skipped
-    /// block-wise via the `block_max_gap` metadata.
+    /// Runs in `O(log n + visited)`: binary search to the first relevant
+    /// interval, then a walk that skips every chunk whose largest internal
+    /// gap cannot fit `dur`.
     pub fn earliest_gap(&self, after: f64, dur: f64) -> f64 {
         if dur <= EPS {
             return after;
         }
         let mut t = after;
-        let mut i = self.first_ending_after(t);
-        while i < self.busy.len() {
-            // Block skip: once the scan is aligned on a block boundary and
-            // `t` equals the previous interval's end (i.e. we are walking
-            // busy runs, not starting fresh from `after`), a block whose
-            // max internal gap is too small cannot contain the answer.
-            if i.is_multiple_of(BLOCK) && i > 0 && t >= self.busy[i - 1].end - EPS {
-                let b = i / BLOCK;
-                if b < self.block_max_gap.len() && self.block_max_gap[b] < dur - EPS {
-                    let hi = ((b + 1) * BLOCK).min(self.busy.len());
-                    t = t.max(self.busy[hi - 1].end);
-                    i = hi;
-                    continue;
+        let Some((mut ci, mut ii)) = self.locate_ending_after(t) else {
+            return t;
+        };
+        loop {
+            let ch = &self.chunks[ci];
+            // Gap before the next relevant interval (covers both the slot at
+            // `after` and the inter-chunk boundary once the walk advances).
+            if ch.ivs[ii].start >= t + dur - EPS {
+                return t;
+            }
+            if ch.max_gap < dur - EPS {
+                // No internal gap of this chunk can fit `dur`: the walk from
+                // `ii` keeps `t >= ivs[k-1].end`, so every candidate slot is
+                // bounded by an internal gap. Skip to the chunk's end.
+                t = t.max(ch.end());
+            } else {
+                while ii < ch.ivs.len() {
+                    let iv = ch.ivs[ii];
+                    if iv.start >= t + dur - EPS {
+                        return t;
+                    }
+                    t = t.max(iv.end);
+                    ii += 1;
                 }
             }
-            let iv = self.busy[i];
-            if iv.start >= t + dur - EPS {
-                return t; // gap before iv is big enough
+            ci += 1;
+            ii = 0;
+            if ci == self.chunks.len() {
+                return t;
             }
-            t = t.max(iv.end);
-            i += 1;
         }
-        t
+    }
+
+    /// Earliest `τ >= after` such that the idle time within `[after, τ)`
+    /// totals `work` — i.e. a lower bound on when `work` units of this
+    /// resource's time, none usable before `after`, can all have elapsed.
+    ///
+    /// Unlike [`Timeline::earliest_gap`] the work need not be contiguous, so
+    /// the result is a *bound*, not a slot: it is what the placement pruning
+    /// uses to discard candidate processors whose ports are too busy to beat
+    /// an incumbent (the idle time may be fragmented, in which case the real
+    /// completion is even later). Runs in `O(log n + chunks)` via the
+    /// per-chunk busy totals.
+    pub fn earliest_finish_of_work(&self, after: f64, work: f64) -> f64 {
+        if work <= 0.0 {
+            return after;
+        }
+        let mut t = after;
+        let mut remaining = work;
+        let Some((ci, ii)) = self.locate_ending_after(t) else {
+            return t + remaining;
+        };
+        // Partially covered first chunk: walk its intervals.
+        for iv in &self.chunks[ci].ivs[ii..] {
+            if let Some(done) = consume_idle(&mut t, &mut remaining, iv) {
+                return done;
+            }
+        }
+        // Whole chunks: idle inside `[t, chunk end)` is the span minus the
+        // chunk's busy total.
+        let mut ci = ci + 1;
+        while ci < self.chunks.len() {
+            let ch = &self.chunks[ci];
+            let idle = (ch.end() - t) - ch.busy;
+            if remaining <= idle {
+                break; // finish lies inside this chunk: walk it
+            }
+            remaining -= idle.max(0.0);
+            t = ch.end();
+            ci += 1;
+        }
+        // Resolve the exact finish with an interval walk from `t`.
+        for ch in &self.chunks[ci..] {
+            for iv in &ch.ivs {
+                if let Some(done) = consume_idle(&mut t, &mut remaining, iv) {
+                    return done;
+                }
+            }
+        }
+        t + remaining
     }
 
     /// Mark `[start, start + dur)` busy. Zero-duration intervals are ignored.
@@ -200,18 +356,85 @@ impl Timeline {
             return;
         }
         let iv = TimeInterval::new(start, dur);
-        let pos = self.busy.partition_point(|b| b.start < iv.start);
         debug_assert!(
             self.is_free(start, dur),
             "occupy({start}, {dur}) overlaps an existing busy interval"
         );
-        self.busy.insert(pos, iv);
-        self.rebuild_blocks_from(pos);
+        self.len += 1;
+        self.total_busy += iv.duration();
+        if self.chunks.is_empty() {
+            let c = Chunk::new(vec![iv]);
+            self.ends.push(c.end());
+            self.chunks.push(c);
+            return;
+        }
+        // The last chunk whose start precedes the new interval (the first
+        // chunk when the interval goes before everything).
+        let ci = self
+            .chunks
+            .partition_point(|c| c.start() <= iv.start)
+            .saturating_sub(1);
+        let ch = &mut self.chunks[ci];
+        let pos = ch.ivs.partition_point(|b| b.start < iv.start);
+        // Patch the chunk metadata incrementally: an insertion splits at
+        // most one internal gap into two smaller ones, so a full rescan is
+        // needed only when the split gap was the chunk's maximum (boundary
+        // insertions instead *add* one internal gap).
+        let mut rescan_max = false;
+        if pos > 0 && pos < ch.ivs.len() {
+            let split_gap = ch.ivs[pos].start - ch.ivs[pos - 1].end;
+            rescan_max = split_gap >= ch.max_gap;
+        } else if pos == 0 {
+            ch.max_gap = ch.max_gap.max(ch.ivs[0].start - iv.end);
+            ch.start = iv.start;
+        } else {
+            ch.max_gap = ch.max_gap.max(iv.start - ch.ivs[pos - 1].end);
+            ch.end = iv.end;
+            self.ends[ci] = iv.end;
+        }
+        ch.busy += iv.duration();
+        ch.ivs.insert(pos, iv);
+        if rescan_max {
+            ch.max_gap = max_internal_gap(&ch.ivs);
+        }
+        if ch.ivs.len() > MAX_CHUNK {
+            let upper = ch.ivs.split_off(ch.ivs.len() / 2);
+            ch.recompute_meta();
+            self.ends[ci] = ch.end();
+            let upper = Chunk::new(upper);
+            self.ends.insert(ci + 1, upper.end());
+            self.chunks.insert(ci + 1, upper);
+        }
     }
 
     /// Idle time between `0` and `horizon` not covered by busy intervals.
     pub fn idle_before_horizon(&self) -> f64 {
         self.horizon() - self.busy_time()
+    }
+}
+
+// The serde shim has no `#[serde(from/into)]`, so the chunked structure
+// keeps the seed's wire format `{"busy": [...]}` through manual impls.
+// (When swapping in registry serde, replace these with
+// `#[serde(from = "...", into = "...")]` on a flat mirror struct.)
+impl Serialize for Timeline {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![(
+            "busy".to_string(),
+            Value::Seq(self.iter().map(Serialize::to_value).collect()),
+        )])
+    }
+}
+
+impl Deserialize for Timeline {
+    fn from_value(v: &Value) -> Result<Timeline, Error> {
+        let busy = Vec::<TimeInterval>::from_value(v.get_field("busy")?)?;
+        if !busy.windows(2).all(|w| w[1].start >= w[0].end - EPS) {
+            return Err(Error(
+                "timeline intervals must be sorted and non-overlapping".to_string(),
+            ));
+        }
+        Ok(Timeline::from_sorted(busy))
     }
 }
 
@@ -236,7 +459,7 @@ mod tests {
         t.occupy(5.0, 1.0);
         t.occupy(1.0, 1.0);
         t.occupy(3.0, 1.0);
-        let starts: Vec<f64> = t.intervals().iter().map(|iv| iv.start).collect();
+        let starts: Vec<f64> = t.iter().map(|iv| iv.start).collect();
         assert_eq!(starts, vec![1.0, 3.0, 5.0]);
         assert_eq!(t.horizon(), 6.0);
         assert_eq!(t.busy_time(), 3.0);
@@ -313,6 +536,44 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.horizon(), 2.0);
     }
+
+    #[test]
+    fn chunks_split_and_stay_sorted() {
+        // enough intervals to force several chunk splits, inserted in a
+        // front-loaded shuffle (worst case for the old flat Vec)
+        let mut t = Timeline::new();
+        let n = 5 * MAX_CHUNK;
+        for i in (0..n).rev() {
+            t.occupy(i as f64 * 2.0, 1.0);
+        }
+        assert_eq!(t.len(), n);
+        let flat = t.to_vec();
+        assert!(flat.windows(2).all(|w| w[1].start >= w[0].end - EPS));
+        assert_eq!(t.busy_time(), n as f64);
+        // every unit gap is still found
+        assert_eq!(t.earliest_gap(0.0, 1.0), 1.0);
+        assert_eq!(t.earliest_gap(10.4, 1.0), 11.0);
+        // nothing larger fits before the horizon
+        assert_eq!(t.earliest_gap(0.0, 1.5), t.horizon());
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental() {
+        let ivs: Vec<TimeInterval> = (0..300)
+            .map(|i| TimeInterval::new(i as f64 * 3.0, 2.0))
+            .collect();
+        let built = Timeline::from_sorted(ivs.clone());
+        let mut inc = Timeline::new();
+        for iv in &ivs {
+            inc.occupy(iv.start, iv.duration());
+        }
+        assert_eq!(built.to_vec(), inc.to_vec());
+        assert_eq!(built.len(), inc.len());
+        assert_eq!(built.busy_time(), inc.busy_time());
+        for probe in [0.0, 7.5, 450.0] {
+            assert_eq!(built.earliest_gap(probe, 1.0), inc.earliest_gap(probe, 1.0));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -338,9 +599,53 @@ mod proptests {
         t
     }
 
+    /// The seed's flat-`Vec` timeline (sorted insert + block-free walk),
+    /// kept verbatim as a second reference implementation: the chunked
+    /// structure must agree with it on *every* operation.
+    #[derive(Default)]
+    struct SeedTimeline {
+        busy: Vec<TimeInterval>,
+    }
+
+    impl SeedTimeline {
+        fn occupy(&mut self, start: f64, dur: f64) {
+            if dur <= EPS {
+                return;
+            }
+            let iv = TimeInterval::new(start, dur);
+            let pos = self.busy.partition_point(|b| b.start < iv.start);
+            self.busy.insert(pos, iv);
+        }
+
+        fn earliest_gap(&self, after: f64, dur: f64) -> f64 {
+            if dur <= EPS {
+                return after;
+            }
+            let mut t = after;
+            let mut i = self.busy.partition_point(|iv| iv.end <= t + EPS);
+            while i < self.busy.len() {
+                let iv = self.busy[i];
+                if iv.start >= t + dur - EPS {
+                    return t;
+                }
+                t = t.max(iv.end);
+                i += 1;
+            }
+            t
+        }
+
+        fn busy_time(&self) -> f64 {
+            self.busy.iter().map(TimeInterval::duration).sum()
+        }
+
+        fn horizon(&self) -> f64 {
+            self.busy.last().map_or(0.0, |iv| iv.end)
+        }
+    }
+
     proptest! {
-        /// The block-skipping gap search agrees with the naive scan on
-        /// random dense timelines (hundreds of intervals, several blocks).
+        /// The chunk-skipping gap search agrees with the naive scan on
+        /// random dense timelines (hundreds of intervals, several chunks).
         #[test]
         fn earliest_gap_matches_naive(
             seed_gaps in proptest::collection::vec(0.0f64..3.0, 1..400),
@@ -355,11 +660,12 @@ mod proptests {
                 tl.occupy(t, d);
                 t += d;
             }
+            let flat = tl.to_vec();
             let horizon = tl.horizon();
             for (i, &dur) in durs.iter().enumerate() {
                 let after = horizon * after_frac * (i as f64 / durs.len() as f64);
                 let fast = tl.earliest_gap(after, dur);
-                let slow = naive_earliest_gap(tl.intervals(), after, dur);
+                let slow = naive_earliest_gap(&flat, after, dur);
                 prop_assert!((fast - slow).abs() < 1e-9,
                     "after={after} dur={dur}: fast={fast} naive={slow}");
                 // and the returned slot really is free
@@ -380,9 +686,89 @@ mod proptests {
                 tl.occupy(t, dur);
             }
             // invariant: sorted and non-overlapping
-            let iv = tl.intervals();
+            let iv = tl.to_vec();
             for w in iv.windows(2) {
                 prop_assert!(w[1].start >= w[0].end - EPS);
+            }
+        }
+
+        /// Occupy-heavy adversarial workload: random interleaved
+        /// occupy/earliest_gap sequences must keep the chunked structure in
+        /// lockstep with BOTH references — the naive linear scan and the
+        /// seed's flat-`Vec` implementation — on the gap answers, the stored
+        /// interval sequence, the running busy total, and the horizon.
+        #[test]
+        fn interleaved_occupy_matches_seed_vec(
+            ops in proptest::collection::vec(
+                (0.0f64..400.0, 0.1f64..6.0, 0u8..2), 1..600),
+        ) {
+            let mut fast = Timeline::new();
+            let mut seed = SeedTimeline::default();
+            for (after, dur, place) in ops {
+                let place = place == 1;
+                let got = fast.earliest_gap(after, dur);
+                let want = seed.earliest_gap(after, dur);
+                prop_assert!((got - want).abs() < 1e-9,
+                    "gap(after={after}, dur={dur}): chunked={got} seed={want}");
+                let naive = naive_earliest_gap(&seed.busy, after, dur);
+                prop_assert!((got - naive).abs() < 1e-9,
+                    "gap(after={after}, dur={dur}): chunked={got} naive={naive}");
+                if place {
+                    fast.occupy(got, dur);
+                    seed.occupy(want, dur);
+                }
+            }
+            prop_assert_eq!(fast.to_vec(), seed.busy.clone());
+            prop_assert_eq!(fast.len(), seed.busy.len());
+            prop_assert!((fast.busy_time() - seed.busy_time()).abs() < 1e-6);
+            prop_assert!((fast.horizon() - seed.horizon()).abs() == 0.0);
+        }
+
+        /// The chunk-accelerated free-time accounting agrees with a naive
+        /// interval walk, and it never exceeds the contiguous-slot answer
+        /// (it must stay a valid lower bound for the placement pruning).
+        #[test]
+        fn earliest_finish_of_work_matches_naive(
+            seed_gaps in proptest::collection::vec(0.0f64..4.0, 1..300),
+            queries in proptest::collection::vec((0.0f64..900.0, 0.1f64..40.0), 1..30),
+        ) {
+            let mut tl = Timeline::new();
+            let mut t = 0.0;
+            for (i, g) in seed_gaps.iter().enumerate() {
+                t += g;
+                let d = 0.25 + (i % 5) as f64 * 0.5;
+                tl.occupy(t, d);
+                t += d;
+            }
+            let busy = tl.to_vec();
+            for &(after, work) in &queries {
+                // naive: walk every interval, accumulating idle time
+                let naive = {
+                    let mut t = after;
+                    let mut remaining = work;
+                    let mut done = f64::NAN;
+                    for iv in &busy {
+                        if iv.end <= t + EPS {
+                            continue;
+                        }
+                        let gap = iv.start - t;
+                        if remaining <= gap {
+                            done = t + remaining;
+                            break;
+                        }
+                        if gap > 0.0 {
+                            remaining -= gap;
+                        }
+                        t = t.max(iv.end);
+                    }
+                    if done.is_nan() { t + remaining } else { done }
+                };
+                let fast = tl.earliest_finish_of_work(after, work);
+                prop_assert!((fast - naive).abs() < 1e-9,
+                    "after={after} work={work}: fast={fast} naive={naive}");
+                // lower bound property vs the contiguous slot
+                let slot_end = tl.earliest_gap(after, work) + work;
+                prop_assert!(fast <= slot_end + 1e-9);
             }
         }
     }
@@ -392,24 +778,31 @@ mod proptests {
 mod serde_tests {
     use super::*;
 
-    /// `block_max_gap` is skipped by serde; a deserialized timeline must
-    /// rebuild it on the first mutation and keep gap queries exact.
+    /// The chunked metadata is an implementation detail: the wire format is
+    /// the seed's flat `{"busy": [...]}`, and a deserialized timeline must
+    /// answer gap queries exactly and accept further occupies.
     #[test]
-    fn deserialized_timeline_rebuilds_block_metadata() {
+    fn deserialized_timeline_rebuilds_metadata() {
         let mut tl = Timeline::new();
         for i in 0..200 {
             tl.occupy(i as f64 * 2.0, 1.0); // gaps of 1.0 everywhere
         }
         let json = serde_json::to_string(&tl).unwrap();
+        assert!(json.starts_with("{\"busy\":["), "wire format unchanged");
         let mut back: Timeline = serde_json::from_str(&json).unwrap();
-        // Before any mutation, queries must still be correct (no metadata ->
-        // pure scan fallback).
         assert_eq!(back.earliest_gap(0.0, 0.5), 1.0);
         assert_eq!(back.earliest_gap(0.0, 1.5), 399.0);
-        // After one occupy, the metadata covers ALL blocks, not just the
-        // insertion point's.
+        assert_eq!(back.busy_time(), tl.busy_time());
         back.occupy(399.0, 0.25);
         assert_eq!(back.earliest_gap(0.0, 0.5), 1.0, "early gaps still found");
         assert!(back.is_free(1.0, 0.5));
+    }
+
+    #[test]
+    fn unsorted_payload_rejected() {
+        let err = serde_json::from_str::<Timeline>(
+            "{\"busy\":[{\"start\":5.0,\"end\":6.0},{\"start\":0.0,\"end\":1.0}]}",
+        );
+        assert!(err.is_err());
     }
 }

@@ -32,6 +32,6 @@ pub mod validate;
 
 pub use interval::{TimeInterval, Timeline, EPS};
 pub use model::CommModel;
-pub use resources::{ResourcePool, StagedPlacements, Txn};
+pub use resources::{ResourcePool, StagedPlacements, Txn, TxnBuffers};
 pub use schedule::{CommPlacement, Schedule, TaskPlacement};
 pub use validate::{validate, ScheduleViolation};

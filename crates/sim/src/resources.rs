@@ -17,6 +17,38 @@ enum Port {
     Recv,
 }
 
+/// A fixed-capacity set of `(port, processor)` busy views.
+///
+/// Returned by value so the innermost placement loops
+/// ([`Txn::earliest_comm_slot`] runs once per candidate × message) never
+/// allocate — the former `Vec` return showed up as the dominant allocation
+/// site of schedule construction.
+#[derive(Debug, Clone, Copy)]
+struct Views {
+    views: [(Port, ProcId); 4],
+    len: usize,
+}
+
+impl Views {
+    const fn new(views: &[(Port, ProcId)]) -> Views {
+        let mut buf = [(Port::Compute, ProcId(0)); 4];
+        let mut i = 0;
+        while i < views.len() {
+            buf[i] = views[i];
+            i += 1;
+        }
+        Views {
+            views: buf,
+            len: views.len(),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[(Port, ProcId)] {
+        &self.views[..self.len]
+    }
+}
+
 /// The committed resource state: three timelines per processor
 /// (compute core, send port, receive port).
 #[derive(Debug, Clone)]
@@ -72,9 +104,27 @@ impl ResourcePool {
 
     /// Begin staging placements on top of the committed state.
     pub fn begin(&self) -> Txn<'_> {
+        self.begin_with(TxnBuffers::default())
+    }
+
+    /// [`ResourcePool::begin`] reusing the buffers of a previous
+    /// transaction (see [`Txn::into_buffers`]) — the candidate-evaluation
+    /// loop runs thousands of short-lived transactions, and recycling their
+    /// allocations is a measurable win.
+    pub fn begin_with(&self, bufs: TxnBuffers) -> Txn<'_> {
+        let TxnBuffers {
+            mut added,
+            mut next,
+            mut keys,
+        } = bufs;
+        added.clear();
+        next.clear();
+        keys.clear();
         Txn {
             pool: self,
-            added: Vec::new(),
+            added,
+            next,
+            keys,
         }
     }
 
@@ -100,31 +150,31 @@ impl ResourcePool {
     }
 
     /// The busy views constraining a transfer `src -> dst` under `model`.
-    fn comm_views(&self, src: ProcId, dst: ProcId) -> Vec<(Port, ProcId)> {
+    fn comm_views(&self, src: ProcId, dst: ProcId) -> Views {
         match self.model {
-            CommModel::MacroDataflow => Vec::new(),
-            CommModel::OnePortBidir => vec![(Port::Send, src), (Port::Recv, dst)],
-            CommModel::OnePortUnidir => vec![
+            CommModel::MacroDataflow => Views::new(&[]),
+            CommModel::OnePortBidir => Views::new(&[(Port::Send, src), (Port::Recv, dst)]),
+            CommModel::OnePortUnidir => Views::new(&[
                 (Port::Send, src),
                 (Port::Recv, src),
                 (Port::Send, dst),
                 (Port::Recv, dst),
-            ],
-            CommModel::OnePortNoOverlap => vec![
+            ]),
+            CommModel::OnePortNoOverlap => Views::new(&[
                 (Port::Send, src),
                 (Port::Recv, dst),
                 (Port::Compute, src),
                 (Port::Compute, dst),
-            ],
+            ]),
         }
     }
 
     /// The busy views constraining a computation on `p` under `model`.
-    fn compute_views(&self, p: ProcId) -> Vec<(Port, ProcId)> {
+    fn compute_views(&self, p: ProcId) -> Views {
         if self.model.excludes_compute() {
-            vec![(Port::Compute, p), (Port::Send, p), (Port::Recv, p)]
+            Views::new(&[(Port::Compute, p), (Port::Send, p), (Port::Recv, p)])
         } else {
-            vec![(Port::Compute, p)]
+            Views::new(&[(Port::Compute, p)])
         }
     }
 }
@@ -136,16 +186,48 @@ pub struct StagedPlacements {
     added: Vec<(Port, ProcId, TimeInterval)>,
 }
 
+/// Recycled backing storage of a [`Txn`] (see [`ResourcePool::begin_with`]).
+#[derive(Debug, Default)]
+pub struct TxnBuffers {
+    added: Vec<(Port, ProcId, TimeInterval)>,
+    next: Vec<u32>,
+    keys: Vec<StagedKey>,
+}
+
+/// Chain terminator for the staged-interval index.
+const NO_ENTRY: u32 = u32::MAX;
+
+/// Head/tail of one `(port, proc)` chain through the staged entries.
+#[derive(Debug, Clone, Copy)]
+struct StagedKey {
+    port: Port,
+    proc: ProcId,
+    head: u32,
+    tail: u32,
+}
+
 /// A staged set of placements overlaying a [`ResourcePool`].
 ///
 /// All queries see both the committed state and the staged additions, so a
 /// scheduler can serialize several incoming messages for one candidate task
 /// correctly (two messages from the same sender contend for that sender's
 /// send port even before commit).
+///
+/// Staged intervals are indexed by `(port, proc)` through intrusive chains
+/// (`next`/`keys`): a fixpoint pass of [`Txn::earliest_comm_slot`] walks
+/// only the handful of intervals staged on the queried resource instead of
+/// rescanning every staged interval of the transaction.
 #[derive(Debug, Clone)]
 pub struct Txn<'a> {
     pool: &'a ResourcePool,
+    /// Staged intervals in insertion (= commit) order.
     added: Vec<(Port, ProcId, TimeInterval)>,
+    /// `next[i]`: index of the next staged interval on the same
+    /// `(port, proc)`, or [`NO_ENTRY`].
+    next: Vec<u32>,
+    /// One entry per distinct `(port, proc)` touched by this transaction
+    /// (a handful: placements stage at most two ports per message).
+    keys: Vec<StagedKey>,
 }
 
 impl<'a> Txn<'a> {
@@ -154,22 +236,93 @@ impl<'a> Txn<'a> {
         self.added.len()
     }
 
+    /// The committed pool this transaction overlays.
+    #[inline]
+    pub fn pool(&self) -> &'a ResourcePool {
+        self.pool
+    }
+
     /// Consume the transaction, releasing its borrow of the pool and
     /// returning the staged placements for [`ResourcePool::commit`].
     pub fn finish(self) -> StagedPlacements {
         StagedPlacements { added: self.added }
     }
 
+    /// Abandon the transaction, returning its backing storage for reuse
+    /// with [`ResourcePool::begin_with`]. Nothing is committed.
+    pub fn into_buffers(self) -> TxnBuffers {
+        TxnBuffers {
+            added: self.added,
+            next: self.next,
+            keys: self.keys,
+        }
+    }
+
+    /// Record a staged interval under its `(port, proc)` chain.
+    fn stage(&mut self, port: Port, proc: ProcId, iv: TimeInterval) {
+        let idx = self.added.len() as u32;
+        self.added.push((port, proc, iv));
+        self.next.push(NO_ENTRY);
+        match self
+            .keys
+            .iter_mut()
+            .find(|k| k.port == port && k.proc == proc)
+        {
+            Some(key) => {
+                self.next[key.tail as usize] = idx;
+                key.tail = idx;
+            }
+            None => self.keys.push(StagedKey {
+                port,
+                proc,
+                head: idx,
+                tail: idx,
+            }),
+        }
+    }
+
+    /// Head of the staged chain for `(port, proc)`, if any interval is
+    /// staged there.
+    #[inline]
+    fn chain_head(&self, port: Port, proc: ProcId) -> Option<u32> {
+        self.keys
+            .iter()
+            .find(|k| k.port == port && k.proc == proc)
+            .map(|k| k.head)
+    }
+
     /// Earliest `t >= after` such that `[t, t + dur)` is free on every view.
-    fn earliest_in_views(&self, views: &[(Port, ProcId)], after: f64, dur: f64) -> f64 {
+    ///
+    /// `pre_cleared`: view index already known to admit a slot at exactly
+    /// `after` (committed timeline *and* staged chain), letting the caller
+    /// reuse a previously computed single-view gap as a verified start.
+    fn earliest_in_views(
+        &self,
+        views: &[(Port, ProcId)],
+        after: f64,
+        dur: f64,
+        pre_cleared: Option<usize>,
+    ) -> f64 {
         let mut t = after;
         if dur <= EPS {
             return t;
         }
+        // `cleared[v]`: the view already admitted a free slot at exactly the
+        // current `t`, so re-querying it would return `t` again — the final
+        // confirmation round touches only views that have not been queried
+        // since `t` last moved.
+        let mut cleared = [f64::NAN; 4];
+        debug_assert!(views.len() <= cleared.len());
+        if let Some(v) = pre_cleared {
+            cleared[v] = t;
+        }
         loop {
             let mut moved = false;
-            for &(port, proc) in views {
-                // earliest free slot in this view alone (block-skips packed
+            for (v, &(port, proc)) in views.iter().enumerate() {
+                if cleared[v] == t {
+                    continue;
+                }
+                // earliest free slot in this view alone (chunk-skips packed
                 // regions); alternating to a fixpoint yields the earliest
                 // slot free in every view simultaneously.
                 let g = self.pool.timeline(port, proc).earliest_gap(t, dur);
@@ -177,15 +330,23 @@ impl<'a> Txn<'a> {
                     t = g;
                     moved = true;
                 }
-                for &(ap, aproc, iv) in &self.added {
-                    if ap == port && aproc == proc {
-                        let probe = TimeInterval::new(t, dur);
-                        if iv.overlaps(&probe) && iv.end > t {
-                            t = iv.end;
-                            moved = true;
-                        }
+                let after_timeline = t;
+                let mut cursor = self.chain_head(port, proc);
+                while let Some(idx) = cursor {
+                    let iv = self.added[idx as usize].2;
+                    let probe = TimeInterval::new(t, dur);
+                    if iv.overlaps(&probe) && iv.end > t {
+                        t = iv.end;
+                        moved = true;
                     }
+                    let n = self.next[idx as usize];
+                    cursor = (n != NO_ENTRY).then_some(n);
                 }
+                // The timeline query verifies its returned slot by
+                // construction, so the view admits `t` unless the *staged
+                // chain* moved it (a chain bump leaves the timeline part
+                // unverified at the new `t`).
+                cleared[v] = if t == after_timeline { t } else { f64::NAN };
             }
             if !moved {
                 return t;
@@ -203,7 +364,33 @@ impl<'a> Txn<'a> {
             return after;
         }
         let views = self.pool.comm_views(src, dst);
-        self.earliest_in_views(&views, after, dur)
+        self.earliest_in_views(views.as_slice(), after, dur, None)
+    }
+
+    /// [`Txn::earliest_comm_slot`] for a caller that already knows the
+    /// committed send port of `src` is free for `dur` at `send_free`
+    /// (typically from a memoized `Timeline::earliest_gap` on
+    /// `send_timeline(src)`). When the search starts exactly there and this
+    /// transaction has nothing staged on that send port, the send view is
+    /// pre-verified and its first fixpoint query is skipped.
+    pub fn earliest_comm_slot_seeded(
+        &self,
+        src: ProcId,
+        dst: ProcId,
+        after: f64,
+        dur: f64,
+        send_free: f64,
+    ) -> f64 {
+        if src == dst || dur <= EPS {
+            return after.max(send_free);
+        }
+        let start = after.max(send_free);
+        let views = self.pool.comm_views(src, dst);
+        let send_clear = (start == send_free
+            && !views.as_slice().is_empty()
+            && self.chain_head(Port::Send, src).is_none())
+        .then_some(0);
+        self.earliest_in_views(views.as_slice(), start, dur, send_clear)
     }
 
     /// Stage a transfer `[start, start + dur)` from `src` to `dst`,
@@ -216,8 +403,8 @@ impl<'a> Txn<'a> {
             return;
         }
         let iv = TimeInterval::new(start, dur);
-        self.added.push((Port::Send, src, iv));
-        self.added.push((Port::Recv, dst, iv));
+        self.stage(Port::Send, src, iv);
+        self.stage(Port::Recv, dst, iv);
     }
 
     /// Earliest start `>= after` for a computation of `dur` on `p`.
@@ -228,17 +415,18 @@ impl<'a> Txn<'a> {
     pub fn earliest_compute_slot(&self, p: ProcId, after: f64, dur: f64, insertion: bool) -> f64 {
         let views = self.pool.compute_views(p);
         if insertion {
-            self.earliest_in_views(&views, after, dur)
+            self.earliest_in_views(views.as_slice(), after, dur, None)
         } else {
             // Start past the horizon of everything staged or committed on
             // the compute core, then respect no-overlap port views.
             let mut t = after.max(self.pool.compute[p.index()].horizon());
-            for &(ap, aproc, iv) in &self.added {
-                if ap == Port::Compute && aproc == p {
-                    t = t.max(iv.end);
-                }
+            let mut cursor = self.chain_head(Port::Compute, p);
+            while let Some(idx) = cursor {
+                t = t.max(self.added[idx as usize].2.end);
+                let n = self.next[idx as usize];
+                cursor = (n != NO_ENTRY).then_some(n);
             }
-            self.earliest_in_views(&views, t, dur)
+            self.earliest_in_views(views.as_slice(), t, dur, None)
         }
     }
 
@@ -247,8 +435,7 @@ impl<'a> Txn<'a> {
         if dur <= EPS {
             return;
         }
-        self.added
-            .push((Port::Compute, p, TimeInterval::new(start, dur)));
+        self.stage(Port::Compute, p, TimeInterval::new(start, dur));
     }
 }
 
@@ -354,6 +541,16 @@ mod tests {
     }
 
     #[test]
+    fn append_sees_staged_compute() {
+        let pool = ResourcePool::new(1, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        txn.add_compute(P0, 0.0, 2.0);
+        txn.add_compute(P0, 5.0, 2.0);
+        // append-only must clear BOTH staged intervals, not just the pool's
+        assert_eq!(txn.earliest_compute_slot(P0, 0.0, 1.0, false), 7.0);
+    }
+
+    #[test]
     fn commit_persists_staged_intervals() {
         let mut pool = ResourcePool::new(2, CommModel::OnePortBidir);
         let mut txn = pool.begin();
@@ -392,6 +589,28 @@ mod tests {
             txn.add_comm(ProcId(src), ProcId(3), s, 2.0);
         }
         assert_eq!(txn.earliest_comm_slot(P0, ProcId(3), 0.0, 2.0), 6.0);
+    }
+
+    #[test]
+    fn staged_chains_cover_many_keys() {
+        // Exercise the (port, proc) index with interleaved staging across
+        // several distinct resources within one transaction.
+        let pool = ResourcePool::new(6, CommModel::OnePortBidir);
+        let mut txn = pool.begin();
+        for round in 0..3 {
+            for src in 0..5u32 {
+                let s = txn.earliest_comm_slot(ProcId(src), ProcId(5), 0.0, 1.0);
+                txn.add_comm(ProcId(src), ProcId(5), s, 1.0);
+                assert_eq!(s, (round * 5 + src) as f64, "receive port serializes");
+            }
+        }
+        assert_eq!(txn.num_staged(), 30);
+        // every sender's send port carries its own three staged intervals
+        for src in 0..5u32 {
+            let dst = if src == 4 { ProcId(3) } else { ProcId(4) };
+            let s = txn.earliest_comm_slot(ProcId(src), dst, 0.0, 15.0);
+            assert_eq!(s, 11.0 + f64::from(src), "send chain consulted");
+        }
     }
 
     #[test]

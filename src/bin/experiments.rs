@@ -3,32 +3,48 @@
 //! recorded results).
 //!
 //! ```text
-//! experiments [--sizes 100,200,300,400,500] [--out results] <command>
+//! experiments [--sizes 100,200,300,400,500] [--out results]
+//!             [--threads N] [--bench-json FILE] [--bench-baseline FILE]
+//!             [--bench-repeats N] <command>
 //!
 //! commands:
-//!   fig1        the §2.3 fork example (macro-dataflow vs one-port)
-//!   toy         the §4.4 toy example (HEFT vs ILHA, Gantt charts)
-//!   fig7..fig12 one testbed's size sweep (speedup curves)
-//!   figs        all six testbed sweeps
-//!   bsweep      ILHA chunk-size sensitivity per testbed
-//!   models      HEFT/ILHA under all four communication models
-//!   baselines   every scheduler on every testbed at one size
-//!   all         everything above
+//!   fig1           the §2.3 fork example (macro-dataflow vs one-port)
+//!   toy            the §4.4 toy example (HEFT vs ILHA, Gantt charts)
+//!   fig7..fig12    one testbed's size sweep (speedup curves)
+//!   figs           all six testbed sweeps (parallel over testbed×size×scheduler)
+//!   bsweep         ILHA chunk-size sensitivity per testbed
+//!   models         HEFT/ILHA under all four communication models
+//!   baselines      every scheduler on every testbed at one size
+//!   record-baseline  refresh tests/fixtures/schedule_baseline.json
+//!   bench-compare <current> <baseline> [--max-ratio R]
+//!                  fail (exit 1) if construction time regressed
+//!   all            everything above
 //! ```
+//!
+//! The figure sweeps fan out over a `std::thread::scope` worker pool
+//! (`--threads`, default: all cores). `--bench-json` additionally writes the
+//! per-(testbed, size, scheduler) schedule-construction times as JSON —
+//! the machine-readable perf trajectory committed as `BENCH_2.json`;
+//! `--bench-baseline` carries the matching times of a previous bench file
+//! into the `seed_construct_ms` fields for before/after comparisons.
 //!
 //! Run in release mode: `cargo run --release --bin experiments -- all`.
 
 use onesched::prelude::*;
+use onesched::runner::{self, BenchFile, SweepResult};
 use onesched_heuristics::bsweep;
 use onesched_sim::stats::ScheduleStats;
 use onesched_sim::{gantt, validate};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 #[derive(Clone)]
 struct Opts {
     sizes: Vec<usize>,
     out: String,
+    threads: usize,
+    bench_json: Option<String>,
+    bench_baseline: Option<String>,
+    bench_repeats: usize,
 }
 
 impl Default for Opts {
@@ -36,6 +52,10 @@ impl Default for Opts {
         Opts {
             sizes: vec![100, 200, 300, 400, 500],
             out: "results".into(),
+            threads: runner::default_threads(),
+            bench_json: None,
+            bench_baseline: None,
+            bench_repeats: 1,
         }
     }
 }
@@ -43,6 +63,7 @@ impl Default for Opts {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Opts::default();
+    let mut max_ratio = 2.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -57,35 +78,56 @@ fn main() {
                 opts.out = args[i + 1].clone();
                 args.drain(i..=i + 1);
             }
+            "--threads" => {
+                opts.threads = args[i + 1]
+                    .parse()
+                    .expect("thread count must be an integer");
+                args.drain(i..=i + 1);
+            }
+            "--bench-json" => {
+                opts.bench_json = Some(args[i + 1].clone());
+                args.drain(i..=i + 1);
+            }
+            "--bench-baseline" => {
+                opts.bench_baseline = Some(args[i + 1].clone());
+                args.drain(i..=i + 1);
+            }
+            "--bench-repeats" => {
+                opts.bench_repeats = args[i + 1].parse().expect("repeats must be an integer");
+                args.drain(i..=i + 1);
+            }
+            "--max-ratio" => {
+                max_ratio = args[i + 1].parse().expect("ratio must be a number");
+                args.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
-    std::fs::create_dir_all(&opts.out).expect("create output directory");
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    if cmd == "bench-compare" {
+        bench_compare(&args[1..], max_ratio);
+        return;
+    }
+    std::fs::create_dir_all(&opts.out).expect("create output directory");
     match cmd {
         "fig1" => fig1(&opts),
         "toy" => toy_example(&opts),
-        "fig7" => figure_sweep(&opts, Testbed::ForkJoin),
-        "fig8" => figure_sweep(&opts, Testbed::Lu),
-        "fig9" => figure_sweep(&opts, Testbed::Laplace),
-        "fig10" => figure_sweep(&opts, Testbed::Ldmt),
-        "fig11" => figure_sweep(&opts, Testbed::Doolittle),
-        "fig12" => figure_sweep(&opts, Testbed::Stencil),
-        "figs" => {
-            for tb in Testbed::ALL {
-                figure_sweep(&opts, tb);
-            }
-        }
+        "fig7" => figure_sweeps(&opts, &[Testbed::ForkJoin]),
+        "fig8" => figure_sweeps(&opts, &[Testbed::Lu]),
+        "fig9" => figure_sweeps(&opts, &[Testbed::Laplace]),
+        "fig10" => figure_sweeps(&opts, &[Testbed::Ldmt]),
+        "fig11" => figure_sweeps(&opts, &[Testbed::Doolittle]),
+        "fig12" => figure_sweeps(&opts, &[Testbed::Stencil]),
+        "figs" => figure_sweeps(&opts, &Testbed::ALL),
         "bsweep" => b_sensitivity(&opts),
         "models" => model_ablation(&opts),
         "baselines" => baseline_comparison(&opts),
         "probe" => probe(&args[1..]),
+        "record-baseline" => record_baseline(&opts),
         "all" => {
             fig1(&opts);
             toy_example(&opts);
-            for tb in Testbed::ALL {
-                figure_sweep(&opts, tb);
-            }
+            figure_sweeps(&opts, &Testbed::ALL);
             b_sensitivity(&opts);
             model_ablation(&opts);
             baseline_comparison(&opts);
@@ -94,6 +136,66 @@ fn main() {
             eprintln!("unknown command: {other}");
             std::process::exit(2);
         }
+    }
+}
+
+/// `record-baseline`: regenerate the schedule-equivalence fixture. Only run
+/// this after an *intentional* schedule change (see src/regress.rs).
+fn record_baseline(opts: &Opts) {
+    let sizes = if opts.sizes == Opts::default().sizes {
+        vec![30, 60]
+    } else {
+        opts.sizes.clone()
+    };
+    let file = onesched::regress::record_baseline(&sizes);
+    let path = "tests/fixtures/schedule_baseline.json";
+    let json = serde_json::to_string(&file).expect("serialize baseline");
+    std::fs::write(path, pretty_json(&json)).expect("write baseline fixture");
+    println!("recorded {} schedules -> {path}", file.entries.len());
+}
+
+/// `bench-compare <current> <baseline>`: gate on construction-time
+/// regressions (the CI perf smoke step).
+fn bench_compare(args: &[String], max_ratio: f64) {
+    let [cur_path, base_path] = args else {
+        eprintln!(
+            "usage: experiments bench-compare <current.json> <baseline.json> [--max-ratio R]"
+        );
+        std::process::exit(2);
+    };
+    let read = |p: &String| -> BenchFile {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
+    };
+    let current = read(cur_path);
+    let baseline = read(base_path);
+    if current.threads != baseline.threads {
+        eprintln!(
+            "warning: comparing a {}-thread run against a {}-thread baseline; \
+             construction times include worker contention",
+            current.threads, baseline.threads
+        );
+    }
+    // Entries faster than 1 ms are dominated by scheduler-start noise.
+    let bad = runner::bench_regressions(&current, &baseline, max_ratio, 1.0);
+    let compared = current
+        .entries
+        .iter()
+        .filter(|c| {
+            baseline
+                .entries
+                .iter()
+                .any(|b| b.testbed == c.testbed && b.size == c.size && b.scheduler == c.scheduler)
+        })
+        .count();
+    println!("bench-compare: {compared} comparable entries, max ratio {max_ratio}");
+    if bad.is_empty() {
+        println!("OK: no construction-time regressions");
+    } else {
+        for line in &bad {
+            eprintln!("REGRESSION: {line}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -206,56 +308,137 @@ fn toy_example(opts: &Opts) {
     write_csv(opts, "toy_heft_vs_ilha.csv", &csv);
 }
 
-/// One testbed's size sweep (Figures 7–12): speedup of HEFT and ILHA under
-/// the one-port model, with the paper's per-testbed best B.
-fn figure_sweep(opts: &Opts, tb: Testbed) {
-    let b = tb.paper_best_b();
-    println!(
-        "== fig{}: {} sweep (B = {b}, c = {}, one-port-bidir) ==",
-        tb.figure(),
-        tb,
-        PAPER_C
+/// The testbed size sweeps (Figures 7–12): speedup of HEFT and ILHA under
+/// the one-port model, with the paper's per-testbed best B. All
+/// (testbed, size, scheduler) jobs fan out over the worker pool at once;
+/// results are then regrouped per testbed so CSVs are identical to the
+/// serial harness's.
+fn figure_sweeps(opts: &Opts, testbeds: &[Testbed]) {
+    let jobs = runner::paper_jobs(testbeds, &opts.sizes);
+    let t0 = std::time::Instant::now();
+    let results = runner::run_sweep_repeated(
+        &jobs,
+        opts.threads,
+        CommModel::OnePortBidir,
+        opts.bench_repeats,
     );
-    let p = Platform::paper();
-    let m = CommModel::OnePortBidir;
-    let mut csv = String::from(
-        "size,tasks,heft_makespan,heft_speedup,ilha_makespan,ilha_speedup,ilha_comms,heft_comms\n",
-    );
-    println!(
-        "{:>6} {:>9} {:>14} {:>14} {:>9}",
-        "size", "tasks", "HEFT speedup", "ILHA speedup", "gain"
-    );
-    for &n in &opts.sizes {
-        let g = tb.generate(n, PAPER_C);
-        let t0 = Instant::now();
-        let heft = Heft::new().schedule(&g, &p, m);
-        let ilha = Ilha::new(b).schedule(&g, &p, m);
-        let (hs, is) = (heft.speedup(&g, &p), ilha.speedup(&g, &p));
-        let _ = writeln!(
-            csv,
-            "{n},{},{},{hs},{},{is},{},{}",
-            g.num_tasks(),
-            heft.makespan(),
-            ilha.makespan(),
-            ilha.num_effective_comms(),
-            heft.num_effective_comms()
+    let wall = t0.elapsed();
+
+    let find = |tb: Testbed, n: usize, key: &str| -> &SweepResult {
+        results
+            .iter()
+            .find(|r| r.job.testbed == tb && r.job.size == n && r.job.sched.key() == key)
+            .expect("every (testbed, size, scheduler) job ran")
+    };
+
+    for &tb in testbeds {
+        println!(
+            "== fig{}: {} sweep (B = {}, c = {}, one-port-bidir) ==",
+            tb.figure(),
+            tb,
+            tb.paper_best_b(),
+            PAPER_C
+        );
+        let mut csv = String::from(
+            "size,tasks,heft_makespan,heft_speedup,ilha_makespan,ilha_speedup,ilha_comms,heft_comms\n",
         );
         println!(
-            "{n:>6} {:>9} {hs:>14.3} {is:>14.3} {:>8.1}%  ({:.1?})",
-            g.num_tasks(),
-            (is / hs - 1.0) * 100.0,
-            t0.elapsed()
+            "{:>6} {:>9} {:>14} {:>14} {:>9}",
+            "size", "tasks", "HEFT speedup", "ILHA speedup", "gain"
+        );
+        for &n in &opts.sizes {
+            let heft = find(tb, n, "HEFT");
+            let ilha = find(tb, n, "ILHA");
+            let (hs, is) = (heft.speedup, ilha.speedup);
+            let _ = writeln!(
+                csv,
+                "{n},{},{},{hs},{},{is},{},{}",
+                heft.tasks,
+                heft.makespan,
+                ilha.makespan,
+                ilha.effective_comms,
+                heft.effective_comms
+            );
+            println!(
+                "{n:>6} {:>9} {hs:>14.3} {is:>14.3} {:>8.1}%  (HEFT {:.1?}, ILHA {:.1?})",
+                heft.tasks,
+                (is / hs - 1.0) * 100.0,
+                heft.construct,
+                ilha.construct
+            );
+        }
+        write_csv(
+            opts,
+            &format!(
+                "fig{:02}_{}.csv",
+                tb.figure(),
+                tb.name().to_lowercase().replace('-', "_")
+            ),
+            &csv,
         );
     }
-    write_csv(
-        opts,
-        &format!(
-            "fig{:02}_{}.csv",
-            tb.figure(),
-            tb.name().to_lowercase().replace('-', "_")
-        ),
-        &csv,
+    let total_construct: f64 = results.iter().map(|r| r.construct.as_secs_f64()).sum();
+    println!(
+        "[sweep] {} jobs on {} threads: {:.1?} wall, {:.1?} total construction",
+        jobs.len(),
+        opts.threads,
+        wall,
+        std::time::Duration::from_secs_f64(total_construct)
     );
+
+    if let Some(path) = &opts.bench_json {
+        let baseline = opts.bench_baseline.as_ref().map(|p| {
+            let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+            serde_json::from_str::<BenchFile>(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
+        });
+        let file = BenchFile::from_results(&results, opts.threads, baseline.as_ref());
+        let json = serde_json::to_string(&file).expect("serialize bench file");
+        std::fs::write(path, pretty_json(&json)).expect("write bench JSON");
+        println!("  -> {path}");
+    }
+}
+
+/// Line-break a one-line JSON document at the entry level so committed bench
+/// and fixture files diff readably. (The serde_json shim has no
+/// pretty-printer; this keeps one object per line.)
+fn pretty_json(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() + 64);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for ch in json.chars() {
+        if in_str {
+            out.push(ch);
+            match ch {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_str = true;
+                out.push(ch);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(ch);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push(ch);
+            }
+            ',' if depth <= 2 => {
+                out.push(ch);
+                out.push('\n');
+            }
+            _ => out.push(ch),
+        }
+    }
+    out.push('\n');
+    out
 }
 
 /// ILHA chunk-size sensitivity (the §5.3 discussion of B).

@@ -17,7 +17,11 @@
 //!   contribution), placement machinery, B-sweeps;
 //! * [`baselines`] — CPOP, GDL, BIL, PCT, min-min, … for comparisons;
 //! * [`testbeds`] — LU, LAPLACE, STENCIL, FORK-JOIN, DOOLITTLE, LDMt;
-//! * [`exact`] — 2-PARTITION, FORK-SCHED and COMM-SCHED exact solvers.
+//! * [`exact`] — 2-PARTITION, FORK-SCHED and COMM-SCHED exact solvers;
+//! * [`runner`] — the thread-pool sweep runner behind `experiments figs`
+//!   and the machine-readable perf baseline (`BENCH_2.json`);
+//! * [`regress`] — schedule fingerprints backing the schedule-equivalence
+//!   regression tests.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,9 @@ pub use onesched_heuristics as heuristics;
 pub use onesched_platform as platform;
 pub use onesched_sim as sim;
 pub use onesched_testbeds as testbeds;
+
+pub mod regress;
+pub mod runner;
 
 /// The most common imports in one line.
 pub mod prelude {

@@ -1,0 +1,169 @@
+//! Schedule fingerprints and the recorded-baseline format backing the
+//! schedule-equivalence regression tests.
+//!
+//! Performance work on the placement hot path must never silently change the
+//! schedules the heuristics produce. This module pins them down: a
+//! [`placement_fingerprint`] hashes every task placement bit-exactly, and a
+//! [`BaselineFile`] records makespan + fingerprint + communication count for
+//! HEFT and ILHA on every testbed at reference sizes. The fixture under
+//! `tests/fixtures/` was recorded from the seed implementation; the
+//! `schedule_equivalence` integration test regenerates all schedules and
+//! compares. Regenerate the fixture (only after an *intentional* schedule
+//! change) with `experiments record-baseline`.
+
+use onesched_dag::TaskId;
+use onesched_heuristics::{Heft, Ilha, Scheduler};
+use onesched_platform::Platform;
+use onesched_sim::{CommModel, Schedule};
+use onesched_testbeds::{Testbed, PAPER_C};
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 64-bit over every task placement in task-id order, hashing the
+/// exact bit patterns of `(task, proc, start, finish)`. Two schedules get the
+/// same fingerprint iff every task has the identical placement (up to hash
+/// collisions, which at 64 bits we ignore).
+pub fn placement_fingerprint(s: &Schedule) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut feed = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for v in 0..s.num_tasks() {
+        let p = s
+            .task(TaskId(v as u32))
+            .expect("fingerprinting requires a complete schedule");
+        feed(v as u64);
+        feed(u64::from(p.proc.0));
+        feed(p.start.to_bits());
+        feed(p.finish.to_bits());
+    }
+    h
+}
+
+/// One recorded schedule: which instance, and the exact outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Testbed display name (`Testbed::name`).
+    pub testbed: String,
+    /// Problem size `n` passed to the generator.
+    pub n: usize,
+    /// Scheduler key: `"HEFT"` or `"ILHA"` (with the testbed's paper-best B).
+    pub scheduler: String,
+    /// Number of tasks in the generated graph.
+    pub tasks: usize,
+    /// Exact makespan (round-trips through JSON bit-exactly).
+    pub makespan: f64,
+    /// [`placement_fingerprint`] as 16 hex digits (u64 exceeds the JSON
+    /// shim's exact-integer range).
+    pub fingerprint: String,
+    /// Number of effective (non-zero duration) communications.
+    pub effective_comms: usize,
+}
+
+/// The on-disk fixture: a schema tag plus the recorded entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineFile {
+    /// Format tag (`onesched-baseline/v1`).
+    pub schema: String,
+    /// Recorded schedules, in generation order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Schema tag written by [`record_baseline`].
+pub const BASELINE_SCHEMA: &str = "onesched-baseline/v1";
+
+/// The scheduler a baseline entry refers to.
+pub fn baseline_scheduler(key: &str, tb: Testbed) -> Box<dyn Scheduler> {
+    match key {
+        "HEFT" => Box::new(Heft::new()),
+        "ILHA" => Box::new(Ilha::new(tb.paper_best_b())),
+        other => panic!("unknown baseline scheduler key {other:?}"),
+    }
+}
+
+/// Schedule HEFT and ILHA on every testbed at each size (paper platform,
+/// bi-directional one-port model) and record the outcomes.
+pub fn record_baseline(sizes: &[usize]) -> BaselineFile {
+    let platform = Platform::paper();
+    let model = CommModel::OnePortBidir;
+    let mut entries = Vec::new();
+    for tb in Testbed::ALL {
+        for &n in sizes {
+            let g = tb.generate(n, PAPER_C);
+            for key in ["HEFT", "ILHA"] {
+                let sched = baseline_scheduler(key, tb).schedule(&g, &platform, model);
+                assert!(sched.is_complete());
+                entries.push(BaselineEntry {
+                    testbed: tb.name().to_string(),
+                    n,
+                    scheduler: key.to_string(),
+                    tasks: g.num_tasks(),
+                    makespan: sched.makespan(),
+                    fingerprint: format!("{:016x}", placement_fingerprint(&sched)),
+                    effective_comms: sched.num_effective_comms(),
+                });
+            }
+        }
+    }
+    BaselineFile {
+        schema: BASELINE_SCHEMA.to_string(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_sim::TaskPlacement;
+
+    #[test]
+    fn fingerprint_sensitive_to_every_field() {
+        let mut s1 = Schedule::with_tasks(2);
+        let mut s2 = Schedule::with_tasks(2);
+        for (s, start) in [(&mut s1, 0.0f64), (&mut s2, 1.0)] {
+            s.place_task(TaskPlacement {
+                task: TaskId(0),
+                proc: onesched_platform::ProcId(0),
+                start,
+                finish: start + 1.0,
+            });
+            s.place_task(TaskPlacement {
+                task: TaskId(1),
+                proc: onesched_platform::ProcId(1),
+                start: 5.0,
+                finish: 6.0,
+            });
+        }
+        assert_ne!(placement_fingerprint(&s1), placement_fingerprint(&s2));
+        // identical schedules agree
+        assert_eq!(
+            placement_fingerprint(&s1),
+            placement_fingerprint(&s1.clone())
+        );
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let file = BaselineFile {
+            schema: BASELINE_SCHEMA.to_string(),
+            entries: vec![BaselineEntry {
+                testbed: "LU".into(),
+                n: 30,
+                scheduler: "HEFT".into(),
+                tasks: 465,
+                makespan: 3690.0,
+                fingerprint: "00ff00ff00ff00ff".into(),
+                effective_comms: 12,
+            }],
+        };
+        let json = serde_json::to_string(&file).unwrap();
+        let back: BaselineFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries[0].testbed, "LU");
+        assert_eq!(back.entries[0].makespan, 3690.0);
+        assert_eq!(back.entries[0].fingerprint, "00ff00ff00ff00ff");
+    }
+}

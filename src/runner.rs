@@ -1,0 +1,326 @@
+//! Thread-pool sweep runner: the experiment harness is embarrassingly
+//! parallel over `(testbed, size, scheduler)`, so full-size figure
+//! regeneration fans out over a `std::thread::scope` worker pool (no
+//! external dependencies).
+//!
+//! Each job regenerates its task graph, builds one schedule, and reports the
+//! quality numbers plus the *schedule-construction time* — the quantity the
+//! perf baseline (`BENCH_2.json`) tracks. Results come back in job order
+//! regardless of which worker ran them, so CSV output is deterministic.
+
+use onesched_heuristics::{Heft, Ilha, Scheduler};
+use onesched_platform::Platform;
+use onesched_sim::CommModel;
+use onesched_testbeds::{Testbed, PAPER_C};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Which scheduler a sweep job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// One-port HEFT with the paper-faithful policy.
+    Heft,
+    /// ILHA with chunk size `b`.
+    Ilha(usize),
+}
+
+impl SchedKind {
+    /// Stable key used in CSVs, bench JSON, and baselines.
+    pub fn key(self) -> &'static str {
+        match self {
+            SchedKind::Heft => "HEFT",
+            SchedKind::Ilha(_) => "ILHA",
+        }
+    }
+
+    /// Instantiate the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Heft => Box::new(Heft::new()),
+            SchedKind::Ilha(b) => Box::new(Ilha::new(b)),
+        }
+    }
+}
+
+/// One unit of sweep work: schedule one testbed instance with one scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepJob {
+    /// Which testbed to generate.
+    pub testbed: Testbed,
+    /// Problem size `n`.
+    pub size: usize,
+    /// Which scheduler to run.
+    pub sched: SchedKind,
+}
+
+/// The outcome of one [`SweepJob`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The job this result answers.
+    pub job: SweepJob,
+    /// Number of tasks in the generated graph.
+    pub tasks: usize,
+    /// Schedule makespan.
+    pub makespan: f64,
+    /// Speedup over the fastest-single-processor sequential time.
+    pub speedup: f64,
+    /// Number of effective (non-zero duration) communications.
+    pub effective_comms: usize,
+    /// Wall-clock time of the `schedule()` call alone (graph generation and
+    /// statistics excluded).
+    pub construct: Duration,
+}
+
+/// The standard figure-sweep job list: for each testbed and size, one HEFT
+/// job and one ILHA job (with the testbed's paper-best chunk size).
+pub fn paper_jobs(testbeds: &[Testbed], sizes: &[usize]) -> Vec<SweepJob> {
+    let mut jobs = Vec::with_capacity(testbeds.len() * sizes.len() * 2);
+    for &tb in testbeds {
+        for &n in sizes {
+            for sched in [SchedKind::Heft, SchedKind::Ilha(tb.paper_best_b())] {
+                jobs.push(SweepJob {
+                    testbed: tb,
+                    size: n,
+                    sched,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run every job on a scoped worker pool of `threads` workers and return the
+/// results in job order. `threads == 1` degenerates to a serial run (useful
+/// for clean construction-time measurements).
+pub fn run_sweep(jobs: &[SweepJob], threads: usize, model: CommModel) -> Vec<SweepResult> {
+    run_sweep_repeated(jobs, threads, model, 1)
+}
+
+/// [`run_sweep`] measuring each job's construction time as the minimum over
+/// `repeats` runs — the robust estimator for perf gating on noisy (shared)
+/// hardware. Schedules are deterministic, so quality numbers are unaffected.
+pub fn run_sweep_repeated(
+    jobs: &[SweepJob],
+    threads: usize,
+    model: CommModel,
+    repeats: usize,
+) -> Vec<SweepResult> {
+    let platform = Platform::paper();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.clamp(1, jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = run_job(&jobs[i], &platform, model, repeats.max(1));
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed by a worker")
+        })
+        .collect()
+}
+
+fn run_job(job: &SweepJob, platform: &Platform, model: CommModel, repeats: usize) -> SweepResult {
+    let g = job.testbed.generate(job.size, PAPER_C);
+    let scheduler = job.sched.build();
+    let t0 = Instant::now();
+    let sched = scheduler.schedule(&g, platform, model);
+    let mut construct = t0.elapsed();
+    for _ in 1..repeats {
+        let t0 = Instant::now();
+        let again = scheduler.schedule(&g, platform, model);
+        construct = construct.min(t0.elapsed());
+        debug_assert!(again.makespan() == sched.makespan());
+    }
+    SweepResult {
+        job: *job,
+        tasks: g.num_tasks(),
+        makespan: sched.makespan(),
+        speedup: sched.speedup(&g, platform),
+        effective_comms: sched.num_effective_comms(),
+        construct,
+    }
+}
+
+/// One record of the machine-readable perf trajectory (`BENCH_2.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Testbed display name.
+    pub testbed: String,
+    /// Problem size `n`.
+    pub size: usize,
+    /// Scheduler key (`"HEFT"` / `"ILHA"`).
+    pub scheduler: String,
+    /// Number of tasks scheduled.
+    pub tasks: usize,
+    /// Schedule-construction wall-clock time, milliseconds.
+    pub construct_ms: f64,
+    /// Construction time of the recorded previous implementation (the seed
+    /// at PR 2), carried over via `--bench-baseline`; `null` when unknown.
+    pub seed_construct_ms: Option<f64>,
+    /// Schedule makespan (quality cross-check).
+    pub makespan: f64,
+    /// Schedule speedup (quality cross-check).
+    pub speedup: f64,
+}
+
+/// The bench JSON file: schema tag, run configuration, entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchFile {
+    /// Format tag (`onesched-bench/v1`).
+    pub schema: String,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Entries in job order.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// Schema tag written into bench JSON files.
+pub const BENCH_SCHEMA: &str = "onesched-bench/v1";
+
+impl BenchFile {
+    /// Package sweep results as a bench file, optionally carrying over the
+    /// matching construction times of `baseline` as `seed_construct_ms`.
+    pub fn from_results(
+        results: &[SweepResult],
+        threads: usize,
+        baseline: Option<&BenchFile>,
+    ) -> BenchFile {
+        let entries = results
+            .iter()
+            .map(|r| {
+                let seed = baseline.and_then(|b| {
+                    b.entries
+                        .iter()
+                        .find(|e| {
+                            e.testbed == r.job.testbed.name()
+                                && e.size == r.job.size
+                                && e.scheduler == r.job.sched.key()
+                        })
+                        .map(|e| e.seed_construct_ms.unwrap_or(e.construct_ms))
+                });
+                BenchEntry {
+                    testbed: r.job.testbed.name().to_string(),
+                    size: r.job.size,
+                    scheduler: r.job.sched.key().to_string(),
+                    tasks: r.tasks,
+                    construct_ms: r.construct.as_secs_f64() * 1e3,
+                    seed_construct_ms: seed,
+                    makespan: r.makespan,
+                    speedup: r.speedup,
+                }
+            })
+            .collect();
+        BenchFile {
+            schema: BENCH_SCHEMA.to_string(),
+            threads,
+            entries,
+        }
+    }
+}
+
+/// Compare a fresh bench run against a committed baseline: every matching
+/// `(testbed, size, scheduler)` entry whose baseline construction time is at
+/// least `floor_ms` must not exceed `max_ratio ×` the baseline. Returns the
+/// offending descriptions (empty = pass).
+pub fn bench_regressions(
+    current: &BenchFile,
+    baseline: &BenchFile,
+    max_ratio: f64,
+    floor_ms: f64,
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    for cur in &current.entries {
+        let Some(base) = baseline.entries.iter().find(|e| {
+            e.testbed == cur.testbed && e.size == cur.size && e.scheduler == cur.scheduler
+        }) else {
+            continue;
+        };
+        if base.construct_ms < floor_ms {
+            continue; // sub-floor timings are scheduler-start noise
+        }
+        if cur.construct_ms > base.construct_ms * max_ratio {
+            bad.push(format!(
+                "{} n={} {}: {:.2} ms vs baseline {:.2} ms (> {max_ratio:.1}x)",
+                cur.testbed, cur.size, cur.scheduler, cur.construct_ms, base.construct_ms
+            ));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_results_deterministic_and_in_job_order() {
+        let jobs = paper_jobs(&[Testbed::Lu, Testbed::ForkJoin], &[10, 20]);
+        assert_eq!(jobs.len(), 8);
+        let serial = run_sweep(&jobs, 1, CommModel::OnePortBidir);
+        let parallel = run_sweep(&jobs, 4, CommModel::OnePortBidir);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.job.testbed, p.job.testbed);
+            assert_eq!(s.job.size, p.job.size);
+            assert_eq!(s.job.sched.key(), p.job.sched.key());
+            assert_eq!(
+                s.makespan, p.makespan,
+                "parallelism must not change schedules"
+            );
+            assert_eq!(s.effective_comms, p.effective_comms);
+        }
+    }
+
+    #[test]
+    fn bench_file_roundtrip_and_compare() {
+        let jobs = paper_jobs(&[Testbed::ForkJoin], &[10]);
+        let results = run_sweep(&jobs, 2, CommModel::OnePortBidir);
+        let file = BenchFile::from_results(&results, 2, None);
+        let json = serde_json::to_string(&file).unwrap();
+        let back: BenchFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries.len(), file.entries.len());
+        assert_eq!(back.schema, BENCH_SCHEMA);
+        // identical files never regress against each other
+        assert!(bench_regressions(&back, &file, 2.0, 0.0).is_empty());
+        // a 3x slowdown is flagged
+        let mut slow = file.clone();
+        for e in &mut slow.entries {
+            e.construct_ms *= 3.0;
+        }
+        assert!(!bench_regressions(&slow, &file, 2.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn baseline_times_carry_over() {
+        let jobs = paper_jobs(&[Testbed::ForkJoin], &[10]);
+        let results = run_sweep(&jobs, 1, CommModel::OnePortBidir);
+        let mut seed = BenchFile::from_results(&results, 1, None);
+        for e in &mut seed.entries {
+            e.construct_ms = 42.0;
+        }
+        let merged = BenchFile::from_results(&results, 1, Some(&seed));
+        assert!(merged
+            .entries
+            .iter()
+            .all(|e| e.seed_construct_ms == Some(42.0)));
+    }
+}

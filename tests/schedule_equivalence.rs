@@ -1,0 +1,59 @@
+//! Schedule-equivalence regression: HEFT and ILHA must produce bit-identical
+//! schedules to the recorded seed fixture on every testbed at n ∈ {30, 60}.
+//!
+//! The placement hot path is under active performance work (indexed
+//! timelines, pruned candidate scans); this test guarantees that such work
+//! can never *silently* change a schedule. If a change is intentional,
+//! regenerate the fixture with
+//! `cargo run --release --bin experiments -- record-baseline`
+//! and say so in the PR.
+
+use onesched::prelude::*;
+use onesched::regress::{baseline_scheduler, placement_fingerprint, BaselineFile, BASELINE_SCHEMA};
+
+const FIXTURE: &str = include_str!("fixtures/schedule_baseline.json");
+
+#[test]
+fn schedules_match_recorded_seed_fixture() {
+    let fixture: BaselineFile = serde_json::from_str(FIXTURE).expect("parse fixture");
+    assert_eq!(fixture.schema, BASELINE_SCHEMA);
+    // 6 testbeds × 2 sizes × 2 schedulers
+    assert_eq!(
+        fixture.entries.len(),
+        24,
+        "fixture must cover every instance"
+    );
+
+    let platform = Platform::paper();
+    let model = CommModel::OnePortBidir;
+    for e in &fixture.entries {
+        let tb = Testbed::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == e.testbed)
+            .unwrap_or_else(|| panic!("unknown testbed {:?} in fixture", e.testbed));
+        let g = tb.generate(e.n, PAPER_C);
+        assert_eq!(
+            g.num_tasks(),
+            e.tasks,
+            "{} n={} graph shape",
+            e.testbed,
+            e.n
+        );
+        let sched = baseline_scheduler(&e.scheduler, tb).schedule(&g, &platform, model);
+        let ctx = format!("{} n={} {}", e.testbed, e.n, e.scheduler);
+        // Exact comparisons throughout: the fixture pins bit-identical
+        // schedules, not approximately-equal makespans.
+        assert_eq!(sched.makespan(), e.makespan, "{ctx}: makespan drifted");
+        assert_eq!(
+            format!("{:016x}", placement_fingerprint(&sched)),
+            e.fingerprint,
+            "{ctx}: per-task placements drifted"
+        );
+        assert_eq!(
+            sched.num_effective_comms(),
+            e.effective_comms,
+            "{ctx}: communication count drifted"
+        );
+    }
+}

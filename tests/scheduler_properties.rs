@@ -103,6 +103,58 @@ proptest! {
         prop_assert!(validate(&g, &p, CommModel::MacroDataflow, &sched).is_empty());
     }
 
+    /// The pruned candidate scan of `best_placement` (bound ordering,
+    /// committed-state disqualification, mid-evaluation abort) returns the
+    /// exact placement the seed's exhaustive scan would have picked —
+    /// including the lowest-processor-id tie-break — on random layered DAGs
+    /// under every communication model, as the schedule is built task by
+    /// task in priority order.
+    #[test]
+    fn pruned_best_placement_matches_exhaustive_scan(
+        (seed, layers, width, prob) in small_dag_strategy()
+    ) {
+        use onesched::heuristics::{best_placement, commit_placement, place_on};
+        use onesched::sim::{ResourcePool, Schedule};
+        use onesched::dag::TopoOrder;
+
+        let cfg = RandomDagConfig {
+            layers,
+            max_width: width,
+            edge_prob: prob,
+            ..Default::default()
+        };
+        let g = random_layered(&cfg, seed);
+        let p = Platform::paper();
+        let policy = PlacementPolicy::paper();
+        for m in CommModel::ALL {
+            let mut pool = ResourcePool::new(p.num_procs(), m);
+            let mut sched = Schedule::with_tasks(g.num_tasks());
+            for &task in TopoOrder::new(&g).order() {
+                // the seed's exhaustive scan: evaluate every processor in
+                // id order, keep strict EFT improvements only
+                let mut want: Option<onesched::heuristics::TentativePlacement> = None;
+                for proc in p.procs() {
+                    let tp = place_on(&g, &p, &sched, pool.begin(), task, proc, policy);
+                    let better = match &want {
+                        None => true,
+                        Some(b) => tp.finish < b.finish - 1e-6,
+                    };
+                    if better {
+                        want = Some(tp);
+                    }
+                }
+                let want = want.unwrap();
+                let got = best_placement(&g, &p, &pool, &sched, task, policy);
+                prop_assert_eq!(got.proc, want.proc,
+                    "task {task} under {m}: pruned chose {:?}, exhaustive {:?}",
+                    got.proc, want.proc);
+                prop_assert_eq!(got.finish, want.finish);
+                prop_assert_eq!(got.start, want.start);
+                commit_placement(&mut pool, &mut sched, got);
+            }
+        }
+    }
+
     /// Schedulers are deterministic: same input, same schedule.
     #[test]
     fn schedulers_are_deterministic(
