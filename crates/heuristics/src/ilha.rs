@@ -23,12 +23,12 @@ use crate::avg_weights::paper_bottom_levels;
 use crate::distribution::optimal_distribution;
 use crate::heft::ReadyEntry;
 use crate::placement::{
-    best_placement_with, commit_placement, place_on, EftScratch, PlacementPolicy,
+    best_placement_with, commit_placement, stage_on, EftScratch, PlacementPolicy,
 };
 use crate::Scheduler;
 use onesched_dag::{TaskGraph, TaskId, TopoOrder};
 use onesched_platform::{Platform, ProcId};
-use onesched_sim::{CommModel, ResourcePool, Schedule};
+use onesched_sim::{CommModel, CommPlacement, ResourcePool, Schedule, TaskPlacement};
 use std::collections::BinaryHeap;
 
 /// How far the zero-communication scan of step 1 goes.
@@ -106,6 +106,7 @@ impl Scheduler for Ilha {
 
         let mut chunk: Vec<TaskId> = Vec::with_capacity(self.b);
         let mut deferred: Vec<TaskId> = Vec::with_capacity(self.b);
+        let mut staged1: Vec<(TaskPlacement, Vec<CommPlacement>)> = Vec::with_capacity(self.b);
         let mut scratch = EftScratch::default();
 
         while !ready.is_empty() {
@@ -124,18 +125,39 @@ impl Scheduler for Ilha {
             let counts = optimal_distribution(platform, chunk.len());
             let mut used = vec![0usize; platform.num_procs()];
 
-            // Step 1: place communication-free tasks under the caps.
+            // Step 1: place communication-free tasks under the caps. The
+            // whole scan stages into ONE transaction (tasks of a chunk are
+            // never dependent on each other, so staged-state queries see
+            // exactly what per-task commits would have) and the chunk's
+            // placements are committed in a single batch, amortizing the
+            // per-placement `occupy` cost.
             deferred.clear();
+            staged1.clear();
+            let mut txn = pool.begin();
             for &task in &chunk {
                 match step1_target(g, &sched, task, self.scan) {
                     Some(proc) if used[proc.index()] < counts[proc.index()] => {
-                        let tp =
-                            place_on(g, platform, &sched, pool.begin(), task, proc, self.policy);
                         used[proc.index()] += 1;
-                        commit_placement(&mut pool, &mut sched, tp);
+                        staged1.push(stage_on(
+                            g,
+                            platform,
+                            &sched,
+                            &mut txn,
+                            task,
+                            proc,
+                            self.policy,
+                        ));
                     }
                     _ => deferred.push(task),
                 }
+            }
+            let staged = txn.finish();
+            pool.commit_batch(staged);
+            for (tp, comms) in staged1.drain(..) {
+                for c in comms {
+                    sched.place_comm(c);
+                }
+                sched.place_task(tp);
             }
 
             // Step 2: HEFT-style earliest finish time for the rest (§4.4:

@@ -43,8 +43,8 @@ mod scheduler;
 pub use heft::Heft;
 pub use ilha::{Ilha, ScanDepth};
 pub use placement::{
-    best_placement, best_placement_with, commit_placement, place_on, CommOrder, EftScratch,
-    PlacementPolicy, TentativePlacement,
+    best_placement, best_placement_with, commit_placement, place_on, stage_on, CommOrder,
+    EftScratch, PlacementPolicy, TentativePlacement,
 };
 pub use scheduler::Scheduler;
 

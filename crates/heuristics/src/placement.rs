@@ -250,6 +250,65 @@ pub fn place_on(
     .unwrap_or_else(|_| unreachable!("unbounded placement always succeeds"))
 }
 
+/// Stage `task` on `proc` inside an *ongoing* transaction without finishing
+/// it. Semantically identical to [`place_on`] evaluated against the
+/// transaction's combined committed + staged state, minus the per-candidate
+/// seeding optimizations (which only matter when many candidates are
+/// compared).
+///
+/// ILHA's step 1 uses this to stage a whole chunk of zero-communication
+/// placements in one transaction and batch-commit them together
+/// (`ResourcePool::commit_batch`), amortizing the former per-placement
+/// `occupy` cost. Returns the task placement and the staged communications;
+/// the caller records both in the schedule after committing.
+pub fn stage_on(
+    g: &TaskGraph,
+    platform: &Platform,
+    sched: &Schedule,
+    txn: &mut Txn<'_>,
+    task: TaskId,
+    proc: ProcId,
+    policy: PlacementPolicy,
+) -> (TaskPlacement, Vec<CommPlacement>) {
+    let mut incoming = Vec::new();
+    gather_incoming_into(&mut incoming, g, sched, task, policy.comm_order);
+    let mut ready = 0.0f64;
+    let mut comms = Vec::new();
+    for &(src_finish, src_proc, data, edge) in &incoming {
+        if src_proc == proc || data <= onesched_sim::EPS {
+            ready = ready.max(src_finish);
+            continue;
+        }
+        let dur = platform.comm_time(data, src_proc, proc);
+        assert!(
+            dur.is_finite(),
+            "no direct link {src_proc} -> {proc}: route the graph first"
+        );
+        let start = txn.earliest_comm_slot(src_proc, proc, src_finish, dur);
+        txn.add_comm(src_proc, proc, start, dur);
+        comms.push(CommPlacement {
+            edge,
+            from: src_proc,
+            to: proc,
+            start,
+            finish: start + dur,
+        });
+        ready = ready.max(start + dur);
+    }
+    let exec = platform.exec_time(g.weight(task), proc);
+    let start = txn.earliest_compute_slot(proc, ready, exec, policy.insertion);
+    txn.add_compute(proc, start, exec);
+    (
+        TaskPlacement {
+            task,
+            proc,
+            start,
+            finish: start + exec,
+        },
+        comms,
+    )
+}
+
 /// A cheap lower bound on the finish time `task` could achieve on `proc`,
 /// ignoring the committed port state (which can only delay the task):
 ///

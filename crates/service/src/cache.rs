@@ -1,0 +1,298 @@
+//! The request/platform/DAG registry: a schedule cache keyed by resolved
+//! job, the job executor it guards, and the service's statistics.
+//!
+//! Every job the service runs is deterministic (generators are seeded,
+//! schedulers are pure), so a repeated workload — the same platform + DAG +
+//! scheduler + model — can be answered from a cache of recorded outcomes
+//! without re-running schedule construction. The cache stores *outcomes*
+//! (makespan, fingerprint, counts), not schedules: the service streams
+//! result summaries, and an outcome is a few hundred bytes regardless of
+//! task count.
+
+use crate::protocol::{LatencyEntry, ResolvedJob, StatsResponse};
+use crate::runner::schedule_timed;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// The recorded outcome of one schedule construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Scheduler display name (e.g. `ILHA(B=4)`).
+    pub scheduler: String,
+    /// Number of tasks scheduled.
+    pub tasks: usize,
+    /// Schedule makespan.
+    pub makespan: f64,
+    /// Speedup over the fastest-single-processor sequential time.
+    pub speedup: f64,
+    /// Number of effective communications.
+    pub effective_comms: usize,
+    /// Placement fingerprint (`onesched_sim::placement_fingerprint`).
+    pub fingerprint: u64,
+    /// Wall-clock time of the `schedule()` call alone.
+    pub construct: Duration,
+    /// Validator violations (only counted when the job requested
+    /// validation; always 0 for a correct scheduler).
+    pub violations: usize,
+}
+
+/// Execute a resolved job: generate the graph and platform, run the
+/// scheduler (through the runner's shared timing step), and record the
+/// outcome. Deterministic: equal [`ResolvedJob::key`]s produce equal
+/// outcomes up to the `construct` timing.
+pub fn run_job(job: &ResolvedJob) -> JobOutcome {
+    let g = job.build_graph();
+    let platform = job.build_platform();
+    let scheduler = job.build_scheduler();
+    let (sched, construct) = schedule_timed(&g, &platform, scheduler.as_ref(), job.model());
+    let violations = if job.spec.validate {
+        onesched_sim::validate(&g, &platform, job.model(), &sched).len()
+    } else {
+        0
+    };
+    JobOutcome {
+        scheduler: scheduler.name(),
+        tasks: g.num_tasks(),
+        makespan: sched.makespan(),
+        speedup: sched.speedup(&g, &platform),
+        effective_comms: sched.num_effective_comms(),
+        fingerprint: onesched_sim::placement_fingerprint(&sched),
+        construct,
+        violations,
+    }
+}
+
+/// The schedule cache: resolved-job key → recorded outcome, with FIFO
+/// eviction at a fixed capacity.
+#[derive(Debug)]
+pub struct Registry {
+    capacity: usize,
+    map: HashMap<String, JobOutcome>,
+    order: VecDeque<String>,
+    /// Number of constructions actually run through this registry (cache
+    /// hits excluded) — the counter the no-recompute tests pin.
+    pub executions: u64,
+}
+
+impl Registry {
+    /// Empty registry holding at most `capacity` outcomes.
+    pub fn new(capacity: usize) -> Registry {
+        Registry {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            executions: 0,
+        }
+    }
+
+    /// Number of cached outcomes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The cached outcome for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&JobOutcome> {
+        self.map.get(key)
+    }
+
+    /// Record an outcome, evicting the oldest entry when over capacity.
+    /// Counts one execution.
+    pub fn insert(&mut self, key: String, outcome: JobOutcome) {
+        self.executions += 1;
+        if self.map.insert(key.clone(), outcome).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// Per-scheduler latency accounting: a sliding window of recent
+/// construction times (percentiles) plus all-time count and maximum, so a
+/// daemon serving millions of jobs holds bounded memory and `stats`
+/// snapshots stay O(window).
+#[derive(Debug, Default)]
+struct LatencySample {
+    /// Most recent construction times in ms (at most [`LATENCY_WINDOW`]).
+    recent: VecDeque<f64>,
+    /// All-time construction count.
+    count: u64,
+    /// All-time worst construction time, ms.
+    max_ms: f64,
+}
+
+/// How many recent constructions per scheduler feed the latency
+/// percentiles.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// Running service counters and per-scheduler construction latencies.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs answered (cache hits and misses alike).
+    pub jobs_done: u64,
+    /// Jobs answered from the cache.
+    pub cache_hits: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Latency samples keyed by scheduler display name.
+    latencies: HashMap<String, LatencySample>,
+}
+
+/// Nearest-rank percentile of a *sorted* sample (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl ServiceStats {
+    /// Record one construction latency (windowed: only the most recent
+    /// [`LATENCY_WINDOW`] samples per scheduler feed the percentiles).
+    pub fn record_latency(&mut self, scheduler: &str, construct: Duration) {
+        let ms = construct.as_secs_f64() * 1e3;
+        let sample = self.latencies.entry(scheduler.to_string()).or_default();
+        sample.recent.push_back(ms);
+        if sample.recent.len() > LATENCY_WINDOW {
+            sample.recent.pop_front();
+        }
+        sample.count += 1;
+        sample.max_ms = sample.max_ms.max(ms);
+    }
+
+    /// Package the counters plus caller-supplied gauges as a response.
+    /// Percentiles cover the most recent [`LATENCY_WINDOW`] constructions
+    /// per scheduler; `count` and `max_ms` are all-time.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        cache_size: usize,
+        uptime: Duration,
+    ) -> StatsResponse {
+        let mut latency: Vec<LatencyEntry> = self
+            .latencies
+            .iter()
+            .map(|(scheduler, sample)| {
+                let mut sorted: Vec<f64> = sample.recent.iter().copied().collect();
+                sorted.sort_by(f64::total_cmp);
+                LatencyEntry {
+                    scheduler: scheduler.clone(),
+                    count: sample.count,
+                    p50_ms: percentile(&sorted, 0.50),
+                    p90_ms: percentile(&sorted, 0.90),
+                    p99_ms: percentile(&sorted, 0.99),
+                    max_ms: sample.max_ms,
+                }
+            })
+            .collect();
+        latency.sort_by(|a, b| a.scheduler.cmp(&b.scheduler));
+        StatsResponse {
+            op: "stats".into(),
+            queue_depth,
+            jobs_done: self.jobs_done,
+            cache_hits: self.cache_hits,
+            errors: self.errors,
+            cache_size,
+            uptime_ms: uptime.as_secs_f64() * 1e3,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DagSpec, JobSpec};
+    use onesched_testbeds::Testbed;
+
+    fn lu_job() -> ResolvedJob {
+        JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 10),
+            platform: None,
+            scheduler: None,
+            model: None,
+            validate: true,
+        }
+        .resolve()
+        .unwrap()
+    }
+
+    #[test]
+    fn run_job_is_deterministic_and_valid() {
+        let job = lu_job();
+        let a = run_job(&job);
+        let b = run_job(&job);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.violations, 0, "validator must accept the schedule");
+        assert_eq!(a.tasks, 55);
+    }
+
+    #[test]
+    fn registry_serves_repeats_without_recomputing() {
+        let job = lu_job();
+        let mut reg = Registry::new(16);
+        // miss: run and record
+        assert!(reg.get(&job.key).is_none());
+        let outcome = run_job(&job);
+        reg.insert(job.key.clone(), outcome.clone());
+        assert_eq!(reg.executions, 1);
+        // hit: the stored outcome answers without another run
+        let hit = reg.get(&job.key).expect("cached").clone();
+        assert_eq!(hit, outcome);
+        assert_eq!(reg.executions, 1, "a cache hit must not count a run");
+    }
+
+    #[test]
+    fn registry_evicts_fifo_at_capacity() {
+        let mut reg = Registry::new(2);
+        let out = run_job(&lu_job());
+        reg.insert("a".into(), out.clone());
+        reg.insert("b".into(), out.clone());
+        reg.insert("c".into(), out.clone());
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("a").is_none(), "oldest entry evicted");
+        assert!(reg.get("b").is_some() && reg.get("c").is_some());
+    }
+
+    #[test]
+    fn percentiles_on_small_samples() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.5), 3.0); // nearest rank of 1.5
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let mut stats = ServiceStats::default();
+        stats.record_latency("HEFT", Duration::from_millis(2));
+        stats.record_latency("HEFT", Duration::from_millis(8));
+        let snap = stats.snapshot(3, 1, Duration::from_secs(1));
+        assert_eq!(snap.latency.len(), 1);
+        assert_eq!(snap.latency[0].count, 2);
+        assert_eq!(snap.latency[0].max_ms, 8.0);
+        assert_eq!(snap.queue_depth, 3);
+    }
+
+    #[test]
+    fn latency_sample_is_windowed_but_counts_all_time() {
+        let mut stats = ServiceStats::default();
+        // one huge early outlier, then a window-full of 1 ms samples
+        stats.record_latency("HEFT", Duration::from_secs(100));
+        for _ in 0..LATENCY_WINDOW {
+            stats.record_latency("HEFT", Duration::from_millis(1));
+        }
+        let snap = stats.snapshot(0, 0, Duration::from_secs(1));
+        let l = &snap.latency[0];
+        assert_eq!(l.count, LATENCY_WINDOW as u64 + 1, "count is all-time");
+        assert_eq!(l.max_ms, 100_000.0, "max is all-time");
+        assert_eq!(l.p99_ms, 1.0, "percentiles cover the recent window only");
+    }
+}

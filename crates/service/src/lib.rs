@@ -1,0 +1,69 @@
+//! # onesched-service — the long-running batch scheduling service
+//!
+//! Everything the `onesched-svc` daemon is made of, as a library:
+//!
+//! * [`protocol`] — the newline-delimited JSON request/response types, job
+//!   specifications (DAG × platform × scheduler × model), and their
+//!   validation/defaulting into canonical [`protocol::ResolvedJob`]s;
+//! * [`queue`] — the priority job queue (higher priority first, FIFO
+//!   within a priority);
+//! * [`cache`] — the request/platform/DAG registry: a schedule cache keyed
+//!   by resolved job, the deterministic job executor, and service
+//!   statistics (queue depth, cache hits, per-scheduler latency
+//!   percentiles);
+//! * [`service`] — the daemon core: a `std::thread::scope` worker pool
+//!   over stdio or TCP intake, streaming one JSON result line per job;
+//! * [`workloads`] — generators for service-scale scenarios: random
+//!   layered DAGs targeted at 100k+ tasks and routed workloads on
+//!   non-fully-connected topologies;
+//! * [`runner`] — the thread-pool sweep runner behind `experiments figs`
+//!   and the machine-readable perf baseline (`BENCH_2.json`); the service
+//!   worker pool follows its job-isolation discipline.
+//!
+//! Schedulers stay pure (`onesched-heuristics`); this crate owns jobs,
+//! queues, caches, and results — the scheduler/runner separation the dslab
+//! simulators use, adapted to a long-running daemon.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use onesched_service::protocol::{DagSpec, JobSpec, Request};
+//! use onesched_service::cache::run_job;
+//! use onesched_service::Testbed;
+//!
+//! // A request as it would arrive on the wire...
+//! let line = r#"{"op":"submit","id":"demo","job":{"dag":{"kind":"testbed","testbed":"LU","n":20}}}"#;
+//! let req: Request = serde_json::from_str(line).unwrap();
+//!
+//! // ...resolves to a canonical, runnable job...
+//! let job = req.job.unwrap().resolve().unwrap();
+//!
+//! // ...and runs bit-identically to the same spec built programmatically.
+//! let same = JobSpec {
+//!     dag: DagSpec::testbed(Testbed::Lu, 20),
+//!     platform: None,
+//!     scheduler: None,
+//!     model: None,
+//!     validate: false,
+//! }
+//! .resolve()
+//! .unwrap();
+//! assert_eq!(job.key, same.key);
+//! assert_eq!(run_job(&job).fingerprint, run_job(&same).fingerprint);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod protocol;
+pub mod queue;
+pub mod runner;
+pub mod service;
+pub mod workloads;
+
+pub use protocol::{JobSpec, Request, ResolvedJob};
+pub use service::{Service, ServiceConfig};
+
+// Re-exported so workload call sites need one import.
+pub use onesched_testbeds::Testbed;

@@ -1,0 +1,825 @@
+//! The service's newline-delimited JSON protocol: request and response
+//! types, job specifications, and their resolution into runnable jobs.
+//!
+//! Every line sent to the daemon is one [`Request`] object; every line it
+//! writes back is one response object tagged by its `op` field (`"result"`,
+//! `"stats"`, `"error"`, `"ok"`, `"ready"`). A request line always produces
+//! exactly one response line, so clients can pipeline submissions and count
+//! replies. See `crates/service/README.md` for the full schema reference
+//! and example sessions.
+//!
+//! Job specifications are *declarative*: a [`JobSpec`] names a DAG
+//! generator, a platform, a scheduler, and a communication model, all by
+//! small JSON-friendly descriptors. [`JobSpec::resolve`] validates the
+//! combination, fills every default, and produces a [`ResolvedJob`] whose
+//! canonical [`ResolvedJob::key`] doubles as the schedule-cache key: two
+//! submissions that resolve identically are by construction the same
+//! deterministic scheduling problem.
+
+use onesched_dag::TaskGraph;
+use onesched_heuristics::routed::RoutedHeft;
+use onesched_heuristics::{Heft, Ilha, Scheduler};
+use onesched_platform::{topology, Platform};
+use onesched_sim::CommModel;
+use onesched_testbeds::{random_layered, RandomDagConfig, Testbed, PAPER_C};
+use serde::{Deserialize, Serialize};
+
+/// Protocol schema tag, reported by the daemon's `ready` line.
+pub const PROTOCOL_VERSION: &str = "onesched-svc/v1";
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// `"submit"`, `"stats"`, or `"shutdown"`.
+    pub op: String,
+    /// Client-chosen job id echoed in the result (submit only); the daemon
+    /// assigns `job-N` when absent.
+    #[serde(default)]
+    pub id: Option<String>,
+    /// Scheduling priority: higher runs first; equal priorities run in
+    /// submission order. Defaults to 0.
+    #[serde(default)]
+    pub priority: Option<i64>,
+    /// The job to schedule (submit only).
+    #[serde(default)]
+    pub job: Option<JobSpec>,
+}
+
+impl Request {
+    /// A `submit` request.
+    pub fn submit(id: Option<String>, priority: i64, job: JobSpec) -> Request {
+        Request {
+            op: "submit".into(),
+            id,
+            priority: Some(priority),
+            job: Some(job),
+        }
+    }
+
+    /// A `stats` request.
+    pub fn stats() -> Request {
+        Request {
+            op: "stats".into(),
+            id: None,
+            priority: None,
+            job: None,
+        }
+    }
+
+    /// A `shutdown` request.
+    pub fn shutdown() -> Request {
+        Request {
+            op: "shutdown".into(),
+            id: None,
+            priority: None,
+            job: None,
+        }
+    }
+}
+
+/// A declarative scheduling job: DAG × platform × scheduler × model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The task graph to schedule.
+    pub dag: DagSpec,
+    /// The platform (default: the paper's 10-processor machine).
+    #[serde(default)]
+    pub platform: Option<PlatformSpec>,
+    /// The scheduler (default: HEFT; ILHA's `b` defaults per testbed).
+    #[serde(default)]
+    pub scheduler: Option<SchedulerSpec>,
+    /// Communication model by kebab-case name (default `one-port-bidir`).
+    #[serde(default)]
+    pub model: Option<String>,
+    /// Run the independent validator on the produced schedule and report
+    /// the violation count (costs one extra pass; default off).
+    #[serde(default)]
+    pub validate: bool,
+}
+
+/// Which task graph to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagSpec {
+    /// `"testbed"`, `"random"`, or `"toy"`.
+    pub kind: String,
+    /// Testbed name (`LU`, `LAPLACE`, `STENCIL`, `FORK-JOIN`, `DOOLITTLE`,
+    /// `LDMt`; case-insensitive) — `testbed` kind only.
+    #[serde(default)]
+    pub testbed: Option<String>,
+    /// Problem size `n` — `testbed` kind only.
+    #[serde(default)]
+    pub n: Option<usize>,
+    /// Communication-to-computation ratio (default: the paper's 10).
+    #[serde(default)]
+    pub c: Option<f64>,
+    /// Number of layers — `random` kind only.
+    #[serde(default)]
+    pub layers: Option<usize>,
+    /// Maximum layer width — `random` kind only.
+    #[serde(default)]
+    pub max_width: Option<usize>,
+    /// Edge probability towards the previous layer — `random` kind only.
+    #[serde(default)]
+    pub edge_prob: Option<f64>,
+    /// RNG seed — `random` kind only (default 0; generation is
+    /// deterministic per seed).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl DagSpec {
+    /// A paper testbed instance.
+    pub fn testbed(tb: Testbed, n: usize) -> DagSpec {
+        DagSpec {
+            kind: "testbed".into(),
+            testbed: Some(tb.name().to_string()),
+            n: Some(n),
+            c: None,
+            layers: None,
+            max_width: None,
+            edge_prob: None,
+            seed: None,
+        }
+    }
+
+    /// A random layered DAG.
+    pub fn random(layers: usize, max_width: usize, edge_prob: f64, seed: u64) -> DagSpec {
+        DagSpec {
+            kind: "random".into(),
+            testbed: None,
+            n: None,
+            c: None,
+            layers: Some(layers),
+            max_width: Some(max_width),
+            edge_prob: Some(edge_prob),
+            seed: Some(seed),
+        }
+    }
+
+    /// The §4.4 toy graph.
+    pub fn toy() -> DagSpec {
+        DagSpec {
+            kind: "toy".into(),
+            testbed: None,
+            n: None,
+            c: None,
+            layers: None,
+            max_width: None,
+            edge_prob: None,
+            seed: None,
+        }
+    }
+}
+
+/// Which platform to build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// `"paper"`, `"homogeneous"`, `"star"`, `"ring"`, or `"line"`.
+    pub kind: String,
+    /// Processor count (`homogeneous`/`star`/`ring`/`line`; default 8 for
+    /// the routed topologies).
+    #[serde(default)]
+    pub procs: Option<usize>,
+    /// Explicit per-processor cycle-times; overrides `procs`. The routed
+    /// topologies default to a heterogeneous pattern cycling through the
+    /// paper's speeds.
+    #[serde(default)]
+    pub cycle_times: Option<Vec<f64>>,
+    /// Per-item link latency (`star`/`ring`/`line`; default 1).
+    #[serde(default)]
+    pub link_time: Option<f64>,
+}
+
+impl PlatformSpec {
+    /// The paper's 10-processor fully-connected platform.
+    pub fn paper() -> PlatformSpec {
+        PlatformSpec {
+            kind: "paper".into(),
+            procs: None,
+            cycle_times: None,
+            link_time: None,
+        }
+    }
+
+    /// A routed (non-fully-connected) topology: `"star"`, `"ring"`, or
+    /// `"line"` over `procs` processors.
+    pub fn routed(kind: &str, procs: usize, link_time: f64) -> PlatformSpec {
+        PlatformSpec {
+            kind: kind.into(),
+            procs: Some(procs),
+            cycle_times: None,
+            link_time: Some(link_time),
+        }
+    }
+}
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerSpec {
+    /// `"heft"`, `"ilha"`, or `"routed-heft"`.
+    pub kind: String,
+    /// ILHA chunk size `B`. Defaults to the testbed's paper-best value, or
+    /// the platform's perfect-balance chunk for non-testbed DAGs.
+    #[serde(default)]
+    pub b: Option<usize>,
+}
+
+impl SchedulerSpec {
+    /// One-port HEFT.
+    pub fn heft() -> SchedulerSpec {
+        SchedulerSpec {
+            kind: "heft".into(),
+            b: None,
+        }
+    }
+
+    /// ILHA with an explicit chunk size.
+    pub fn ilha(b: usize) -> SchedulerSpec {
+        SchedulerSpec {
+            kind: "ilha".into(),
+            b: Some(b),
+        }
+    }
+
+    /// HEFT with store-and-forward routing (required on non-fully-connected
+    /// platforms).
+    pub fn routed_heft() -> SchedulerSpec {
+        SchedulerSpec {
+            kind: "routed-heft".into(),
+            b: None,
+        }
+    }
+}
+
+/// A validated, fully-defaulted job, ready to run and to key the cache.
+#[derive(Debug, Clone)]
+pub struct ResolvedJob {
+    /// The normalized spec (every optional field filled).
+    pub spec: JobSpec,
+    /// Canonical cache key: two jobs with equal keys are the same
+    /// deterministic scheduling problem.
+    pub key: String,
+    model: CommModel,
+}
+
+/// Parse a kebab-case communication-model name (`CommModel::name`).
+pub fn parse_model(name: &str) -> Result<CommModel, String> {
+    CommModel::ALL
+        .iter()
+        .copied()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown model {name:?} (expected one of: {})",
+                CommModel::ALL.map(|m| m.name()).join(", ")
+            )
+        })
+}
+
+/// Parse a testbed display name, case-insensitively.
+pub fn parse_testbed(name: &str) -> Result<Testbed, String> {
+    Testbed::ALL
+        .iter()
+        .copied()
+        .find(|t| t.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown testbed {name:?} (expected one of: {})",
+                Testbed::ALL.map(|t| t.name()).join(", ")
+            )
+        })
+}
+
+/// Ceiling on generated task counts: a typo'd size must not wedge a worker
+/// for hours. Large enough for the 100k+-task stress sweeps.
+pub const MAX_TASKS_PER_JOB: usize = 2_000_000;
+
+/// Ceiling on platform sizes (link matrices are `procs²`).
+pub const MAX_PROCS: usize = 512;
+
+/// Heterogeneous default cycle-times for the routed topologies: cycle
+/// through the paper's three processor speeds.
+fn default_cycle_times(procs: usize) -> Vec<f64> {
+    const PATTERN: [f64; 3] = [6.0, 10.0, 15.0];
+    (0..procs).map(|i| PATTERN[i % PATTERN.len()]).collect()
+}
+
+impl JobSpec {
+    /// Validate the spec, fill every default, and derive the canonical
+    /// cache key. Errors are human-readable strings carried back to the
+    /// client in an `error` response.
+    pub fn resolve(&self) -> Result<ResolvedJob, String> {
+        let mut spec = self.clone();
+
+        // -- dag --------------------------------------------------------
+        let d = &mut spec.dag;
+        match d.kind.as_str() {
+            "testbed" => {
+                let name = d
+                    .testbed
+                    .as_deref()
+                    .ok_or("testbed dag requires `testbed`")?;
+                let tb = parse_testbed(name)?;
+                d.testbed = Some(tb.name().to_string());
+                let n = d.n.ok_or("testbed dag requires `n`")?;
+                if n == 0 {
+                    return Err("testbed size n must be at least 1".into());
+                }
+                // conservative task-count bound: the elimination/grid
+                // testbeds grow quadratically in n, fork-join linearly
+                let est = match tb {
+                    Testbed::ForkJoin => 2 * n + 2,
+                    _ => n.saturating_mul(n),
+                };
+                if est > MAX_TASKS_PER_JOB {
+                    return Err(format!(
+                        "{} at n={n} may reach {est} tasks (limit {MAX_TASKS_PER_JOB})",
+                        tb.name()
+                    ));
+                }
+                d.c = Some(d.c.unwrap_or(PAPER_C));
+                d.layers = None;
+                d.max_width = None;
+                d.edge_prob = None;
+                d.seed = None;
+            }
+            "random" => {
+                if d.c.is_some() {
+                    // the random generator has no CCR knob (data volumes
+                    // come from its data_range); silently ignoring `c`
+                    // would accept a parameter that never takes effect
+                    return Err("random dag does not take `c` (testbed kind only)".into());
+                }
+                let layers = d.layers.ok_or("random dag requires `layers`")?;
+                let width = d.max_width.ok_or("random dag requires `max_width`")?;
+                if layers == 0 || width == 0 {
+                    return Err("random dag needs layers >= 1 and max_width >= 1".into());
+                }
+                if layers.saturating_mul(width) > MAX_TASKS_PER_JOB {
+                    return Err(format!(
+                        "random dag may reach {} tasks (limit {MAX_TASKS_PER_JOB})",
+                        layers.saturating_mul(width)
+                    ));
+                }
+                let prob = d.edge_prob.unwrap_or(0.3);
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err(format!("edge_prob {prob} outside [0, 1]"));
+                }
+                d.edge_prob = Some(prob);
+                d.seed = Some(d.seed.unwrap_or(0));
+                d.testbed = None;
+                d.n = None;
+                d.c = None;
+            }
+            "toy" => {
+                *d = DagSpec::toy();
+            }
+            other => return Err(format!("unknown dag kind {other:?}")),
+        }
+
+        // -- platform ---------------------------------------------------
+        let mut p = spec.platform.take().unwrap_or_else(PlatformSpec::paper);
+        match p.kind.as_str() {
+            "paper" => {
+                p.procs = None;
+                p.cycle_times = None;
+                p.link_time = None;
+            }
+            "homogeneous" => {
+                let procs = p.procs.unwrap_or(10);
+                if procs == 0 {
+                    return Err("platform needs at least one processor".into());
+                }
+                if procs > MAX_PROCS {
+                    return Err(format!("{procs} processors exceeds the {MAX_PROCS} limit"));
+                }
+                p.procs = Some(procs);
+                p.cycle_times = None;
+                p.link_time = None; // homogeneous platforms have unit links
+            }
+            "star" | "ring" | "line" => {
+                let ct = match p.cycle_times.take() {
+                    Some(ct) if !ct.is_empty() => ct,
+                    Some(_) => return Err("platform needs at least one processor".into()),
+                    None => default_cycle_times(p.procs.unwrap_or(8)),
+                };
+                if ct.len() > MAX_PROCS {
+                    return Err(format!(
+                        "{} processors exceeds the {MAX_PROCS} limit",
+                        ct.len()
+                    ));
+                }
+                if ct.iter().any(|&t| t <= 0.0 || !t.is_finite()) {
+                    return Err("cycle_times must be positive and finite".into());
+                }
+                p.procs = Some(ct.len());
+                p.cycle_times = Some(ct);
+                p.link_time = Some(p.link_time.unwrap_or(1.0));
+            }
+            other => return Err(format!("unknown platform kind {other:?}")),
+        }
+
+        // -- scheduler --------------------------------------------------
+        // One platform materialization serves both the connectivity check
+        // and ILHA's auto chunk (link matrices are procs², so building it
+        // repeatedly on the intake thread would be wasteful).
+        let platform = build_platform(&p);
+        let mut s = spec.scheduler.take().unwrap_or_else(SchedulerSpec::heft);
+        let routed_platform = !platform.is_fully_connected();
+        match s.kind.as_str() {
+            "heft" => s.b = None,
+            "routed-heft" => s.b = None,
+            "ilha" => {
+                let b = match s.b {
+                    Some(b) => b,
+                    None => match (spec.dag.kind.as_str(), &spec.dag.testbed) {
+                        ("testbed", Some(name)) => parse_testbed(name)?.paper_best_b(),
+                        // auto chunk: fix the value now so the cache key
+                        // is explicit about what ran
+                        _ => Ilha::auto(&platform).b,
+                    },
+                };
+                if b == 0 {
+                    return Err("ilha chunk size b must be at least 1".into());
+                }
+                s.b = Some(b);
+            }
+            other => return Err(format!("unknown scheduler kind {other:?}")),
+        }
+        if routed_platform && s.kind != "routed-heft" {
+            return Err(format!(
+                "platform kind {:?} is not fully connected; use scheduler kind \"routed-heft\"",
+                p.kind
+            ));
+        }
+
+        // -- model ------------------------------------------------------
+        let model = parse_model(spec.model.as_deref().unwrap_or("one-port-bidir"))?;
+        spec.model = Some(model.name().to_string());
+        spec.platform = Some(p);
+        spec.scheduler = Some(s);
+
+        // Canonical key: the normalized spec serialized with the daemon's
+        // own (deterministic, insertion-ordered) serializer. `validate`
+        // participates so a validated result is never served for an
+        // unvalidated submission or vice versa.
+        let key = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
+        Ok(ResolvedJob { spec, key, model })
+    }
+}
+
+fn build_platform(p: &PlatformSpec) -> Platform {
+    match p.kind.as_str() {
+        "paper" => Platform::paper(),
+        "homogeneous" => Platform::homogeneous(p.procs.expect("resolved")),
+        kind => {
+            let ct = p.cycle_times.clone().expect("resolved");
+            let lt = p.link_time.expect("resolved");
+            match kind {
+                "star" => topology::star(ct, lt),
+                "ring" => topology::ring(ct, lt),
+                "line" => topology::line(ct, lt),
+                other => unreachable!("unresolved platform kind {other}"),
+            }
+            .expect("resolved platform parameters are valid")
+        }
+    }
+}
+
+impl ResolvedJob {
+    /// The communication model this job runs under.
+    pub fn model(&self) -> CommModel {
+        self.model
+    }
+
+    /// Generate the job's task graph (deterministic).
+    pub fn build_graph(&self) -> TaskGraph {
+        let d = &self.spec.dag;
+        match d.kind.as_str() {
+            "testbed" => {
+                let tb = parse_testbed(d.testbed.as_deref().expect("resolved")).expect("resolved");
+                tb.generate(d.n.expect("resolved"), d.c.expect("resolved"))
+            }
+            "random" => {
+                let cfg = RandomDagConfig {
+                    layers: d.layers.expect("resolved"),
+                    max_width: d.max_width.expect("resolved"),
+                    edge_prob: d.edge_prob.expect("resolved"),
+                    ..RandomDagConfig::default()
+                };
+                random_layered(&cfg, d.seed.expect("resolved"))
+            }
+            "toy" => onesched_testbeds::toy(),
+            other => unreachable!("unresolved dag kind {other}"),
+        }
+    }
+
+    /// Build the job's platform (deterministic).
+    pub fn build_platform(&self) -> Platform {
+        build_platform(self.spec.platform.as_ref().expect("resolved"))
+    }
+
+    /// Instantiate the job's scheduler.
+    pub fn build_scheduler(&self) -> Box<dyn Scheduler> {
+        let s = self.spec.scheduler.as_ref().expect("resolved");
+        match s.kind.as_str() {
+            "heft" => Box::new(Heft::new()),
+            "ilha" => Box::new(Ilha::new(s.b.expect("resolved"))),
+            "routed-heft" => Box::new(RoutedHeft::new()),
+            other => unreachable!("unresolved scheduler kind {other}"),
+        }
+    }
+}
+
+/// Successful scheduling outcome (op `"result"`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultResponse {
+    /// Always `"result"`.
+    pub op: String,
+    /// The submitted (or daemon-assigned) job id.
+    pub id: String,
+    /// Scheduler display name (e.g. `ILHA(B=4)`).
+    pub scheduler: String,
+    /// Communication model (kebab-case name).
+    pub model: String,
+    /// Number of tasks scheduled.
+    pub tasks: usize,
+    /// Schedule makespan.
+    pub makespan: f64,
+    /// Speedup over the fastest-single-processor sequential time.
+    pub speedup: f64,
+    /// Number of effective (non-zero duration) communications.
+    pub effective_comms: usize,
+    /// Placement fingerprint as 16 hex digits
+    /// (`onesched_sim::placement_fingerprint`); bit-identical to the direct
+    /// runner path for the same resolved job.
+    pub fingerprint: String,
+    /// Schedule-construction wall-clock time in milliseconds. For a cache
+    /// hit, the construction time of the original run.
+    pub construct_ms: f64,
+    /// Whether this result was served from the schedule cache.
+    pub cache_hit: bool,
+    /// Validator violation count (0 unless `validate` was requested —
+    /// and always 0 then, or the daemon has a bug).
+    pub violations: usize,
+}
+
+/// Queue/cache/latency statistics (op `"stats"`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Always `"stats"`.
+    pub op: String,
+    /// Jobs waiting in the priority queue.
+    pub queue_depth: usize,
+    /// Jobs answered (including cache hits and failures).
+    pub jobs_done: u64,
+    /// Jobs answered from the schedule cache.
+    pub cache_hits: u64,
+    /// Requests answered with an `error` response.
+    pub errors: u64,
+    /// Entries currently in the schedule cache.
+    pub cache_size: usize,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: f64,
+    /// Per-scheduler construction-latency percentiles (cache hits are
+    /// excluded — they did not construct anything).
+    pub latency: Vec<LatencyEntry>,
+}
+
+/// Construction-latency percentiles for one scheduler kind. Percentiles
+/// are nearest-rank over a sliding window of the most recent constructions
+/// (`cache::LATENCY_WINDOW`); `count` and `max_ms` are all-time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyEntry {
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// All-time number of constructions measured.
+    pub count: u64,
+    /// Median construction time over the window, ms.
+    pub p50_ms: f64,
+    /// 90th-percentile construction time over the window, ms.
+    pub p90_ms: f64,
+    /// 99th-percentile construction time over the window, ms.
+    pub p99_ms: f64,
+    /// All-time worst construction time, ms.
+    pub max_ms: f64,
+}
+
+/// Request failure (op `"error"`): unparseable line, invalid spec, or
+/// unknown op. The offending submission's id is echoed when known.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Always `"error"`.
+    pub op: String,
+    /// The submission id, when the request carried one.
+    #[serde(default)]
+    pub id: Option<String>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+/// Plain acknowledgement (op `"ok"`), e.g. for `shutdown`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AckResponse {
+    /// Always `"ok"`.
+    pub op: String,
+    /// What was acknowledged.
+    pub message: String,
+}
+
+/// Daemon startup announcement (op `"ready"`), written before any request
+/// is read. TCP clients parse `addr` to learn the bound port (`--tcp
+/// 127.0.0.1:0` binds an ephemeral one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadyResponse {
+    /// Always `"ready"`.
+    pub op: String,
+    /// Protocol tag ([`PROTOCOL_VERSION`]).
+    pub protocol: String,
+    /// Bound listen address (TCP mode) or `"stdio"`.
+    pub addr: String,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+}
+
+/// Minimal probe to dispatch a response line on its `op` tag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpProbe {
+    /// The line's `op` field.
+    pub op: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_spec_resolves_with_defaults() {
+        let job = JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 30),
+            platform: None,
+            scheduler: None,
+            model: None,
+            validate: false,
+        };
+        let r = job.resolve().unwrap();
+        assert_eq!(r.model(), CommModel::OnePortBidir);
+        assert_eq!(r.spec.dag.c, Some(PAPER_C));
+        assert_eq!(r.spec.scheduler.as_ref().unwrap().kind, "heft");
+        assert_eq!(r.spec.platform.as_ref().unwrap().kind, "paper");
+        assert_eq!(r.build_graph().num_tasks(), 465);
+        assert_eq!(r.build_platform().num_procs(), 10);
+    }
+
+    #[test]
+    fn ilha_b_defaults_to_paper_best() {
+        let mut job = JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 10),
+            platform: None,
+            scheduler: Some(SchedulerSpec {
+                kind: "ilha".into(),
+                b: None,
+            }),
+            model: None,
+            validate: false,
+        };
+        let r = job.resolve().unwrap();
+        assert_eq!(r.spec.scheduler.as_ref().unwrap().b, Some(4));
+        assert_eq!(r.build_scheduler().name(), "ILHA(B=4)");
+        // non-testbed DAG: auto chunk against the platform
+        job.dag = DagSpec::random(4, 4, 0.5, 1);
+        let r = job.resolve().unwrap();
+        assert_eq!(r.spec.scheduler.as_ref().unwrap().b, Some(38));
+    }
+
+    #[test]
+    fn resolution_is_canonical() {
+        // the same logical job spelled with and without defaults gets the
+        // same cache key
+        let explicit = JobSpec {
+            dag: DagSpec {
+                kind: "testbed".into(),
+                testbed: Some("lu".into()), // case-insensitive
+                n: Some(30),
+                c: Some(10.0),
+                layers: None,
+                max_width: None,
+                edge_prob: None,
+                seed: None,
+            },
+            platform: Some(PlatformSpec::paper()),
+            scheduler: Some(SchedulerSpec::heft()),
+            model: Some("one-port-bidir".into()),
+            validate: false,
+        };
+        let bare = JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 30),
+            platform: None,
+            scheduler: None,
+            model: None,
+            validate: false,
+        };
+        assert_eq!(explicit.resolve().unwrap().key, bare.resolve().unwrap().key);
+    }
+
+    #[test]
+    fn routed_platform_requires_routed_scheduler() {
+        let job = JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 10),
+            platform: Some(PlatformSpec::routed("star", 6, 1.0)),
+            scheduler: None,
+            model: None,
+            validate: false,
+        };
+        let err = job.resolve().unwrap_err();
+        assert!(err.contains("routed-heft"), "{err}");
+        let job = JobSpec {
+            scheduler: Some(SchedulerSpec::routed_heft()),
+            ..job
+        };
+        let r = job.resolve().unwrap();
+        assert_eq!(r.build_platform().num_procs(), 6);
+        assert!(!r.build_platform().is_fully_connected());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let base = JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 10),
+            platform: None,
+            scheduler: None,
+            model: None,
+            validate: false,
+        };
+        for (label, job) in [
+            (
+                "bad dag kind",
+                JobSpec {
+                    dag: DagSpec {
+                        kind: "nope".into(),
+                        ..DagSpec::toy()
+                    },
+                    ..base.clone()
+                },
+            ),
+            (
+                "bad model",
+                JobSpec {
+                    model: Some("two-port".into()),
+                    ..base.clone()
+                },
+            ),
+            (
+                "bad scheduler",
+                JobSpec {
+                    scheduler: Some(SchedulerSpec {
+                        kind: "cpop".into(),
+                        b: None,
+                    }),
+                    ..base.clone()
+                },
+            ),
+            (
+                "oversized random",
+                JobSpec {
+                    dag: DagSpec::random(10_000, 10_000, 0.1, 0),
+                    ..base.clone()
+                },
+            ),
+            (
+                "bad edge_prob",
+                JobSpec {
+                    dag: DagSpec::random(3, 3, 1.5, 0),
+                    ..base.clone()
+                },
+            ),
+            (
+                "c on random dag",
+                JobSpec {
+                    dag: DagSpec {
+                        c: Some(5.0),
+                        ..DagSpec::random(3, 3, 0.5, 0)
+                    },
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert!(job.resolve().is_err(), "{label} must be rejected");
+        }
+    }
+
+    #[test]
+    fn request_line_with_missing_optionals_parses() {
+        // `#[serde(default)]` at work: bare stats/shutdown lines carry no
+        // id/priority/job fields at all
+        let r: Request = serde_json::from_str("{\"op\":\"stats\"}").unwrap();
+        assert_eq!(r, Request::stats());
+        let r: Request =
+            serde_json::from_str("{\"op\":\"submit\",\"job\":{\"dag\":{\"kind\":\"toy\"}}}")
+                .unwrap();
+        assert_eq!(r.op, "submit");
+        assert_eq!(r.priority, None);
+        assert_eq!(r.job.as_ref().unwrap().dag.kind, "toy");
+        assert!(!r.job.as_ref().unwrap().validate);
+    }
+}

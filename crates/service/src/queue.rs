@@ -1,0 +1,122 @@
+//! The service's job queue: a priority queue with FIFO tie-breaking.
+//!
+//! Higher priorities pop first; among equal priorities, submission order
+//! wins (each push gets a monotone sequence number, so starvation within a
+//! priority class is impossible and result order is deterministic for a
+//! single-worker daemon).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(priority, arrival)`-ordered queue of jobs.
+#[derive(Debug)]
+pub struct PriorityQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+// Order by priority (max first), then by arrival (min first). `seq` is
+// unique per queue, so the order is total and `item` never participates.
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Default for PriorityQueue<T> {
+    fn default() -> Self {
+        PriorityQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> PriorityQueue<T> {
+    /// New empty queue.
+    pub fn new() -> PriorityQueue<T> {
+        PriorityQueue::default()
+    }
+
+    /// Enqueue `item` at `priority` (higher pops first).
+    pub fn push(&mut self, priority: i64, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+    }
+
+    /// Dequeue the highest-priority, earliest-submitted item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|e| e.item)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_fifo() {
+        let mut q = PriorityQueue::new();
+        q.push(0, "low-1");
+        q.push(5, "high-1");
+        q.push(0, "low-2");
+        q.push(5, "high-2");
+        q.push(-3, "negative");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["high-1", "high-2", "low-1", "low-2", "negative"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = PriorityQueue::new();
+        q.push(1, 1);
+        q.push(2, 2);
+        assert_eq!(q.pop(), Some(2));
+        q.push(3, 3);
+        q.push(1, 4);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1), "older same-priority entry first");
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -7,15 +7,36 @@
 //! quality numbers plus the *schedule-construction time* — the quantity the
 //! perf baseline (`BENCH_2.json`) tracks. Results come back in job order
 //! regardless of which worker ran them, so CSV output is deterministic.
+//!
+//! The long-running scheduling service ([`crate::Service`]) builds on the
+//! same job-isolation discipline: one job = one graph + one scheduler + one
+//! `schedule()` call, timed alone, with nothing shared between jobs but the
+//! immutable platform.
 
+use onesched_dag::TaskGraph;
 use onesched_heuristics::{Heft, Ilha, Scheduler};
 use onesched_platform::Platform;
-use onesched_sim::CommModel;
+use onesched_sim::{CommModel, Schedule};
 use onesched_testbeds::{Testbed, PAPER_C};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Build one schedule, timing the `schedule()` call alone (graph generation
+/// and statistics excluded). The shared execution step of the sweep runner
+/// and the scheduling service: both isolate a job to exactly this call.
+pub fn schedule_timed(
+    g: &TaskGraph,
+    platform: &Platform,
+    scheduler: &dyn Scheduler,
+    model: CommModel,
+) -> (Schedule, Duration) {
+    let t0 = Instant::now();
+    let sched = scheduler.schedule(g, platform, model);
+    let construct = t0.elapsed();
+    (sched, construct)
+}
 
 /// Which scheduler a sweep job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,13 +162,10 @@ pub fn run_sweep_repeated(
 fn run_job(job: &SweepJob, platform: &Platform, model: CommModel, repeats: usize) -> SweepResult {
     let g = job.testbed.generate(job.size, PAPER_C);
     let scheduler = job.sched.build();
-    let t0 = Instant::now();
-    let sched = scheduler.schedule(&g, platform, model);
-    let mut construct = t0.elapsed();
+    let (sched, mut construct) = schedule_timed(&g, platform, scheduler.as_ref(), model);
     for _ in 1..repeats {
-        let t0 = Instant::now();
-        let again = scheduler.schedule(&g, platform, model);
-        construct = construct.min(t0.elapsed());
+        let (again, t) = schedule_timed(&g, platform, scheduler.as_ref(), model);
+        construct = construct.min(t);
         debug_assert!(again.makespan() == sched.makespan());
     }
     SweepResult {

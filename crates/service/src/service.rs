@@ -1,0 +1,577 @@
+//! The long-running scheduling daemon: request intake, the priority queue,
+//! the worker pool, and result streaming.
+//!
+//! Architecture (the scheduler/runner split of dslab, adapted to a
+//! service): schedulers stay pure functions of `(graph, platform, model)`;
+//! this module owns everything stateful — connections, the job queue, the
+//! schedule cache, statistics. Workers are `std::thread::scope` threads
+//! sharing the service by reference (no `Arc` of the service itself), the
+//! same pool discipline as [`crate::runner`], with a condition variable
+//! instead of a job-index counter because the queue is dynamic.
+//!
+//! Each submission carries a handle to its connection's writer; whichever
+//! worker finishes a job serializes the result and writes it under the
+//! writer's lock as one complete line, so concurrent jobs never interleave
+//! bytes within a line. Responses stream in *completion* order (priority
+//! first), not submission order — clients match results by `id`.
+
+use crate::cache::{run_job, Registry, ServiceStats};
+use crate::protocol::{
+    AckResponse, ErrorResponse, ReadyResponse, Request, ResolvedJob, ResultResponse,
+    PROTOCOL_VERSION,
+};
+use crate::queue::PriorityQueue;
+use std::io::{self, BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A line-oriented output shared between the intake thread and the workers.
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads serving the job queue.
+    pub workers: usize,
+    /// Maximum schedule-cache entries (FIFO eviction).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: crate::runner::default_threads(),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One queued submission: the resolved job plus where its result goes.
+struct Ticket {
+    id: String,
+    job: ResolvedJob,
+    out: SharedWriter,
+}
+
+/// The scheduling service. Create one, then drive it with
+/// [`Service::serve_stdio`] or [`Service::serve_tcp`] (or feed request
+/// lines directly through [`Service::serve_reader`] for embedding/tests).
+pub struct Service {
+    cfg: ServiceConfig,
+    queue: Mutex<PriorityQueue<Ticket>>,
+    ready: Condvar,
+    registry: Mutex<Registry>,
+    stats: Mutex<ServiceStats>,
+    shutdown: AtomicBool,
+    next_job: AtomicU64,
+    started: Instant,
+}
+
+/// Poll interval for blocking accept/read loops while checking the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+impl Service {
+    /// New idle service.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        let cfg = ServiceConfig {
+            workers: cfg.workers.max(1),
+            ..cfg
+        };
+        Service {
+            registry: Mutex::new(Registry::new(cfg.cache_capacity)),
+            cfg,
+            queue: Mutex::new(PriorityQueue::new()),
+            ready: Condvar::new(),
+            stats: Mutex::new(ServiceStats::default()),
+            shutdown: AtomicBool::new(false),
+            next_job: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Request shutdown: intake stops, workers drain the queue and exit.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Notify while holding the queue mutex: a worker is either before
+        // its lock acquisition (it will see the flag) or parked in
+        // `ready.wait` (it will get this notification) — never in between,
+        // which would lose the wakeup and hang the scoped join forever.
+        let _guard = self.queue.lock().expect("queue poisoned");
+        self.ready.notify_all();
+    }
+
+    /// Serve newline-delimited requests from stdin, streaming responses to
+    /// stdout, until EOF or a `shutdown` request; queued jobs are drained
+    /// before returning. One process = one batch session, which is what the
+    /// CI smoke test and shell pipelines use.
+    pub fn serve_stdio(&self) -> io::Result<()> {
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
+        write_line(
+            &out,
+            &serde_json::to_string(&self.ready_response("stdio")).expect("serialize ready"),
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers {
+                scope.spawn(|| self.worker());
+            }
+            let stdin = io::stdin().lock();
+            self.serve_reader(stdin, &out);
+            self.begin_shutdown();
+        });
+        Ok(())
+    }
+
+    /// Bind `addr` and serve concurrent TCP connections until a `shutdown`
+    /// request, announcing the bound address as a `ready` line on
+    /// `announce` (stdout in the binary; `--tcp 127.0.0.1:0` binds an
+    /// ephemeral port, so clients need the announcement).
+    pub fn serve_tcp(&self, addr: &str, announce: &SharedWriter) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        write_line(
+            announce,
+            &serde_json::to_string(&self.ready_response(&bound.to_string()))
+                .expect("serialize ready"),
+        );
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..self.cfg.workers {
+                scope.spawn(|| self.worker());
+            }
+            loop {
+                if self.is_shutdown() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        scope.spawn(move || {
+                            if let Err(e) = self.handle_conn(stream) {
+                                eprintln!("onesched-svc: connection error: {e}");
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(e) => {
+                        self.begin_shutdown();
+                        return Err(e);
+                    }
+                }
+            }
+            self.begin_shutdown();
+            Ok(())
+        })
+    }
+
+    /// Feed request lines from any reader, writing each response to `out`.
+    /// Returns at EOF or shutdown (queued jobs may still be in flight —
+    /// callers own the worker lifecycle, as [`Service::serve_stdio`] does).
+    pub fn serve_reader<R: BufRead>(&self, reader: R, out: &SharedWriter) {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.handle_line(&line, out);
+            if self.is_shutdown() {
+                break;
+            }
+        }
+    }
+
+    /// The daemon's `ready` announcement.
+    fn ready_response(&self, addr: &str) -> ReadyResponse {
+        ReadyResponse {
+            op: "ready".into(),
+            protocol: PROTOCOL_VERSION.into(),
+            addr: addr.into(),
+            workers: self.cfg.workers,
+        }
+    }
+
+    /// One TCP connection: read request lines (polling so shutdown can
+    /// interrupt), answer on the same stream.
+    fn handle_conn(&self, stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(POLL))?;
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream.try_clone()?)));
+        let mut stream = stream;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.is_shutdown() {
+                return Ok(());
+            }
+            match io::Read::read(&mut stream, &mut chunk) {
+                Ok(0) => return Ok(()), // client closed
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    // process every complete line in the buffer
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+                        if !line.trim().is_empty() {
+                            self.handle_line(line.trim_end_matches('\r'), &out);
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Parse and dispatch one request line; every line gets exactly one
+    /// response line (possibly later, for submissions).
+    pub fn handle_line(&self, line: &str, out: &SharedWriter) {
+        let req: Request = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.respond_error(out, None, format!("unparseable request: {e}"));
+                return;
+            }
+        };
+        match req.op.as_str() {
+            "submit" => {
+                let Some(spec) = req.job else {
+                    self.respond_error(out, req.id, "submit requires a `job`".into());
+                    return;
+                };
+                let job = match spec.resolve() {
+                    Ok(j) => j,
+                    Err(e) => {
+                        self.respond_error(out, req.id, e);
+                        return;
+                    }
+                };
+                let id = req.id.unwrap_or_else(|| {
+                    format!("job-{}", self.next_job.fetch_add(1, Ordering::Relaxed))
+                });
+                let ticket = Ticket {
+                    id,
+                    job,
+                    out: Arc::clone(out),
+                };
+                self.queue
+                    .lock()
+                    .expect("queue poisoned")
+                    .push(req.priority.unwrap_or(0), ticket);
+                self.ready.notify_one();
+            }
+            "stats" => {
+                let queue_depth = self.queue.lock().expect("queue poisoned").len();
+                let cache_size = self.registry.lock().expect("registry poisoned").len();
+                let snap = self.stats.lock().expect("stats poisoned").snapshot(
+                    queue_depth,
+                    cache_size,
+                    self.started.elapsed(),
+                );
+                write_line(out, &serde_json::to_string(&snap).expect("serialize stats"));
+            }
+            "shutdown" => {
+                self.begin_shutdown();
+                let ack = AckResponse {
+                    op: "ok".into(),
+                    message: "shutting down; draining queued jobs".into(),
+                };
+                write_line(out, &serde_json::to_string(&ack).expect("serialize ack"));
+            }
+            other => {
+                self.respond_error(out, req.id, format!("unknown op {other:?}"));
+            }
+        }
+    }
+
+    fn respond_error(&self, out: &SharedWriter, id: Option<String>, message: String) {
+        self.stats.lock().expect("stats poisoned").errors += 1;
+        let resp = ErrorResponse {
+            op: "error".into(),
+            id,
+            message,
+        };
+        write_line(out, &serde_json::to_string(&resp).expect("serialize error"));
+    }
+
+    /// Worker loop: claim the highest-priority job, serve it from the cache
+    /// or run it, stream the result. Exits once shutdown is requested *and*
+    /// the queue is drained.
+    fn worker(&self) {
+        loop {
+            let ticket = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(t) = q.pop() {
+                        break t;
+                    }
+                    if self.is_shutdown() {
+                        return;
+                    }
+                    q = self.ready.wait(q).expect("queue poisoned");
+                }
+            };
+            self.run_ticket(ticket);
+        }
+    }
+
+    fn run_ticket(&self, ticket: Ticket) {
+        let cached = self
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(&ticket.job.key)
+            .cloned();
+        let (outcome, cache_hit) = match cached {
+            Some(outcome) => (outcome, true),
+            None => {
+                // run WITHOUT holding any lock: construction is the slow part
+                let outcome = run_job(&ticket.job);
+                self.registry
+                    .lock()
+                    .expect("registry poisoned")
+                    .insert(ticket.job.key.clone(), outcome.clone());
+                (outcome, false)
+            }
+        };
+        {
+            let mut stats = self.stats.lock().expect("stats poisoned");
+            stats.jobs_done += 1;
+            if cache_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.record_latency(&outcome.scheduler, outcome.construct);
+            }
+        }
+        let resp = ResultResponse {
+            op: "result".into(),
+            id: ticket.id,
+            scheduler: outcome.scheduler,
+            model: ticket.job.model().name().into(),
+            tasks: outcome.tasks,
+            makespan: outcome.makespan,
+            speedup: outcome.speedup,
+            effective_comms: outcome.effective_comms,
+            fingerprint: format!("{:016x}", outcome.fingerprint),
+            construct_ms: outcome.construct.as_secs_f64() * 1e3,
+            cache_hit,
+            violations: outcome.violations,
+        };
+        write_line(
+            &ticket.out,
+            &serde_json::to_string(&resp).expect("serialize result"),
+        );
+    }
+}
+
+/// Write one complete response line under the writer's lock (the
+/// no-interleaving guarantee) and flush it so clients see results as they
+/// complete. Write errors are swallowed: a vanished client must not take a
+/// worker down.
+fn write_line(out: &SharedWriter, line: &str) {
+    let mut w = out.lock().expect("writer poisoned");
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DagSpec, JobSpec, OpProbe, SchedulerSpec, StatsResponse};
+    use onesched_testbeds::Testbed;
+
+    /// A writer that appends into shared memory, for driving the service
+    /// without sockets.
+    #[derive(Clone, Default)]
+    struct MemWriter(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for MemWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn drive(requests: &[Request], workers: usize) -> Vec<String> {
+        let svc = Service::new(ServiceConfig {
+            workers,
+            cache_capacity: 64,
+        });
+        let sink = MemWriter::default();
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
+        let input: String = requests
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap() + "\n")
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| svc.worker());
+            }
+            svc.serve_reader(input.as_bytes(), &out);
+            svc.begin_shutdown();
+        });
+        let bytes = sink.0.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn submit(id: &str, priority: i64, job: JobSpec) -> Request {
+        Request::submit(Some(id.into()), priority, job)
+    }
+
+    fn lu_spec(n: usize) -> JobSpec {
+        JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, n),
+            platform: None,
+            scheduler: None,
+            model: None,
+            validate: true,
+        }
+    }
+
+    #[test]
+    fn batch_of_jobs_all_answered_without_interleaving() {
+        let reqs: Vec<Request> = (0..12)
+            .map(|i| submit(&format!("j{i}"), i % 3, lu_spec(8 + i as usize)))
+            .collect();
+        let lines = drive(&reqs, 4);
+        assert_eq!(lines.len(), 12);
+        let mut seen: Vec<String> = Vec::new();
+        for line in &lines {
+            // every line parses cleanly as a result — interleaved bytes
+            // would break the JSON
+            let r: ResultResponse = serde_json::from_str(line).expect("clean result line");
+            assert_eq!(r.op, "result");
+            assert_eq!(r.violations, 0);
+            seen.push(r.id);
+        }
+        seen.sort();
+        let mut want: Vec<String> = (0..12).map(|i| format!("j{i}")).collect();
+        want.sort();
+        assert_eq!(seen, want, "every job answered exactly once");
+    }
+
+    #[test]
+    fn cache_answers_repeats_and_stats_report_them() {
+        let reqs = vec![
+            submit("a", 0, lu_spec(10)),
+            submit("b", 0, lu_spec(10)),
+            submit("c", 0, lu_spec(10)),
+            Request::stats(),
+        ];
+        // one worker: strictly sequential, so b and c must hit the cache
+        let lines = drive(&reqs, 1);
+        let mut hits = 0;
+        let mut fingerprints = std::collections::HashSet::new();
+        let mut stats: Option<StatsResponse> = None;
+        for line in &lines {
+            let probe: OpProbe = serde_json::from_str(line).unwrap();
+            match probe.op.as_str() {
+                "result" => {
+                    let r: ResultResponse = serde_json::from_str(line).unwrap();
+                    hits += usize::from(r.cache_hit);
+                    fingerprints.insert(r.fingerprint.clone());
+                }
+                "stats" => stats = Some(serde_json::from_str(line).unwrap()),
+                other => panic!("unexpected op {other}"),
+            }
+        }
+        assert_eq!(hits, 2, "second and third submissions served from cache");
+        assert_eq!(fingerprints.len(), 1, "cached results are identical");
+        // the stats line was answered inline (before the queue drained) or
+        // after — either way the final counters are consistent
+        let s = stats.expect("stats response");
+        assert!(s.cache_hits <= 2);
+        assert_eq!(s.op, "stats");
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses() {
+        let mut bad_model = lu_spec(10);
+        bad_model.model = Some("telepathy".into());
+        let reqs = vec![
+            Request {
+                op: "dance".into(),
+                id: Some("x".into()),
+                priority: None,
+                job: None,
+            },
+            submit("y", 0, bad_model),
+            Request {
+                op: "submit".into(),
+                id: Some("z".into()),
+                priority: None,
+                job: None,
+            },
+        ];
+        let lines = drive(&reqs, 2);
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let e: ErrorResponse = serde_json::from_str(line).expect("error response");
+            assert_eq!(e.op, "error");
+        }
+        let ids: std::collections::HashSet<Option<String>> = lines
+            .iter()
+            .map(|l| serde_json::from_str::<ErrorResponse>(l).unwrap().id)
+            .collect();
+        assert!(ids.contains(&Some("y".into())) && ids.contains(&Some("z".into())));
+    }
+
+    #[test]
+    fn service_results_match_direct_runner_path() {
+        // the acceptance criterion in miniature: schedule through the
+        // service machinery, compare bit-exact against a direct run
+        let spec = JobSpec {
+            scheduler: Some(SchedulerSpec::ilha(4)),
+            ..lu_spec(20)
+        };
+        let lines = drive(&[submit("direct", 5, spec.clone())], 2);
+        let r: ResultResponse = serde_json::from_str(&lines[0]).unwrap();
+        let job = spec.resolve().unwrap();
+        let g = job.build_graph();
+        let p = job.build_platform();
+        let direct = job.build_scheduler().schedule(&g, &p, job.model());
+        assert_eq!(
+            r.fingerprint,
+            format!("{:016x}", onesched_sim::placement_fingerprint(&direct))
+        );
+        assert_eq!(r.makespan, direct.makespan());
+        assert_eq!(r.effective_comms, direct.num_effective_comms());
+    }
+
+    #[test]
+    fn shutdown_request_stops_intake() {
+        let reqs = vec![
+            submit("before", 0, lu_spec(8)),
+            Request::shutdown(),
+            submit("after", 0, lu_spec(8)), // never read: intake stopped
+        ];
+        let lines = drive(&reqs, 1);
+        let ops: Vec<String> = lines
+            .iter()
+            .map(|l| serde_json::from_str::<OpProbe>(l).unwrap().op)
+            .collect();
+        assert!(ops.contains(&"ok".to_string()), "shutdown acked: {ops:?}");
+        let ids: Vec<String> = lines
+            .iter()
+            .filter(|l| l.contains("\"result\""))
+            .map(|l| serde_json::from_str::<ResultResponse>(l).unwrap().id)
+            .collect();
+        assert_eq!(ids, ["before"], "queued job drained, later line unread");
+    }
+}

@@ -1,0 +1,168 @@
+//! Workload generators for service-scale scenarios beyond the paper's six
+//! testbeds: random layered DAGs targeted at a task count (100k+ tasks),
+//! and routed workloads over non-fully-connected topologies.
+//!
+//! Everything here produces [`Request`] batches, so the same generators
+//! drive the daemon (`onesched-svc gen ... | onesched-svc submit ...`), the
+//! `experiments stress`/`routed` sweeps, and the integration tests.
+
+use crate::protocol::{DagSpec, JobSpec, PlatformSpec, Request, SchedulerSpec, MAX_TASKS_PER_JOB};
+use onesched_testbeds::{RandomDagConfig, Testbed};
+
+/// Average in-degree targeted by [`stress_config`]: enough fan-in for real
+/// communication pressure without making edge count (and schedule
+/// construction) quadratic in layer width.
+pub const STRESS_FAN_IN: f64 = 3.0;
+
+/// A [`RandomDagConfig`] whose *expected* task count is `tasks`: roughly
+/// square-root-many layers of square-root-wide layers, with the edge
+/// probability tuned so each task has about [`STRESS_FAN_IN`] parents.
+/// Actual counts vary a few percent around the target per seed (layer
+/// widths are drawn uniformly).
+pub fn stress_config(tasks: usize) -> RandomDagConfig {
+    let tasks = tasks.clamp(4, MAX_TASKS_PER_JOB) as f64;
+    // layers ~ 0.7 sqrt(n) keeps graphs deeper than wide: scheduling work
+    // then stresses the ready-queue/commit machinery, not just one huge
+    // independent antichain.
+    let layers = (0.7 * tasks.sqrt()).ceil().max(2.0);
+    let mean_width = (tasks / layers).max(1.0);
+    RandomDagConfig {
+        layers: layers as usize,
+        max_width: (2.0 * mean_width - 1.0).max(1.0) as usize,
+        edge_prob: (STRESS_FAN_IN / mean_width).min(1.0),
+        ..RandomDagConfig::default()
+    }
+}
+
+/// A stress submission: one random layered DAG of about `tasks` tasks on
+/// the paper platform, under the given scheduler.
+pub fn stress_request(tasks: usize, seed: u64, scheduler: SchedulerSpec) -> Request {
+    let cfg = stress_config(tasks);
+    let sched_tag = scheduler.kind.clone();
+    Request::submit(
+        Some(format!("stress-{tasks}-{sched_tag}-{seed}")),
+        0,
+        JobSpec {
+            dag: DagSpec::random(cfg.layers, cfg.max_width, cfg.edge_prob, seed),
+            platform: None,
+            scheduler: Some(scheduler),
+            model: None,
+            validate: false,
+        },
+    )
+}
+
+/// The routed topology kinds the service understands.
+pub const ROUTED_KINDS: [&str; 3] = ["star", "ring", "line"];
+
+/// A batch of routed submissions: every topology kind × every testbed at
+/// size `n`, scheduled by routed HEFT over `procs` heterogeneous
+/// processors. Exercises the §4.3 store-and-forward extension at scale.
+pub fn routed_requests(procs: usize, n: usize, priority: i64) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for kind in ROUTED_KINDS {
+        for tb in Testbed::ALL {
+            reqs.push(Request::submit(
+                Some(format!("routed-{kind}-{}-{n}", tb.name())),
+                priority,
+                JobSpec {
+                    dag: DagSpec::testbed(tb, n),
+                    platform: Some(PlatformSpec::routed(kind, procs, 1.0)),
+                    scheduler: Some(SchedulerSpec::routed_heft()),
+                    model: None,
+                    validate: true,
+                },
+            ));
+        }
+    }
+    reqs
+}
+
+/// The CI smoke batch: small, fast, validated, and covering all three
+/// scheduler kinds plus the cache path (the LU job appears twice).
+pub fn smoke_requests() -> Vec<Request> {
+    let lu = JobSpec {
+        dag: DagSpec::testbed(Testbed::Lu, 20),
+        platform: None,
+        scheduler: Some(SchedulerSpec::ilha(4)),
+        model: None,
+        validate: true,
+    };
+    vec![
+        Request::submit(
+            Some("smoke-toy".into()),
+            1,
+            JobSpec {
+                dag: DagSpec::toy(),
+                platform: Some(PlatformSpec {
+                    kind: "homogeneous".into(),
+                    procs: Some(2),
+                    cycle_times: None,
+                    link_time: None,
+                }),
+                scheduler: None,
+                model: None,
+                validate: true,
+            },
+        ),
+        Request::submit(Some("smoke-lu".into()), 0, lu.clone()),
+        Request::submit(Some("smoke-lu-again".into()), 0, lu),
+        Request::submit(
+            Some("smoke-routed".into()),
+            0,
+            JobSpec {
+                dag: DagSpec::testbed(Testbed::ForkJoin, 12),
+                platform: Some(PlatformSpec::routed("star", 5, 1.0)),
+                scheduler: Some(SchedulerSpec::routed_heft()),
+                model: None,
+                validate: true,
+            },
+        ),
+        Request::stats(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_testbeds::random_layered;
+
+    #[test]
+    fn stress_config_hits_task_target() {
+        for target in [1_000usize, 20_000] {
+            let cfg = stress_config(target);
+            let g = random_layered(&cfg, 7);
+            let n = g.num_tasks() as f64;
+            assert!(
+                (n - target as f64).abs() / (target as f64) < 0.25,
+                "target {target}: got {n} tasks with {cfg:?}"
+            );
+            // fan-in stays bounded: edges ≈ STRESS_FAN_IN × tasks
+            let per_task = g.num_edges() as f64 / n;
+            assert!(
+                per_task < 2.0 * STRESS_FAN_IN,
+                "avg in-degree {per_task} too high"
+            );
+        }
+    }
+
+    #[test]
+    fn stress_request_resolves() {
+        let r = stress_request(50_000, 3, SchedulerSpec::heft());
+        let job = r.job.unwrap().resolve().unwrap();
+        assert_eq!(job.spec.dag.kind, "random");
+        assert_eq!(job.spec.dag.seed, Some(3));
+    }
+
+    #[test]
+    fn routed_and_smoke_batches_resolve() {
+        for r in routed_requests(8, 8, 2).into_iter().chain(smoke_requests()) {
+            if r.op == "submit" {
+                r.job
+                    .expect("submit has a job")
+                    .resolve()
+                    .expect("generated specs are valid");
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests: every protocol type round-trips bit-exactly through the
+//! serde shim's JSON, and spec resolution is stable across the wire (a
+//! resolved job re-parsed from its serialized spec resolves to the same
+//! canonical key — the invariant the schedule cache stands on).
+
+use onesched_service::protocol::{
+    DagSpec, ErrorResponse, JobSpec, LatencyEntry, PlatformSpec, Request, ResultResponse,
+    SchedulerSpec, StatsResponse,
+};
+use proptest::prelude::*;
+
+/// Build a string from sampled char indices over an alphabet that includes
+/// JSON-escape-relevant characters (the proptest shim has no string
+/// strategy).
+fn name_from(ixs: &[usize]) -> String {
+    const ALPHABET: [char; 16] = [
+        'a', 'b', 'z', 'A', 'Z', '0', '9', '-', '_', '.', ' ', '"', '\\', '\n', '\t', 'π',
+    ];
+    ixs.iter().map(|&i| ALPHABET[i % ALPHABET.len()]).collect()
+}
+
+/// Largest integer the JSON shim round-trips exactly (2^53 − 1).
+const MAX_EXACT: u64 = 9_007_199_254_740_991;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_round_trip(
+        op_ix in 0usize..4,
+        id_ixs in proptest::collection::vec(0usize..16, 0..12),
+        has_id in 0u8..2,
+        priority in -1_000_000i64..1_000_000,
+        has_priority in 0u8..2,
+        dag_kind in 0usize..4,
+        n in 1usize..500,
+        layers in 1usize..50,
+        width in 1usize..50,
+        edge_prob in 0.0f64..1.0,
+        seed in 0u64..MAX_EXACT,
+        platform_ix in 0usize..6,
+        procs in 1usize..64,
+        sched_ix in 0usize..4,
+        b in 1usize..100,
+        model_ix in 0usize..5,
+        validate in 0u8..2,
+    ) {
+        let dag = match dag_kind {
+            0 => DagSpec::testbed(onesched_service::Testbed::ALL[n % 6], n),
+            1 => DagSpec::random(layers, width, edge_prob, seed),
+            2 => DagSpec::toy(),
+            // a partially-filled spec (not necessarily valid — the wire
+            // format must carry it regardless)
+            _ => DagSpec { kind: name_from(&id_ixs), ..DagSpec::toy() },
+        };
+        let platform = match platform_ix {
+            0 => None,
+            1 => Some(PlatformSpec::paper()),
+            2 => Some(PlatformSpec::routed("star", procs, 1.0)),
+            3 => Some(PlatformSpec::routed("ring", procs, 2.5)),
+            4 => Some(PlatformSpec::routed("line", procs, 0.5)),
+            _ => Some(PlatformSpec {
+                kind: "homogeneous".into(),
+                procs: Some(procs),
+                cycle_times: Some(vec![1.5; procs.min(4)]),
+                link_time: None,
+            }),
+        };
+        let scheduler = match sched_ix {
+            0 => None,
+            1 => Some(SchedulerSpec::heft()),
+            2 => Some(SchedulerSpec::ilha(b)),
+            _ => Some(SchedulerSpec::routed_heft()),
+        };
+        let model = ["macro-dataflow", "one-port-bidir", "one-port-unidir",
+                     "one-port-no-overlap", "nonsense"]
+            .get(model_ix).map(|m| m.to_string());
+        let job = JobSpec { dag, platform, scheduler, model, validate: validate == 1 };
+        let req = match op_ix {
+            0 => Request::submit(
+                (has_id == 1).then(|| name_from(&id_ixs)),
+                priority,
+                job,
+            ),
+            1 => Request::stats(),
+            2 => Request::shutdown(),
+            _ => Request {
+                op: name_from(&id_ixs),
+                id: (has_id == 1).then(|| name_from(&id_ixs)),
+                priority: (has_priority == 1).then_some(priority),
+                job: Some(job),
+            },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        prop_assert!(!json.contains('\n'), "line protocol: one request per line");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        id_ixs in proptest::collection::vec(0usize..16, 0..10),
+        tasks in 0usize..2_000_000,
+        makespan in 0.0f64..1e12,
+        speedup in 0.0f64..64.0,
+        comms in 0usize..1_000_000,
+        fingerprint in 0u64..MAX_EXACT,
+        construct_ms in 0.0f64..1e7,
+        cache_hit in 0u8..2,
+        violations in 0usize..100,
+        counters in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
+        depth in 0usize..10_000,
+        lat in proptest::collection::vec((0.0f64..1e6, 0u64..1_000_000), 0..5),
+    ) {
+        let result = ResultResponse {
+            op: "result".into(),
+            id: name_from(&id_ixs),
+            scheduler: "ILHA(B=38)".into(),
+            model: "one-port-bidir".into(),
+            tasks,
+            makespan,
+            speedup,
+            effective_comms: comms,
+            fingerprint: format!("{fingerprint:016x}"),
+            construct_ms,
+            cache_hit: cache_hit == 1,
+            violations,
+        };
+        let back: ResultResponse = serde_json::from_str(&serde_json::to_string(&result).unwrap()).unwrap();
+        prop_assert_eq!(back, result);
+
+        let stats = StatsResponse {
+            op: "stats".into(),
+            queue_depth: depth,
+            jobs_done: counters.0,
+            cache_hits: counters.1,
+            errors: counters.2,
+            cache_size: depth,
+            uptime_ms: construct_ms,
+            latency: lat.iter().enumerate().map(|(i, &(ms, count))| LatencyEntry {
+                scheduler: format!("S{i}"),
+                count,
+                p50_ms: ms,
+                p90_ms: ms * 1.5,
+                p99_ms: ms * 2.0,
+                max_ms: ms * 3.0,
+            }).collect(),
+        };
+        let back: StatsResponse = serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+        prop_assert_eq!(back, stats);
+
+        let err = ErrorResponse {
+            op: "error".into(),
+            id: (violations % 2 == 0).then(|| name_from(&id_ixs)),
+            message: name_from(&id_ixs),
+        };
+        let back: ErrorResponse = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
+        prop_assert_eq!(back, err);
+    }
+
+    /// Resolution is stable across the wire: resolving a spec, shipping the
+    /// normalized spec as JSON, and resolving it again lands on the same
+    /// canonical key (so distributed submitters agree on cache identity).
+    #[test]
+    fn resolved_specs_are_wire_stable(
+        tb_ix in 0usize..6,
+        n in 1usize..120,
+        sched_ix in 0usize..3,
+        b in 1usize..100,
+        model_ix in 0usize..4,
+        validate in 0u8..2,
+    ) {
+        let job = JobSpec {
+            dag: DagSpec::testbed(onesched_service::Testbed::ALL[tb_ix], n),
+            platform: None,
+            scheduler: match sched_ix {
+                0 => None,
+                1 => Some(SchedulerSpec::heft()),
+                _ => Some(SchedulerSpec::ilha(b)),
+            },
+            model: ["macro-dataflow", "one-port-bidir", "one-port-unidir",
+                    "one-port-no-overlap"].get(model_ix).map(|m| m.to_string()),
+            validate: validate == 1,
+        };
+        let resolved = job.resolve().unwrap();
+        let shipped: JobSpec = serde_json::from_str(&serde_json::to_string(&resolved.spec).unwrap()).unwrap();
+        let again = shipped.resolve().unwrap();
+        prop_assert_eq!(&resolved.key, &again.key);
+        prop_assert_eq!(resolved.spec, again.spec);
+    }
+}

@@ -407,10 +407,106 @@ impl Timeline {
         }
     }
 
+    /// Mark every interval of `batch` busy in one pass.
+    ///
+    /// Equivalent to calling [`Timeline::occupy`] once per interval, but the
+    /// batch is grouped by target chunk and each touched chunk is merged and
+    /// has its metadata recomputed *once* instead of once per interval —
+    /// the amortization behind ILHA's batched step-1 commit
+    /// (`ResourcePool::commit_batch`), where a whole chunk of
+    /// zero-communication placements lands on a handful of compute
+    /// timelines.
+    ///
+    /// `batch` is consumed as scratch: empty intervals are dropped, the rest
+    /// sorted; the vector is left in an unspecified state.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any batch interval overlaps an existing
+    /// busy interval or another batch member.
+    pub fn occupy_batch(&mut self, batch: &mut Vec<TimeInterval>) {
+        batch.retain(|iv| iv.duration() > EPS);
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by(|a, b| a.start.total_cmp(&b.start));
+        debug_assert!(
+            batch.windows(2).all(|w| !w[0].overlaps(&w[1])),
+            "occupy_batch: batch members overlap each other"
+        );
+        if self.chunks.is_empty() {
+            *self = Timeline::from_sorted(std::mem::take(batch));
+            return;
+        }
+        // Group the sorted batch by target chunk — the last chunk whose
+        // start does not exceed the interval's start, exactly the chunk
+        // `occupy` would pick. Grouping happens before any mutation so the
+        // chunk indices stay valid.
+        let mut groups: Vec<(usize, usize, usize)> = Vec::new(); // (ci, lo, hi)
+        let mut lo = 0;
+        while lo < batch.len() {
+            debug_assert!(
+                self.is_free(batch[lo].start, batch[lo].duration()),
+                "occupy_batch({}, {}) overlaps an existing busy interval",
+                batch[lo].start,
+                batch[lo].duration()
+            );
+            let ci = self
+                .chunks
+                .partition_point(|c| c.start() <= batch[lo].start)
+                .saturating_sub(1);
+            let next_start = self.chunks.get(ci + 1).map(Chunk::start);
+            let mut hi = lo + 1;
+            while hi < batch.len() && next_start.is_none_or(|s| batch[hi].start < s) {
+                debug_assert!(self.is_free(batch[hi].start, batch[hi].duration()));
+                hi += 1;
+            }
+            groups.push((ci, lo, hi));
+            lo = hi;
+        }
+        self.len += batch.len();
+        self.total_busy += batch.iter().map(TimeInterval::duration).sum::<f64>();
+        // Apply back to front so a chunk split cannot shift the indices of
+        // groups still to be applied.
+        for &(ci, lo, hi) in groups.iter().rev() {
+            let ch = &mut self.chunks[ci];
+            let merged = merge_sorted(&ch.ivs, &batch[lo..hi]);
+            if merged.len() > MAX_CHUNK {
+                let parts: Vec<Chunk> = merged
+                    .chunks(TARGET_CHUNK)
+                    .map(|run| Chunk::new(run.to_vec()))
+                    .collect();
+                self.chunks.splice(ci..=ci, parts);
+            } else {
+                ch.ivs = merged;
+                ch.recompute_meta();
+            }
+        }
+        self.ends.clear();
+        self.ends.extend(self.chunks.iter().map(Chunk::end));
+    }
+
     /// Idle time between `0` and `horizon` not covered by busy intervals.
     pub fn idle_before_horizon(&self) -> f64 {
         self.horizon() - self.busy_time()
     }
+}
+
+/// Merge two sorted, mutually non-overlapping interval runs.
+fn merge_sorted(a: &[TimeInterval], b: &[TimeInterval]) -> Vec<TimeInterval> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].start <= b[j].start {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 // The serde shim has no `#[serde(from/into)]`, so the chunked structure
@@ -555,6 +651,67 @@ mod tests {
         assert_eq!(t.earliest_gap(10.4, 1.0), 11.0);
         // nothing larger fits before the horizon
         assert_eq!(t.earliest_gap(0.0, 1.5), t.horizon());
+    }
+
+    #[test]
+    fn occupy_batch_matches_sequential() {
+        // committed background: intervals at 0, 10, 20, ...
+        let mut seq = Timeline::new();
+        let mut bat = Timeline::new();
+        for i in 0..100 {
+            seq.occupy(i as f64 * 10.0, 2.0);
+            bat.occupy(i as f64 * 10.0, 2.0);
+        }
+        // batch spread across many chunks, unsorted, with an empty interval
+        let mut batch: Vec<TimeInterval> = (0..100)
+            .rev()
+            .map(|i| TimeInterval::new(i as f64 * 10.0 + 4.0, 3.0))
+            .collect();
+        batch.push(TimeInterval::new(500.0, 0.0));
+        for iv in &batch {
+            seq.occupy(iv.start, iv.duration());
+        }
+        bat.occupy_batch(&mut batch);
+        assert_eq!(bat.to_vec(), seq.to_vec());
+        assert_eq!(bat.len(), seq.len());
+        assert_eq!(bat.busy_time(), seq.busy_time());
+        assert_eq!(bat.horizon(), seq.horizon());
+        for probe in [0.0, 3.0, 47.5, 999.0, 1200.0] {
+            assert_eq!(bat.earliest_gap(probe, 1.5), seq.earliest_gap(probe, 1.5));
+        }
+    }
+
+    #[test]
+    fn occupy_batch_on_empty_timeline() {
+        let mut t = Timeline::new();
+        let mut batch = vec![TimeInterval::new(5.0, 1.0), TimeInterval::new(1.0, 2.0)];
+        t.occupy_batch(&mut batch);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.horizon(), 6.0);
+        assert_eq!(t.earliest_gap(0.0, 3.0), 6.0);
+        let mut empty = Vec::new();
+        t.occupy_batch(&mut empty); // no-op
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn occupy_batch_splits_oversized_chunks() {
+        // fill one chunk nearly full, then batch enough intervals into it to
+        // force a multi-way split
+        let mut t = Timeline::new();
+        for i in 0..MAX_CHUNK {
+            t.occupy(i as f64 * 4.0, 1.0);
+        }
+        let mut batch: Vec<TimeInterval> = (0..MAX_CHUNK)
+            .map(|i| TimeInterval::new(i as f64 * 4.0 + 2.0, 1.0))
+            .collect();
+        t.occupy_batch(&mut batch);
+        assert_eq!(t.len(), 2 * MAX_CHUNK);
+        let flat = t.to_vec();
+        assert!(flat.windows(2).all(|w| w[1].start >= w[0].end - EPS));
+        // every remaining unit gap is still discoverable
+        assert_eq!(t.earliest_gap(0.0, 1.0), 1.0);
+        assert_eq!(t.earliest_gap(6.5, 1.0), 7.0);
     }
 
     #[test]
@@ -722,6 +879,41 @@ mod proptests {
             prop_assert_eq!(fast.len(), seed.busy.len());
             prop_assert!((fast.busy_time() - seed.busy_time()).abs() < 1e-6);
             prop_assert!((fast.horizon() - seed.horizon()).abs() == 0.0);
+        }
+
+        /// Batched occupation is indistinguishable from sequential occupies:
+        /// same intervals, same metadata, same gap answers — for arbitrary
+        /// mixes of committed background and batch placement.
+        #[test]
+        fn occupy_batch_matches_sequential_occupies(
+            committed in proptest::collection::vec((0.0f64..500.0, 0.1f64..4.0), 0..150),
+            batched in proptest::collection::vec((0.0f64..500.0, 0.1f64..4.0), 1..80),
+            probes in proptest::collection::vec((0.0f64..600.0, 0.1f64..6.0), 1..20),
+        ) {
+            let mut seq = Timeline::new();
+            let mut bat = Timeline::new();
+            for (after, dur) in committed {
+                let t = seq.earliest_gap(after, dur);
+                seq.occupy(t, dur);
+                bat.occupy(t, dur);
+            }
+            // resolve batch members against the committed state one by one
+            // (as ILHA's staged transaction does), then apply them to `seq`
+            // sequentially and to `bat` in one batch
+            let mut batch = Vec::new();
+            for (after, dur) in batched {
+                let t = seq.earliest_gap(after, dur);
+                seq.occupy(t, dur);
+                batch.push(TimeInterval::new(t, dur));
+            }
+            bat.occupy_batch(&mut batch);
+            prop_assert_eq!(bat.to_vec(), seq.to_vec());
+            prop_assert_eq!(bat.len(), seq.len());
+            prop_assert!((bat.busy_time() - seq.busy_time()).abs() < 1e-6);
+            prop_assert!(bat.horizon() == seq.horizon());
+            for (after, dur) in probes {
+                prop_assert_eq!(bat.earliest_gap(after, dur), seq.earliest_gap(after, dur));
+            }
         }
 
         /// The chunk-accelerated free-time accounting agrees with a naive

@@ -33,5 +33,5 @@ pub mod validate;
 pub use interval::{TimeInterval, Timeline, EPS};
 pub use model::CommModel;
 pub use resources::{ResourcePool, StagedPlacements, Txn, TxnBuffers};
-pub use schedule::{CommPlacement, Schedule, TaskPlacement};
+pub use schedule::{placement_fingerprint, CommPlacement, Schedule, TaskPlacement};
 pub use validate::{validate, ScheduleViolation};

@@ -141,6 +141,33 @@ impl ResourcePool {
         }
     }
 
+    /// Apply staged placements like [`ResourcePool::commit`], but grouped
+    /// per resource and bulk-inserted through [`Timeline::occupy_batch`]:
+    /// one chunk merge and metadata pass per touched timeline instead of one
+    /// per interval. ILHA's step 1 stages a whole chunk of
+    /// zero-communication placements in a single transaction and commits
+    /// them here, amortizing the former per-placement `occupy` cost.
+    pub fn commit_batch(&mut self, staged: StagedPlacements) {
+        let mut added = staged.added;
+        added.sort_by(|a, b| (a.0 as u8).cmp(&(b.0 as u8)).then(a.1.cmp(&b.1)));
+        let mut batch: Vec<TimeInterval> = Vec::new();
+        let mut i = 0;
+        while i < added.len() {
+            let (port, proc, _) = added[i];
+            batch.clear();
+            while i < added.len() && added[i].0 == port && added[i].1 == proc {
+                batch.push(added[i].2);
+                i += 1;
+            }
+            let tl = match port {
+                Port::Compute => &mut self.compute[proc.index()],
+                Port::Send => &mut self.send[proc.index()],
+                Port::Recv => &mut self.recv[proc.index()],
+            };
+            tl.occupy_batch(&mut batch);
+        }
+    }
+
     fn timeline(&self, port: Port, proc: ProcId) -> &Timeline {
         match port {
             Port::Compute => &self.compute[proc.index()],
@@ -564,6 +591,45 @@ mod tests {
         // a fresh txn sees the committed state
         let txn = pool.begin();
         assert_eq!(txn.earliest_comm_slot(P0, P1, 0.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn commit_batch_matches_commit() {
+        // Stage an identical multi-proc, multi-port transaction twice and
+        // commit one per-interval, one batched: the pools must agree.
+        let stage_all = |pool: &ResourcePool| {
+            let mut txn = pool.begin();
+            for i in 0..40u32 {
+                let proc = ProcId(i % 3);
+                let ready = f64::from(i / 3) * 5.0;
+                let s = txn.earliest_compute_slot(proc, ready, 2.0, true);
+                txn.add_compute(proc, s, 2.0);
+            }
+            let c = txn.earliest_comm_slot(P0, P1, 0.0, 3.0);
+            txn.add_comm(P0, P1, c, 3.0);
+            txn.finish()
+        };
+        let mut one_by_one = ResourcePool::new(3, CommModel::OnePortBidir);
+        let mut batched = ResourcePool::new(3, CommModel::OnePortBidir);
+        let a = stage_all(&one_by_one);
+        let b = stage_all(&batched);
+        one_by_one.commit(a);
+        batched.commit_batch(b);
+        for p in [P0, P1, P2] {
+            assert_eq!(
+                one_by_one.compute_timeline(p).to_vec(),
+                batched.compute_timeline(p).to_vec(),
+                "{p} compute"
+            );
+            assert_eq!(
+                one_by_one.send_timeline(p).to_vec(),
+                batched.send_timeline(p).to_vec()
+            );
+            assert_eq!(
+                one_by_one.recv_timeline(p).to_vec(),
+                batched.recv_timeline(p).to_vec()
+            );
+        }
     }
 
     #[test]

@@ -156,6 +156,39 @@ impl Schedule {
     }
 }
 
+/// FNV-1a 64-bit over every task placement in task-id order, hashing the
+/// exact bit patterns of `(task, proc, start, finish)`. Two schedules get the
+/// same fingerprint iff every task has the identical placement (up to hash
+/// collisions, which at 64 bits we ignore).
+///
+/// Both the schedule-equivalence regression fixture (`onesched::regress`)
+/// and the scheduling service's result protocol report this value, so the
+/// service path can be checked bit-identical against the direct path.
+///
+/// # Panics
+/// Panics if any task is unplaced.
+pub fn placement_fingerprint(s: &Schedule) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut feed = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for v in 0..s.num_tasks() {
+        let p = s
+            .task(TaskId(v as u32))
+            .expect("fingerprinting requires a complete schedule");
+        feed(v as u64);
+        feed(u64::from(p.proc.0));
+        feed(p.start.to_bits());
+        feed(p.finish.to_bits());
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

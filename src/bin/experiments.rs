@@ -15,6 +15,12 @@
 //!   bsweep         ILHA chunk-size sensitivity per testbed
 //!   models         HEFT/ILHA under all four communication models
 //!   baselines      every scheduler on every testbed at one size
+//!   routed [--procs P]
+//!                  routed HEFT on star/ring/line topologies (§4.3
+//!                  extension), validated, with a complete-network sanity row
+//!   stress [--tasks N] [--seed S]
+//!                  random-layered stress point beyond the paper sizes
+//!                  (default ~100k tasks), HEFT + ILHA construction times
 //!   record-baseline  refresh tests/fixtures/schedule_baseline.json
 //!   bench-compare <current> <baseline> [--max-ratio R]
 //!                  fail (exit 1) if construction time regressed
@@ -45,6 +51,9 @@ struct Opts {
     bench_json: Option<String>,
     bench_baseline: Option<String>,
     bench_repeats: usize,
+    tasks: usize,
+    seed: u64,
+    procs: usize,
 }
 
 impl Default for Opts {
@@ -56,6 +65,9 @@ impl Default for Opts {
             bench_json: None,
             bench_baseline: None,
             bench_repeats: 1,
+            tasks: 100_000,
+            seed: 0,
+            procs: 8,
         }
     }
 }
@@ -100,6 +112,18 @@ fn main() {
                 max_ratio = args[i + 1].parse().expect("ratio must be a number");
                 args.drain(i..=i + 1);
             }
+            "--tasks" => {
+                opts.tasks = args[i + 1].parse().expect("tasks must be an integer");
+                args.drain(i..=i + 1);
+            }
+            "--seed" => {
+                opts.seed = args[i + 1].parse().expect("seed must be an integer");
+                args.drain(i..=i + 1);
+            }
+            "--procs" => {
+                opts.procs = args[i + 1].parse().expect("procs must be an integer");
+                args.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
@@ -122,6 +146,8 @@ fn main() {
         "bsweep" => b_sensitivity(&opts),
         "models" => model_ablation(&opts),
         "baselines" => baseline_comparison(&opts),
+        "routed" => routed_sweep(&opts),
+        "stress" => stress_sweep(&opts),
         "probe" => probe(&args[1..]),
         "record-baseline" => record_baseline(&opts),
         "all" => {
@@ -131,6 +157,7 @@ fn main() {
             b_sensitivity(&opts);
             model_ablation(&opts);
             baseline_comparison(&opts);
+            routed_sweep(&opts);
         }
         other => {
             eprintln!("unknown command: {other}");
@@ -497,6 +524,99 @@ fn model_ablation(opts: &Opts) {
         println!("{tb:>10} done");
     }
     write_csv(opts, "model_ablation.csv", &csv);
+}
+
+/// Routed scheduling (the §4.3 store-and-forward extension) on every
+/// non-fully-connected topology the service knows, driven through the
+/// service's own workload generator and job executor so the harness and the
+/// daemon exercise the same code path. Every schedule is validated.
+fn routed_sweep(opts: &Opts) {
+    use onesched::service::{cache, workloads};
+    let n = (*opts.sizes.iter().min().unwrap_or(&100)).min(24);
+    println!(
+        "== routed: RoutedHeft on star/ring/line ({} heterogeneous procs, n = {n}) ==",
+        opts.procs
+    );
+    let mut csv = String::from("topology,testbed,n,tasks,makespan,speedup,comms,violations\n");
+    for req in workloads::routed_requests(opts.procs, n, 0) {
+        let Some(spec) = req.job else { continue };
+        let job = spec.resolve().expect("generated routed specs are valid");
+        let topology = job.spec.platform.as_ref().unwrap().kind.clone();
+        let testbed = job.spec.dag.testbed.clone().unwrap();
+        let r = cache::run_job(&job);
+        assert_eq!(r.violations, 0, "{topology}/{testbed}: invalid schedule");
+        let _ = writeln!(
+            csv,
+            "{topology},{testbed},{n},{},{},{},{},{}",
+            r.tasks, r.makespan, r.speedup, r.effective_comms, r.violations
+        );
+        println!(
+            "{topology:>6} {testbed:>10}  tasks {:>5}  speedup {:>7.3}  comms {:>5}  ({:.1?})",
+            r.tasks, r.speedup, r.effective_comms, r.construct
+        );
+    }
+    // Sanity row: on a complete network, routed HEFT degenerates to HEFT.
+    let g = Testbed::Lu.generate(n, PAPER_C);
+    let p = Platform::paper();
+    let plain = Heft::new().schedule(&g, &p, CommModel::OnePortBidir);
+    let routed =
+        onesched::heuristics::routed::RoutedHeft::new().schedule(&g, &p, CommModel::OnePortBidir);
+    assert_eq!(plain.makespan(), routed.makespan());
+    println!(
+        "sanity: LU n={n} on the complete paper platform, HEFT == HEFT-routed (makespan {})",
+        plain.makespan()
+    );
+    write_csv(opts, "routed.csv", &csv);
+}
+
+/// One random-layered stress point beyond the paper sizes (default target
+/// ~100k tasks): schedule-construction time for HEFT and ILHA on the paper
+/// platform. The datapoints recorded in EXPERIMENTS.md come from here.
+fn stress_sweep(opts: &Opts) {
+    use onesched::service::workloads;
+    let cfg = workloads::stress_config(opts.tasks);
+    println!(
+        "== stress: random layered DAG, target {} tasks (seed {}) ==",
+        opts.tasks, opts.seed
+    );
+    let g = onesched::testbeds::random_layered(&cfg, opts.seed);
+    println!(
+        "generated {} tasks, {} edges ({} layers, max width {}, edge prob {:.4})",
+        g.num_tasks(),
+        g.num_edges(),
+        cfg.layers,
+        cfg.max_width,
+        cfg.edge_prob
+    );
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut csv = String::from("scheduler,tasks,edges,construct_ms,makespan,speedup,comms\n");
+    for s in [
+        &Heft::new() as &dyn Scheduler,
+        &Ilha::auto(&p) as &dyn Scheduler,
+    ] {
+        let (sched, construct) = runner::schedule_timed(&g, &p, s, m);
+        assert!(sched.is_complete());
+        let speedup = sched.speedup(&g, &p);
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{speedup},{}",
+            s.name(),
+            g.num_tasks(),
+            g.num_edges(),
+            construct.as_secs_f64() * 1e3,
+            sched.makespan(),
+            sched.num_effective_comms()
+        );
+        println!(
+            "{:<12} construct {:>8.1?}  makespan {:>12.0}  speedup {speedup:>7.3}  comms {}",
+            s.name(),
+            construct,
+            sched.makespan(),
+            sched.num_effective_comms()
+        );
+    }
+    write_csv(opts, &format!("stress_{}.csv", g.num_tasks()), &csv);
 }
 
 /// Every scheduler (heuristics + baselines) on every testbed at one size.

@@ -1,0 +1,290 @@
+//! `onesched-svc` — the scheduling daemon and its client mode.
+//!
+//! ```text
+//! onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N]
+//! onesched-svc submit --tcp ADDR [FILE|-]
+//! onesched-svc stats --tcp ADDR
+//! onesched-svc shutdown --tcp ADDR
+//! onesched-svc gen <smoke | stress | routed> [--tasks N] [--seed S]
+//!                  [--count K] [--procs P] [--n N]
+//! ```
+//!
+//! * `serve` runs the daemon. In `--stdio` mode (default) it reads request
+//!   lines from stdin and exits after draining the queue at EOF — one
+//!   process per batch, ideal for pipelines. In `--tcp` mode it serves
+//!   concurrent connections until a `shutdown` request; `--tcp
+//!   127.0.0.1:0` binds an ephemeral port announced by the `ready` line on
+//!   stdout.
+//! * `submit` sends request lines from a file (or stdin with `-`) to a
+//!   running daemon and prints one response line per request.
+//! * `gen` prints workload request batches (`onesched-svc gen smoke |
+//!   onesched-svc serve` is the self-contained smoke test).
+//!
+//! Protocol reference: `crates/service/README.md`.
+
+use onesched::service::protocol::{OpProbe, Request};
+use onesched::service::{workloads, Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("serve");
+    let rest = if args.is_empty() {
+        &args[..]
+    } else {
+        &args[1..]
+    };
+    let code = match cmd {
+        "serve" => serve(rest),
+        "submit" => submit(rest),
+        "stats" => send_one(rest, Request::stats()),
+        "shutdown" => send_one(rest, Request::shutdown()),
+        "gen" => gen(rest),
+        "--help" | "-h" | "help" => {
+            eprint!("{}", USAGE);
+            0
+        }
+        other => {
+            eprintln!("onesched-svc: unknown command {other:?}\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc gen <smoke|stress|routed> [--tasks N] [--seed S] [--count K] [--procs P] [--n N]\n";
+
+/// Pull `--flag value` out of `args`, leaving positionals behind.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("onesched-svc: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn parse_or_die<T: std::str::FromStr>(what: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("onesched-svc: invalid {what}: {v:?}");
+        std::process::exit(2);
+    })
+}
+
+fn serve(args: &[String]) -> i32 {
+    let mut args = args.to_vec();
+    let tcp = take_flag(&mut args, "--tcp");
+    let workers = take_flag(&mut args, "--workers")
+        .map(|v| parse_or_die::<usize>("--workers", &v))
+        .unwrap_or_else(onesched::runner::default_threads);
+    let cache = take_flag(&mut args, "--cache")
+        .map(|v| parse_or_die::<usize>("--cache", &v))
+        .unwrap_or(1024);
+    args.retain(|a| a != "--stdio");
+    if !args.is_empty() {
+        eprintln!("onesched-svc: unexpected arguments {args:?}\n{USAGE}");
+        return 2;
+    }
+    let svc = Service::new(ServiceConfig {
+        workers,
+        cache_capacity: cache,
+    });
+    let result = match tcp {
+        Some(addr) => {
+            let announce: onesched::service::service::SharedWriter =
+                Arc::new(Mutex::new(Box::new(std::io::stdout())));
+            svc.serve_tcp(&addr, &announce)
+        }
+        None => svc.serve_stdio(),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("onesched-svc: {e}");
+            1
+        }
+    }
+}
+
+/// Send request lines to a daemon and print one response line per request.
+fn submit(args: &[String]) -> i32 {
+    let mut args = args.to_vec();
+    let Some(addr) = take_flag(&mut args, "--tcp") else {
+        eprintln!("onesched-svc: submit needs --tcp ADDR\n{USAGE}");
+        return 2;
+    };
+    let source = args.first().map(String::as_str).unwrap_or("-");
+    let input: Box<dyn BufRead> = if source == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        match std::fs::File::open(source) {
+            Ok(f) => Box::new(BufReader::new(f)),
+            Err(e) => {
+                eprintln!("onesched-svc: open {source}: {e}");
+                return 1;
+            }
+        }
+    };
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("onesched-svc: connect {addr}: {e}");
+            return 1;
+        }
+    };
+    let requests: Vec<String> = match input
+        .lines()
+        .collect::<Result<Vec<_>, _>>()
+        .map(|ls| ls.into_iter().filter(|l| !l.trim().is_empty()).collect())
+    {
+        Ok(ls) => ls,
+        Err(e) => {
+            eprintln!("onesched-svc: read requests: {e}");
+            return 1;
+        }
+    };
+    let expected = requests.len();
+    // Send on a separate thread while reading responses here: the daemon
+    // answers stats/errors (and cached results) inline while we are still
+    // writing, so a one-thread write-all-then-read-all client would
+    // deadlock on large batches once both socket buffers fill.
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("onesched-svc: clone stream: {e}");
+            return 1;
+        }
+    };
+    let sender = std::thread::spawn(move || -> std::io::Result<()> {
+        for line in &requests {
+            writeln!(writer, "{line}")?;
+        }
+        writer.flush()
+    });
+    // every request line yields exactly one response line
+    let reader = BufReader::new(stream);
+    let stdout = std::io::stdout();
+    let mut failures = 0usize;
+    let mut received = 0usize;
+    for line in reader.lines().take(expected) {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("onesched-svc: receive: {e}");
+                return 1;
+            }
+        };
+        received += 1;
+        if serde_json::from_str::<OpProbe>(&line).is_ok_and(|p| p.op == "error") {
+            failures += 1;
+        }
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{line}");
+    }
+    if received < expected {
+        // connection EOF before every request was answered (daemon died?)
+        eprintln!("onesched-svc: connection closed after {received}/{expected} responses");
+        return 1;
+    }
+    match sender.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("onesched-svc: send: {e}");
+            return 1;
+        }
+        Err(_) => {
+            eprintln!("onesched-svc: sender thread panicked");
+            return 1;
+        }
+    }
+    i32::from(failures > 0)
+}
+
+/// Send a single control request and print the one response.
+fn send_one(args: &[String], req: Request) -> i32 {
+    let mut args = args.to_vec();
+    let Some(addr) = take_flag(&mut args, "--tcp") else {
+        eprintln!("onesched-svc: this command needs --tcp ADDR\n{USAGE}");
+        return 2;
+    };
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("onesched-svc: connect {addr}: {e}");
+            return 1;
+        }
+    };
+    let line = serde_json::to_string(&req).expect("serialize request");
+    if writeln!(stream, "{line}")
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        eprintln!("onesched-svc: send failed");
+        return 1;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    match reader.read_line(&mut resp) {
+        Ok(_) => {
+            print!("{resp}");
+            0
+        }
+        Err(e) => {
+            eprintln!("onesched-svc: receive: {e}");
+            1
+        }
+    }
+}
+
+/// Print a generated workload batch as request lines.
+fn gen(args: &[String]) -> i32 {
+    let mut args = args.to_vec();
+    let tasks = take_flag(&mut args, "--tasks")
+        .map(|v| parse_or_die::<usize>("--tasks", &v))
+        .unwrap_or(100_000);
+    let seed = take_flag(&mut args, "--seed")
+        .map(|v| parse_or_die::<u64>("--seed", &v))
+        .unwrap_or(0);
+    let count = take_flag(&mut args, "--count")
+        .map(|v| parse_or_die::<usize>("--count", &v))
+        .unwrap_or(1);
+    let procs = take_flag(&mut args, "--procs")
+        .map(|v| parse_or_die::<usize>("--procs", &v))
+        .unwrap_or(8);
+    let n = take_flag(&mut args, "--n")
+        .map(|v| parse_or_die::<usize>("--n", &v))
+        .unwrap_or(20);
+    let kind = args.first().map(String::as_str).unwrap_or("smoke");
+    let reqs: Vec<Request> = match kind {
+        "smoke" => workloads::smoke_requests(),
+        "stress" => (0..count)
+            .flat_map(|i| {
+                use onesched::service::protocol::SchedulerSpec;
+                // b: None — resolution fills the platform's auto chunk
+                let ilha = SchedulerSpec {
+                    kind: "ilha".into(),
+                    b: None,
+                };
+                [
+                    workloads::stress_request(tasks, seed + i as u64, SchedulerSpec::heft()),
+                    workloads::stress_request(tasks, seed + i as u64, ilha),
+                ]
+            })
+            .collect(),
+        "routed" => workloads::routed_requests(procs, n, 0),
+        other => {
+            eprintln!("onesched-svc: unknown workload {other:?}\n{USAGE}");
+            return 2;
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for r in reqs {
+        let _ = writeln!(out, "{}", serde_json::to_string(&r).expect("serialize"));
+    }
+    0
+}

@@ -18,6 +18,9 @@
 //! * [`baselines`] — CPOP, GDL, BIL, PCT, min-min, … for comparisons;
 //! * [`testbeds`] — LU, LAPLACE, STENCIL, FORK-JOIN, DOOLITTLE, LDMt;
 //! * [`exact`] — 2-PARTITION, FORK-SCHED and COMM-SCHED exact solvers;
+//! * [`service`] — the long-running batch scheduling service behind the
+//!   `onesched-svc` daemon: NDJSON job protocol, priority queue, schedule
+//!   cache, worker pool, and workload generators;
 //! * [`runner`] — the thread-pool sweep runner behind `experiments figs`
 //!   and the machine-readable perf baseline (`BENCH_2.json`);
 //! * [`regress`] — schedule fingerprints backing the schedule-equivalence
@@ -51,11 +54,15 @@ pub use onesched_dag as dag;
 pub use onesched_exact as exact;
 pub use onesched_heuristics as heuristics;
 pub use onesched_platform as platform;
+pub use onesched_service as service;
 pub use onesched_sim as sim;
 pub use onesched_testbeds as testbeds;
 
+// The sweep runner lives in `onesched-service` (the service worker pool is
+// built on it); re-exported here so `onesched::runner` keeps working.
+pub use onesched_service::runner;
+
 pub mod regress;
-pub mod runner;
 
 /// The most common imports in one line.
 pub mod prelude {

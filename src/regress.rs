@@ -11,38 +11,15 @@
 //! compares. Regenerate the fixture (only after an *intentional* schedule
 //! change) with `experiments record-baseline`.
 
-use onesched_dag::TaskId;
 use onesched_heuristics::{Heft, Ilha, Scheduler};
 use onesched_platform::Platform;
-use onesched_sim::{CommModel, Schedule};
+use onesched_sim::CommModel;
 use onesched_testbeds::{Testbed, PAPER_C};
 use serde::{Deserialize, Serialize};
 
-/// FNV-1a 64-bit over every task placement in task-id order, hashing the
-/// exact bit patterns of `(task, proc, start, finish)`. Two schedules get the
-/// same fingerprint iff every task has the identical placement (up to hash
-/// collisions, which at 64 bits we ignore).
-pub fn placement_fingerprint(s: &Schedule) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut feed = |word: u64| {
-        for b in word.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    for v in 0..s.num_tasks() {
-        let p = s
-            .task(TaskId(v as u32))
-            .expect("fingerprinting requires a complete schedule");
-        feed(v as u64);
-        feed(u64::from(p.proc.0));
-        feed(p.start.to_bits());
-        feed(p.finish.to_bits());
-    }
-    h
-}
+// The fingerprint lives in `onesched-sim` (the scheduling service reports it
+// too); re-exported here so the regression tests keep their import path.
+pub use onesched_sim::placement_fingerprint;
 
 /// One recorded schedule: which instance, and the exact outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -118,7 +95,8 @@ pub fn record_baseline(sizes: &[usize]) -> BaselineFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use onesched_sim::TaskPlacement;
+    use onesched_dag::TaskId;
+    use onesched_sim::{Schedule, TaskPlacement};
 
     #[test]
     fn fingerprint_sensitive_to_every_field() {

@@ -1,0 +1,272 @@
+//! End-to-end service test: spawn the real `onesched-svc` daemon, submit a
+//! batch of mixed-priority jobs over its TCP socket, and require the
+//! streamed results to be bit-identical to the direct runner path — pinned
+//! both against the committed schedule-equivalence fixture
+//! (`tests/fixtures/schedule_baseline.json`) and against schedules built
+//! directly in this process. Also exercises the cache path, the stats
+//! endpoint, error handling, and graceful shutdown.
+
+use onesched::prelude::*;
+use onesched::regress::{baseline_scheduler, placement_fingerprint, BaselineFile};
+use onesched::service::protocol::{
+    AckResponse, DagSpec, ErrorResponse, JobSpec, OpProbe, ReadyResponse, Request, ResultResponse,
+    SchedulerSpec, StatsResponse,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const FIXTURE: &str = include_str!("fixtures/schedule_baseline.json");
+
+/// Spawn the daemon on an ephemeral port and return it with the bound
+/// address from its `ready` announcement.
+fn spawn_daemon(workers: usize) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_onesched-svc"))
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn onesched-svc");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read ready line");
+    let ready: ReadyResponse = serde_json::from_str(line.trim()).expect("parse ready line");
+    assert_eq!(ready.op, "ready");
+    assert_eq!(ready.workers, workers);
+    (child, ready.addr)
+}
+
+fn read_response(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response line");
+    assert!(line.ends_with('\n'), "truncated response: {line:?}");
+    line.trim().to_string()
+}
+
+fn send(stream: &mut TcpStream, req: &Request) {
+    let line = serde_json::to_string(req).expect("serialize request");
+    writeln!(stream, "{line}").expect("send request");
+    stream.flush().expect("flush request");
+}
+
+#[test]
+fn daemon_schedules_bit_identically_and_serves_cache_hits() {
+    let fixture: BaselineFile = serde_json::from_str(FIXTURE).expect("parse fixture");
+    let (mut child, addr) = spawn_daemon(8);
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // -- Phase A: a mixed-priority batch of every fixture instance at
+    // n = 30 (12 jobs, ≥ 8 in flight at once on 8 workers) ------------
+    let entries: Vec<_> = fixture.entries.iter().filter(|e| e.n == 30).collect();
+    assert_eq!(
+        entries.len(),
+        12,
+        "fixture covers 6 testbeds × 2 schedulers"
+    );
+    let spec_for = |testbed: &str, scheduler: &str| JobSpec {
+        dag: DagSpec {
+            kind: "testbed".into(),
+            testbed: Some(testbed.to_string()),
+            n: Some(30),
+            c: None,
+            layers: None,
+            max_width: None,
+            edge_prob: None,
+            seed: None,
+        },
+        platform: None,
+        scheduler: match scheduler {
+            "HEFT" => None, // exercise the default
+            "ILHA" => Some(SchedulerSpec {
+                kind: "ilha".into(),
+                b: None, // defaults to the testbed's paper-best B
+            }),
+            other => panic!("unexpected fixture scheduler {other}"),
+        },
+        model: None,
+        validate: true,
+    };
+    for (i, e) in entries.iter().enumerate() {
+        let req = Request::submit(
+            Some(format!("{}/{}", e.testbed, e.scheduler)),
+            (i % 5) as i64, // mixed priorities
+            spec_for(&e.testbed, &e.scheduler),
+        );
+        send(&mut stream, &req);
+    }
+    let mut results: HashMap<String, ResultResponse> = HashMap::new();
+    for _ in 0..entries.len() {
+        let line = read_response(&mut reader);
+        let r: ResultResponse = serde_json::from_str(&line)
+            .unwrap_or_else(|e| panic!("malformed result line {line:?}: {e}"));
+        assert_eq!(r.op, "result");
+        assert!(results.insert(r.id.clone(), r).is_none(), "duplicate id");
+    }
+    for e in &entries {
+        let id = format!("{}/{}", e.testbed, e.scheduler);
+        let r = &results[&id];
+        // bit-identical to the recorded seed fixture
+        assert_eq!(r.makespan, e.makespan, "{id}: makespan drifted");
+        assert_eq!(r.fingerprint, e.fingerprint, "{id}: placements drifted");
+        assert_eq!(r.effective_comms, e.effective_comms, "{id}: comms drifted");
+        assert_eq!(r.tasks, e.tasks, "{id}: graph shape drifted");
+        assert!(!r.cache_hit, "{id}: first submission cannot hit the cache");
+        assert_eq!(r.violations, 0, "{id}: validator rejected the schedule");
+    }
+
+    // -- Phase A': independently rebuild two schedules in-process and
+    // compare against the service results (direct-runner equivalence,
+    // not just fixture equivalence) -----------------------------------
+    let platform = Platform::paper();
+    for (testbed, scheduler) in [("LU", "HEFT"), ("LAPLACE", "ILHA")] {
+        let tb = Testbed::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == testbed)
+            .unwrap();
+        let g = tb.generate(30, PAPER_C);
+        let direct =
+            baseline_scheduler(scheduler, tb).schedule(&g, &platform, CommModel::OnePortBidir);
+        let r = &results[&format!("{testbed}/{scheduler}")];
+        assert_eq!(
+            r.fingerprint,
+            format!("{:016x}", placement_fingerprint(&direct)),
+            "{testbed}/{scheduler}: service and direct runner disagree"
+        );
+        assert_eq!(r.makespan, direct.makespan());
+    }
+
+    // -- Phase B: resubmitting an identical job hits the cache ---------
+    send(
+        &mut stream,
+        &Request::submit(Some("repeat".into()), 9, spec_for("LU", "HEFT")),
+    );
+    let repeat: ResultResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert!(
+        repeat.cache_hit,
+        "identical resolved job must hit the cache"
+    );
+    assert_eq!(repeat.fingerprint, results["LU/HEFT"].fingerprint);
+    assert_eq!(repeat.makespan, results["LU/HEFT"].makespan);
+
+    // -- Phase C: stats reflect the work -------------------------------
+    send(&mut stream, &Request::stats());
+    let stats: StatsResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert_eq!(stats.jobs_done, 13);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.cache_size, 12, "one cache entry per distinct job");
+    assert_eq!(stats.errors, 0);
+    let latency_schedulers: Vec<&str> =
+        stats.latency.iter().map(|l| l.scheduler.as_str()).collect();
+    assert!(
+        latency_schedulers.contains(&"HEFT"),
+        "HEFT latencies tracked: {latency_schedulers:?}"
+    );
+    assert!(
+        latency_schedulers.iter().any(|s| s.starts_with("ILHA(B=")),
+        "ILHA latencies tracked: {latency_schedulers:?}"
+    );
+    let total: u64 = stats.latency.iter().map(|l| l.count).sum();
+    assert_eq!(total, 12, "cache hits must not count as constructions");
+    for l in &stats.latency {
+        assert!(l.p50_ms <= l.p90_ms && l.p90_ms <= l.p99_ms && l.p99_ms <= l.max_ms);
+    }
+
+    // -- Phase D: invalid submissions get error responses --------------
+    let mut bad = spec_for("LU", "HEFT");
+    bad.model = Some("quantum-entangled".into());
+    send(
+        &mut stream,
+        &Request::submit(Some("bad-model".into()), 0, bad),
+    );
+    let err: ErrorResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert_eq!(err.op, "error");
+    assert_eq!(err.id.as_deref(), Some("bad-model"));
+    assert!(err.message.contains("unknown model"), "{}", err.message);
+
+    // -- Phase E: graceful shutdown ------------------------------------
+    send(&mut stream, &Request::shutdown());
+    let line = read_response(&mut reader);
+    let probe: OpProbe = serde_json::from_str(&line).unwrap();
+    assert_eq!(probe.op, "ok", "shutdown acked: {line}");
+    let _: AckResponse = serde_json::from_str(&line).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("poll daemon") {
+            break status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not exit within 30s of shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "daemon exited with {status}");
+}
+
+/// A second daemon session covering the workload generators end to end:
+/// the smoke batch (all three scheduler kinds + a duplicate) submitted
+/// twice — the second round must be answered entirely from the cache.
+#[test]
+fn smoke_workload_round_trips_and_second_round_is_cached() {
+    let (mut child, addr) = spawn_daemon(4);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let batch: Vec<Request> = onesched::service::workloads::smoke_requests();
+    let submits = batch.iter().filter(|r| r.op == "submit").count();
+    for round in 0..2 {
+        for req in &batch {
+            send(&mut stream, req);
+        }
+        let mut cached = 0;
+        for _ in 0..batch.len() {
+            let line = read_response(&mut reader);
+            let probe: OpProbe = serde_json::from_str(&line).unwrap();
+            match probe.op.as_str() {
+                "result" => {
+                    let r: ResultResponse = serde_json::from_str(&line).unwrap();
+                    assert_eq!(r.violations, 0, "round {round}: {}", r.id);
+                    cached += usize::from(r.cache_hit);
+                }
+                "stats" => {}
+                other => panic!("round {round}: unexpected op {other} in {line}"),
+            }
+        }
+        if round == 1 {
+            assert_eq!(
+                cached, submits,
+                "every second-round submission must be served from cache"
+            );
+        }
+    }
+    send(&mut stream, &Request::shutdown());
+    let _ = read_response(&mut reader);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.try_wait().expect("poll daemon").is_none() {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not exit");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -6,7 +6,9 @@
 //! shapes this workspace derives are supported:
 //!
 //! * structs with named fields (honouring `#[serde(skip)]` /
-//!   `#[serde(skip, default)]`: omitted on write, defaulted on read);
+//!   `#[serde(skip, default)]`: omitted on write, defaulted on read; and
+//!   `#[serde(default)]` alone: written on write, defaulted when the field
+//!   is absent on read — the shape line-protocol request types rely on);
 //! * tuple structs (newtypes serialize transparently, wider tuples as a
 //!   sequence);
 //! * fieldless enums (serialized as the variant-name string).
@@ -15,9 +17,18 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// Per-field `#[serde(...)]` flags the shim understands.
+#[derive(Clone, Copy, Default)]
+struct FieldAttrs {
+    /// `skip`: omitted on write, defaulted on read.
+    skip: bool,
+    /// `default`: still written, but defaulted when absent on read.
+    default: bool,
+}
+
 enum Shape {
-    /// Named fields with their skip flag.
-    Named(Vec<(String, bool)>),
+    /// Named fields with their serde flags.
+    Named(Vec<(String, FieldAttrs)>),
     /// Tuple struct of the given arity.
     Tuple(usize),
     /// Fieldless enum variants.
@@ -36,8 +47,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match &input.shape {
         Shape::Named(fields) => {
             let mut pushes = String::new();
-            for (f, skip) in fields {
-                if *skip {
+            for (f, attrs) in fields {
+                if attrs.skip {
                     continue;
                 }
                 pushes.push_str(&format!(
@@ -83,9 +94,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let body = match &input.shape {
         Shape::Named(fields) => {
             let mut inits = String::new();
-            for (f, skip) in fields {
-                if *skip {
+            for (f, attrs) in fields {
+                if attrs.skip {
                     inits.push_str(&format!("{f}: ::core::default::Default::default(),\n"));
+                } else if attrs.default {
+                    inits.push_str(&format!(
+                        "{f}: match __v.get_field(\"{f}\") {{\n\
+                             Ok(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                             Err(_) => ::core::default::Default::default(),\n\
+                         }},\n"
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{f}: ::serde::Deserialize::from_value(__v.get_field(\"{f}\")?)?,\n"
@@ -173,34 +191,42 @@ fn parse(input: TokenStream) -> Input {
     Input { name, shape }
 }
 
-/// Advance past any `#[...]` attributes, returning whether a
-/// `#[serde(... skip ...)]` was among them.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut skip = false;
+/// Advance past any `#[...]` attributes, returning the `#[serde(...)]`
+/// flags found among them.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
-            skip |= attr_is_serde_skip(g.stream());
+            let found = parse_serde_attr(g.stream());
+            attrs.skip |= found.skip;
+            attrs.default |= found.default;
             *i += 2;
         } else {
             panic!("serde_derive shim: malformed attribute");
         }
     }
-    skip
+    attrs
 }
 
-fn attr_is_serde_skip(attr: TokenStream) -> bool {
+fn parse_serde_attr(attr: TokenStream) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     let mut tokens = attr.into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return attrs,
     }
-    match tokens.next() {
-        Some(TokenTree::Group(g)) => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    if let Some(TokenTree::Group(g)) = tokens.next() {
+        for t in g.stream() {
+            if let TokenTree::Ident(id) = &t {
+                match id.to_string().as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    _ => {}
+                }
+            }
+        }
     }
+    attrs
 }
 
 fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
@@ -214,12 +240,12 @@ fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
+fn parse_named_fields(body: TokenStream) -> Vec<(String, FieldAttrs)> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let skip = skip_attrs(&tokens, &mut i);
+        let attrs = skip_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         let field = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
@@ -244,7 +270,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
             }
             i += 1;
         }
-        fields.push((field, skip));
+        fields.push((field, attrs));
     }
     fields
 }

@@ -35,9 +35,19 @@ fn write_value(out: &mut String, v: &Value) -> Result<(), Error> {
             if !n.is_finite() {
                 return Err(Error(format!("cannot serialize non-finite number {n}")));
             }
-            // `{:?}` prints the shortest representation that round-trips,
-            // and always includes a `.0` on integral floats — legal JSON.
-            out.push_str(&format!("{n:?}"));
+            // Exactly-representable integers print without a fraction (the
+            // wire format integers deserve, and what the real serde_json
+            // emits for integer types); everything else — including -0.0,
+            // whose sign bit the integer path would drop — uses `{:?}`, the
+            // shortest representation that round-trips.
+            if n.fract() == 0.0
+                && n.abs() <= 9_007_199_254_740_991.0
+                && (*n != 0.0 || n.is_sign_positive())
+            {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n:?}"));
+            }
         }
         Value::Str(s) => write_string(out, s),
         Value::Seq(items) => {
@@ -279,10 +289,27 @@ mod tests {
     #[test]
     fn primitive_round_trip() {
         let json = to_string(&vec![1.5f64, 2.0, 3.25]).unwrap();
-        assert_eq!(json, "[1.5,2.0,3.25]");
+        assert_eq!(json, "[1.5,2,3.25]", "integral floats print as integers");
         let back: Vec<f64> = from_str(&json).unwrap();
         assert_eq!(back, vec![1.5, 2.0, 3.25]);
         let opt: Vec<Option<u32>> = from_str("[1, null, 3]").unwrap();
         assert_eq!(opt, vec![Some(1), None, Some(3)]);
+    }
+
+    #[test]
+    fn integer_formatting_round_trips_exactly() {
+        let max = (1i64 << 53) - 1;
+        let json = to_string(&vec![0i64, -17, max, -max]).unwrap();
+        assert_eq!(json, format!("[0,-17,{max},-{max}]"));
+        let back: Vec<i64> = from_str(&json).unwrap();
+        assert_eq!(back, vec![0, -17, max, -max]);
+        // beyond exact-integer range: falls back to float formatting
+        let big = 1e300f64;
+        let back: f64 = from_str(&to_string(&big).unwrap()).unwrap();
+        assert_eq!(back, big);
+        // -0.0 keeps its sign bit (the integer path would print "0")
+        assert_eq!(to_string(&-0.0f64).unwrap(), "-0.0");
+        let back: f64 = from_str("-0.0").unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
     }
 }
