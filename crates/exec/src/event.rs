@@ -1,0 +1,166 @@
+//! The engine's virtual clock: a binary-heap event queue with a total,
+//! deterministic order.
+//!
+//! Events fire in time order; simultaneous events fire in insertion order
+//! (each push gets a monotone sequence number), so a simulation is a pure
+//! function of its inputs — the determinism the same-seed trace-fingerprint
+//! gate relies on. Times are compared through `f64::total_cmp`, so the
+//! order is total even for exotic float values.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an event does when it fires. The payload is the activity index of
+/// the engine's flat activity table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An activity finished: release its resources, notify dependents.
+    Finish(usize),
+    /// A delayed dependency delivered (macro-dataflow implicit transfer):
+    /// decrement the dependent's wait count.
+    DepReady(usize),
+    /// Retry starting an activity that was blocked by a link outage.
+    Retry(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Min-heap order: earliest time first, then insertion order. `seq` is
+// unique per queue, so the order is total and `kind` never participates.
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+/// The event queue: a virtual clock plus the pending events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl EventQueue {
+    /// New empty queue at virtual time zero.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// The current virtual time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule `kind` at absolute virtual time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or precedes the current virtual time — the
+    /// clock only moves forward.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(!time.is_nan(), "event time must be a number");
+        assert!(
+            time >= self.now,
+            "event at {time} scheduled before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.kind))
+    }
+
+    /// The time of the next pending event, without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::Finish(0));
+        q.push(1.0, EventKind::Finish(1));
+        q.push(5.0, EventKind::DepReady(2));
+        q.push(3.0, EventKind::Retry(3));
+        let order: Vec<EventKind> = std::iter::from_fn(|| q.pop().map(|(_, k)| k)).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventKind::Finish(1),
+                EventKind::Retry(3),
+                EventKind::Finish(0),
+                EventKind::DepReady(2),
+            ]
+        );
+        assert_eq!(q.now(), 5.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.push(2.0, EventKind::Finish(0));
+        q.push(2.0, EventKind::Finish(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2.0));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 2.0);
+        assert_eq!(q.now(), 2.0);
+        // pushing at the current time is allowed (zero-duration activities)
+        q.push(2.0, EventKind::Finish(2));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn past_events_rejected() {
+        let mut q = EventQueue::new();
+        q.push(3.0, EventKind::Finish(0));
+        q.pop();
+        q.push(1.0, EventKind::Finish(1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Seeded runtime perturbation: the gap between the static model and the
+//! "real" machine the paper argues about.
+//!
+//! Three independent noise sources, all derived deterministically from one
+//! seed (per-entity RNG streams, so the factor a task or link draws does
+//! not depend on simulation order):
+//!
+//! * **task-duration noise** — each task's execution time is scaled by a
+//!   mean-one lognormal-style factor `exp(σ·z − σ²/2)`;
+//! * **bandwidth degradation** — each directed link's transfer times are
+//!   scaled by a factor drawn uniformly from `[1, 1 + β]` (links only get
+//!   *slower* than the model, the common failure mode);
+//! * **transient link outages** — with probability `π` per directed link,
+//!   one window of length `ω × static makespan` during which no transfer
+//!   may *start* on that link (transfers already in flight finish).
+//!
+//! With every knob at zero the sampler returns exact `1.0` factors and no
+//! outages without touching the RNG, so zero-perturbation replays stay
+//! bit-exact against the static schedule.
+
+use onesched_platform::ProcId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Perturbation configuration. `Perturbation::none()` is the faithful
+/// replay; see the module docs for the knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Lognormal σ of the task-duration noise (0 = exact durations).
+    pub task_sigma: f64,
+    /// Maximum relative bandwidth degradation β: per-link transfer times
+    /// scale by a uniform factor in `[1, 1 + β]` (0 = exact links).
+    pub bw_degradation: f64,
+    /// Probability π that a directed link suffers one transient outage.
+    pub outage_prob: f64,
+    /// Outage window length as a fraction ω of the static makespan.
+    pub outage_frac: f64,
+}
+
+impl Perturbation {
+    /// No perturbation: the faithful replay.
+    pub fn none() -> Perturbation {
+        Perturbation {
+            task_sigma: 0.0,
+            bw_degradation: 0.0,
+            outage_prob: 0.0,
+            outage_frac: 0.0,
+        }
+    }
+
+    /// Whether every knob is zero (the bit-exact replay path).
+    pub fn is_none(&self) -> bool {
+        self.task_sigma == 0.0
+            && self.bw_degradation == 0.0
+            && (self.outage_prob == 0.0 || self.outage_frac == 0.0)
+    }
+
+    /// A symmetric noise level: σ task noise and β = σ bandwidth
+    /// degradation, no outages — the `experiments perturb` sweep axis.
+    pub fn noise(sigma: f64) -> Perturbation {
+        Perturbation {
+            task_sigma: sigma,
+            bw_degradation: sigma,
+            outage_prob: 0.0,
+            outage_frac: 0.0,
+        }
+    }
+}
+
+impl Default for Perturbation {
+    fn default() -> Perturbation {
+        Perturbation::none()
+    }
+}
+
+/// One transient outage window on a directed link: transfers may not start
+/// in `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// Window start (virtual time).
+    pub start: f64,
+    /// Window end (virtual time).
+    pub end: f64,
+}
+
+/// Deterministic per-entity factor sampler for one `(config, seed)` pair.
+#[derive(Debug, Clone)]
+pub struct PerturbSampler {
+    cfg: Perturbation,
+    seed: u64,
+    /// Time scale for outage windows (the static makespan).
+    horizon: f64,
+}
+
+/// Mix a seed with an entity tag into an independent RNG stream. The
+/// constants are the SplitMix64 increment and a large odd multiplier; the
+/// vendored `StdRng::seed_from_u64` re-expands the result, so nearby
+/// entity ids land in unrelated streams.
+fn entity_rng(seed: u64, kind: u64, a: u64, b: u64) -> StdRng {
+    let mixed = seed
+        ^ kind.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ a.wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ b.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    StdRng::seed_from_u64(mixed)
+}
+
+/// A standard-normal draw via Box–Muller (two uniforms).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12f64..1.0);
+    let u2: f64 = rng.gen_range(0.0f64..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl PerturbSampler {
+    /// Sampler for `cfg` under `seed`, with outage windows scaled to
+    /// `horizon` (the static makespan).
+    pub fn new(cfg: Perturbation, seed: u64, horizon: f64) -> PerturbSampler {
+        PerturbSampler {
+            cfg,
+            seed,
+            horizon: if horizon.is_finite() && horizon > 0.0 {
+                horizon
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// The duration factor of task `v` (exact 1.0 when σ = 0).
+    pub fn task_factor(&self, v: usize) -> f64 {
+        let sigma = self.cfg.task_sigma;
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        let mut rng = entity_rng(self.seed, 1, v as u64, 0);
+        let z = standard_normal(&mut rng);
+        (sigma * z - sigma * sigma / 2.0).exp()
+    }
+
+    /// The transfer-time factor of the directed link `q -> r`
+    /// (exact 1.0 when β = 0).
+    pub fn link_factor(&self, q: ProcId, r: ProcId) -> f64 {
+        let beta = self.cfg.bw_degradation;
+        if beta == 0.0 {
+            return 1.0;
+        }
+        let mut rng = entity_rng(self.seed, 2, u64::from(q.0), u64::from(r.0));
+        1.0 + rng.gen_range(0.0f64..=beta)
+    }
+
+    /// The outage window of the directed link `q -> r`, if it drew one.
+    pub fn outage(&self, q: ProcId, r: ProcId) -> Option<Outage> {
+        let (prob, frac) = (self.cfg.outage_prob, self.cfg.outage_frac);
+        if prob == 0.0 || frac == 0.0 {
+            return None;
+        }
+        let mut rng = entity_rng(self.seed, 3, u64::from(q.0), u64::from(r.0));
+        if !rng.gen_bool(prob.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let len = frac * self.horizon;
+        let start = rng.gen_range(0.0f64..1.0) * self.horizon;
+        Some(Outage {
+            start,
+            end: start + len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_config_is_exact_ones() {
+        let s = PerturbSampler::new(Perturbation::none(), 42, 100.0);
+        for v in 0..50 {
+            assert_eq!(s.task_factor(v), 1.0);
+        }
+        assert_eq!(s.link_factor(ProcId(0), ProcId(1)), 1.0);
+        assert!(s.outage(ProcId(0), ProcId(1)).is_none());
+        assert!(Perturbation::none().is_none());
+        assert!(!Perturbation::noise(0.1).is_none());
+    }
+
+    #[test]
+    fn factors_are_seed_deterministic_and_order_free() {
+        let cfg = Perturbation {
+            task_sigma: 0.3,
+            bw_degradation: 0.5,
+            outage_prob: 0.7,
+            outage_frac: 0.1,
+        };
+        let a = PerturbSampler::new(cfg, 7, 100.0);
+        let b = PerturbSampler::new(cfg, 7, 100.0);
+        // query in different orders: per-entity streams are independent
+        let fa: Vec<f64> = (0..20).map(|v| a.task_factor(v)).collect();
+        let fb: Vec<f64> = (0..20).rev().map(|v| b.task_factor(v)).collect();
+        assert_eq!(fa, fb.into_iter().rev().collect::<Vec<_>>());
+        assert_eq!(
+            a.link_factor(ProcId(1), ProcId(2)),
+            b.link_factor(ProcId(1), ProcId(2))
+        );
+        assert_eq!(
+            a.outage(ProcId(3), ProcId(4)),
+            b.outage(ProcId(3), ProcId(4))
+        );
+        // a different seed moves the factors
+        let c = PerturbSampler::new(cfg, 8, 100.0);
+        assert_ne!(
+            (0..20).map(|v| c.task_factor(v)).collect::<Vec<_>>(),
+            fa,
+            "different seeds must draw different noise"
+        );
+    }
+
+    #[test]
+    fn task_noise_is_roughly_mean_one() {
+        let cfg = Perturbation {
+            task_sigma: 0.2,
+            ..Perturbation::none()
+        };
+        let s = PerturbSampler::new(cfg, 1, 1.0);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|v| s.task_factor(v)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean factor {mean}");
+        assert!((0..n).all(|v| s.task_factor(v) > 0.0));
+    }
+
+    #[test]
+    fn degradation_only_slows_links() {
+        let cfg = Perturbation {
+            bw_degradation: 0.4,
+            ..Perturbation::none()
+        };
+        let s = PerturbSampler::new(cfg, 3, 1.0);
+        for q in 0..6u32 {
+            for r in 0..6u32 {
+                let f = s.link_factor(ProcId(q), ProcId(r));
+                assert!((1.0..=1.4).contains(&f), "factor {f} out of [1, 1.4]");
+            }
+        }
+    }
+
+    #[test]
+    fn outage_windows_lie_in_horizon_scale() {
+        let cfg = Perturbation {
+            outage_prob: 1.0,
+            outage_frac: 0.25,
+            ..Perturbation::none()
+        };
+        let s = PerturbSampler::new(cfg, 11, 200.0);
+        let o = s.outage(ProcId(0), ProcId(1)).expect("prob 1 draws one");
+        assert!(o.start >= 0.0 && o.start < 200.0);
+        assert_eq!(o.end - o.start, 50.0);
+    }
+}

@@ -2,17 +2,18 @@
 //! job, the job executor it guards, and the service's statistics.
 //!
 //! Every job the service runs is deterministic (generators are seeded,
-//! schedulers are pure), so a repeated workload — the same platform + DAG +
-//! scheduler + model — can be answered from a cache of recorded outcomes
-//! without re-running schedule construction. The cache stores *outcomes*
-//! (makespan, fingerprint, counts), not schedules: the service streams
-//! result summaries, and an outcome is a few hundred bytes regardless of
-//! task count.
+//! schedulers are pure, the execution engine derives all noise from the
+//! request's seed), so a repeated workload — the same platform + DAG +
+//! scheduler + model, or the same simulate spec on top — can be answered
+//! from a cache of recorded outcomes without re-running construction or
+//! execution. The caches store *outcomes* (makespan, fingerprints,
+//! counts), not schedules: the service streams result summaries, and an
+//! outcome is a few hundred bytes regardless of task count.
 
-use crate::protocol::{LatencyEntry, ResolvedJob, StatsResponse};
+use crate::protocol::{LatencyEntry, ResolvedJob, ResolvedSim, StatsResponse};
 use crate::runner::schedule_timed;
 use std::collections::{HashMap, VecDeque};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The recorded outcome of one schedule construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,11 +37,17 @@ pub struct JobOutcome {
     pub violations: usize,
 }
 
-/// Execute a resolved job: generate the graph and platform, run the
-/// scheduler (through the runner's shared timing step), and record the
-/// outcome. Deterministic: equal [`ResolvedJob::key`]s produce equal
-/// outcomes up to the `construct` timing.
-pub fn run_job(job: &ResolvedJob) -> JobOutcome {
+/// The construction step shared by [`run_job`] and [`run_sim_job`]: the
+/// outcome plus the materialized problem, which the simulate path feeds to
+/// the execution engine.
+fn construct(
+    job: &ResolvedJob,
+) -> (
+    JobOutcome,
+    onesched_dag::TaskGraph,
+    onesched_platform::Platform,
+    onesched_sim::Schedule,
+) {
     let g = job.build_graph();
     let platform = job.build_platform();
     let scheduler = job.build_scheduler();
@@ -50,7 +57,7 @@ pub fn run_job(job: &ResolvedJob) -> JobOutcome {
     } else {
         0
     };
-    JobOutcome {
+    let outcome = JobOutcome {
         scheduler: scheduler.name(),
         tasks: g.num_tasks(),
         makespan: sched.makespan(),
@@ -59,29 +66,85 @@ pub fn run_job(job: &ResolvedJob) -> JobOutcome {
         fingerprint: onesched_sim::placement_fingerprint(&sched),
         construct,
         violations,
+    };
+    (outcome, g, platform, sched)
+}
+
+/// Execute a resolved job: generate the graph and platform, run the
+/// scheduler (through the runner's shared timing step), and record the
+/// outcome. Deterministic: equal [`ResolvedJob::key`]s produce equal
+/// outcomes up to the `construct` timing.
+pub fn run_job(job: &ResolvedJob) -> JobOutcome {
+    construct(job).0
+}
+
+/// The outcome of one construct-then-execute simulation: the construction
+/// outcome plus the executed trace's summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// The construction half (scheduler name, static makespan, placement
+    /// fingerprint, …).
+    pub job: JobOutcome,
+    /// Dispatch policy name.
+    pub policy: String,
+    /// Perturbation seed.
+    pub seed: u64,
+    /// Executed makespan under the requested perturbation.
+    pub executed_makespan: f64,
+    /// `executed / static` makespan ratio.
+    pub degradation: f64,
+    /// Trace fingerprint of the executed trace.
+    pub trace_fingerprint: u64,
+    /// Wall-clock time of the engine run alone.
+    pub exec: Duration,
+}
+
+/// Execute a resolved simulate job: construct the schedule exactly as
+/// [`run_job`] would, then replay it through the `onesched-exec` engine
+/// under the resolved perturbation. Deterministic: equal
+/// `(job key, sim key)` pairs produce equal outcomes up to the timings.
+pub fn run_sim_job(job: &ResolvedJob, sim: &ResolvedSim) -> SimOutcome {
+    let (outcome, g, platform, sched) = construct(job);
+    let t0 = Instant::now();
+    let report = onesched_exec::execute(&g, &platform, job.model(), &sched, &sim.exec_config())
+        .expect("constructed schedules are executable");
+    let exec = t0.elapsed();
+    SimOutcome {
+        job: outcome,
+        policy: sim.policy().name().to_string(),
+        seed: sim.seed(),
+        executed_makespan: report.executed_makespan,
+        degradation: report.degradation(),
+        trace_fingerprint: report.trace_fingerprint,
+        exec,
     }
 }
 
-/// The schedule cache: resolved-job key → recorded outcome, with FIFO
-/// eviction at a fixed capacity.
+/// An outcome cache: canonical key → recorded outcome, with FIFO eviction
+/// at a fixed capacity. One instance holds schedule outcomes, another the
+/// simulate outcomes.
 #[derive(Debug)]
-pub struct Registry {
+pub struct Registry<V = JobOutcome> {
     capacity: usize,
-    map: HashMap<String, JobOutcome>,
+    map: HashMap<String, V>,
     order: VecDeque<String>,
     /// Number of constructions actually run through this registry (cache
     /// hits excluded) — the counter the no-recompute tests pin.
     pub executions: u64,
+    /// Number of entries evicted since creation (the `stats` gauge that
+    /// tells an operator the cache is thrashing).
+    pub evictions: u64,
 }
 
-impl Registry {
+impl<V> Registry<V> {
     /// Empty registry holding at most `capacity` outcomes.
-    pub fn new(capacity: usize) -> Registry {
+    pub fn new(capacity: usize) -> Registry<V> {
         Registry {
             capacity: capacity.max(1),
             map: HashMap::new(),
             order: VecDeque::new(),
             executions: 0,
+            evictions: 0,
         }
     }
 
@@ -96,19 +159,20 @@ impl Registry {
     }
 
     /// The cached outcome for `key`, if any.
-    pub fn get(&self, key: &str) -> Option<&JobOutcome> {
+    pub fn get(&self, key: &str) -> Option<&V> {
         self.map.get(key)
     }
 
     /// Record an outcome, evicting the oldest entry when over capacity.
     /// Counts one execution.
-    pub fn insert(&mut self, key: String, outcome: JobOutcome) {
+    pub fn insert(&mut self, key: String, outcome: V) {
         self.executions += 1;
         if self.map.insert(key.clone(), outcome).is_none() {
             self.order.push_back(key);
             if self.order.len() > self.capacity {
                 if let Some(evicted) = self.order.pop_front() {
                     self.map.remove(&evicted);
+                    self.evictions += 1;
                 }
             }
         }
@@ -136,9 +200,11 @@ pub const LATENCY_WINDOW: usize = 4096;
 /// Running service counters and per-scheduler construction latencies.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
-    /// Jobs answered (cache hits and misses alike).
+    /// Jobs answered (cache hits and misses alike, simulations included).
     pub jobs_done: u64,
-    /// Jobs answered from the cache.
+    /// Simulations answered (a subset of `jobs_done`).
+    pub sims_done: u64,
+    /// Jobs answered from a cache (schedule or simulation).
     pub cache_hits: u64,
     /// Requests answered with an error response.
     pub errors: u64,
@@ -176,6 +242,8 @@ impl ServiceStats {
         &self,
         queue_depth: usize,
         cache_size: usize,
+        sim_cache_size: usize,
+        cache_evictions: u64,
         uptime: Duration,
     ) -> StatsResponse {
         let mut latency: Vec<LatencyEntry> = self
@@ -199,9 +267,12 @@ impl ServiceStats {
             op: "stats".into(),
             queue_depth,
             jobs_done: self.jobs_done,
+            sims_done: self.sims_done,
             cache_hits: self.cache_hits,
             errors: self.errors,
             cache_size,
+            sim_cache_size,
+            cache_evictions,
             uptime_ms: uptime.as_secs_f64() * 1e3,
             latency,
         }
@@ -258,10 +329,38 @@ mod tests {
         let out = run_job(&lu_job());
         reg.insert("a".into(), out.clone());
         reg.insert("b".into(), out.clone());
+        assert_eq!(reg.evictions, 0);
         reg.insert("c".into(), out.clone());
         assert_eq!(reg.len(), 2);
         assert!(reg.get("a").is_none(), "oldest entry evicted");
         assert!(reg.get("b").is_some() && reg.get("c").is_some());
+        assert_eq!(reg.evictions, 1, "the eviction is counted");
+    }
+
+    #[test]
+    fn sim_job_executes_and_zero_noise_matches_static() {
+        let job = lu_job();
+        let sim = crate::protocol::SimSpec::default().resolve().unwrap();
+        let a = run_sim_job(&job, &sim);
+        assert_eq!(a.degradation, 1.0, "zero noise replays exactly");
+        assert_eq!(a.executed_makespan, a.job.makespan);
+        assert_eq!(a.job.violations, 0);
+        // deterministic, including the executed trace
+        let b = run_sim_job(&job, &sim);
+        assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
+        assert_eq!(a.job.fingerprint, b.job.fingerprint);
+        // noise moves the executed makespan but stays seed-deterministic
+        let noisy = crate::protocol::SimSpec::noise("list-dynamic", 0.3, 9)
+            .resolve()
+            .unwrap();
+        let x = run_sim_job(&job, &noisy);
+        let y = run_sim_job(&job, &noisy);
+        assert_eq!(x.trace_fingerprint, y.trace_fingerprint);
+        assert_ne!(x.trace_fingerprint, a.trace_fingerprint);
+        assert_eq!(
+            x.job.fingerprint, a.job.fingerprint,
+            "construction is untouched"
+        );
     }
 
     #[test]
@@ -274,11 +373,13 @@ mod tests {
         let mut stats = ServiceStats::default();
         stats.record_latency("HEFT", Duration::from_millis(2));
         stats.record_latency("HEFT", Duration::from_millis(8));
-        let snap = stats.snapshot(3, 1, Duration::from_secs(1));
+        let snap = stats.snapshot(3, 1, 2, 5, Duration::from_secs(1));
         assert_eq!(snap.latency.len(), 1);
         assert_eq!(snap.latency[0].count, 2);
         assert_eq!(snap.latency[0].max_ms, 8.0);
         assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.sim_cache_size, 2);
+        assert_eq!(snap.cache_evictions, 5);
     }
 
     #[test]
@@ -289,7 +390,7 @@ mod tests {
         for _ in 0..LATENCY_WINDOW {
             stats.record_latency("HEFT", Duration::from_millis(1));
         }
-        let snap = stats.snapshot(0, 0, Duration::from_secs(1));
+        let snap = stats.snapshot(0, 0, 0, 0, Duration::from_secs(1));
         let l = &snap.latency[0];
         assert_eq!(l.count, LATENCY_WINDOW as u64 + 1, "count is all-time");
         assert_eq!(l.max_ms, 100_000.0, "max is all-time");

@@ -3,10 +3,10 @@
 //!
 //! Every line sent to the daemon is one [`Request`] object; every line it
 //! writes back is one response object tagged by its `op` field (`"result"`,
-//! `"stats"`, `"error"`, `"ok"`, `"ready"`). A request line always produces
-//! exactly one response line, so clients can pipeline submissions and count
-//! replies. See `crates/service/README.md` for the full schema reference
-//! and example sessions.
+//! `"sim-result"`, `"stats"`, `"error"`, `"ok"`, `"ready"`). A request line
+//! always produces exactly one response line, so clients can pipeline
+//! submissions and count replies. See `crates/service/README.md` for the
+//! full schema reference and example sessions.
 //!
 //! Job specifications are *declarative*: a [`JobSpec`] names a DAG
 //! generator, a platform, a scheduler, and a communication model, all by
@@ -30,19 +30,22 @@ pub const PROTOCOL_VERSION: &str = "onesched-svc/v1";
 /// One request line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// `"submit"`, `"stats"`, or `"shutdown"`.
+    /// `"submit"`, `"simulate"`, `"stats"`, or `"shutdown"`.
     pub op: String,
-    /// Client-chosen job id echoed in the result (submit only); the daemon
-    /// assigns `job-N` when absent.
+    /// Client-chosen job id echoed in the result (submit/simulate only);
+    /// the daemon assigns `job-N` when absent.
     #[serde(default)]
     pub id: Option<String>,
     /// Scheduling priority: higher runs first; equal priorities run in
     /// submission order. Defaults to 0.
     #[serde(default)]
     pub priority: Option<i64>,
-    /// The job to schedule (submit only).
+    /// The job to schedule (submit/simulate only).
     #[serde(default)]
     pub job: Option<JobSpec>,
+    /// Execution parameters (simulate only; every field defaulted).
+    #[serde(default)]
+    pub sim: Option<SimSpec>,
 }
 
 impl Request {
@@ -53,6 +56,19 @@ impl Request {
             id,
             priority: Some(priority),
             job: Some(job),
+            sim: None,
+        }
+    }
+
+    /// A `simulate` request: construct the job's schedule, then execute it
+    /// under `sim`'s dispatch policy and perturbation.
+    pub fn simulate(id: Option<String>, priority: i64, job: JobSpec, sim: SimSpec) -> Request {
+        Request {
+            op: "simulate".into(),
+            id,
+            priority: Some(priority),
+            job: Some(job),
+            sim: Some(sim),
         }
     }
 
@@ -63,6 +79,7 @@ impl Request {
             id: None,
             priority: None,
             job: None,
+            sim: None,
         }
     }
 
@@ -73,6 +90,112 @@ impl Request {
             id: None,
             priority: None,
             job: None,
+            sim: None,
+        }
+    }
+}
+
+/// Execution parameters of a `simulate` request: how the constructed
+/// schedule is replayed by the `onesched-exec` engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimSpec {
+    /// Dispatch policy: `"static-order"` (default) or `"list-dynamic"`.
+    #[serde(default)]
+    pub policy: Option<String>,
+    /// Perturbation seed (default 0; same seed, same executed trace).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Lognormal σ of the task-duration noise (default 0).
+    #[serde(default)]
+    pub task_sigma: Option<f64>,
+    /// Maximum relative bandwidth degradation β (default 0).
+    #[serde(default)]
+    pub bw_degradation: Option<f64>,
+    /// Probability of a transient outage per directed link (default 0).
+    #[serde(default)]
+    pub outage_prob: Option<f64>,
+    /// Outage window length as a fraction of the static makespan
+    /// (default 0).
+    #[serde(default)]
+    pub outage_frac: Option<f64>,
+}
+
+impl SimSpec {
+    /// A noise-only spec: σ task noise and β = σ bandwidth degradation
+    /// under the given policy and seed (the `perturb` sweep axis).
+    pub fn noise(policy: &str, sigma: f64, seed: u64) -> SimSpec {
+        SimSpec {
+            policy: Some(policy.into()),
+            seed: Some(seed),
+            task_sigma: Some(sigma),
+            bw_degradation: Some(sigma),
+            outage_prob: None,
+            outage_frac: None,
+        }
+    }
+
+    /// Validate the spec, fill every default, and derive the canonical
+    /// sim-cache key suffix.
+    pub fn resolve(&self) -> Result<ResolvedSim, String> {
+        let mut spec = self.clone();
+        let policy =
+            onesched_exec::DispatchPolicy::parse(spec.policy.as_deref().unwrap_or("static-order"))?;
+        spec.policy = Some(policy.name().to_string());
+        spec.seed = Some(spec.seed.unwrap_or(0));
+        for (what, v) in [
+            ("task_sigma", &mut spec.task_sigma),
+            ("bw_degradation", &mut spec.bw_degradation),
+            ("outage_frac", &mut spec.outage_frac),
+        ] {
+            let x = v.unwrap_or(0.0);
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("{what} must be finite and non-negative, got {x}"));
+            }
+            *v = Some(x);
+        }
+        let prob = spec.outage_prob.unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(format!("outage_prob {prob} outside [0, 1]"));
+        }
+        spec.outage_prob = Some(prob);
+        let key = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
+        Ok(ResolvedSim { spec, key, policy })
+    }
+}
+
+/// A validated, fully-defaulted simulation spec.
+#[derive(Debug, Clone)]
+pub struct ResolvedSim {
+    /// The normalized spec (every optional field filled).
+    pub spec: SimSpec,
+    /// Canonical key suffix: combined with [`ResolvedJob::key`] it
+    /// identifies one deterministic construct-then-execute problem.
+    pub key: String,
+    policy: onesched_exec::DispatchPolicy,
+}
+
+impl ResolvedSim {
+    /// The dispatch policy.
+    pub fn policy(&self) -> onesched_exec::DispatchPolicy {
+        self.policy
+    }
+
+    /// The perturbation seed.
+    pub fn seed(&self) -> u64 {
+        self.spec.seed.expect("resolved")
+    }
+
+    /// The engine configuration this spec describes.
+    pub fn exec_config(&self) -> onesched_exec::ExecConfig {
+        onesched_exec::ExecConfig {
+            policy: self.policy,
+            perturb: onesched_exec::Perturbation {
+                task_sigma: self.spec.task_sigma.expect("resolved"),
+                bw_degradation: self.spec.bw_degradation.expect("resolved"),
+                outage_prob: self.spec.outage_prob.expect("resolved"),
+                outage_frac: self.spec.outage_frac.expect("resolved"),
+            },
+            seed: self.seed(),
         }
     }
 }
@@ -564,6 +687,49 @@ pub struct ResultResponse {
     pub violations: usize,
 }
 
+/// Outcome of a `simulate` request (op `"sim-result"`): the construction
+/// outcome plus the executed trace's summary — both fingerprints and the
+/// predicted-vs-executed degradation ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResultResponse {
+    /// Always `"sim-result"`.
+    pub op: String,
+    /// The submitted (or daemon-assigned) job id.
+    pub id: String,
+    /// Scheduler display name (e.g. `ILHA(B=4)`).
+    pub scheduler: String,
+    /// Communication model (kebab-case name).
+    pub model: String,
+    /// Dispatch policy (kebab-case name).
+    pub policy: String,
+    /// Perturbation seed the execution ran under.
+    pub seed: u64,
+    /// Number of tasks scheduled and executed.
+    pub tasks: usize,
+    /// The schedule's predicted makespan.
+    pub static_makespan: f64,
+    /// The executed makespan under the requested perturbation.
+    pub executed_makespan: f64,
+    /// `executed_makespan / static_makespan` (1.0 = the schedule held up).
+    pub degradation: f64,
+    /// Placement fingerprint of the constructed schedule (16 hex digits) —
+    /// bit-identical to what a plain `submit` of the same job reports.
+    pub fingerprint: String,
+    /// Trace fingerprint of the executed trace (16 hex digits,
+    /// `onesched_sim::trace_fingerprint`): covers communication times, so
+    /// same-seed runs compare bit-exactly.
+    pub trace_fingerprint: String,
+    /// Schedule-construction wall-clock time in milliseconds.
+    pub construct_ms: f64,
+    /// Execution (replay) wall-clock time in milliseconds.
+    pub exec_ms: f64,
+    /// Whether this result was served from the simulation cache.
+    pub cache_hit: bool,
+    /// Validator violation count on the *constructed* schedule (0 unless
+    /// the job requested validation).
+    pub violations: usize,
+}
+
 /// Queue/cache/latency statistics (op `"stats"`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsResponse {
@@ -571,14 +737,20 @@ pub struct StatsResponse {
     pub op: String,
     /// Jobs waiting in the priority queue.
     pub queue_depth: usize,
-    /// Jobs answered (including cache hits and failures).
+    /// Jobs answered (including simulations, cache hits and failures).
     pub jobs_done: u64,
-    /// Jobs answered from the schedule cache.
+    /// Simulations answered (included in `jobs_done`).
+    pub sims_done: u64,
+    /// Jobs answered from a cache (schedule or simulation).
     pub cache_hits: u64,
     /// Requests answered with an `error` response.
     pub errors: u64,
     /// Entries currently in the schedule cache.
     pub cache_size: usize,
+    /// Entries currently in the simulation cache.
+    pub sim_cache_size: usize,
+    /// Entries evicted from either cache since startup.
+    pub cache_evictions: u64,
     /// Milliseconds since the daemon started.
     pub uptime_ms: f64,
     /// Per-scheduler construction-latency percentiles (cache hits are
@@ -806,6 +978,66 @@ mod tests {
         ] {
             assert!(job.resolve().is_err(), "{label} must be rejected");
         }
+    }
+
+    #[test]
+    fn sim_spec_resolution_is_canonical_and_validated() {
+        // full defaults: the zero-perturbation static-order replay
+        let r = SimSpec::default().resolve().unwrap();
+        assert_eq!(r.policy().name(), "static-order");
+        assert_eq!(r.seed(), 0);
+        assert!(r.exec_config().perturb.is_none());
+        // the same spec spelled explicitly keys identically
+        let explicit = SimSpec {
+            policy: Some("static-order".into()),
+            seed: Some(0),
+            task_sigma: Some(0.0),
+            bw_degradation: Some(0.0),
+            outage_prob: Some(0.0),
+            outage_frac: Some(0.0),
+        };
+        assert_eq!(explicit.resolve().unwrap().key, r.key);
+        // distinct noise, seed, or policy keys differently
+        let noisy = SimSpec::noise("list-dynamic", 0.2, 3).resolve().unwrap();
+        assert_ne!(noisy.key, r.key);
+        assert_eq!(noisy.policy().name(), "list-dynamic");
+        assert_eq!(noisy.exec_config().perturb.task_sigma, 0.2);
+        // invalid specs rejected
+        for bad in [
+            SimSpec {
+                policy: Some("eager".into()),
+                ..SimSpec::default()
+            },
+            SimSpec {
+                task_sigma: Some(-0.1),
+                ..SimSpec::default()
+            },
+            SimSpec {
+                outage_prob: Some(1.5),
+                ..SimSpec::default()
+            },
+            SimSpec {
+                bw_degradation: Some(f64::INFINITY),
+                ..SimSpec::default()
+            },
+        ] {
+            assert!(bad.resolve().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn simulate_request_line_parses_with_defaults() {
+        let line = r#"{"op":"simulate","id":"x","job":{"dag":{"kind":"toy"}},"sim":{"task_sigma":0.25,"seed":9}}"#;
+        let r: Request = serde_json::from_str(line).unwrap();
+        assert_eq!(r.op, "simulate");
+        let sim = r.sim.unwrap().resolve().unwrap();
+        assert_eq!(sim.seed(), 9);
+        assert_eq!(sim.exec_config().perturb.task_sigma, 0.25);
+        assert_eq!(sim.exec_config().perturb.bw_degradation, 0.0);
+        // a simulate line without `sim` at all gets the faithful replay
+        let bare: Request =
+            serde_json::from_str(r#"{"op":"simulate","job":{"dag":{"kind":"toy"}}}"#).unwrap();
+        assert!(bare.sim.is_none());
     }
 
     #[test]

@@ -15,10 +15,10 @@
 //! bytes within a line. Responses stream in *completion* order (priority
 //! first), not submission order — clients match results by `id`.
 
-use crate::cache::{run_job, Registry, ServiceStats};
+use crate::cache::{run_job, run_sim_job, Registry, ServiceStats, SimOutcome};
 use crate::protocol::{
-    AckResponse, ErrorResponse, ReadyResponse, Request, ResolvedJob, ResultResponse,
-    PROTOCOL_VERSION,
+    AckResponse, ErrorResponse, ReadyResponse, Request, ResolvedJob, ResolvedSim, ResultResponse,
+    SimResultResponse, PROTOCOL_VERSION,
 };
 use crate::queue::PriorityQueue;
 use std::io::{self, BufRead, Write};
@@ -30,13 +30,21 @@ use std::time::{Duration, Instant};
 /// A line-oriented output shared between the intake thread and the workers.
 pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
+/// Default bound on queued jobs (see [`ServiceConfig::queue_cap`]).
+pub const DEFAULT_QUEUE_CAP: usize = 16_384;
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads serving the job queue.
     pub workers: usize,
-    /// Maximum schedule-cache entries (FIFO eviction).
+    /// Maximum schedule-cache entries (FIFO eviction). The simulation
+    /// cache gets the same capacity.
     pub cache_capacity: usize,
+    /// Maximum queued (accepted but unfinished) jobs. Submissions beyond
+    /// the cap are answered with a protocol `error` instead of growing the
+    /// queue unboundedly — backpressure a flooding client can see.
+    pub queue_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -44,14 +52,23 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: crate::runner::default_threads(),
             cache_capacity: 1024,
+            queue_cap: DEFAULT_QUEUE_CAP,
         }
     }
 }
 
-/// One queued submission: the resolved job plus where its result goes.
+/// What a queued submission asks for.
+enum Work {
+    /// Construct a schedule (`submit`).
+    Job(ResolvedJob),
+    /// Construct, then execute under perturbation (`simulate`).
+    Sim(ResolvedJob, ResolvedSim),
+}
+
+/// One queued submission: the resolved work plus where its result goes.
 struct Ticket {
     id: String,
-    job: ResolvedJob,
+    work: Work,
     out: SharedWriter,
 }
 
@@ -63,6 +80,7 @@ pub struct Service {
     queue: Mutex<PriorityQueue<Ticket>>,
     ready: Condvar,
     registry: Mutex<Registry>,
+    sim_registry: Mutex<Registry<SimOutcome>>,
     stats: Mutex<ServiceStats>,
     shutdown: AtomicBool,
     next_job: AtomicU64,
@@ -82,6 +100,7 @@ impl Service {
         };
         Service {
             registry: Mutex::new(Registry::new(cfg.cache_capacity)),
+            sim_registry: Mutex::new(Registry::new(cfg.cache_capacity)),
             cfg,
             queue: Mutex::new(PriorityQueue::new()),
             ready: Condvar::new(),
@@ -242,9 +261,10 @@ impl Service {
             }
         };
         match req.op.as_str() {
-            "submit" => {
+            "submit" | "simulate" => {
+                let op = req.op.as_str();
                 let Some(spec) = req.job else {
-                    self.respond_error(out, req.id, "submit requires a `job`".into());
+                    self.respond_error(out, req.id, format!("{op} requires a `job`"));
                     return;
                 };
                 let job = match spec.resolve() {
@@ -254,26 +274,61 @@ impl Service {
                         return;
                     }
                 };
+                let work = if op == "simulate" {
+                    match req.sim.unwrap_or_default().resolve() {
+                        Ok(sim) => Work::Sim(job, sim),
+                        Err(e) => {
+                            self.respond_error(out, req.id, e);
+                            return;
+                        }
+                    }
+                } else {
+                    Work::Job(job)
+                };
                 let id = req.id.unwrap_or_else(|| {
                     format!("job-{}", self.next_job.fetch_add(1, Ordering::Relaxed))
                 });
                 let ticket = Ticket {
                     id,
-                    job,
+                    work,
                     out: Arc::clone(out),
                 };
-                self.queue
-                    .lock()
-                    .expect("queue poisoned")
-                    .push(req.priority.unwrap_or(0), ticket);
+                // Backpressure: bound the queue under the lock so the
+                // depth check and the push are atomic, and reject with a
+                // protocol error once the cap is reached.
+                {
+                    let mut q = self.queue.lock().expect("queue poisoned");
+                    if q.len() >= self.cfg.queue_cap {
+                        drop(q);
+                        self.respond_error(
+                            out,
+                            Some(ticket.id),
+                            format!(
+                                "queue full ({} jobs queued, cap {})",
+                                self.cfg.queue_cap, self.cfg.queue_cap
+                            ),
+                        );
+                        return;
+                    }
+                    q.push(req.priority.unwrap_or(0), ticket);
+                }
                 self.ready.notify_one();
             }
             "stats" => {
                 let queue_depth = self.queue.lock().expect("queue poisoned").len();
-                let cache_size = self.registry.lock().expect("registry poisoned").len();
+                let (cache_size, evictions) = {
+                    let r = self.registry.lock().expect("registry poisoned");
+                    (r.len(), r.evictions)
+                };
+                let (sim_cache_size, sim_evictions) = {
+                    let r = self.sim_registry.lock().expect("registry poisoned");
+                    (r.len(), r.evictions)
+                };
                 let snap = self.stats.lock().expect("stats poisoned").snapshot(
                     queue_depth,
                     cache_size,
+                    sim_cache_size,
+                    evictions + sim_evictions,
                     self.started.elapsed(),
                 );
                 write_line(out, &serde_json::to_string(&snap).expect("serialize stats"));
@@ -324,21 +379,28 @@ impl Service {
     }
 
     fn run_ticket(&self, ticket: Ticket) {
+        match ticket.work {
+            Work::Job(ref job) => self.run_schedule_ticket(&ticket.id, job, &ticket.out),
+            Work::Sim(ref job, ref sim) => self.run_sim_ticket(&ticket.id, job, sim, &ticket.out),
+        }
+    }
+
+    fn run_schedule_ticket(&self, id: &str, job: &ResolvedJob, out: &SharedWriter) {
         let cached = self
             .registry
             .lock()
             .expect("registry poisoned")
-            .get(&ticket.job.key)
+            .get(&job.key)
             .cloned();
         let (outcome, cache_hit) = match cached {
             Some(outcome) => (outcome, true),
             None => {
                 // run WITHOUT holding any lock: construction is the slow part
-                let outcome = run_job(&ticket.job);
+                let outcome = run_job(job);
                 self.registry
                     .lock()
                     .expect("registry poisoned")
-                    .insert(ticket.job.key.clone(), outcome.clone());
+                    .insert(job.key.clone(), outcome.clone());
                 (outcome, false)
             }
         };
@@ -353,9 +415,9 @@ impl Service {
         }
         let resp = ResultResponse {
             op: "result".into(),
-            id: ticket.id,
+            id: id.into(),
             scheduler: outcome.scheduler,
-            model: ticket.job.model().name().into(),
+            model: job.model().name().into(),
             tasks: outcome.tasks,
             makespan: outcome.makespan,
             speedup: outcome.speedup,
@@ -366,8 +428,64 @@ impl Service {
             violations: outcome.violations,
         };
         write_line(
-            &ticket.out,
+            out,
             &serde_json::to_string(&resp).expect("serialize result"),
+        );
+    }
+
+    fn run_sim_ticket(&self, id: &str, job: &ResolvedJob, sim: &ResolvedSim, out: &SharedWriter) {
+        // The sim cache key is the job key plus the resolved sim spec:
+        // the same schedule under a different seed or policy is a
+        // different deterministic experiment.
+        let key = format!("{}|{}", job.key, sim.key);
+        let cached = self
+            .sim_registry
+            .lock()
+            .expect("registry poisoned")
+            .get(&key)
+            .cloned();
+        let (outcome, cache_hit) = match cached {
+            Some(outcome) => (outcome, true),
+            None => {
+                let outcome = run_sim_job(job, sim);
+                self.sim_registry
+                    .lock()
+                    .expect("registry poisoned")
+                    .insert(key, outcome.clone());
+                (outcome, false)
+            }
+        };
+        {
+            let mut stats = self.stats.lock().expect("stats poisoned");
+            stats.jobs_done += 1;
+            stats.sims_done += 1;
+            if cache_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.record_latency(&outcome.job.scheduler, outcome.job.construct);
+            }
+        }
+        let resp = SimResultResponse {
+            op: "sim-result".into(),
+            id: id.into(),
+            scheduler: outcome.job.scheduler,
+            model: job.model().name().into(),
+            policy: outcome.policy,
+            seed: outcome.seed,
+            tasks: outcome.job.tasks,
+            static_makespan: outcome.job.makespan,
+            executed_makespan: outcome.executed_makespan,
+            degradation: outcome.degradation,
+            fingerprint: format!("{:016x}", outcome.job.fingerprint),
+            trace_fingerprint: format!("{:016x}", outcome.trace_fingerprint),
+            construct_ms: outcome.job.construct.as_secs_f64() * 1e3,
+            exec_ms: outcome.exec.as_secs_f64() * 1e3,
+            cache_hit,
+            violations: outcome.job.violations,
+        };
+        write_line(
+            out,
+            &serde_json::to_string(&resp).expect("serialize sim result"),
         );
     }
 }
@@ -408,6 +526,7 @@ mod tests {
         let svc = Service::new(ServiceConfig {
             workers,
             cache_capacity: 64,
+            ..ServiceConfig::default()
         });
         let sink = MemWriter::default();
         let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
@@ -510,6 +629,7 @@ mod tests {
                 id: Some("x".into()),
                 priority: None,
                 job: None,
+                sim: None,
             },
             submit("y", 0, bad_model),
             Request {
@@ -517,6 +637,7 @@ mod tests {
                 id: Some("z".into()),
                 priority: None,
                 job: None,
+                sim: None,
             },
         ];
         let lines = drive(&reqs, 2);
@@ -553,6 +674,107 @@ mod tests {
         assert_eq!(r.makespan, direct.makespan());
         assert_eq!(r.effective_comms, direct.num_effective_comms());
     }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_with_protocol_error() {
+        // No workers drain the queue: handle_line fills it synchronously,
+        // so the bound is deterministic.
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            queue_cap: 3,
+        });
+        let sink = MemWriter::default();
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
+        for i in 0..5 {
+            let req = submit(&format!("q{i}"), 0, lu_spec(8));
+            svc.handle_line(&serde_json::to_string(&req).unwrap(), &out);
+        }
+        assert_eq!(svc.queue.lock().unwrap().len(), 3, "cap holds");
+        let bytes = sink.0.lock().unwrap().clone();
+        let lines: Vec<String> = String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(lines.len(), 2, "two rejections answered inline");
+        for (line, id) in lines.iter().zip(["q3", "q4"]) {
+            let e: ErrorResponse = serde_json::from_str(line).expect("error response");
+            assert_eq!(e.id.as_deref(), Some(id));
+            assert!(e.message.contains("queue full"), "{}", e.message);
+        }
+        assert_eq!(svc.stats.lock().unwrap().errors, 2);
+        // draining the queue reopens intake
+        std::thread::scope(|scope| {
+            scope.spawn(|| svc.worker());
+            // wait for the workers to drain, then submit again
+            loop {
+                if svc.queue.lock().unwrap().is_empty() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            svc.handle_line(
+                &serde_json::to_string(&submit("after", 0, lu_spec(8))).unwrap(),
+                &out,
+            );
+            svc.begin_shutdown();
+        });
+        let bytes = sink.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.lines()
+                .any(|l| l.contains("\"after\"") && l.contains("\"result\"")),
+            "post-drain submission accepted: {text}"
+        );
+    }
+
+    #[test]
+    fn simulate_requests_report_degradation_and_cache() {
+        let sim = SimSpec::noise("static-order", 0.2, 7);
+        let reqs = vec![
+            Request::simulate(Some("s0".into()), 0, lu_spec(10), SimSpec::default()),
+            Request::simulate(Some("s1".into()), 0, lu_spec(10), sim.clone()),
+            Request::simulate(Some("s1-again".into()), 0, lu_spec(10), sim),
+            Request::stats(),
+        ];
+        let lines = drive(&reqs, 1);
+        let mut sims: HashMap<String, SimResultResponse> = HashMap::new();
+        let mut stats = None;
+        for line in &lines {
+            let probe: OpProbe = serde_json::from_str(line).unwrap();
+            match probe.op.as_str() {
+                "sim-result" => {
+                    let r: SimResultResponse = serde_json::from_str(line).unwrap();
+                    sims.insert(r.id.clone(), r);
+                }
+                "stats" => stats = Some(serde_json::from_str::<StatsResponse>(line).unwrap()),
+                other => panic!("unexpected op {other} in {line}"),
+            }
+        }
+        let zero = &sims["s0"];
+        assert_eq!(zero.degradation, 1.0, "zero noise replays exactly");
+        assert_eq!(zero.executed_makespan, zero.static_makespan);
+        assert_eq!(zero.policy, "static-order");
+        let noisy = &sims["s1"];
+        assert_ne!(noisy.trace_fingerprint, zero.trace_fingerprint);
+        assert_eq!(
+            noisy.fingerprint, zero.fingerprint,
+            "construction is the same schedule"
+        );
+        let again = &sims["s1-again"];
+        assert!(again.cache_hit, "repeat simulate served from the sim cache");
+        assert_eq!(again.trace_fingerprint, noisy.trace_fingerprint);
+        // the stats line was answered inline (possibly before the queue
+        // drained) — the counters are consistent, not necessarily final
+        let s = stats.expect("stats line");
+        assert!(s.sims_done <= 3);
+        assert!(s.sims_done <= s.jobs_done);
+        assert!(s.sim_cache_size <= 2);
+    }
+
+    use crate::protocol::SimSpec;
+    use std::collections::HashMap;
 
     #[test]
     fn shutdown_request_stops_intake() {

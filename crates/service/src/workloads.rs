@@ -6,7 +6,9 @@
 //! drive the daemon (`onesched-svc gen ... | onesched-svc submit ...`), the
 //! `experiments stress`/`routed` sweeps, and the integration tests.
 
-use crate::protocol::{DagSpec, JobSpec, PlatformSpec, Request, SchedulerSpec, MAX_TASKS_PER_JOB};
+use crate::protocol::{
+    DagSpec, JobSpec, PlatformSpec, Request, SchedulerSpec, SimSpec, MAX_TASKS_PER_JOB,
+};
 use onesched_testbeds::{RandomDagConfig, Testbed};
 
 /// Average in-degree targeted by [`stress_config`]: enough fan-in for real
@@ -50,6 +52,40 @@ pub fn stress_request(tasks: usize, seed: u64, scheduler: SchedulerSpec) -> Requ
             validate: false,
         },
     )
+}
+
+/// Noise levels of the [`simulate_requests`] batch (σ task noise with
+/// matching bandwidth degradation).
+pub const SIM_NOISE_LEVELS: [f64; 3] = [0.0, 0.1, 0.3];
+
+/// A perturbation-sweep batch of `simulate` submissions: one testbed at
+/// size `n`, HEFT and ILHA, both dispatch policies, at each
+/// [`SIM_NOISE_LEVELS`] entry under the given `seed` — same seed, same
+/// executed traces, which is what the CI determinism gate diffs.
+pub fn simulate_requests(tb: Testbed, n: usize, seed: u64) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for (skind, sched) in [
+        ("heft", SchedulerSpec::heft()),
+        ("ilha", SchedulerSpec::ilha(tb.paper_best_b())),
+    ] {
+        for policy in ["static-order", "list-dynamic"] {
+            for (i, &sigma) in SIM_NOISE_LEVELS.iter().enumerate() {
+                reqs.push(Request::simulate(
+                    Some(format!("sim-{}-{skind}-{policy}-{i}", tb.name())),
+                    0,
+                    JobSpec {
+                        dag: DagSpec::testbed(tb, n),
+                        platform: None,
+                        scheduler: Some(sched.clone()),
+                        model: None,
+                        validate: true,
+                    },
+                    SimSpec::noise(policy, sigma, seed),
+                ));
+            }
+        }
+    }
+    reqs
 }
 
 /// The routed topology kinds the service understands.
@@ -164,5 +200,20 @@ mod tests {
                     .expect("generated specs are valid");
             }
         }
+    }
+
+    #[test]
+    fn simulate_batch_resolves_and_is_seeded() {
+        let reqs = simulate_requests(Testbed::Lu, 10, 42);
+        assert_eq!(reqs.len(), 2 * 2 * SIM_NOISE_LEVELS.len());
+        for r in &reqs {
+            assert_eq!(r.op, "simulate");
+            r.job.clone().unwrap().resolve().expect("valid job");
+            let sim = r.sim.clone().unwrap().resolve().expect("valid sim");
+            assert_eq!(sim.seed(), 42, "the explicit seed is threaded through");
+        }
+        // distinct seeds produce distinct request batches (reproducibility
+        // is a function of the seed alone)
+        assert_ne!(simulate_requests(Testbed::Lu, 10, 1), reqs);
     }
 }

@@ -5,7 +5,7 @@
 
 use onesched_service::protocol::{
     DagSpec, ErrorResponse, JobSpec, LatencyEntry, PlatformSpec, Request, ResultResponse,
-    SchedulerSpec, StatsResponse,
+    SchedulerSpec, SimResultResponse, SimSpec, StatsResponse,
 };
 use proptest::prelude::*;
 
@@ -80,7 +80,7 @@ proptest! {
             0 => Request::submit(
                 (has_id == 1).then(|| name_from(&id_ixs)),
                 priority,
-                job,
+                job.clone(),
             ),
             1 => Request::stats(),
             2 => Request::shutdown(),
@@ -88,9 +88,27 @@ proptest! {
                 op: name_from(&id_ixs),
                 id: (has_id == 1).then(|| name_from(&id_ixs)),
                 priority: (has_priority == 1).then_some(priority),
-                job: Some(job),
+                job: Some(job.clone()),
+                sim: None,
             },
         };
+        // simulate requests round-trip too, sim spec included
+        let sim_req = Request::simulate(
+            (has_id == 1).then(|| name_from(&id_ixs)),
+            priority,
+            job,
+            SimSpec {
+                policy: Some(["static-order", "list-dynamic"][n % 2].into()),
+                seed: Some(seed),
+                task_sigma: Some(edge_prob),
+                bw_degradation: None,
+                outage_prob: Some(edge_prob),
+                outage_frac: None,
+            },
+        );
+        let json = serde_json::to_string(&sim_req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, sim_req);
         let json = serde_json::to_string(&req).unwrap();
         prop_assert!(!json.contains('\n'), "line protocol: one request per line");
         let back: Request = serde_json::from_str(&json).unwrap();
@@ -133,9 +151,12 @@ proptest! {
             op: "stats".into(),
             queue_depth: depth,
             jobs_done: counters.0,
+            sims_done: counters.1,
             cache_hits: counters.1,
             errors: counters.2,
             cache_size: depth,
+            sim_cache_size: depth / 2,
+            cache_evictions: counters.0,
             uptime_ms: construct_ms,
             latency: lat.iter().enumerate().map(|(i, &(ms, count))| LatencyEntry {
                 scheduler: format!("S{i}"),
@@ -156,6 +177,27 @@ proptest! {
         };
         let back: ErrorResponse = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
         prop_assert_eq!(back, err);
+
+        let sim = SimResultResponse {
+            op: "sim-result".into(),
+            id: name_from(&id_ixs),
+            scheduler: "HEFT".into(),
+            model: "one-port-bidir".into(),
+            policy: "list-dynamic".into(),
+            seed: counters.0,
+            tasks,
+            static_makespan: makespan,
+            executed_makespan: makespan * 1.25,
+            degradation: 1.25,
+            fingerprint: format!("{fingerprint:016x}"),
+            trace_fingerprint: format!("{:016x}", fingerprint ^ 0xffff),
+            construct_ms,
+            exec_ms: construct_ms / 2.0,
+            cache_hit: cache_hit == 1,
+            violations,
+        };
+        let back: SimResultResponse = serde_json::from_str(&serde_json::to_string(&sim).unwrap()).unwrap();
+        prop_assert_eq!(back, sim);
     }
 
     /// Resolution is stable across the wire: resolving a spec, shipping the
@@ -187,5 +229,36 @@ proptest! {
         let again = shipped.resolve().unwrap();
         prop_assert_eq!(&resolved.key, &again.key);
         prop_assert_eq!(resolved.spec, again.spec);
+    }
+
+    /// Sim specs are wire-stable too: the resolved (fully defaulted) spec
+    /// re-resolves to the same sim-cache key suffix.
+    #[test]
+    fn resolved_sim_specs_are_wire_stable(
+        policy_ix in 0usize..2,
+        seed in 0u64..MAX_EXACT,
+        sigma in 0.0f64..2.0,
+        beta in 0.0f64..2.0,
+        prob in 0.0f64..1.0,
+        frac in 0.0f64..1.0,
+        sparse in 0u8..2,
+    ) {
+        let spec = if sparse == 1 {
+            SimSpec { seed: Some(seed), ..SimSpec::default() }
+        } else {
+            SimSpec {
+                policy: Some(["static-order", "list-dynamic"][policy_ix].into()),
+                seed: Some(seed),
+                task_sigma: Some(sigma),
+                bw_degradation: Some(beta),
+                outage_prob: Some(prob),
+                outage_frac: Some(frac),
+            }
+        };
+        let resolved = spec.resolve().unwrap();
+        let shipped: SimSpec = serde_json::from_str(&serde_json::to_string(&resolved.spec).unwrap()).unwrap();
+        let again = shipped.resolve().unwrap();
+        prop_assert_eq!(&resolved.key, &again.key);
+        prop_assert_eq!(resolved.policy(), again.policy());
     }
 }

@@ -14,6 +14,10 @@
 //!   would trigger) and commit only the winner (paper §4.3).
 //! * [`Schedule`] — the produced mapping: task placements plus explicit
 //!   communication placements.
+//! * [`ExecutionTrace`] / [`trace_fingerprint`] — the *executed* counterpart
+//!   of a schedule, produced by the `onesched-exec` discrete-event engine;
+//!   the fingerprint covers communication times too, so replays can be
+//!   checked bit-exact and perturbed runs checked deterministic.
 //! * [`validate()`] — an independent checker that verifies *every* constraint
 //!   of the chosen model; all heuristics in the workspace are tested against
 //!   it.
@@ -28,10 +32,12 @@ mod model;
 mod resources;
 mod schedule;
 pub mod stats;
+mod trace;
 pub mod validate;
 
 pub use interval::{TimeInterval, Timeline, EPS};
 pub use model::CommModel;
 pub use resources::{ResourcePool, StagedPlacements, Txn, TxnBuffers};
 pub use schedule::{placement_fingerprint, CommPlacement, Schedule, TaskPlacement};
+pub use trace::{trace_fingerprint, ExecutionTrace};
 pub use validate::{validate, ScheduleViolation};

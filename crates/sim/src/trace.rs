@@ -1,0 +1,268 @@
+//! Executed traces: what actually happened when a schedule was run forward
+//! by a discrete-event executor (`onesched-exec`).
+//!
+//! A [`Schedule`] records what a scheduler *intended*; an
+//! [`ExecutionTrace`] records what an execution engine *observed* — the
+//! same placement structure (task → processor, communication hops), but
+//! with start/finish times produced by replaying the schedule under a
+//! dispatch policy and (possibly) runtime perturbation. The two types are
+//! deliberately interconvertible so the static validator and the schedule
+//! statistics apply to executed traces unchanged, and so a zero-noise
+//! replay can be checked *bit-exact* against its schedule through
+//! [`trace_fingerprint`].
+
+use crate::{CommPlacement, Schedule, TaskPlacement};
+use onesched_dag::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// The observed outcome of executing a schedule: every task's executed
+/// placement plus every communication hop's executed interval, in a
+/// canonical order (hops sorted by edge id, then start time, then route) so
+/// equal executions serialize and fingerprint identically regardless of
+/// event-processing order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    tasks: Vec<Option<TaskPlacement>>,
+    comms: Vec<CommPlacement>,
+}
+
+impl ExecutionTrace {
+    /// Empty trace for a graph of `n` tasks.
+    pub fn with_tasks(n: usize) -> ExecutionTrace {
+        ExecutionTrace {
+            tasks: vec![None; n],
+            comms: Vec::new(),
+        }
+    }
+
+    /// Record one executed task (write-once, like [`Schedule::place_task`]).
+    ///
+    /// # Panics
+    /// Panics if the task was already recorded.
+    pub fn record_task(&mut self, p: TaskPlacement) {
+        let slot = &mut self.tasks[p.task.index()];
+        assert!(slot.is_none(), "task {} executed twice", p.task);
+        *slot = Some(p);
+    }
+
+    /// Record one executed communication hop.
+    pub fn record_comm(&mut self, c: CommPlacement) {
+        self.comms.push(c);
+    }
+
+    /// Sort the communication hops into the canonical order. Called once
+    /// when the trace is sealed; [`from_schedule`](Self::from_schedule)
+    /// applies the same order so fingerprints compare.
+    pub fn canonicalize(&mut self) {
+        self.comms.sort_by(|a, b| {
+            a.edge
+                .cmp(&b.edge)
+                .then(a.start.total_cmp(&b.start))
+                .then(a.from.cmp(&b.from))
+                .then(a.to.cmp(&b.to))
+        });
+    }
+
+    /// Number of task slots.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The executed placement of task `v`, if recorded.
+    #[inline]
+    pub fn task(&self, v: TaskId) -> Option<&TaskPlacement> {
+        self.tasks[v.index()].as_ref()
+    }
+
+    /// Iterate over all recorded task placements.
+    pub fn task_placements(&self) -> impl Iterator<Item = &TaskPlacement> {
+        self.tasks.iter().flatten()
+    }
+
+    /// All executed communication hops (canonical order once sealed).
+    pub fn comms(&self) -> &[CommPlacement] {
+        &self.comms
+    }
+
+    /// Whether every task was executed.
+    pub fn is_complete(&self) -> bool {
+        self.tasks.iter().all(Option::is_some)
+    }
+
+    /// The executed makespan (0 for an empty trace).
+    pub fn makespan(&self) -> f64 {
+        self.task_placements().map(|p| p.finish).fold(0.0, f64::max)
+    }
+
+    /// The trace a schedule *claims*: its placements reinterpreted as an
+    /// executed trace in canonical order. A perfect zero-noise replay
+    /// fingerprints identically to this.
+    pub fn from_schedule(s: &Schedule) -> ExecutionTrace {
+        let mut t = ExecutionTrace::with_tasks(s.num_tasks());
+        for p in s.task_placements() {
+            t.record_task(*p);
+        }
+        for c in s.comms() {
+            t.record_comm(*c);
+        }
+        t.canonicalize();
+        t
+    }
+
+    /// Rebuild a [`Schedule`] from the executed times, so the static
+    /// validator and `ScheduleStats` apply to executions unchanged.
+    pub fn to_schedule(&self) -> Schedule {
+        let mut s = Schedule::with_tasks(self.num_tasks());
+        for p in self.task_placements() {
+            s.place_task(*p);
+        }
+        for c in &self.comms {
+            s.place_comm(*c);
+        }
+        s
+    }
+}
+
+/// FNV-1a 64-bit over the whole trace: every task placement in task-id
+/// order (exact bit patterns, like
+/// [`placement_fingerprint`](crate::placement_fingerprint)) *plus* every
+/// communication hop in canonical order. Two executions get the same
+/// fingerprint iff every executed time and route is bit-identical — the
+/// determinism gate for perturbed runs, and the bit-exactness gate for
+/// zero-noise replays (compare against
+/// [`ExecutionTrace::from_schedule`]).
+///
+/// # Panics
+/// Panics if any task is unexecuted.
+pub fn trace_fingerprint(t: &ExecutionTrace) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut feed = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for v in 0..t.num_tasks() {
+        let p = t
+            .task(TaskId(v as u32))
+            .expect("fingerprinting requires a complete trace");
+        feed(v as u64);
+        feed(u64::from(p.proc.0));
+        feed(p.start.to_bits());
+        feed(p.finish.to_bits());
+    }
+    for c in t.comms() {
+        feed(u64::from(c.edge.0));
+        feed(u64::from(c.from.0));
+        feed(u64::from(c.to.0));
+        feed(c.start.to_bits());
+        feed(c.finish.to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_dag::EdgeId;
+    use onesched_platform::ProcId;
+
+    fn sample_schedule() -> Schedule {
+        let mut s = Schedule::with_tasks(2);
+        s.place_task(TaskPlacement {
+            task: TaskId(0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 2.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: EdgeId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 2.0,
+            finish: 6.0,
+        });
+        s.place_task(TaskPlacement {
+            task: TaskId(1),
+            proc: ProcId(1),
+            start: 6.0,
+            finish: 9.0,
+        });
+        s
+    }
+
+    #[test]
+    fn roundtrips_through_schedule() {
+        let s = sample_schedule();
+        let t = ExecutionTrace::from_schedule(&s);
+        assert!(t.is_complete());
+        assert_eq!(t.makespan(), s.makespan());
+        let back = t.to_schedule();
+        assert_eq!(back.makespan(), s.makespan());
+        assert_eq!(back.comms(), s.comms());
+        assert_eq!(
+            crate::placement_fingerprint(&back),
+            crate::placement_fingerprint(&s)
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_comms() {
+        let s = sample_schedule();
+        let a = ExecutionTrace::from_schedule(&s);
+        let mut b = a.clone();
+        assert_eq!(trace_fingerprint(&a), trace_fingerprint(&b));
+        // shift a comm: task placements unchanged, trace fingerprint moves
+        b.comms[0].start = 2.5;
+        assert_ne!(trace_fingerprint(&a), trace_fingerprint(&b));
+        assert_eq!(
+            crate::placement_fingerprint(&a.to_schedule()),
+            crate::placement_fingerprint(&b.to_schedule()),
+            "placement fingerprint is blind to comm times (that's the point)"
+        );
+    }
+
+    #[test]
+    fn canonical_order_is_insertion_independent() {
+        let s = sample_schedule();
+        let mut extra = s.clone();
+        extra.place_comm(CommPlacement {
+            edge: EdgeId(0),
+            from: ProcId(1),
+            to: ProcId(0),
+            start: 7.0,
+            finish: 8.0,
+        });
+        let mut t1 = ExecutionTrace::with_tasks(2);
+        let mut t2 = ExecutionTrace::with_tasks(2);
+        for p in extra.task_placements() {
+            t1.record_task(*p);
+            t2.record_task(*p);
+        }
+        for c in extra.comms() {
+            t1.record_comm(*c);
+        }
+        for c in extra.comms().iter().rev() {
+            t2.record_comm(*c);
+        }
+        t1.canonicalize();
+        t2.canonicalize();
+        assert_eq!(trace_fingerprint(&t1), trace_fingerprint(&t2));
+    }
+
+    #[test]
+    #[should_panic(expected = "executed twice")]
+    fn double_record_panics() {
+        let mut t = ExecutionTrace::with_tasks(1);
+        let p = TaskPlacement {
+            task: TaskId(0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 1.0,
+        };
+        t.record_task(p);
+        t.record_task(p);
+    }
+}

@@ -21,6 +21,11 @@
 //!   stress [--tasks N] [--seed S]
 //!                  random-layered stress point beyond the paper sizes
 //!                  (default ~100k tasks), HEFT + ILHA construction times
+//!   perturb [--seed S]
+//!                  discrete-event noise sweep: replay HEFT/ILHA schedules
+//!                  on every testbed under increasing runtime perturbation
+//!                  and record predicted-vs-executed makespan degradation
+//!                  (seed-deterministic; CI diffs two same-seed runs)
 //!   record-baseline  refresh tests/fixtures/schedule_baseline.json
 //!   bench-compare <current> <baseline> [--max-ratio R]
 //!                  fail (exit 1) if construction time regressed
@@ -148,6 +153,7 @@ fn main() {
         "baselines" => baseline_comparison(&opts),
         "routed" => routed_sweep(&opts),
         "stress" => stress_sweep(&opts),
+        "perturb" => perturb_sweep(&opts),
         "probe" => probe(&args[1..]),
         "record-baseline" => record_baseline(&opts),
         "all" => {
@@ -158,6 +164,7 @@ fn main() {
             model_ablation(&opts);
             baseline_comparison(&opts);
             routed_sweep(&opts);
+            perturb_sweep(&opts);
         }
         other => {
             eprintln!("unknown command: {other}");
@@ -617,6 +624,91 @@ fn stress_sweep(opts: &Opts) {
         );
     }
     write_csv(opts, &format!("stress_{}.csv", g.num_tasks()), &csv);
+}
+
+/// The perturbation sweep: execute HEFT and ILHA schedules on every
+/// testbed through the `onesched-exec` discrete-event engine under
+/// increasing runtime noise (σ task-duration noise with matching bandwidth
+/// degradation, plus one level with link outages), under both dispatch
+/// policies, and record how far the executed makespan degrades from the
+/// static prediction. Everything is derived from `--seed`, so two runs
+/// with the same seed emit byte-identical CSVs — the CI determinism gate.
+fn perturb_sweep(opts: &Opts) {
+    use onesched::exec::{execute, DispatchPolicy, ExecConfig, Perturbation};
+    use onesched_sim::{trace_fingerprint, ExecutionTrace};
+
+    let n = (*opts.sizes.iter().min().unwrap_or(&100)).min(40);
+    let sigmas = [0.0, 0.05, 0.1, 0.2, 0.4];
+    println!(
+        "== perturb: runtime noise sweep (n = {n}, seed {}, one-port-bidir) ==",
+        opts.seed
+    );
+    let p = Platform::paper();
+    let m = CommModel::OnePortBidir;
+    let mut csv = String::from(
+        "testbed,n,scheduler,policy,sigma,outages,seed,static_makespan,executed_makespan,degradation,trace_fingerprint\n",
+    );
+    for tb in Testbed::ALL {
+        let g = tb.generate(n, PAPER_C);
+        // degradation at σ = 0.2, static order — captured during the sweep
+        // for the per-testbed console summary
+        let mut headline = [0.0f64; 2];
+        for (si, s) in [
+            &Heft::new() as &dyn Scheduler,
+            &Ilha::new(tb.paper_best_b()) as &dyn Scheduler,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let sched = s.schedule(&g, &p, m);
+            let static_fp = trace_fingerprint(&ExecutionTrace::from_schedule(&sched));
+            for policy in [DispatchPolicy::StaticOrder, DispatchPolicy::ListDynamic] {
+                for (with_outages, sigma) in sigmas
+                    .iter()
+                    .map(|&s| (false, s))
+                    .chain(std::iter::once((true, 0.2)))
+                {
+                    let mut perturb = Perturbation::noise(sigma);
+                    if with_outages {
+                        perturb.outage_prob = 0.2;
+                        perturb.outage_frac = 0.05;
+                    }
+                    let cfg = ExecConfig {
+                        policy,
+                        perturb,
+                        seed: opts.seed,
+                    };
+                    let rep = execute(&g, &p, m, &sched, &cfg)
+                        .expect("constructed schedules are executable");
+                    if sigma == 0.0 && !with_outages && policy == DispatchPolicy::StaticOrder {
+                        // the bit-exactness self-check the engine promises
+                        assert_eq!(rep.trace_fingerprint, static_fp, "{tb}/{}", s.name());
+                        assert_eq!(rep.executed_makespan, sched.makespan());
+                    }
+                    if sigma == 0.2 && !with_outages && policy == DispatchPolicy::StaticOrder {
+                        headline[si] = rep.degradation();
+                    }
+                    let _ = writeln!(
+                        csv,
+                        "{tb},{n},{},{},{sigma},{},{},{},{},{:.6},{:016x}",
+                        s.name(),
+                        policy.name(),
+                        with_outages,
+                        opts.seed,
+                        rep.static_makespan,
+                        rep.executed_makespan,
+                        rep.degradation(),
+                        rep.trace_fingerprint
+                    );
+                }
+            }
+        }
+        println!(
+            "{tb:>10}  degradation at sigma 0.2: HEFT {:.3}, ILHA {:.3}",
+            headline[0], headline[1]
+        );
+    }
+    write_csv(opts, "perturb.csv", &csv);
 }
 
 /// Every scheduler (heuristics + baselines) on every testbed at one size.

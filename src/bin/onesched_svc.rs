@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N]
+//!                    [--queue-cap N]
 //! onesched-svc submit --tcp ADDR [FILE|-]
 //! onesched-svc stats --tcp ADDR
 //! onesched-svc shutdown --tcp ADDR
-//! onesched-svc gen <smoke | stress | routed> [--tasks N] [--seed S]
-//!                  [--count K] [--procs P] [--n N]
+//! onesched-svc gen <smoke | stress | routed | sim> [--tasks N] [--seed S]
+//!                  [--count K] [--procs P] [--n N] [--testbed NAME]
 //! ```
 //!
 //! * `serve` runs the daemon. In `--stdio` mode (default) it reads request
@@ -54,7 +55,7 @@ fn main() {
     std::process::exit(code);
 }
 
-const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc gen <smoke|stress|routed> [--tasks N] [--seed S] [--count K] [--procs P] [--n N]\n";
+const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc gen <smoke|stress|routed|sim> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
 
 /// Pull `--flag value` out of `args`, leaving positionals behind.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -84,6 +85,9 @@ fn serve(args: &[String]) -> i32 {
     let cache = take_flag(&mut args, "--cache")
         .map(|v| parse_or_die::<usize>("--cache", &v))
         .unwrap_or(1024);
+    let queue_cap = take_flag(&mut args, "--queue-cap")
+        .map(|v| parse_or_die::<usize>("--queue-cap", &v))
+        .unwrap_or(onesched::service::service::DEFAULT_QUEUE_CAP);
     args.retain(|a| a != "--stdio");
     if !args.is_empty() {
         eprintln!("onesched-svc: unexpected arguments {args:?}\n{USAGE}");
@@ -92,6 +96,7 @@ fn serve(args: &[String]) -> i32 {
     let svc = Service::new(ServiceConfig {
         workers,
         cache_capacity: cache,
+        queue_cap,
     });
     let result = match tcp {
         Some(addr) => {
@@ -258,9 +263,20 @@ fn gen(args: &[String]) -> i32 {
     let n = take_flag(&mut args, "--n")
         .map(|v| parse_or_die::<usize>("--n", &v))
         .unwrap_or(20);
+    let testbed = take_flag(&mut args, "--testbed").unwrap_or_else(|| "LU".into());
     let kind = args.first().map(String::as_str).unwrap_or("smoke");
     let reqs: Vec<Request> = match kind {
         "smoke" => workloads::smoke_requests(),
+        "sim" => {
+            let tb = match onesched::service::protocol::parse_testbed(&testbed) {
+                Ok(tb) => tb,
+                Err(e) => {
+                    eprintln!("onesched-svc: {e}");
+                    return 2;
+                }
+            };
+            workloads::simulate_requests(tb, n, seed)
+        }
         "stress" => (0..count)
             .flat_map(|i| {
                 use onesched::service::protocol::SchedulerSpec;

@@ -18,6 +18,10 @@
 //! * [`baselines`] — CPOP, GDL, BIL, PCT, min-min, … for comparisons;
 //! * [`testbeds`] — LU, LAPLACE, STENCIL, FORK-JOIN, DOOLITTLE, LDMt;
 //! * [`exact`] — 2-PARTITION, FORK-SCHED and COMM-SCHED exact solvers;
+//! * [`exec`] — the discrete-event execution engine: replay a constructed
+//!   schedule forward in virtual time under seeded runtime perturbation
+//!   (task-duration noise, bandwidth degradation, link outages) and report
+//!   predicted-vs-executed makespan degradation;
 //! * [`service`] — the long-running batch scheduling service behind the
 //!   `onesched-svc` daemon: NDJSON job protocol, priority queue, schedule
 //!   cache, worker pool, and workload generators;
@@ -52,6 +56,7 @@
 pub use onesched_baselines as baselines;
 pub use onesched_dag as dag;
 pub use onesched_exact as exact;
+pub use onesched_exec as exec;
 pub use onesched_heuristics as heuristics;
 pub use onesched_platform as platform;
 pub use onesched_service as service;

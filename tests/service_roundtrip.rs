@@ -10,7 +10,7 @@ use onesched::prelude::*;
 use onesched::regress::{baseline_scheduler, placement_fingerprint, BaselineFile};
 use onesched::service::protocol::{
     AckResponse, DagSpec, ErrorResponse, JobSpec, OpProbe, ReadyResponse, Request, ResultResponse,
-    SchedulerSpec, StatsResponse,
+    SchedulerSpec, SimResultResponse, SimSpec, StatsResponse,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -23,6 +23,10 @@ const FIXTURE: &str = include_str!("fixtures/schedule_baseline.json");
 /// Spawn the daemon on an ephemeral port and return it with the bound
 /// address from its `ready` announcement.
 fn spawn_daemon(workers: usize) -> (Child, String) {
+    spawn_daemon_with(workers, &[])
+}
+
+fn spawn_daemon_with(workers: usize, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_onesched-svc"))
         .args([
             "serve",
@@ -31,6 +35,7 @@ fn spawn_daemon(workers: usize) -> (Child, String) {
             "--workers",
             &workers.to_string(),
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -164,13 +169,85 @@ fn daemon_schedules_bit_identically_and_serves_cache_hits() {
     assert_eq!(repeat.fingerprint, results["LU/HEFT"].fingerprint);
     assert_eq!(repeat.makespan, results["LU/HEFT"].makespan);
 
+    // -- Phase B': simulate jobs run construct-then-execute ------------
+    // zero perturbation: the executed trace is the schedule, bit-exactly
+    send(
+        &mut stream,
+        &Request::simulate(
+            Some("sim-exact".into()),
+            9,
+            spec_for("LU", "HEFT"),
+            SimSpec::default(),
+        ),
+    );
+    let exact: SimResultResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert_eq!(exact.op, "sim-result");
+    assert_eq!(exact.degradation, 1.0, "zero noise replays bit-exactly");
+    assert_eq!(exact.executed_makespan, exact.static_makespan);
+    assert_eq!(
+        exact.fingerprint, results["LU/HEFT"].fingerprint,
+        "simulate constructs the same schedule submit does"
+    );
+    {
+        // pin the daemon's executed trace against one rebuilt in-process
+        let tb = Testbed::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == "LU")
+            .unwrap();
+        let g = tb.generate(30, PAPER_C);
+        let sched = baseline_scheduler("HEFT", tb).schedule(&g, &platform, CommModel::OnePortBidir);
+        let expected =
+            onesched_sim::trace_fingerprint(&onesched_sim::ExecutionTrace::from_schedule(&sched));
+        assert_eq!(
+            exact.trace_fingerprint,
+            format!("{expected:016x}"),
+            "daemon's executed trace differs from the in-process replay"
+        );
+    }
+    // perturbed: same seed twice — identical trace, second from the cache
+    // (submitted sequentially so the repeat cannot race the first run)
+    let noisy = SimSpec::noise("list-dynamic", 0.2, 11);
+    send(
+        &mut stream,
+        &Request::simulate(
+            Some("sim-noisy".into()),
+            9,
+            spec_for("LU", "HEFT"),
+            noisy.clone(),
+        ),
+    );
+    let noisy1: SimResultResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    send(
+        &mut stream,
+        &Request::simulate(
+            Some("sim-noisy-again".into()),
+            9,
+            spec_for("LU", "HEFT"),
+            noisy,
+        ),
+    );
+    let noisy2: SimResultResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert_eq!(noisy1.trace_fingerprint, noisy2.trace_fingerprint);
+    assert_ne!(noisy1.trace_fingerprint, exact.trace_fingerprint);
+    assert!(noisy1.degradation > 0.0);
+    assert_eq!(noisy1.policy, "list-dynamic");
+    assert_eq!(noisy1.seed, 11);
+    assert!(
+        !noisy1.cache_hit && noisy2.cache_hit,
+        "repeat sim cache-served"
+    );
+
     // -- Phase C: stats reflect the work -------------------------------
     send(&mut stream, &Request::stats());
     let stats: StatsResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
-    assert_eq!(stats.jobs_done, 13);
-    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.jobs_done, 16);
+    assert_eq!(stats.sims_done, 3);
+    assert_eq!(stats.cache_hits, 2, "one submit repeat + one sim repeat");
     assert_eq!(stats.queue_depth, 0);
     assert_eq!(stats.cache_size, 12, "one cache entry per distinct job");
+    assert_eq!(stats.sim_cache_size, 2, "one entry per distinct simulation");
+    assert_eq!(stats.cache_evictions, 0);
     assert_eq!(stats.errors, 0);
     let latency_schedulers: Vec<&str> =
         stats.latency.iter().map(|l| l.scheduler.as_str()).collect();
@@ -183,7 +260,10 @@ fn daemon_schedules_bit_identically_and_serves_cache_hits() {
         "ILHA latencies tracked: {latency_schedulers:?}"
     );
     let total: u64 = stats.latency.iter().map(|l| l.count).sum();
-    assert_eq!(total, 12, "cache hits must not count as constructions");
+    assert_eq!(
+        total, 14,
+        "12 submits + 2 sim constructions; cache hits don't count"
+    );
     for l in &stats.latency {
         assert!(l.p50_ms <= l.p90_ms && l.p90_ms <= l.p99_ms && l.p99_ms <= l.max_ms);
     }
@@ -218,6 +298,57 @@ fn daemon_schedules_bit_identically_and_serves_cache_hits() {
         std::thread::sleep(Duration::from_millis(50));
     };
     assert!(status.success(), "daemon exited with {status}");
+}
+
+/// Daemon-level backpressure: with `--queue-cap 0` the queue accepts
+/// nothing, so every submission is answered with a protocol `error` while
+/// control requests keep working — the overflow path end to end, without
+/// racing the workers.
+#[test]
+fn queue_cap_rejections_reach_the_client() {
+    let (mut child, addr) = spawn_daemon_with(1, &["--queue-cap", "0"]);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for i in 0..3 {
+        send(
+            &mut stream,
+            &Request::submit(
+                Some(format!("flood{i}")),
+                0,
+                JobSpec {
+                    dag: DagSpec::testbed(Testbed::Lu, 10),
+                    platform: None,
+                    scheduler: None,
+                    model: None,
+                    validate: false,
+                },
+            ),
+        );
+    }
+    for i in 0..3 {
+        let line = read_response(&mut reader);
+        let e: ErrorResponse =
+            serde_json::from_str(&line).unwrap_or_else(|err| panic!("{line:?}: {err}"));
+        assert_eq!(e.id.as_deref(), Some(format!("flood{i}").as_str()));
+        assert!(e.message.contains("queue full"), "{}", e.message);
+    }
+    send(&mut stream, &Request::stats());
+    let stats: StatsResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert_eq!(stats.errors, 3, "rejections are counted");
+    assert_eq!(stats.jobs_done, 0);
+    send(&mut stream, &Request::shutdown());
+    let _ = read_response(&mut reader);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.try_wait().expect("poll daemon").is_none() {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not exit");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 /// A second daemon session covering the workload generators end to end:
