@@ -198,7 +198,12 @@ impl Scheduler for Ilha {
 /// any: all parents on one processor. Under [`ScanDepth::UpToOneComm`], a
 /// task whose parents span exactly two processors is directed to the parent
 /// processor receiving the larger incoming volume (one message).
-fn step1_target(g: &TaskGraph, sched: &Schedule, task: TaskId, scan: ScanDepth) -> Option<ProcId> {
+pub(crate) fn step1_target(
+    g: &TaskGraph,
+    sched: &Schedule,
+    task: TaskId,
+    scan: ScanDepth,
+) -> Option<ProcId> {
     let mut iter = g.predecessors(task);
     let (first, first_edge) = iter.next()?; // entry tasks -> step 2
     let first_proc = sched.task(first).expect("parents scheduled").proc;

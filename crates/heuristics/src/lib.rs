@@ -20,6 +20,9 @@
 //!   levels (§4.1).
 //! * [`resched`] — the §4.4 "second variation": keep only the allocation and
 //!   greedily re-schedule all communications in a third step.
+//! * [`routed`] — the §4.3 extension to non-fully-connected networks:
+//!   store-and-forward multi-hop placement with a pruned candidate scan,
+//!   [`routed::RoutedHeft`] and the two-step [`routed::RoutedIlha`].
 //! * [`bsweep`] — experimental search for the chunk size `B` (the paper
 //!   found the best `B` by trying several values; §5.3).
 //!

@@ -116,7 +116,7 @@ pub struct EftScratch {
 /// either a strictly better finish, or an exact tie won by the lower
 /// processor id (the paper's tie-break).
 #[inline]
-fn can_still_win(bound: f64, proc: ProcId, finish: f64, best_proc: ProcId) -> bool {
+pub(crate) fn can_still_win(bound: f64, proc: ProcId, finish: f64, best_proc: ProcId) -> bool {
     let eps = onesched_sim::EPS;
     bound < finish - eps || (bound <= finish + eps && proc < best_proc)
 }

@@ -8,20 +8,68 @@
 //! This module implements exactly that: a placement routine that, for every
 //! incoming edge whose endpoints lack a direct link, schedules a *chain* of
 //! store-and-forward hops along the platform's static shortest route (each
-//! hop greedily as early as possible on its own send/receive ports), and a
-//! [`RoutedHeft`] scheduler using it. Intermediate processors relay with
-//! their communication ports only — relaying does not occupy their compute
-//! core (consistent with the overlap assumption; under
-//! [`CommModel::OnePortNoOverlap`] the relay hops do exclude computation on
-//! the relay processors, which the resource pool enforces).
+//! hop greedily as early as possible on its own send/receive ports), plus a
+//! [`RoutedHeft`] scheduler and the two-step [`RoutedIlha`] using it.
+//! Intermediate processors relay with their communication ports only —
+//! relaying does not occupy their compute core (consistent with the overlap
+//! assumption; under [`CommModel::OnePortNoOverlap`] the relay hops do
+//! exclude computation on the relay processors, which the resource pool
+//! enforces).
+//!
+//! The candidate scan mirrors the pruned branch-and-bound of
+//! [`crate::best_placement`]: candidates are ordered by a per-hop
+//! no-contention lower bound, disqualified against the committed send-gap /
+//! receive-serialization state without paying a full evaluation, and
+//! survivors abort mid-evaluation the moment their partial chain's ready
+//! time proves they lose. A proptest (`tests/scheduler_properties.rs`) pins
+//! the pruned scan to the exhaustive scan on random DAGs × random connected
+//! topologies under all four models.
+//!
+//! Disconnected platforms are rejected upfront with a typed
+//! [`RoutedError::Disconnected`] by the `try_schedule` constructors — the
+//! trait-object [`Scheduler::schedule`] path can only panic, so callers
+//! that may see arbitrary platforms (the scheduling service) validate
+//! connectivity before a worker ever runs the job.
 
 use crate::avg_weights::paper_bottom_levels;
+use crate::distribution::optimal_distribution;
 use crate::heft::ReadyEntry;
-use crate::{PlacementPolicy, Scheduler};
-use onesched_dag::{TaskGraph, TaskId, TopoOrder};
+use crate::ilha::step1_target;
+use crate::placement::can_still_win;
+use crate::{PlacementPolicy, ScanDepth, Scheduler};
+use onesched_dag::{EdgeId, TaskGraph, TaskId, TopoOrder};
 use onesched_platform::{Platform, ProcId, RoutingTable};
-use onesched_sim::{CommModel, CommPlacement, ResourcePool, Schedule, TaskPlacement, Txn, EPS};
+use onesched_sim::{
+    CommModel, CommPlacement, ResourcePool, Schedule, TaskPlacement, Txn, TxnBuffers, EPS,
+};
 use std::collections::BinaryHeap;
+
+/// Why a routed scheduler refused a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutedError {
+    /// Some ordered processor pair has no route at all; store-and-forward
+    /// scheduling cannot deliver messages between them.
+    Disconnected {
+        /// Source processor of the first unreachable pair.
+        from: ProcId,
+        /// Destination processor of the first unreachable pair.
+        to: ProcId,
+    },
+}
+
+impl std::fmt::Display for RoutedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutedError::Disconnected { from, to } => write!(
+                f,
+                "platform is disconnected: no route from {from} to {to} \
+                 (routed schedulers need a connected topology)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RoutedError {}
 
 /// Outcome of a routed tentative placement (mirrors
 /// [`crate::TentativePlacement`], with multi-hop communications).
@@ -41,8 +89,172 @@ pub struct RoutedPlacement {
     pub staged: onesched_sim::StagedPlacements,
 }
 
+/// One incoming transfer of the task under placement:
+/// `(parent finish, parent proc, data, edge id)`.
+type Incoming = (f64, ProcId, f64, EdgeId);
+
+/// Gather `task`'s incoming transfers in parent-finish order (ties by edge
+/// id) — the order the routed placement serializes messages in. It depends
+/// only on the parents' placements, so the candidate loop computes it once.
+fn gather_incoming_into(
+    incoming: &mut Vec<Incoming>,
+    g: &TaskGraph,
+    sched: &Schedule,
+    task: TaskId,
+) {
+    incoming.clear();
+    incoming.extend(g.predecessors(task).map(|(parent, e)| {
+        let p = sched
+            .task(parent)
+            .expect("all predecessors must be scheduled before placing a task");
+        (p.finish, p.proc, g.data(e), e)
+    }));
+    incoming.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.3.cmp(&b.3)));
+}
+
+/// Reusable buffers for [`best_routed_placement_with`] (mirrors
+/// [`crate::EftScratch`]): the routed schedulers carry one scratch across
+/// their whole run.
+#[derive(Debug, Default)]
+pub struct RoutedScratch {
+    incoming: Vec<Incoming>,
+    order: Vec<(f64, ProcId)>,
+    send_cache: Vec<(f64, f64)>,
+    /// Per-processor minimum finite incoming link latency (the cheapest any
+    /// final hop into the processor can be) — the receive-serialization
+    /// bound's per-message floor. Recomputed per call (O(p²), dwarfed by
+    /// the candidate scan): a scratch may be reused across platforms, and
+    /// a stale floor from a slower platform would over-prune.
+    min_in_link: Vec<f64>,
+    txn_bufs: TxnBuffers,
+}
+
+impl RoutedScratch {
+    fn min_in_links(&mut self, platform: &Platform) -> &[f64] {
+        self.min_in_link.clear();
+        self.min_in_link.extend(platform.procs().map(|r| {
+            let min = platform
+                .procs()
+                .filter(|&q| q != r)
+                .map(|q| platform.link(q, r))
+                .filter(|l| l.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            if min.is_finite() {
+                min
+            } else {
+                0.0 // isolated receiver: no serialization bound
+            }
+        }));
+        &self.min_in_link
+    }
+}
+
+/// The routed candidate evaluation proper, with the incoming transfers
+/// already gathered and ordered.
+///
+/// With `incumbent = Some((finish, proc))` the evaluation is
+/// branch-and-bound: the task's ready time only grows as hop chains are
+/// scheduled, so as soon as `ready + exec` proves the candidate cannot
+/// displace the incumbent the remaining messages are abandoned and the
+/// transaction's buffers handed back for reuse (`Err`).
+///
+/// # Panics
+/// Panics if some parent's processor cannot reach `proc` — routed
+/// schedulers reject disconnected platforms upfront ([`RoutedError`]).
+#[allow(clippy::too_many_arguments, clippy::result_large_err)]
+fn place_on_routed_ordered(
+    g: &TaskGraph,
+    platform: &Platform,
+    routes: &RoutingTable,
+    mut txn: Txn<'_>,
+    task: TaskId,
+    proc: ProcId,
+    policy: PlacementPolicy,
+    incoming: &[Incoming],
+    send_cache: &mut [(f64, f64)],
+    incumbent: Option<(f64, ProcId)>,
+) -> Result<RoutedPlacement, TxnBuffers> {
+    let exec = platform.exec_time(g.weight(task), proc);
+    let beaten = |ready: f64| {
+        incumbent.is_some_and(|(finish, best_proc)| {
+            !can_still_win(ready + exec, proc, finish, best_proc)
+        })
+    };
+
+    let mut ready = 0.0f64;
+    let mut comms = Vec::new();
+    for (j, &(src_finish, src_proc, data, edge)) in incoming.iter().enumerate() {
+        if src_proc == proc || data <= EPS {
+            ready = ready.max(src_finish);
+            continue;
+        }
+        let mut available = src_finish; // when the data is ready at the hop's source
+        let mut cur = src_proc;
+        let mut first = true;
+        while cur != proc {
+            let to = routes
+                .first_hop(cur, proc)
+                .unwrap_or_else(|| panic!("no route {cur} -> {proc}"));
+            let dur = platform.comm_time(data, cur, to);
+            debug_assert!(dur.is_finite(), "routes only use existing links");
+            let start = if first {
+                // Seed the fixpoint with the memoized committed send-port
+                // gap of the first hop (see `routed_contention_disqualifies`
+                // — the sender's committed state is shared across
+                // candidates, and the gap depends only on the hop duration).
+                let send_free = if send_cache[j].0 == dur {
+                    send_cache[j].1 - dur
+                } else {
+                    let gap = txn.pool().send_timeline(cur).earliest_gap(available, dur);
+                    send_cache[j] = (dur, gap + dur);
+                    gap
+                };
+                txn.earliest_comm_slot_seeded(cur, to, available, dur, send_free)
+            } else {
+                txn.earliest_comm_slot(cur, to, available, dur)
+            };
+            txn.add_comm(cur, to, start, dur);
+            comms.push(CommPlacement {
+                edge,
+                from: cur,
+                to,
+                start,
+                finish: start + dur,
+            });
+            available = start + dur; // store-and-forward
+            cur = to;
+            first = false;
+        }
+        ready = ready.max(available);
+        if beaten(ready) {
+            return Err(txn.into_buffers());
+        }
+    }
+    if beaten(ready) {
+        // all-local candidate whose data-ready already loses
+        return Err(txn.into_buffers());
+    }
+
+    let start = txn.earliest_compute_slot(proc, ready, exec, policy.insertion);
+    if beaten(start) {
+        return Err(txn.into_buffers());
+    }
+    txn.add_compute(proc, start, exec);
+    Ok(RoutedPlacement {
+        task,
+        proc,
+        start,
+        finish: start + exec,
+        comms,
+        staged: txn.finish(),
+    })
+}
+
 /// Tentatively place `task` on `proc`, routing each incoming message along
 /// the static shortest path and scheduling every hop greedily.
+///
+/// This is the exhaustive-scan entry point (no pruning); the schedulers go
+/// through [`best_routed_placement_with`].
 ///
 /// # Panics
 /// Panics if some predecessor's processor cannot reach `proc` at all.
@@ -52,61 +264,88 @@ pub fn place_on_routed(
     platform: &Platform,
     routes: &RoutingTable,
     sched: &Schedule,
-    mut txn: Txn<'_>,
+    txn: Txn<'_>,
     task: TaskId,
     proc: ProcId,
     policy: PlacementPolicy,
 ) -> RoutedPlacement {
-    let mut incoming: Vec<(f64, ProcId, f64, onesched_dag::EdgeId)> = g
-        .predecessors(task)
-        .map(|(parent, e)| {
-            let p = sched
-                .task(parent)
-                .expect("all predecessors must be scheduled before placing a task");
-            (p.finish, p.proc, g.data(e), e)
-        })
-        .collect();
-    incoming.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.3.cmp(&b.3)));
+    let mut incoming = Vec::new();
+    gather_incoming_into(&mut incoming, g, sched, task);
+    let mut send_cache = vec![(f64::NAN, 0.0f64); incoming.len()];
+    place_on_routed_ordered(
+        g,
+        platform,
+        routes,
+        txn,
+        task,
+        proc,
+        policy,
+        &incoming,
+        &mut send_cache,
+        None,
+    )
+    .unwrap_or_else(|_| unreachable!("unbounded placement always succeeds"))
+}
 
+/// Stage `task` on `proc` inside an *ongoing* transaction, routing every
+/// incoming message hop by hop — the routed counterpart of
+/// [`crate::stage_on`]. [`RoutedIlha`]'s step 1 uses it to stage a whole
+/// chunk in one transaction and batch-commit through
+/// [`ResourcePool::commit_batch`].
+#[allow(clippy::too_many_arguments)]
+pub fn stage_on_routed(
+    g: &TaskGraph,
+    platform: &Platform,
+    routes: &RoutingTable,
+    sched: &Schedule,
+    txn: &mut Txn<'_>,
+    task: TaskId,
+    proc: ProcId,
+    policy: PlacementPolicy,
+) -> (TaskPlacement, Vec<CommPlacement>) {
+    let mut incoming = Vec::new();
+    gather_incoming_into(&mut incoming, g, sched, task);
     let mut ready = 0.0f64;
     let mut comms = Vec::new();
-    for (src_finish, src_proc, data, edge) in incoming {
+    for &(src_finish, src_proc, data, edge) in &incoming {
         if src_proc == proc || data <= EPS {
             ready = ready.max(src_finish);
             continue;
         }
-        let path = routes
-            .path(src_proc, proc)
-            .unwrap_or_else(|| panic!("no route {src_proc} -> {proc}"));
-        let mut available = src_finish; // when the data is ready at the hop's source
-        for (from, to) in path {
-            let dur = platform.comm_time(data, from, to);
+        let mut available = src_finish;
+        let mut cur = src_proc;
+        while cur != proc {
+            let to = routes
+                .first_hop(cur, proc)
+                .unwrap_or_else(|| panic!("no route {cur} -> {proc}"));
+            let dur = platform.comm_time(data, cur, to);
             debug_assert!(dur.is_finite(), "routes only use existing links");
-            let start = txn.earliest_comm_slot(from, to, available, dur);
-            txn.add_comm(from, to, start, dur);
+            let start = txn.earliest_comm_slot(cur, to, available, dur);
+            txn.add_comm(cur, to, start, dur);
             comms.push(CommPlacement {
                 edge,
-                from,
+                from: cur,
                 to,
                 start,
                 finish: start + dur,
             });
-            available = start + dur; // store-and-forward
+            available = start + dur;
+            cur = to;
         }
         ready = ready.max(available);
     }
-
-    let dur = platform.exec_time(g.weight(task), proc);
-    let start = txn.earliest_compute_slot(proc, ready, dur, policy.insertion);
-    txn.add_compute(proc, start, dur);
-    RoutedPlacement {
-        task,
-        proc,
-        start,
-        finish: start + dur,
+    let exec = platform.exec_time(g.weight(task), proc);
+    let start = txn.earliest_compute_slot(proc, ready, exec, policy.insertion);
+    txn.add_compute(proc, start, exec);
+    (
+        TaskPlacement {
+            task,
+            proc,
+            start,
+            finish: start + exec,
+        },
         comms,
-        staged: txn.finish(),
-    }
+    )
 }
 
 /// Commit a winning routed placement.
@@ -123,10 +362,250 @@ pub fn commit_routed(pool: &mut ResourcePool, sched: &mut Schedule, rp: RoutedPl
     });
 }
 
-/// HEFT over an arbitrary (connected) topology: identical to [`crate::Heft`]
+/// A cheap lower bound on the finish time `task` could achieve on `proc`,
+/// ignoring the committed port state (which can only delay the task):
+///
+/// * per-message data-ready: a store-and-forward chain cannot deliver
+///   earlier than the parent's finish plus `data × route_latency` (the sum
+///   of the raw per-hop transfer times);
+/// * receive-port serialization (one-port models only): every remote
+///   message's *final* hop passes through `proc`'s receive resource one at
+///   a time, and no final hop can start before the earliest remote parent
+///   finish; each final hop takes at least `data × min_in_link(proc)`.
+#[inline]
+fn quick_routed_bound(
+    platform: &Platform,
+    routes: &RoutingTable,
+    one_port: bool,
+    incoming: &[Incoming],
+    min_in_link: &[f64],
+    weight: f64,
+    proc: ProcId,
+) -> f64 {
+    let mut ready = 0.0f64;
+    let mut total_final = 0.0f64;
+    let mut first_remote = f64::INFINITY;
+    for &(src_finish, src_proc, data, _) in incoming {
+        if src_proc == proc || data <= EPS {
+            ready = ready.max(src_finish);
+        } else {
+            let chain = data * routes.route_latency(src_proc, proc);
+            ready = ready.max(src_finish + chain);
+            total_final += data * min_in_link[proc.index()];
+            first_remote = first_remote.min(src_finish);
+        }
+    }
+    if one_port && total_final > 0.0 {
+        ready = ready.max(first_remote + total_final);
+    }
+    ready + platform.exec_time(weight, proc)
+}
+
+/// The committed-state disqualification bound — the routed counterpart of
+/// the direct scan's `contention_disqualifies`:
+///
+/// * each remote message's **first hop** needs a contiguous slot on its
+///   sender's committed send port no earlier than the parent finish
+///   (memoized across candidates by hop duration — on uniform-link routes
+///   one gap query serves every candidate sharing the first hop), and the
+///   rest of the chain takes at least its raw store-and-forward time;
+/// * the remote messages' **final hops** together need at least
+///   `Σ data × min_in_link` on `proc`'s committed receive port, none usable
+///   before the earliest remote parent finish;
+/// * the task itself needs a contiguous `exec` on the compute core.
+///
+/// The slack absorbs the scheduler's `EPS`-tolerant packing: each staged
+/// hop may overlap busy intervals by up to `EPS`, and a routed candidate
+/// stages at most `p - 1` hops per message.
+#[allow(clippy::too_many_arguments)]
+fn routed_contention_disqualifies(
+    platform: &Platform,
+    routes: &RoutingTable,
+    pool: &ResourcePool,
+    one_port: bool,
+    incoming: &[Incoming],
+    send_cache: &mut [(f64, f64)],
+    min_in_link: &[f64],
+    weight: f64,
+    proc: ProcId,
+    finish: f64,
+    best_proc: ProcId,
+) -> bool {
+    let exec = platform.exec_time(weight, proc);
+    let max_hops = platform.num_procs().saturating_sub(1).max(1);
+    let slack = (2 + incoming.len() * max_hops) as f64 * EPS;
+    let lost = |ready: f64| !can_still_win(ready + exec - slack, proc, finish, best_proc);
+
+    let mut ready = 0.0f64;
+    let mut total_final = 0.0f64;
+    let mut first_remote = f64::INFINITY;
+    for (j, &(src_finish, src_proc, data, _)) in incoming.iter().enumerate() {
+        if src_proc == proc || data <= EPS {
+            ready = ready.max(src_finish);
+        } else {
+            let chain = data * routes.route_latency(src_proc, proc);
+            let arrival = if one_port {
+                let h1 = routes.first_hop(src_proc, proc).expect("connected");
+                let dur1 = platform.comm_time(data, src_proc, h1);
+                let a1 = if send_cache[j].0 == dur1 {
+                    send_cache[j].1
+                } else {
+                    let a = pool.send_timeline(src_proc).earliest_gap(src_finish, dur1) + dur1;
+                    send_cache[j] = (dur1, a);
+                    a
+                };
+                // committed-send arrival of hop 1, then the remaining chain
+                // at its raw store-and-forward time
+                a1 + (chain - dur1)
+            } else {
+                src_finish + chain
+            };
+            ready = ready.max(arrival);
+            total_final += data * min_in_link[proc.index()];
+            first_remote = first_remote.min(src_finish);
+        }
+        if lost(ready) {
+            return true;
+        }
+    }
+    if one_port && total_final > 0.0 {
+        ready = ready.max(
+            pool.recv_timeline(proc)
+                .earliest_finish_of_work(first_remote, total_final),
+        );
+        if lost(ready) {
+            return true;
+        }
+    }
+    let done = pool.compute_timeline(proc).earliest_gap(ready, exec) + exec;
+    !can_still_win(done - slack, proc, finish, best_proc)
+}
+
+/// Evaluate every processor for `task` under routing and return the
+/// placement with the earliest finish time (ties: lowest processor id).
+///
+/// The scan is *pruned* exactly like [`crate::best_placement`]: candidates
+/// are ordered cheapest-bound-first, disqualified against the committed
+/// state without a transactional evaluation where possible, and survivors
+/// abort mid-evaluation once their partial hop chains prove they lose. A
+/// proptest pins the result to the exhaustive id-order scan on random
+/// DAGs × random connected topologies under all four models.
+pub fn best_routed_placement(
+    g: &TaskGraph,
+    platform: &Platform,
+    routes: &RoutingTable,
+    pool: &ResourcePool,
+    sched: &Schedule,
+    task: TaskId,
+    policy: PlacementPolicy,
+) -> RoutedPlacement {
+    best_routed_placement_with(
+        g,
+        platform,
+        routes,
+        pool,
+        sched,
+        task,
+        policy,
+        &mut RoutedScratch::default(),
+    )
+}
+
+/// [`best_routed_placement`] with caller-provided scratch buffers (reused
+/// across tasks by the routed schedulers' main loops).
+#[allow(clippy::too_many_arguments)]
+pub fn best_routed_placement_with(
+    g: &TaskGraph,
+    platform: &Platform,
+    routes: &RoutingTable,
+    pool: &ResourcePool,
+    sched: &Schedule,
+    task: TaskId,
+    policy: PlacementPolicy,
+    scratch: &mut RoutedScratch,
+) -> RoutedPlacement {
+    scratch.min_in_links(platform);
+    let RoutedScratch {
+        incoming,
+        order,
+        send_cache,
+        min_in_link,
+        txn_bufs,
+    } = scratch;
+    gather_incoming_into(incoming, g, sched, task);
+    let incoming = &*incoming;
+    let weight = g.weight(task);
+    let one_port = pool.model().is_one_port();
+    order.clear();
+    order.extend(platform.procs().map(|proc| {
+        (
+            quick_routed_bound(
+                platform,
+                routes,
+                one_port,
+                incoming,
+                min_in_link,
+                weight,
+                proc,
+            ),
+            proc,
+        )
+    }));
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut best: Option<RoutedPlacement> = None;
+    send_cache.clear();
+    send_cache.resize(incoming.len(), (f64::NAN, 0.0f64));
+    for &(bound, proc) in order.iter() {
+        let incumbent = best.as_ref().map(|b| (b.finish, b.proc));
+        if let Some((finish, best_proc)) = incumbent {
+            if !can_still_win(bound, proc, finish, best_proc) {
+                continue;
+            }
+            if routed_contention_disqualifies(
+                platform,
+                routes,
+                pool,
+                one_port,
+                incoming,
+                send_cache,
+                min_in_link,
+                weight,
+                proc,
+                finish,
+                best_proc,
+            ) {
+                continue;
+            }
+        }
+        let txn = pool.begin_with(std::mem::take(txn_bufs));
+        match place_on_routed_ordered(
+            g, platform, routes, txn, task, proc, policy, incoming, send_cache, incumbent,
+        ) {
+            Err(bufs) => {
+                *txn_bufs = bufs;
+                continue;
+            }
+            Ok(rp) => {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        rp.finish < b.finish - EPS
+                            || (rp.finish <= b.finish + EPS && rp.proc < b.proc)
+                    }
+                };
+                if better {
+                    best = Some(rp);
+                }
+            }
+        }
+    }
+    best.expect("platform has at least one processor")
+}
+
+/// HEFT over an arbitrary connected topology: identical to [`crate::Heft`]
 /// on fully-connected platforms, but messages between unlinked processors
-/// are relayed hop by hop. Candidate processors unreachable from some parent
-/// are skipped.
+/// are relayed hop by hop along the static shortest routes.
 #[derive(Debug, Clone, Default)]
 pub struct RoutedHeft {
     /// Compute-slot policy (message order is fixed to parent-finish order).
@@ -140,15 +619,16 @@ impl RoutedHeft {
             policy: PlacementPolicy::paper(),
         }
     }
-}
 
-impl Scheduler for RoutedHeft {
-    fn name(&self) -> String {
-        "HEFT-routed".into()
-    }
-
-    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
-        let routes = RoutingTable::new(platform);
+    /// Schedule `g` on `platform`, rejecting disconnected platforms with a
+    /// typed error instead of panicking mid-schedule.
+    pub fn try_schedule(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+    ) -> Result<Schedule, RoutedError> {
+        let routes = connected_routes(platform)?;
         let topo = TopoOrder::new(g);
         let bl = paper_bottom_levels(g, &topo, platform);
 
@@ -164,32 +644,18 @@ impl Scheduler for RoutedHeft {
             })
             .collect();
 
+        let mut scratch = RoutedScratch::default();
         while let Some(ReadyEntry { task, .. }) = ready.pop() {
-            let mut best: Option<RoutedPlacement> = None;
-            for proc in platform.procs() {
-                // skip candidates unreachable from any placed parent
-                let reachable = g.predecessors(task).all(|(parent, _)| {
-                    let pp = sched.task(parent).expect("parents placed").proc;
-                    routes.reachable(pp, proc)
-                });
-                if !reachable {
-                    continue;
-                }
-                let rp = place_on_routed(
-                    g,
-                    platform,
-                    &routes,
-                    &sched,
-                    pool.begin(),
-                    task,
-                    proc,
-                    self.policy,
-                );
-                if best.as_ref().is_none_or(|b| rp.finish < b.finish - EPS) {
-                    best = Some(rp);
-                }
-            }
-            let rp = best.expect("connected platforms always offer a candidate");
+            let rp = best_routed_placement_with(
+                g,
+                platform,
+                &routes,
+                &pool,
+                &sched,
+                task,
+                self.policy,
+                &mut scratch,
+            );
             commit_routed(&mut pool, &mut sched, rp);
             for (succ, _) in g.successors(task) {
                 pending[succ.index()] -= 1;
@@ -201,14 +667,185 @@ impl Scheduler for RoutedHeft {
                 }
             }
         }
-        sched
+        debug_assert!(sched.is_complete());
+        Ok(sched)
+    }
+}
+
+impl Scheduler for RoutedHeft {
+    fn name(&self) -> String {
+        "HEFT-routed".into()
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        self.try_schedule(g, platform, model)
+            .unwrap_or_else(|e| panic!("RoutedHeft: {e}"))
+    }
+}
+
+/// ILHA over an arbitrary connected topology (§4.2/§4.4 under the §4.3
+/// routing extension): chunks of `B` ready tasks, a zero-communication step
+/// 1 staged in one transaction and batch-committed
+/// ([`ResourcePool::commit_batch`]), then the pruned routed
+/// earliest-finish fallback for the rest.
+#[derive(Debug, Clone)]
+pub struct RoutedIlha {
+    /// Chunk size `B` (must be at least 1).
+    pub b: usize,
+    /// Compute-slot policy for both steps.
+    pub policy: PlacementPolicy,
+    /// Scan depth of step 1 (under [`ScanDepth::UpToOneComm`] the single
+    /// pre-placement message is routed hop by hop like any other).
+    pub scan: ScanDepth,
+}
+
+impl RoutedIlha {
+    /// Routed ILHA with chunk size `b` and the paper-faithful policy.
+    pub fn new(b: usize) -> RoutedIlha {
+        assert!(b >= 1, "chunk size B must be at least 1");
+        RoutedIlha {
+            b,
+            policy: PlacementPolicy::paper(),
+            scan: ScanDepth::ZeroComm,
+        }
+    }
+
+    /// Routed ILHA with the platform's perfect-load-balance chunk (falling
+    /// back to the processor count), mirroring [`crate::Ilha::auto`].
+    pub fn auto(platform: &Platform) -> RoutedIlha {
+        let b = onesched_platform::bounds::perfect_balance_chunk(platform)
+            .map(|b| b as usize)
+            .unwrap_or(platform.num_procs())
+            .max(platform.num_procs());
+        RoutedIlha::new(b)
+    }
+
+    /// Schedule `g` on `platform`, rejecting disconnected platforms with a
+    /// typed error instead of panicking mid-schedule.
+    pub fn try_schedule(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+    ) -> Result<Schedule, RoutedError> {
+        let routes = connected_routes(platform)?;
+        let topo = TopoOrder::new(g);
+        let bl = paper_bottom_levels(g, &topo, platform);
+
+        let mut pool = ResourcePool::new(platform.num_procs(), model);
+        let mut sched = Schedule::with_tasks(g.num_tasks());
+        let mut pending: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
+        let mut ready: BinaryHeap<ReadyEntry> = g
+            .tasks()
+            .filter(|&v| pending[v.index()] == 0)
+            .map(|task| ReadyEntry {
+                bl: bl[task.index()],
+                task,
+            })
+            .collect();
+
+        let mut chunk: Vec<TaskId> = Vec::with_capacity(self.b);
+        let mut deferred: Vec<TaskId> = Vec::with_capacity(self.b);
+        let mut staged1: Vec<(TaskPlacement, Vec<CommPlacement>)> = Vec::with_capacity(self.b);
+        let mut scratch = RoutedScratch::default();
+
+        while !ready.is_empty() {
+            let take = self.b.min(ready.len());
+            chunk.clear();
+            chunk.extend((0..take).map(|_| ready.pop().expect("len checked").task));
+
+            // The §4.2 load-balancing caps for this round (see `Ilha`).
+            let counts = optimal_distribution(platform, chunk.len());
+            let mut used = vec![0usize; platform.num_procs()];
+
+            // Step 1: place communication-free tasks under the caps, all
+            // staged into ONE transaction and batch-committed.
+            deferred.clear();
+            staged1.clear();
+            let mut txn = pool.begin();
+            for &task in &chunk {
+                match step1_target(g, &sched, task, self.scan) {
+                    Some(proc) if used[proc.index()] < counts[proc.index()] => {
+                        used[proc.index()] += 1;
+                        staged1.push(stage_on_routed(
+                            g,
+                            platform,
+                            &routes,
+                            &sched,
+                            &mut txn,
+                            task,
+                            proc,
+                            self.policy,
+                        ));
+                    }
+                    _ => deferred.push(task),
+                }
+            }
+            let staged = txn.finish();
+            pool.commit_batch(staged);
+            for (tp, comms) in staged1.drain(..) {
+                for c in comms {
+                    sched.place_comm(c);
+                }
+                sched.place_task(tp);
+            }
+
+            // Step 2: pruned routed earliest-finish for the rest.
+            for &task in &deferred {
+                let rp = best_routed_placement_with(
+                    g,
+                    platform,
+                    &routes,
+                    &pool,
+                    &sched,
+                    task,
+                    self.policy,
+                    &mut scratch,
+                );
+                commit_routed(&mut pool, &mut sched, rp);
+            }
+
+            for &task in &chunk {
+                for (succ, _) in g.successors(task) {
+                    pending[succ.index()] -= 1;
+                    if pending[succ.index()] == 0 {
+                        ready.push(ReadyEntry {
+                            bl: bl[succ.index()],
+                            task: succ,
+                        });
+                    }
+                }
+            }
+        }
+        debug_assert!(sched.is_complete());
+        Ok(sched)
+    }
+}
+
+impl Scheduler for RoutedIlha {
+    fn name(&self) -> String {
+        format!("ILHA-routed(B={})", self.b)
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        self.try_schedule(g, platform, model)
+            .unwrap_or_else(|e| panic!("RoutedIlha: {e}"))
+    }
+}
+
+/// Build the routing table, rejecting disconnected platforms.
+fn connected_routes(platform: &Platform) -> Result<RoutingTable, RoutedError> {
+    let routes = RoutingTable::new(platform);
+    match routes.first_unreachable() {
+        Some((from, to)) => Err(RoutedError::Disconnected { from, to }),
+        None => Ok(routes),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Heft;
+    use crate::{Heft, Ilha};
     use onesched_dag::TaskGraphBuilder;
     use onesched_platform::topology;
     use onesched_sim::validate;
@@ -236,6 +873,21 @@ mod tests {
     }
 
     #[test]
+    fn routed_ilha_matches_ilha_on_complete_networks() {
+        let g = onesched_testbeds::toy();
+        let p = Platform::homogeneous(2);
+        for m in CommModel::ALL {
+            let routed = RoutedIlha::new(8).schedule(&g, &p, m);
+            let plain = Ilha::new(8).schedule(&g, &p, m);
+            assert!(validate(&g, &p, m, &routed).is_empty(), "{m}");
+            assert_eq!(routed.makespan(), plain.makespan(), "{m}");
+            for t in g.tasks() {
+                assert_eq!(routed.alloc(t), plain.alloc(t), "{m}: task {t}");
+            }
+        }
+    }
+
+    #[test]
     fn valid_on_star_topology() {
         let g = fork(5, 2.0);
         let p = topology::star(vec![1.0; 4], 1.0).unwrap();
@@ -243,6 +895,24 @@ mod tests {
             let s = RoutedHeft::new().schedule(&g, &p, m);
             let v = validate(&g, &p, m, &s);
             assert!(v.is_empty(), "{m}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn routed_ilha_valid_on_topologies_all_models() {
+        let g = onesched_testbeds::laplace(5, 2.0);
+        for p in [
+            topology::star(vec![1.0; 5], 1.0).unwrap(),
+            topology::ring(vec![1.0, 2.0, 1.0, 2.0], 1.0).unwrap(),
+            topology::line(vec![1.0; 4], 1.0).unwrap(),
+            topology::random_connected(vec![1.0; 6], 1.0, 0.3, 11).unwrap(),
+        ] {
+            for m in CommModel::ALL {
+                let s = RoutedIlha::new(4).schedule(&g, &p, m);
+                let v = validate(&g, &p, m, &s);
+                assert!(v.is_empty(), "{m}: {v:?}");
+                assert!(s.is_complete());
+            }
         }
     }
 
@@ -304,5 +974,70 @@ mod tests {
         let s = RoutedHeft::new().schedule(&g, &p, CommModel::OnePortBidir);
         let v = validate(&g, &p, CommModel::OnePortBidir, &s);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn disconnected_platform_is_a_typed_error() {
+        let inf = f64::INFINITY;
+        let link = vec![0.0, inf, inf, 0.0];
+        let p = Platform::new(vec![1.0, 1.0], link).unwrap();
+        let g = fork(2, 1.0);
+        let err = RoutedHeft::new()
+            .try_schedule(&g, &p, CommModel::OnePortBidir)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RoutedError::Disconnected {
+                from: ProcId(0),
+                to: ProcId(1)
+            }
+        );
+        assert!(err.to_string().contains("no route"), "{err}");
+        let err2 = RoutedIlha::new(4)
+            .try_schedule(&g, &p, CommModel::OnePortBidir)
+            .unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn routed_ilha_step1_reduces_communications() {
+        // the §4.4 toy on a 2-proc platform: step 1 should keep each fork's
+        // children local, exactly like the direct ILHA.
+        let g = onesched_testbeds::toy();
+        let p = topology::line(vec![1.0, 1.0], 1.0).unwrap(); // complete (2 procs)
+        let ilha = RoutedIlha::new(8).schedule(&g, &p, CommModel::OnePortBidir);
+        let heft = RoutedHeft::new().schedule(&g, &p, CommModel::OnePortBidir);
+        assert!(ilha.num_effective_comms() <= heft.num_effective_comms());
+        assert!(ilha.num_effective_comms() <= 2);
+    }
+
+    #[test]
+    fn pruned_scan_matches_exhaustive_on_star() {
+        // hand-rolled equivalence check on one topology (the proptest in
+        // tests/scheduler_properties.rs covers random topologies)
+        let g = onesched_testbeds::laplace(5, 3.0);
+        let p = topology::star(vec![1.0, 2.0, 1.0, 2.0, 1.0], 1.0).unwrap();
+        let routes = RoutingTable::new(&p);
+        for m in CommModel::ALL {
+            let mut pool = ResourcePool::new(p.num_procs(), m);
+            let mut sched = Schedule::with_tasks(g.num_tasks());
+            let policy = PlacementPolicy::paper();
+            for &task in TopoOrder::new(&g).order() {
+                let mut want: Option<RoutedPlacement> = None;
+                for proc in p.procs() {
+                    let rp =
+                        place_on_routed(&g, &p, &routes, &sched, pool.begin(), task, proc, policy);
+                    if want.as_ref().is_none_or(|b| rp.finish < b.finish - EPS) {
+                        want = Some(rp);
+                    }
+                }
+                let want = want.unwrap();
+                let got = best_routed_placement(&g, &p, &routes, &pool, &sched, task, policy);
+                assert_eq!(got.proc, want.proc, "{m}: task {task}");
+                assert_eq!(got.start, want.start, "{m}: task {task}");
+                assert_eq!(got.finish, want.finish, "{m}: task {task}");
+                commit_routed(&mut pool, &mut sched, got);
+            }
+        }
     }
 }

@@ -70,6 +70,31 @@ impl RoutingTable {
         self.route_latency(q, r).is_finite()
     }
 
+    /// The first hop on the static route from `q` towards `r`
+    /// (`None` when `q == r` or `r` is unreachable).
+    #[inline]
+    pub fn first_hop(&self, q: ProcId, r: ProcId) -> Option<ProcId> {
+        if q == r || !self.reachable(q, r) {
+            return None;
+        }
+        Some(ProcId(self.next[q.index() * self.p + r.index()]))
+    }
+
+    /// The first ordered pair `(q, r)` with no route from `q` to `r`, or
+    /// `None` when the platform is strongly connected. Routed schedulers
+    /// check this upfront so disconnection surfaces as a typed error
+    /// instead of a mid-schedule panic.
+    pub fn first_unreachable(&self) -> Option<(ProcId, ProcId)> {
+        for q in 0..self.p {
+            for r in 0..self.p {
+                if !self.dist[q * self.p + r].is_finite() {
+                    return Some((ProcId(q as u32), ProcId(r as u32)));
+                }
+            }
+        }
+        None
+    }
+
     /// The sequence of hops `(from, to)` of the static route from `q` to `r`.
     /// Empty when `q == r`; `None` when disconnected.
     pub fn path(&self, q: ProcId, r: ProcId) -> Option<Vec<(ProcId, ProcId)>> {
@@ -149,6 +174,29 @@ mod tests {
         let rt = RoutingTable::new(&p);
         assert!(!rt.reachable(ProcId(0), ProcId(1)));
         assert_eq!(rt.path(ProcId(0), ProcId(1)), None);
+        assert_eq!(rt.first_unreachable(), Some((ProcId(0), ProcId(1))));
+        assert_eq!(rt.first_hop(ProcId(0), ProcId(1)), None);
+    }
+
+    #[test]
+    fn connected_platforms_have_no_unreachable_pair() {
+        let rt = RoutingTable::new(&line3());
+        assert_eq!(rt.first_unreachable(), None);
+    }
+
+    #[test]
+    fn first_hop_walks_the_route() {
+        let rt = RoutingTable::new(&line3());
+        // chaining first_hop reproduces the full path
+        let mut hops = Vec::new();
+        let mut cur = ProcId(0);
+        while let Some(next) = rt.first_hop(cur, ProcId(2)) {
+            hops.push((cur, next));
+            cur = next;
+        }
+        assert_eq!(hops, rt.path(ProcId(0), ProcId(2)).unwrap());
+        assert_eq!(rt.first_hop(ProcId(0), ProcId(2)), Some(ProcId(1)));
+        assert_eq!(rt.first_hop(ProcId(1), ProcId(1)), None);
     }
 
     #[test]

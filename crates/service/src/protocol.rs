@@ -17,7 +17,7 @@
 //! deterministic scheduling problem.
 
 use onesched_dag::TaskGraph;
-use onesched_heuristics::routed::RoutedHeft;
+use onesched_heuristics::routed::{RoutedHeft, RoutedIlha};
 use onesched_heuristics::{Heft, Ilha, Scheduler};
 use onesched_platform::{topology, Platform};
 use onesched_sim::CommModel;
@@ -297,20 +297,36 @@ impl DagSpec {
 /// Which platform to build.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformSpec {
-    /// `"paper"`, `"homogeneous"`, `"star"`, `"ring"`, or `"line"`.
+    /// `"paper"`, `"homogeneous"`, `"star"`, `"ring"`, `"line"`,
+    /// `"random-connected"`, or `"custom"`.
     pub kind: String,
-    /// Processor count (`homogeneous`/`star`/`ring`/`line`; default 8 for
-    /// the routed topologies).
+    /// Processor count (`homogeneous`/`star`/`ring`/`line`/
+    /// `random-connected`; default 8 for the routed topologies).
     #[serde(default)]
     pub procs: Option<usize>,
-    /// Explicit per-processor cycle-times; overrides `procs`. The routed
-    /// topologies default to a heterogeneous pattern cycling through the
-    /// paper's speeds.
+    /// Explicit per-processor cycle-times; overrides `procs` (required for
+    /// `custom`). The routed topologies default to a heterogeneous pattern
+    /// cycling through the paper's speeds.
     #[serde(default)]
     pub cycle_times: Option<Vec<f64>>,
-    /// Per-item link latency (`star`/`ring`/`line`; default 1).
+    /// Per-item link latency (`star`/`ring`/`line`/`random-connected`;
+    /// default 1).
     #[serde(default)]
     pub link_time: Option<f64>,
+    /// Directed links as `[from, to, latency]` triples — `custom` kind
+    /// only. Pairs without an entry have **no** direct link; messages
+    /// between them are routed (the spec is rejected if some pair has no
+    /// route at all).
+    #[serde(default)]
+    pub links: Option<Vec<Vec<f64>>>,
+    /// Probability of each extra (non-spanning-tree) link —
+    /// `random-connected` kind only (default 0.3).
+    #[serde(default)]
+    pub extra_prob: Option<f64>,
+    /// Topology seed — `random-connected` kind only (default 0;
+    /// generation is deterministic per seed).
+    #[serde(default)]
+    pub seed: Option<u64>,
 }
 
 impl PlatformSpec {
@@ -321,6 +337,9 @@ impl PlatformSpec {
             procs: None,
             cycle_times: None,
             link_time: None,
+            links: None,
+            extra_prob: None,
+            seed: None,
         }
     }
 
@@ -332,6 +351,41 @@ impl PlatformSpec {
             procs: Some(procs),
             cycle_times: None,
             link_time: Some(link_time),
+            links: None,
+            extra_prob: None,
+            seed: None,
+        }
+    }
+
+    /// A seeded random connected topology over `procs` processors.
+    pub fn random_connected(
+        procs: usize,
+        link_time: f64,
+        extra_prob: f64,
+        seed: u64,
+    ) -> PlatformSpec {
+        PlatformSpec {
+            kind: "random-connected".into(),
+            procs: Some(procs),
+            cycle_times: None,
+            link_time: Some(link_time),
+            links: None,
+            extra_prob: Some(extra_prob),
+            seed: Some(seed),
+        }
+    }
+
+    /// An explicit topology: cycle-times plus directed
+    /// `[from, to, latency]` links.
+    pub fn custom(cycle_times: Vec<f64>, links: Vec<Vec<f64>>) -> PlatformSpec {
+        PlatformSpec {
+            kind: "custom".into(),
+            procs: None,
+            cycle_times: Some(cycle_times),
+            link_time: None,
+            links: Some(links),
+            extra_prob: None,
+            seed: None,
         }
     }
 }
@@ -339,10 +393,11 @@ impl PlatformSpec {
 /// Which scheduler to run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerSpec {
-    /// `"heft"`, `"ilha"`, or `"routed-heft"`.
+    /// `"heft"`, `"ilha"`, `"routed-heft"`, or `"routed-ilha"`.
     pub kind: String,
     /// ILHA chunk size `B`. Defaults to the testbed's paper-best value, or
-    /// the platform's perfect-balance chunk for non-testbed DAGs.
+    /// the platform's perfect-balance chunk for non-testbed DAGs
+    /// (`routed-ilha` always uses the platform chunk).
     #[serde(default)]
     pub b: Option<usize>,
 }
@@ -369,6 +424,15 @@ impl SchedulerSpec {
     pub fn routed_heft() -> SchedulerSpec {
         SchedulerSpec {
             kind: "routed-heft".into(),
+            b: None,
+        }
+    }
+
+    /// ILHA with store-and-forward routing (chunk size defaults to the
+    /// platform's perfect-balance chunk).
+    pub fn routed_ilha() -> SchedulerSpec {
+        SchedulerSpec {
+            kind: "routed-ilha".into(),
             b: None,
         }
     }
@@ -507,6 +571,9 @@ impl JobSpec {
                 p.procs = None;
                 p.cycle_times = None;
                 p.link_time = None;
+                p.links = None;
+                p.extra_prob = None;
+                p.seed = None;
             }
             "homogeneous" => {
                 let procs = p.procs.unwrap_or(10);
@@ -519,8 +586,11 @@ impl JobSpec {
                 p.procs = Some(procs);
                 p.cycle_times = None;
                 p.link_time = None; // homogeneous platforms have unit links
+                p.links = None;
+                p.extra_prob = None;
+                p.seed = None;
             }
-            "star" | "ring" | "line" => {
+            "star" | "ring" | "line" | "random-connected" => {
                 let ct = match p.cycle_times.take() {
                     Some(ct) if !ct.is_empty() => ct,
                     Some(_) => return Err("platform needs at least one processor".into()),
@@ -538,6 +608,74 @@ impl JobSpec {
                 p.procs = Some(ct.len());
                 p.cycle_times = Some(ct);
                 p.link_time = Some(p.link_time.unwrap_or(1.0));
+                p.links = None;
+                if p.kind == "random-connected" {
+                    let prob = p.extra_prob.unwrap_or(0.3);
+                    if !(0.0..=1.0).contains(&prob) {
+                        return Err(format!("extra_prob {prob} outside [0, 1]"));
+                    }
+                    p.extra_prob = Some(prob);
+                    p.seed = Some(p.seed.unwrap_or(0));
+                } else {
+                    p.extra_prob = None;
+                    p.seed = None;
+                }
+            }
+            "custom" => {
+                let ct = match p.cycle_times.take() {
+                    Some(ct) if !ct.is_empty() => ct,
+                    _ => return Err("custom platform requires non-empty `cycle_times`".into()),
+                };
+                if ct.len() > MAX_PROCS {
+                    return Err(format!(
+                        "{} processors exceeds the {MAX_PROCS} limit",
+                        ct.len()
+                    ));
+                }
+                if ct.iter().any(|&t| t <= 0.0 || !t.is_finite()) {
+                    return Err("cycle_times must be positive and finite".into());
+                }
+                let procs = ct.len();
+                let mut links = p
+                    .links
+                    .take()
+                    .ok_or("custom platform requires `links` ([from, to, latency] triples)")?;
+                for l in &links {
+                    let [from, to, lat] = l.as_slice() else {
+                        return Err(format!(
+                            "custom link {l:?} must be a [from, to, latency] triple"
+                        ));
+                    };
+                    for (what, v) in [("from", *from), ("to", *to)] {
+                        if v.fract() != 0.0 || v < 0.0 || v >= procs as f64 {
+                            return Err(format!(
+                                "custom link {what} {v} is not a processor index < {procs}"
+                            ));
+                        }
+                    }
+                    if from == to {
+                        return Err(format!("custom link {from} -> {to} is a self-link"));
+                    }
+                    if !lat.is_finite() || *lat < 0.0 {
+                        return Err(format!(
+                            "custom link latency {lat} must be finite and non-negative"
+                        ));
+                    }
+                }
+                // canonical: sorted by (from, to), duplicates rejected
+                links.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
+                if links
+                    .windows(2)
+                    .any(|w| w[0][0] == w[1][0] && w[0][1] == w[1][1])
+                {
+                    return Err("custom links contain a duplicate (from, to) pair".into());
+                }
+                p.procs = Some(procs);
+                p.cycle_times = Some(ct);
+                p.links = Some(links);
+                p.link_time = None;
+                p.extra_prob = None;
+                p.seed = None;
             }
             other => return Err(format!("unknown platform kind {other:?}")),
         }
@@ -567,13 +705,37 @@ impl JobSpec {
                 }
                 s.b = Some(b);
             }
+            "routed-ilha" => {
+                // routed platforms have no paper-tuned B; the platform's
+                // perfect-balance chunk is the deterministic default
+                let b = s.b.unwrap_or_else(|| RoutedIlha::auto(&platform).b);
+                if b == 0 {
+                    return Err("routed-ilha chunk size b must be at least 1".into());
+                }
+                s.b = Some(b);
+            }
             other => return Err(format!("unknown scheduler kind {other:?}")),
         }
-        if routed_platform && s.kind != "routed-heft" {
-            return Err(format!(
-                "platform kind {:?} is not fully connected; use scheduler kind \"routed-heft\"",
-                p.kind
-            ));
+        let routed_scheduler = matches!(s.kind.as_str(), "routed-heft" | "routed-ilha");
+        if routed_platform {
+            if !routed_scheduler {
+                return Err(format!(
+                    "platform kind {:?} is not fully connected; use scheduler kind \
+                     \"routed-heft\" or \"routed-ilha\"",
+                    p.kind
+                ));
+            }
+            // Reject disconnected topologies here, at intake, so a worker
+            // never panics on one: the routed schedulers need every ordered
+            // pair routable (`heuristics::routed::RoutedError`). Two O(p²)
+            // reachability sweeps, not the worker's O(p³) Floyd–Warshall —
+            // intake is single-threaded and specs may name MAX_PROCS.
+            if let Some((from, to)) = first_unroutable_pair(&platform) {
+                return Err(format!(
+                    "platform is disconnected: no route from {from} to {to} \
+                     (routed schedulers need a connected topology)"
+                ));
+            }
         }
 
         // -- model ------------------------------------------------------
@@ -591,10 +753,64 @@ impl JobSpec {
     }
 }
 
+/// The first ordered pair with no route between them, or `None` when the
+/// platform is strongly connected. Equivalent to
+/// `RoutingTable::new(p).first_unreachable()` but O(p²): every processor
+/// must reach P0 and be reachable from P0 (forward + reverse DFS over the
+/// finite-link adjacency), which on a directed graph is exactly strong
+/// connectivity.
+fn first_unroutable_pair(
+    platform: &Platform,
+) -> Option<(onesched_platform::ProcId, onesched_platform::ProcId)> {
+    use onesched_platform::ProcId;
+    let p = platform.num_procs();
+    let reach = |reverse: bool| -> Vec<bool> {
+        let mut seen = vec![false; p];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(q) = stack.pop() {
+            for (r, seen_r) in seen.iter_mut().enumerate() {
+                let link = if reverse {
+                    platform.link(ProcId(r as u32), ProcId(q as u32))
+                } else {
+                    platform.link(ProcId(q as u32), ProcId(r as u32))
+                };
+                if !*seen_r && link.is_finite() {
+                    *seen_r = true;
+                    stack.push(r);
+                }
+            }
+        }
+        seen
+    };
+    let forward = reach(false);
+    if let Some(r) = forward.iter().position(|&ok| !ok) {
+        return Some((ProcId(0), ProcId(r as u32)));
+    }
+    let backward = reach(true);
+    backward
+        .iter()
+        .position(|&ok| !ok)
+        .map(|r| (ProcId(r as u32), ProcId(0)))
+}
+
 fn build_platform(p: &PlatformSpec) -> Platform {
     match p.kind.as_str() {
         "paper" => Platform::paper(),
         "homogeneous" => Platform::homogeneous(p.procs.expect("resolved")),
+        "custom" => {
+            let ct = p.cycle_times.clone().expect("resolved");
+            let procs = ct.len();
+            let mut link = vec![f64::INFINITY; procs * procs];
+            for q in 0..procs {
+                link[q * procs + q] = 0.0;
+            }
+            for l in p.links.as_deref().expect("resolved") {
+                let (from, to) = (l[0] as usize, l[1] as usize);
+                link[from * procs + to] = l[2];
+            }
+            Platform::new(ct, link).expect("resolved platform parameters are valid")
+        }
         kind => {
             let ct = p.cycle_times.clone().expect("resolved");
             let lt = p.link_time.expect("resolved");
@@ -602,6 +818,12 @@ fn build_platform(p: &PlatformSpec) -> Platform {
                 "star" => topology::star(ct, lt),
                 "ring" => topology::ring(ct, lt),
                 "line" => topology::line(ct, lt),
+                "random-connected" => topology::random_connected(
+                    ct,
+                    lt,
+                    p.extra_prob.expect("resolved"),
+                    p.seed.expect("resolved"),
+                ),
                 other => unreachable!("unresolved platform kind {other}"),
             }
             .expect("resolved platform parameters are valid")
@@ -649,6 +871,7 @@ impl ResolvedJob {
             "heft" => Box::new(Heft::new()),
             "ilha" => Box::new(Ilha::new(s.b.expect("resolved"))),
             "routed-heft" => Box::new(RoutedHeft::new()),
+            "routed-ilha" => Box::new(RoutedIlha::new(s.b.expect("resolved"))),
             other => unreachable!("unresolved scheduler kind {other}"),
         }
     }
@@ -912,6 +1135,129 @@ mod tests {
         let r = job.resolve().unwrap();
         assert_eq!(r.build_platform().num_procs(), 6);
         assert!(!r.build_platform().is_fully_connected());
+        // routed ILHA resolves too, with the platform's chunk filled in
+        let job = JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 10),
+            platform: Some(PlatformSpec::routed("star", 6, 1.0)),
+            scheduler: Some(SchedulerSpec::routed_ilha()),
+            model: None,
+            validate: false,
+        };
+        let r = job.resolve().unwrap();
+        let b = r.spec.scheduler.as_ref().unwrap().b.expect("b filled");
+        assert!(b >= 6, "chunk at least the processor count, got {b}");
+        assert_eq!(r.build_scheduler().name(), format!("ILHA-routed(B={b})"));
+    }
+
+    #[test]
+    fn random_connected_platform_resolves_deterministically() {
+        let job = JobSpec {
+            dag: DagSpec::testbed(Testbed::Stencil, 8),
+            platform: Some(PlatformSpec::random_connected(7, 2.0, 0.4, 11)),
+            scheduler: Some(SchedulerSpec::routed_heft()),
+            model: None,
+            validate: false,
+        };
+        let r = job.resolve().unwrap();
+        assert_eq!(r.spec.platform.as_ref().unwrap().seed, Some(11));
+        let p1 = r.build_platform();
+        let p2 = r.build_platform();
+        for q in p1.procs() {
+            for s in p1.procs() {
+                assert_eq!(p1.link(q, s), p2.link(q, s));
+            }
+        }
+        assert!(onesched_platform::RoutingTable::new(&p1)
+            .first_unreachable()
+            .is_none());
+    }
+
+    #[test]
+    fn custom_platform_resolves_and_canonicalizes() {
+        // a 3-proc line spelled as explicit directed links, out of order
+        let links = vec![
+            vec![1.0, 2.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+        ];
+        let job = JobSpec {
+            dag: DagSpec::toy(),
+            platform: Some(PlatformSpec::custom(vec![1.0, 2.0, 1.0], links)),
+            scheduler: Some(SchedulerSpec::routed_heft()),
+            model: None,
+            validate: true,
+        };
+        let r = job.resolve().unwrap();
+        let p = r.build_platform();
+        assert!(!p.is_fully_connected());
+        assert_eq!(
+            p.link(onesched_platform::ProcId(0), onesched_platform::ProcId(1)),
+            1.0
+        );
+        assert!(!p
+            .link(onesched_platform::ProcId(0), onesched_platform::ProcId(2))
+            .is_finite());
+        // canonical: links sorted, so two spellings share a cache key
+        let sorted = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 2.0, 1.0],
+            vec![2.0, 1.0, 1.0],
+        ];
+        let again = JobSpec {
+            dag: DagSpec::toy(),
+            platform: Some(PlatformSpec::custom(vec![1.0, 2.0, 1.0], sorted)),
+            scheduler: Some(SchedulerSpec::routed_heft()),
+            model: None,
+            validate: true,
+        };
+        assert_eq!(r.key, again.resolve().unwrap().key);
+        // the job actually runs and validates
+        let out = crate::cache::run_job(&r);
+        assert_eq!(out.violations, 0);
+    }
+
+    #[test]
+    fn disconnected_custom_platform_is_rejected_at_intake() {
+        // two components: {0, 1} linked, {2} isolated
+        let job = JobSpec {
+            dag: DagSpec::toy(),
+            platform: Some(PlatformSpec::custom(
+                vec![1.0; 3],
+                vec![vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]],
+            )),
+            scheduler: Some(SchedulerSpec::routed_heft()),
+            model: None,
+            validate: false,
+        };
+        let err = job.resolve().unwrap_err();
+        assert!(err.contains("disconnected"), "{err}");
+        assert!(err.contains("no route"), "{err}");
+    }
+
+    #[test]
+    fn invalid_custom_links_are_rejected() {
+        for (label, links) in [
+            ("not a triple", vec![vec![0.0, 1.0]]),
+            ("self link", vec![vec![1.0, 1.0, 1.0]]),
+            ("out of range", vec![vec![0.0, 9.0, 1.0]]),
+            ("fractional index", vec![vec![0.5, 1.0, 1.0]]),
+            ("negative latency", vec![vec![0.0, 1.0, -2.0]]),
+            (
+                "duplicate pair",
+                vec![vec![0.0, 1.0, 1.0], vec![0.0, 1.0, 2.0]],
+            ),
+        ] {
+            let job = JobSpec {
+                dag: DagSpec::toy(),
+                platform: Some(PlatformSpec::custom(vec![1.0; 3], links)),
+                scheduler: Some(SchedulerSpec::routed_heft()),
+                model: None,
+                validate: false,
+            };
+            assert!(job.resolve().is_err(), "{label} must be rejected");
+        }
     }
 
     #[test]

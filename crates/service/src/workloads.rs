@@ -92,30 +92,37 @@ pub fn simulate_requests(tb: Testbed, n: usize, seed: u64) -> Vec<Request> {
 pub const ROUTED_KINDS: [&str; 3] = ["star", "ring", "line"];
 
 /// A batch of routed submissions: every topology kind × every testbed at
-/// size `n`, scheduled by routed HEFT over `procs` heterogeneous
-/// processors. Exercises the §4.3 store-and-forward extension at scale.
+/// size `n`, scheduled by both routed HEFT and routed ILHA over `procs`
+/// heterogeneous processors. Exercises the §4.3 store-and-forward
+/// extension at scale.
 pub fn routed_requests(procs: usize, n: usize, priority: i64) -> Vec<Request> {
     let mut reqs = Vec::new();
     for kind in ROUTED_KINDS {
         for tb in Testbed::ALL {
-            reqs.push(Request::submit(
-                Some(format!("routed-{kind}-{}-{n}", tb.name())),
-                priority,
-                JobSpec {
-                    dag: DagSpec::testbed(tb, n),
-                    platform: Some(PlatformSpec::routed(kind, procs, 1.0)),
-                    scheduler: Some(SchedulerSpec::routed_heft()),
-                    model: None,
-                    validate: true,
-                },
-            ));
+            for (tag, sched) in [
+                ("heft", SchedulerSpec::routed_heft()),
+                ("ilha", SchedulerSpec::routed_ilha()),
+            ] {
+                reqs.push(Request::submit(
+                    Some(format!("routed-{kind}-{tag}-{}-{n}", tb.name())),
+                    priority,
+                    JobSpec {
+                        dag: DagSpec::testbed(tb, n),
+                        platform: Some(PlatformSpec::routed(kind, procs, 1.0)),
+                        scheduler: Some(sched),
+                        model: None,
+                        validate: true,
+                    },
+                ));
+            }
         }
     }
     reqs
 }
 
-/// The CI smoke batch: small, fast, validated, and covering all three
-/// scheduler kinds plus the cache path (the LU job appears twice).
+/// The CI smoke batch: small, fast, validated, and covering every
+/// scheduler kind plus the cache path (the LU job appears twice) and a
+/// routed zero-noise simulate (its degradation must report exactly 1).
 pub fn smoke_requests() -> Vec<Request> {
     let lu = JobSpec {
         dag: DagSpec::testbed(Testbed::Lu, 20),
@@ -135,6 +142,9 @@ pub fn smoke_requests() -> Vec<Request> {
                     procs: Some(2),
                     cycle_times: None,
                     link_time: None,
+                    links: None,
+                    extra_prob: None,
+                    seed: None,
                 }),
                 scheduler: None,
                 model: None,
@@ -153,6 +163,31 @@ pub fn smoke_requests() -> Vec<Request> {
                 model: None,
                 validate: true,
             },
+        ),
+        Request::submit(
+            Some("smoke-routed-ilha".into()),
+            0,
+            JobSpec {
+                dag: DagSpec::testbed(Testbed::Laplace, 6),
+                platform: Some(PlatformSpec::random_connected(6, 1.0, 0.3, 5)),
+                scheduler: Some(SchedulerSpec::routed_ilha()),
+                model: None,
+                validate: true,
+            },
+        ),
+        // zero-noise routed simulate: the static-order replay of a routed
+        // multi-hop schedule must be bit-exact (degradation 1)
+        Request::simulate(
+            Some("smoke-routed-sim-static-order-0".into()),
+            0,
+            JobSpec {
+                dag: DagSpec::testbed(Testbed::Stencil, 8),
+                platform: Some(PlatformSpec::routed("ring", 5, 1.0)),
+                scheduler: Some(SchedulerSpec::routed_ilha()),
+                model: None,
+                validate: true,
+            },
+            SimSpec::default(),
         ),
         Request::stats(),
     ]

@@ -38,9 +38,9 @@ proptest! {
         width in 1usize..50,
         edge_prob in 0.0f64..1.0,
         seed in 0u64..MAX_EXACT,
-        platform_ix in 0usize..6,
+        platform_ix in 0usize..7,
         procs in 1usize..64,
-        sched_ix in 0usize..4,
+        sched_ix in 0usize..5,
         b in 1usize..100,
         model_ix in 0usize..5,
         validate in 0u8..2,
@@ -59,17 +59,22 @@ proptest! {
             2 => Some(PlatformSpec::routed("star", procs, 1.0)),
             3 => Some(PlatformSpec::routed("ring", procs, 2.5)),
             4 => Some(PlatformSpec::routed("line", procs, 0.5)),
+            5 => Some(PlatformSpec::random_connected(procs, 1.0, 0.4, 7)),
             _ => Some(PlatformSpec {
                 kind: "homogeneous".into(),
                 procs: Some(procs),
                 cycle_times: Some(vec![1.5; procs.min(4)]),
                 link_time: None,
+                links: None,
+                extra_prob: None,
+                seed: None,
             }),
         };
         let scheduler = match sched_ix {
             0 => None,
             1 => Some(SchedulerSpec::heft()),
             2 => Some(SchedulerSpec::ilha(b)),
+            3 => Some(SchedulerSpec::routed_ilha()),
             _ => Some(SchedulerSpec::routed_heft()),
         };
         let model = ["macro-dataflow", "one-port-bidir", "one-port-unidir",

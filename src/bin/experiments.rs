@@ -16,8 +16,15 @@
 //!   models         HEFT/ILHA under all four communication models
 //!   baselines      every scheduler on every testbed at one size
 //!   routed [--procs P]
-//!                  routed HEFT on star/ring/line topologies (§4.3
+//!                  routed HEFT + ILHA on star/ring/line topologies (§4.3
 //!                  extension), validated, with a complete-network sanity row
+//!   routed-figs [--procs P] [--seed S]
+//!                  the routed sweeps: HEFT-routed and ILHA-routed over
+//!                  star/ring/line/random-connected topologies × every
+//!                  testbed × --sizes (capped at 24), fanned out over the
+//!                  worker pool, every schedule validated, per-schedule
+//!                  fingerprints in the CSV (seed-deterministic; CI diffs
+//!                  two same-seed runs byte-identically)
 //!   stress [--tasks N] [--seed S]
 //!                  random-layered stress point beyond the paper sizes
 //!                  (default ~100k tasks), HEFT + ILHA construction times
@@ -26,7 +33,10 @@
 //!                  on every testbed under increasing runtime perturbation
 //!                  and record predicted-vs-executed makespan degradation
 //!                  (seed-deterministic; CI diffs two same-seed runs)
-//!   record-baseline  refresh tests/fixtures/schedule_baseline.json
+//!   record-baseline [--fixture PATH]
+//!                  refresh tests/fixtures/schedule_baseline.json (or write
+//!                  to PATH — CI's fixture-drift gate records into a temp
+//!                  file and diffs against the committed fixture)
 //!   bench-compare <current> <baseline> [--max-ratio R]
 //!                  fail (exit 1) if construction time regressed
 //!   all            everything above
@@ -59,6 +69,7 @@ struct Opts {
     tasks: usize,
     seed: u64,
     procs: usize,
+    fixture: Option<String>,
 }
 
 impl Default for Opts {
@@ -73,6 +84,7 @@ impl Default for Opts {
             tasks: 100_000,
             seed: 0,
             procs: 8,
+            fixture: None,
         }
     }
 }
@@ -129,6 +141,10 @@ fn main() {
                 opts.procs = args[i + 1].parse().expect("procs must be an integer");
                 args.drain(i..=i + 1);
             }
+            "--fixture" => {
+                opts.fixture = Some(args[i + 1].clone());
+                args.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
@@ -152,6 +168,7 @@ fn main() {
         "models" => model_ablation(&opts),
         "baselines" => baseline_comparison(&opts),
         "routed" => routed_sweep(&opts),
+        "routed-figs" => routed_figs(&opts),
         "stress" => stress_sweep(&opts),
         "perturb" => perturb_sweep(&opts),
         "probe" => probe(&args[1..]),
@@ -164,6 +181,7 @@ fn main() {
             model_ablation(&opts);
             baseline_comparison(&opts);
             routed_sweep(&opts);
+            routed_figs(&opts);
             perturb_sweep(&opts);
         }
         other => {
@@ -173,8 +191,11 @@ fn main() {
     }
 }
 
-/// `record-baseline`: regenerate the schedule-equivalence fixture. Only run
-/// this after an *intentional* schedule change (see src/regress.rs).
+/// `record-baseline`: regenerate the schedule-equivalence fixture (direct
+/// paper-platform entries plus the routed star/ring/line entries). Only run
+/// this after an *intentional* schedule change (see src/regress.rs) —
+/// `--fixture PATH` writes elsewhere, which is how CI's fixture-drift gate
+/// records a fresh baseline and diffs it against the committed one.
 fn record_baseline(opts: &Opts) {
     let sizes = if opts.sizes == Opts::default().sizes {
         vec![30, 60]
@@ -182,7 +203,15 @@ fn record_baseline(opts: &Opts) {
         opts.sizes.clone()
     };
     let file = onesched::regress::record_baseline(&sizes);
-    let path = "tests/fixtures/schedule_baseline.json";
+    let path = opts
+        .fixture
+        .as_deref()
+        .unwrap_or("tests/fixtures/schedule_baseline.json");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create fixture directory");
+        }
+    }
     let json = serde_json::to_string(&file).expect("serialize baseline");
     std::fs::write(path, pretty_json(&json)).expect("write baseline fixture");
     println!("recorded {} schedules -> {path}", file.entries.len());
@@ -541,10 +570,11 @@ fn routed_sweep(opts: &Opts) {
     use onesched::service::{cache, workloads};
     let n = (*opts.sizes.iter().min().unwrap_or(&100)).min(24);
     println!(
-        "== routed: RoutedHeft on star/ring/line ({} heterogeneous procs, n = {n}) ==",
+        "== routed: RoutedHeft/RoutedIlha on star/ring/line ({} heterogeneous procs, n = {n}) ==",
         opts.procs
     );
-    let mut csv = String::from("topology,testbed,n,tasks,makespan,speedup,comms,violations\n");
+    let mut csv =
+        String::from("topology,testbed,n,scheduler,tasks,makespan,speedup,comms,violations\n");
     for req in workloads::routed_requests(opts.procs, n, 0) {
         let Some(spec) = req.job else { continue };
         let job = spec.resolve().expect("generated routed specs are valid");
@@ -554,12 +584,12 @@ fn routed_sweep(opts: &Opts) {
         assert_eq!(r.violations, 0, "{topology}/{testbed}: invalid schedule");
         let _ = writeln!(
             csv,
-            "{topology},{testbed},{n},{},{},{},{},{}",
-            r.tasks, r.makespan, r.speedup, r.effective_comms, r.violations
+            "{topology},{testbed},{n},{},{},{},{},{},{}",
+            r.scheduler, r.tasks, r.makespan, r.speedup, r.effective_comms, r.violations
         );
         println!(
-            "{topology:>6} {testbed:>10}  tasks {:>5}  speedup {:>7.3}  comms {:>5}  ({:.1?})",
-            r.tasks, r.speedup, r.effective_comms, r.construct
+            "{topology:>6} {testbed:>10} {:<16} tasks {:>5}  speedup {:>7.3}  comms {:>5}  ({:.1?})",
+            r.scheduler, r.tasks, r.speedup, r.effective_comms, r.construct
         );
     }
     // Sanity row: on a complete network, routed HEFT degenerates to HEFT.
@@ -574,6 +604,138 @@ fn routed_sweep(opts: &Opts) {
         plain.makespan()
     );
     write_csv(opts, "routed.csv", &csv);
+}
+
+/// The routed figure sweeps: HEFT-routed and ILHA-routed over every
+/// non-fully-connected topology (star, ring, line, and a seeded
+/// random-connected graph) × every testbed × `--sizes` (capped at 24 —
+/// routed placement pays per-hop evaluation, and the §4.3 story needs
+/// relays, not scale). Jobs fan out over a `std::thread::scope` worker
+/// pool exactly like `figs`; results are emitted in job order, so two
+/// same-seed runs produce byte-identical CSVs — the CI routed determinism
+/// gate. Every schedule passes the independent validator, and the CSV
+/// records each schedule's placement fingerprint.
+fn routed_figs(opts: &Opts) {
+    use onesched::heuristics::routed::{RoutedHeft, RoutedIlha};
+    use onesched::platform::topology;
+    use onesched_sim::placement_fingerprint;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let mut sizes: Vec<usize> = opts.sizes.iter().map(|&n| n.min(24)).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let cts: Vec<f64> = (0..opts.procs).map(|i| [6.0, 10.0, 15.0][i % 3]).collect();
+    let platforms: Vec<(&str, Platform)> = vec![
+        ("star", topology::star(cts.clone(), 1.0).expect("valid")),
+        ("ring", topology::ring(cts.clone(), 1.0).expect("valid")),
+        ("line", topology::line(cts.clone(), 1.0).expect("valid")),
+        (
+            "random-connected",
+            topology::random_connected(cts.clone(), 1.0, 0.3, opts.seed).expect("valid"),
+        ),
+    ];
+    println!(
+        "== routed-figs: routed HEFT/ILHA sweeps ({} heterogeneous procs, sizes {:?}, seed {}) ==",
+        opts.procs, sizes, opts.seed
+    );
+
+    // job list in deterministic order: topology × testbed × size × scheduler
+    struct Job<'a> {
+        topology: &'a str,
+        platform: &'a Platform,
+        tb: Testbed,
+        n: usize,
+        ilha: bool,
+    }
+    let jobs: Vec<Job> = platforms
+        .iter()
+        .flat_map(|(name, p)| {
+            let sizes = &sizes;
+            Testbed::ALL.into_iter().flat_map(move |tb| {
+                sizes.iter().flat_map(move |&n| {
+                    [false, true].map(|ilha| Job {
+                        topology: name,
+                        platform: p,
+                        tb,
+                        n,
+                        ilha,
+                    })
+                })
+            })
+        })
+        .collect();
+
+    struct Row {
+        line: String,
+        summary: String,
+    }
+    let slots: Vec<Mutex<Option<Row>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let m = CommModel::OnePortBidir;
+    let workers = opts.threads.clamp(1, jobs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let j = &jobs[i];
+                let g = j.tb.generate(j.n, PAPER_C);
+                let sched: Box<dyn Scheduler> = if j.ilha {
+                    Box::new(RoutedIlha::auto(j.platform))
+                } else {
+                    Box::new(RoutedHeft::new())
+                };
+                let (s, construct) = runner::schedule_timed(&g, j.platform, sched.as_ref(), m);
+                let v = validate(&g, j.platform, m, &s);
+                assert!(
+                    v.is_empty(),
+                    "{}/{} n={} {}: invalid schedule: {v:?}",
+                    j.topology,
+                    j.tb,
+                    j.n,
+                    sched.name()
+                );
+                let row = Row {
+                    line: format!(
+                        "{},{},{},{},{},{},{},{:016x}\n",
+                        j.topology,
+                        j.tb,
+                        j.n,
+                        sched.name(),
+                        g.num_tasks(),
+                        s.makespan(),
+                        s.speedup(&g, j.platform),
+                        placement_fingerprint(&s)
+                    ),
+                    summary: format!(
+                        "{:>16} {:>10} n={:<3} {:<16} speedup {:>7.3}  comms {:>5}  ({:.1?})",
+                        j.topology,
+                        j.tb,
+                        j.n,
+                        sched.name(),
+                        s.speedup(&g, j.platform),
+                        s.num_effective_comms(),
+                        construct
+                    ),
+                };
+                *slots[i].lock().expect("slot poisoned") = Some(row);
+            });
+        }
+    });
+
+    let mut csv = String::from("topology,testbed,n,scheduler,tasks,makespan,speedup,fingerprint\n");
+    for slot in slots {
+        let row = slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("every job ran");
+        csv.push_str(&row.line);
+        println!("{}", row.summary);
+    }
+    write_csv(opts, "routed_figs.csv", &csv);
 }
 
 /// One random-layered stress point beyond the paper sizes (default target

@@ -11,8 +11,9 @@
 //! compares. Regenerate the fixture (only after an *intentional* schedule
 //! change) with `experiments record-baseline`.
 
+use onesched_heuristics::routed::{RoutedHeft, RoutedIlha};
 use onesched_heuristics::{Heft, Ilha, Scheduler};
-use onesched_platform::Platform;
+use onesched_platform::{topology, Platform};
 use onesched_sim::CommModel;
 use onesched_testbeds::{Testbed, PAPER_C};
 use serde::{Deserialize, Serialize};
@@ -28,7 +29,12 @@ pub struct BaselineEntry {
     pub testbed: String,
     /// Problem size `n` passed to the generator.
     pub n: usize,
-    /// Scheduler key: `"HEFT"` or `"ILHA"` (with the testbed's paper-best B).
+    /// Platform key: `"paper"`, or a routed topology (`"star"`, `"ring"`,
+    /// `"line"` — see [`baseline_platform`]).
+    pub topology: String,
+    /// Scheduler key: `"HEFT"` / `"ILHA"` (with the testbed's paper-best
+    /// B) on the paper platform, `"HEFT-routed"` / `"ILHA-routed"` (fixed
+    /// `B = 8`) on the routed topologies.
     pub scheduler: String,
     /// Number of tasks in the generated graph.
     pub tasks: usize,
@@ -51,38 +57,81 @@ pub struct BaselineFile {
 }
 
 /// Schema tag written by [`record_baseline`].
-pub const BASELINE_SCHEMA: &str = "onesched-baseline/v1";
+pub const BASELINE_SCHEMA: &str = "onesched-baseline/v2";
+
+/// The routed topology keys recorded in the baseline fixture.
+pub const BASELINE_TOPOLOGIES: [&str; 3] = ["star", "ring", "line"];
+
+/// The problem size of the routed baseline entries (kept small: the routed
+/// fixture exists to pin multi-hop placements bit-exactly, not to stress).
+pub const ROUTED_BASELINE_N: usize = 12;
+
+/// Processor count of the routed baseline topologies.
+pub const ROUTED_BASELINE_PROCS: usize = 8;
+
+/// The platform a baseline entry's `topology` key names: the paper's
+/// complete 10-processor machine, or an 8-processor star/ring/line with
+/// cycle-times cycling through the paper's speeds and unit links (the same
+/// heterogeneous pattern the service's routed platform specs default to).
+pub fn baseline_platform(topology: &str) -> Platform {
+    const PATTERN: [f64; 3] = [6.0, 10.0, 15.0];
+    let ct: Vec<f64> = (0..ROUTED_BASELINE_PROCS)
+        .map(|i| PATTERN[i % PATTERN.len()])
+        .collect();
+    match topology {
+        "paper" => Platform::paper(),
+        "star" => topology::star(ct, 1.0).expect("valid"),
+        "ring" => topology::ring(ct, 1.0).expect("valid"),
+        "line" => topology::line(ct, 1.0).expect("valid"),
+        other => panic!("unknown baseline topology key {other:?}"),
+    }
+}
 
 /// The scheduler a baseline entry refers to.
 pub fn baseline_scheduler(key: &str, tb: Testbed) -> Box<dyn Scheduler> {
     match key {
         "HEFT" => Box::new(Heft::new()),
         "ILHA" => Box::new(Ilha::new(tb.paper_best_b())),
+        "HEFT-routed" => Box::new(RoutedHeft::new()),
+        "ILHA-routed" => Box::new(RoutedIlha::new(ROUTED_BASELINE_PROCS)),
         other => panic!("unknown baseline scheduler key {other:?}"),
     }
 }
 
 /// Schedule HEFT and ILHA on every testbed at each size (paper platform,
-/// bi-directional one-port model) and record the outcomes.
+/// bi-directional one-port model), then routed HEFT and routed ILHA on
+/// every testbed at [`ROUTED_BASELINE_N`] over each
+/// [`BASELINE_TOPOLOGIES`] entry, and record the outcomes.
 pub fn record_baseline(sizes: &[usize]) -> BaselineFile {
-    let platform = Platform::paper();
     let model = CommModel::OnePortBidir;
     let mut entries = Vec::new();
+    let mut record = |topology: &str, tb: Testbed, n: usize, key: &str| {
+        let g = tb.generate(n, PAPER_C);
+        let platform = baseline_platform(topology);
+        let sched = baseline_scheduler(key, tb).schedule(&g, &platform, model);
+        assert!(sched.is_complete());
+        entries.push(BaselineEntry {
+            testbed: tb.name().to_string(),
+            n,
+            topology: topology.to_string(),
+            scheduler: key.to_string(),
+            tasks: g.num_tasks(),
+            makespan: sched.makespan(),
+            fingerprint: format!("{:016x}", placement_fingerprint(&sched)),
+            effective_comms: sched.num_effective_comms(),
+        });
+    };
     for tb in Testbed::ALL {
         for &n in sizes {
-            let g = tb.generate(n, PAPER_C);
             for key in ["HEFT", "ILHA"] {
-                let sched = baseline_scheduler(key, tb).schedule(&g, &platform, model);
-                assert!(sched.is_complete());
-                entries.push(BaselineEntry {
-                    testbed: tb.name().to_string(),
-                    n,
-                    scheduler: key.to_string(),
-                    tasks: g.num_tasks(),
-                    makespan: sched.makespan(),
-                    fingerprint: format!("{:016x}", placement_fingerprint(&sched)),
-                    effective_comms: sched.num_effective_comms(),
-                });
+                record("paper", tb, n, key);
+            }
+        }
+    }
+    for topology in BASELINE_TOPOLOGIES {
+        for tb in Testbed::ALL {
+            for key in ["HEFT-routed", "ILHA-routed"] {
+                record(topology, tb, ROUTED_BASELINE_N, key);
             }
         }
     }
@@ -125,12 +174,37 @@ mod tests {
     }
 
     #[test]
+    fn baseline_platforms_and_schedulers_resolve() {
+        for t in BASELINE_TOPOLOGIES {
+            let p = baseline_platform(t);
+            assert_eq!(p.num_procs(), ROUTED_BASELINE_PROCS);
+            assert!(!p.is_fully_connected(), "{t} must need routing");
+            assert!(
+                onesched_platform::RoutingTable::new(&p)
+                    .first_unreachable()
+                    .is_none(),
+                "{t} must be connected"
+            );
+        }
+        assert_eq!(baseline_platform("paper").num_procs(), 10);
+        assert_eq!(
+            baseline_scheduler("ILHA-routed", Testbed::Lu).name(),
+            "ILHA-routed(B=8)"
+        );
+        assert_eq!(
+            baseline_scheduler("HEFT-routed", Testbed::Lu).name(),
+            "HEFT-routed"
+        );
+    }
+
+    #[test]
     fn baseline_roundtrips_through_json() {
         let file = BaselineFile {
             schema: BASELINE_SCHEMA.to_string(),
             entries: vec![BaselineEntry {
                 testbed: "LU".into(),
                 n: 30,
+                topology: "paper".into(),
                 scheduler: "HEFT".into(),
                 tasks: 465,
                 makespan: 3690.0,

@@ -8,23 +8,27 @@ use onesched::exec::{
     check_replay, execute, DispatchPolicy, ExecConfig, Perturbation, ReplayViolation,
 };
 use onesched::prelude::*;
-use onesched::regress::{baseline_scheduler, BaselineFile};
+use onesched::regress::{baseline_platform, baseline_scheduler, BaselineFile, BASELINE_TOPOLOGIES};
 use onesched_sim::{trace_fingerprint, validate, ExecutionTrace, Schedule};
 use onesched_testbeds::{random_layered, RandomDagConfig};
 use proptest::prelude::*;
 
 const FIXTURE: &str = include_str!("fixtures/schedule_baseline.json");
 
-/// Every fixture schedule (6 testbeds × 2 sizes × 2 schedulers) replays
+/// Every fixture schedule — 6 testbeds × 2 sizes × 2 schedulers on the
+/// paper platform, plus the routed star/ring/line entries — replays
 /// bit-exactly: executed start/finish equals the static placement for every
 /// task, the executed makespan equals the static makespan, and the trace
-/// fingerprint — which also covers every communication hop's times — is
-/// pinned to the schedule's own trace fingerprint.
+/// fingerprint — which also covers every communication hop's times
+/// (multi-hop store-and-forward chains included) — is pinned to the
+/// schedule's own trace fingerprint.
 #[test]
 fn zero_perturbation_replay_is_bit_exact_on_every_fixture() {
     let fixture: BaselineFile = serde_json::from_str(FIXTURE).expect("parse fixture");
-    assert_eq!(fixture.entries.len(), 24);
-    let platform = Platform::paper();
+    assert_eq!(
+        fixture.entries.len(),
+        24 + BASELINE_TOPOLOGIES.len() * 6 * 2
+    );
     let model = CommModel::OnePortBidir;
     for e in &fixture.entries {
         let tb = Testbed::ALL
@@ -33,8 +37,9 @@ fn zero_perturbation_replay_is_bit_exact_on_every_fixture() {
             .find(|t| t.name() == e.testbed)
             .expect("fixture testbed");
         let g = tb.generate(e.n, PAPER_C);
+        let platform = baseline_platform(&e.topology);
         let sched = baseline_scheduler(&e.scheduler, tb).schedule(&g, &platform, model);
-        let ctx = format!("{} n={} {}", e.testbed, e.n, e.scheduler);
+        let ctx = format!("{} n={} {} on {}", e.testbed, e.n, e.scheduler, e.topology);
 
         let rep = execute(&g, &platform, model, &sched, &ExecConfig::replay())
             .unwrap_or_else(|err| panic!("{ctx}: {err}"));
@@ -73,6 +78,60 @@ fn small_dag(layers: usize, width: usize, edge_prob: f64, seed: u64) -> onesched
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Routed schedules on random connected topologies replay cleanly at
+    /// zero noise, and the executed trace never uses a link absent from
+    /// the routing table: every executed hop rides a finite direct link of
+    /// the platform (relays never teleport), under every model.
+    #[test]
+    fn routed_replays_use_only_existing_links(
+        layers in 2usize..6,
+        width in 1usize..5,
+        edge_prob in 0.2f64..0.9,
+        seed in 0u64..1_000,
+        topo_seed in 0u64..1_000,
+        procs in 3usize..8,
+        extra_prob in 0.0f64..0.5,
+        model_ix in 0usize..4,
+        use_ilha in 0u8..2,
+    ) {
+        use onesched::heuristics::routed::{RoutedHeft, RoutedIlha};
+        use onesched::platform::topology::random_connected;
+
+        let g = small_dag(layers, width, edge_prob, seed);
+        let cts: Vec<f64> = (0..procs).map(|i| [1.0, 2.0, 3.0][i % 3]).collect();
+        let p = random_connected(cts, 1.0, extra_prob, topo_seed).unwrap();
+        let model = CommModel::ALL[model_ix];
+        let sched = if use_ilha == 1 {
+            RoutedIlha::new(4).try_schedule(&g, &p, model).unwrap()
+        } else {
+            RoutedHeft::new().try_schedule(&g, &p, model).unwrap()
+        };
+        prop_assert!(validate(&g, &p, model, &sched).is_empty());
+        let tol = onesched_sim::EPS * (g.num_tasks() + sched.comms().len()) as f64;
+        let v = check_replay(&g, &p, model, &sched, tol);
+        prop_assert!(v.is_empty(), "unexpected runtime violations: {v:?}");
+        let rep = execute(&g, &p, model, &sched, &ExecConfig::replay()).unwrap();
+        prop_assert!(rep.trace.is_complete());
+        for hop in rep.trace.comms() {
+            prop_assert!(
+                hop.from == hop.to || p.link(hop.from, hop.to).is_finite(),
+                "executed hop {:?} -> {:?} uses a link absent from the \
+                 routing table", hop.from, hop.to
+            );
+        }
+        // ... and under perturbation too: noise shifts hops in time but
+        // must never reroute them onto non-existent links
+        let cfg = ExecConfig {
+            policy: DispatchPolicy::StaticOrder,
+            perturb: Perturbation { task_sigma: 0.3, bw_degradation: 0.3, outage_prob: 0.3, outage_frac: 0.1 },
+            seed: topo_seed ^ seed,
+        };
+        let noisy = execute(&g, &p, model, &sched, &cfg).unwrap();
+        for hop in noisy.trace.comms() {
+            prop_assert!(hop.from == hop.to || p.link(hop.from, hop.to).is_finite());
+        }
+    }
 
     /// Random DAG × scheduler × model: the zero-noise replay reproduces
     /// the static schedule (within the schedulers' EPS packing tolerance,

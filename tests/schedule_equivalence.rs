@@ -1,15 +1,20 @@
 //! Schedule-equivalence regression: HEFT and ILHA must produce bit-identical
-//! schedules to the recorded seed fixture on every testbed at n ∈ {30, 60}.
+//! schedules to the recorded seed fixture on every testbed at n ∈ {30, 60},
+//! and the routed schedulers (HEFT-routed, ILHA-routed) on every testbed at
+//! n = 12 over each star/ring/line baseline topology.
 //!
 //! The placement hot path is under active performance work (indexed
-//! timelines, pruned candidate scans); this test guarantees that such work
-//! can never *silently* change a schedule. If a change is intentional,
-//! regenerate the fixture with
+//! timelines, pruned candidate scans — direct *and* routed); this test
+//! guarantees that such work can never *silently* change a schedule. If a
+//! change is intentional, regenerate the fixture with
 //! `cargo run --release --bin experiments -- record-baseline`
-//! and say so in the PR.
+//! and say so in the PR (CI's fixture-drift gate enforces the same).
 
 use onesched::prelude::*;
-use onesched::regress::{baseline_scheduler, placement_fingerprint, BaselineFile, BASELINE_SCHEMA};
+use onesched::regress::{
+    baseline_platform, baseline_scheduler, placement_fingerprint, BaselineFile, BASELINE_SCHEMA,
+    BASELINE_TOPOLOGIES, ROUTED_BASELINE_N,
+};
 
 const FIXTURE: &str = include_str!("fixtures/schedule_baseline.json");
 
@@ -17,14 +22,20 @@ const FIXTURE: &str = include_str!("fixtures/schedule_baseline.json");
 fn schedules_match_recorded_seed_fixture() {
     let fixture: BaselineFile = serde_json::from_str(FIXTURE).expect("parse fixture");
     assert_eq!(fixture.schema, BASELINE_SCHEMA);
-    // 6 testbeds × 2 sizes × 2 schedulers
+    // 6 testbeds × 2 sizes × 2 schedulers on the paper platform, plus
+    // 3 topologies × 6 testbeds × 2 routed schedulers at n = 12
     assert_eq!(
         fixture.entries.len(),
-        24,
+        24 + BASELINE_TOPOLOGIES.len() * 6 * 2,
         "fixture must cover every instance"
     );
+    assert!(
+        BASELINE_TOPOLOGIES
+            .iter()
+            .all(|t| fixture.entries.iter().any(|e| e.topology == *t)),
+        "every routed topology must appear"
+    );
 
-    let platform = Platform::paper();
     let model = CommModel::OnePortBidir;
     for e in &fixture.entries {
         let tb = Testbed::ALL
@@ -40,8 +51,12 @@ fn schedules_match_recorded_seed_fixture() {
             e.testbed,
             e.n
         );
+        if e.topology != "paper" {
+            assert_eq!(e.n, ROUTED_BASELINE_N, "routed entries pin one size");
+        }
+        let platform = baseline_platform(&e.topology);
         let sched = baseline_scheduler(&e.scheduler, tb).schedule(&g, &platform, model);
-        let ctx = format!("{} n={} {}", e.testbed, e.n, e.scheduler);
+        let ctx = format!("{} n={} {} on {}", e.testbed, e.n, e.scheduler, e.topology);
         // Exact comparisons throughout: the fixture pins bit-identical
         // schedules, not approximately-equal makespans.
         assert_eq!(sched.makespan(), e.makespan, "{ctx}: makespan drifted");

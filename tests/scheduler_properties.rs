@@ -20,6 +20,7 @@ fn schedulers(platform: &Platform) -> Vec<Box<dyn Scheduler>> {
         Box::new(Ilha::auto(platform)),
         Box::new(onesched_heuristics::resched::WithResched::new(Heft::new())),
         Box::new(onesched_heuristics::routed::RoutedHeft::new()),
+        Box::new(onesched_heuristics::routed::RoutedIlha::new(4)),
     ];
     v.extend(onesched::baselines::all_baselines(99));
     v
@@ -151,6 +152,73 @@ proptest! {
                 prop_assert_eq!(got.finish, want.finish);
                 prop_assert_eq!(got.start, want.start);
                 commit_placement(&mut pool, &mut sched, got);
+            }
+        }
+    }
+
+    /// The pruned routed candidate scan (`best_routed_placement`: per-hop
+    /// no-contention bound ordering, committed send-gap /
+    /// receive-serialization disqualification, mid-evaluation abort)
+    /// returns the exact placement the exhaustive id-order routed scan
+    /// picks — including the lowest-processor-id tie-break — on random
+    /// layered DAGs × random connected topologies under every
+    /// communication model, as the schedule is built task by task.
+    #[test]
+    fn pruned_routed_placement_matches_exhaustive_scan(
+        (seed, layers, width, prob) in small_dag_strategy(),
+        topo_seed in 0u64..1_000,
+        procs in 2usize..9,
+        extra_prob in 0.0f64..0.6,
+    ) {
+        use onesched::heuristics::routed::{
+            best_routed_placement, commit_routed, place_on_routed, RoutedPlacement,
+        };
+        use onesched::platform::topology::random_connected;
+        use onesched::platform::RoutingTable;
+        use onesched::sim::{ResourcePool, Schedule, EPS};
+        use onesched::dag::TopoOrder;
+
+        let cfg = RandomDagConfig {
+            layers,
+            max_width: width,
+            edge_prob: prob,
+            ..Default::default()
+        };
+        let g = random_layered(&cfg, seed);
+        let cts: Vec<f64> = (0..procs).map(|i| [6.0, 10.0, 15.0][i % 3]).collect();
+        let p = random_connected(cts, 1.0, extra_prob, topo_seed).unwrap();
+        let routes = RoutingTable::new(&p);
+        prop_assert!(routes.first_unreachable().is_none());
+        let policy = PlacementPolicy::paper();
+        for m in CommModel::ALL {
+            let mut pool = ResourcePool::new(p.num_procs(), m);
+            let mut sched = Schedule::with_tasks(g.num_tasks());
+            for &task in TopoOrder::new(&g).order() {
+                // the exhaustive scan: evaluate every processor in id
+                // order, keep strict EFT improvements only (ties fall to
+                // the lowest processor id by iteration order)
+                let mut want: Option<RoutedPlacement> = None;
+                for proc in p.procs() {
+                    let rp = place_on_routed(
+                        &g, &p, &routes, &sched, pool.begin(), task, proc, policy,
+                    );
+                    let better = match &want {
+                        None => true,
+                        Some(b) => rp.finish < b.finish - EPS,
+                    };
+                    if better {
+                        want = Some(rp);
+                    }
+                }
+                let want = want.unwrap();
+                let got = best_routed_placement(&g, &p, &routes, &pool, &sched, task, policy);
+                prop_assert_eq!(got.proc, want.proc,
+                    "task {} under {}: pruned chose {:?}, exhaustive {:?}",
+                    task, m, got.proc, want.proc);
+                prop_assert_eq!(got.finish, want.finish);
+                prop_assert_eq!(got.start, want.start);
+                prop_assert_eq!(got.comms.len(), want.comms.len());
+                commit_routed(&mut pool, &mut sched, got);
             }
         }
     }

@@ -352,8 +352,10 @@ fn queue_cap_rejections_reach_the_client() {
 }
 
 /// A second daemon session covering the workload generators end to end:
-/// the smoke batch (all three scheduler kinds + a duplicate) submitted
-/// twice — the second round must be answered entirely from the cache.
+/// the smoke batch (every scheduler kind — routed ILHA on a
+/// random-connected topology included — a duplicate, and a zero-noise
+/// routed simulate) submitted twice — the second round must be answered
+/// entirely from the caches.
 #[test]
 fn smoke_workload_round_trips_and_second_round_is_cached() {
     let (mut child, addr) = spawn_daemon(4);
@@ -364,7 +366,10 @@ fn smoke_workload_round_trips_and_second_round_is_cached() {
     let mut reader = BufReader::new(stream.try_clone().unwrap());
 
     let batch: Vec<Request> = onesched::service::workloads::smoke_requests();
-    let submits = batch.iter().filter(|r| r.op == "submit").count();
+    let jobs = batch
+        .iter()
+        .filter(|r| r.op == "submit" || r.op == "simulate")
+        .count();
     for round in 0..2 {
         for req in &batch {
             send(&mut stream, req);
@@ -379,14 +384,23 @@ fn smoke_workload_round_trips_and_second_round_is_cached() {
                     assert_eq!(r.violations, 0, "round {round}: {}", r.id);
                     cached += usize::from(r.cache_hit);
                 }
+                "sim-result" => {
+                    let r: SimResultResponse = serde_json::from_str(&line).unwrap();
+                    assert_eq!(r.violations, 0, "round {round}: {}", r.id);
+                    // the smoke simulate is a zero-noise static-order
+                    // replay of a routed multi-hop schedule: bit-exact
+                    assert_eq!(r.degradation, 1.0, "round {round}: {}", r.id);
+                    assert_eq!(r.executed_makespan, r.static_makespan);
+                    cached += usize::from(r.cache_hit);
+                }
                 "stats" => {}
                 other => panic!("round {round}: unexpected op {other} in {line}"),
             }
         }
         if round == 1 {
             assert_eq!(
-                cached, submits,
-                "every second-round submission must be served from cache"
+                cached, jobs,
+                "every second-round submission must be served from a cache"
             );
         }
     }
