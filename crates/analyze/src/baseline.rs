@@ -1,0 +1,212 @@
+//! The burn-down baseline: grandfathered violation counts per
+//! `(file, lint)` pair, and the gate that compares a fresh scan against
+//! them.
+//!
+//! The baseline stores *counts*, not line numbers, so unrelated edits that
+//! shift lines do not invalidate it. The gate is a ratchet:
+//!
+//! - current count > baselined count → **new violation** (fail),
+//! - current count < baselined count → **drift** (fail: the baseline must
+//!   be regenerated with `--write-baseline` so progress is locked in),
+//! - equal → pass.
+//!
+//! An entry for a file that no longer produces findings (or no longer
+//! exists) is drift too — grandfathered sites that disappear must leave
+//! the file, which is what makes the baseline a burn-down document rather
+//! than a freeze.
+
+use serde::{Deserialize, Serialize};
+
+use crate::scan::Finding;
+
+/// Schema tag written into the baseline file.
+pub const SCHEMA: &str = "onesched-analyze-baseline/v1";
+
+/// One grandfathered `(file, lint)` count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// Lint id.
+    pub lint: String,
+    /// Number of grandfathered findings.
+    pub count: usize,
+}
+
+/// The committed baseline file (`analyze-baseline.json`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Schema tag; must equal [`SCHEMA`].
+    pub schema: String,
+    /// Entries sorted by `(file, lint)`.
+    pub entries: Vec<Entry>,
+}
+
+/// Aggregate findings into a freshly sorted baseline.
+pub fn from_findings(findings: &[Finding]) -> Baseline {
+    let mut entries: Vec<Entry> = Vec::new();
+    for f in findings {
+        match entries
+            .iter_mut()
+            .find(|e| e.file == f.file && e.lint == f.lint)
+        {
+            Some(e) => e.count += 1,
+            None => entries.push(Entry {
+                file: f.file.clone(),
+                lint: f.lint.to_string(),
+                count: 1,
+            }),
+        }
+    }
+    entries.sort_by(|a, b| (&a.file, &a.lint).cmp(&(&b.file, &b.lint)));
+    Baseline {
+        schema: SCHEMA.to_string(),
+        entries,
+    }
+}
+
+/// One gate discrepancy for a `(file, lint)` pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct GateItem {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Lint id.
+    pub lint: String,
+    /// Grandfathered count (0 if the pair is not in the baseline).
+    pub baseline: usize,
+    /// Count in the current scan.
+    pub current: usize,
+    /// Lines of the current findings for this pair (diagnostic aid).
+    pub lines: Vec<u32>,
+}
+
+/// Outcome of comparing a scan against the baseline.
+#[derive(Debug, Default, Serialize)]
+pub struct Gate {
+    /// Pairs whose current count exceeds the baseline.
+    pub new_violations: Vec<GateItem>,
+    /// Pairs whose current count fell below the baseline (stale entries).
+    pub drift: Vec<GateItem>,
+}
+
+impl Gate {
+    /// Whether the gate passes (no new violations, no drift).
+    pub fn is_clean(&self) -> bool {
+        self.new_violations.is_empty() && self.drift.is_empty()
+    }
+}
+
+/// Compare current findings against the baseline.
+pub fn compare(findings: &[Finding], baseline: &Baseline) -> Gate {
+    let current = from_findings(findings);
+    let mut gate = Gate::default();
+    let lines_for = |file: &str, lint: &str| {
+        findings
+            .iter()
+            .filter(|f| f.file == file && f.lint == lint)
+            .map(|f| f.line)
+            .collect::<Vec<u32>>()
+    };
+    for e in &current.entries {
+        let base = baseline
+            .entries
+            .iter()
+            .find(|b| b.file == e.file && b.lint == e.lint)
+            .map(|b| b.count)
+            .unwrap_or(0);
+        let item = GateItem {
+            file: e.file.clone(),
+            lint: e.lint.clone(),
+            baseline: base,
+            current: e.count,
+            lines: lines_for(&e.file, &e.lint),
+        };
+        if e.count > base {
+            gate.new_violations.push(item);
+        } else if e.count < base {
+            gate.drift.push(item);
+        }
+    }
+    for b in &baseline.entries {
+        let present = current
+            .entries
+            .iter()
+            .any(|e| e.file == b.file && e.lint == b.lint);
+        if !present {
+            gate.drift.push(GateItem {
+                file: b.file.clone(),
+                lint: b.lint.clone(),
+                baseline: b.count,
+                current: 0,
+                lines: Vec::new(),
+            });
+        }
+    }
+    gate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, lint: &'static str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            lint,
+        }
+    }
+
+    #[test]
+    fn aggregation_sorts_and_counts() {
+        let b = from_findings(&[
+            finding("b.rs", 3, "P201"),
+            finding("a.rs", 1, "P202"),
+            finding("b.rs", 9, "P201"),
+        ]);
+        assert_eq!(b.schema, SCHEMA);
+        assert_eq!(
+            b.entries,
+            vec![
+                Entry {
+                    file: "a.rs".into(),
+                    lint: "P202".into(),
+                    count: 1
+                },
+                Entry {
+                    file: "b.rs".into(),
+                    lint: "P201".into(),
+                    count: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn ratchet_detects_new_and_drift() {
+        let base = from_findings(&[finding("a.rs", 1, "P201"), finding("b.rs", 2, "P201")]);
+        // equal → clean
+        assert!(compare(
+            &[finding("a.rs", 5, "P201"), finding("b.rs", 2, "P201")],
+            &base
+        )
+        .is_clean());
+        // one more in a.rs → new violation
+        let g = compare(
+            &[
+                finding("a.rs", 1, "P201"),
+                finding("a.rs", 2, "P201"),
+                finding("b.rs", 2, "P201"),
+            ],
+            &base,
+        );
+        assert_eq!(g.new_violations.len(), 1);
+        assert_eq!(g.drift.len(), 0);
+        assert_eq!(g.new_violations.first().map(|i| i.current), Some(2));
+        // b.rs fixed but baseline not regenerated → drift
+        let g = compare(&[finding("a.rs", 1, "P201")], &base);
+        assert!(g.new_violations.is_empty());
+        assert_eq!(g.drift.len(), 1);
+        assert_eq!(g.drift.first().map(|i| i.file.as_str()), Some("b.rs"));
+    }
+}

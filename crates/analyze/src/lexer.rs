@@ -1,0 +1,418 @@
+//! A small hand-rolled Rust lexer: just enough tokenization to audit
+//! source files without `syn` (the build environment has no crates.io
+//! access, and the lints only need token-level context).
+//!
+//! The lexer understands the constructs that would otherwise corrupt a
+//! token-pattern scan: line and (nested) block comments, string literals
+//! (plain, byte, raw with any `#` count), char literals vs lifetimes, and
+//! numeric literals including exponents. Everything else becomes an
+//! identifier or a single-character punctuation token. Each token carries
+//! its 1-based source line so findings are reportable and suppressible.
+//!
+//! Suppression comments are collected during lexing: a line comment of the
+//! form `// analyze:allow(LINT-ID): reason` produces an
+//! [`AllowDirective`]; a comment that *looks* like an allow but does not
+//! parse (missing id or missing reason) is recorded as malformed so the
+//! scanner can warn instead of silently ignoring it.
+//!
+//! Known simplification: source is assumed ASCII outside comments and
+//! string contents (true of this workspace); non-ASCII bytes are treated
+//! as identifier characters.
+
+/// Kind of one lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the scanner distinguishes them by text).
+    Ident,
+    /// Numeric literal.
+    Number,
+    /// String literal (plain, byte, or raw); contents are not kept.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token: kind, text (identifiers and punctuation only), source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Token text for [`TokKind::Ident`] and [`TokKind::Punct`]; empty for
+    /// literal kinds (their contents never participate in a lint).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// An inline suppression: `// analyze:allow(LINT-ID): reason`.
+///
+/// A directive suppresses findings of its lint on its own line and on the
+/// immediately following line (so it can trail the offending expression or
+/// sit on its own line above it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowDirective {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The lint id inside the parentheses, trimmed.
+    pub lint: String,
+    /// The justification after the colon, trimmed (required, non-empty).
+    pub reason: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Well-formed `analyze:allow` directives.
+    pub allows: Vec<AllowDirective>,
+    /// `(line, comment text)` of comments that mention `analyze:allow` but
+    /// do not parse as a directive.
+    pub malformed_allows: Vec<(u32, String)>,
+}
+
+/// Lex `src` into tokens and allow directives. Never fails: unexpected
+/// bytes become punctuation tokens and unterminated literals end at EOF.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    /// Byte at offset `k` from the cursor, or 0 past EOF.
+    fn peek(&self, k: usize) -> u8 {
+        self.b.get(self.i + k).copied().unwrap_or(0)
+    }
+
+    /// Consume one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokKind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.b.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(self.b.get(start..self.i).unwrap_or(&[])).into_owned();
+        // Directives live in plain `//` comments only: doc comments
+        // (`///`, `//!`) merely *describe* the syntax.
+        let doc = text.starts_with("///") || text.starts_with("//!");
+        if !doc && text.contains("analyze:allow") {
+            self.parse_allow(&text, line);
+        }
+    }
+
+    fn parse_allow(&mut self, text: &str, line: u32) {
+        let directive = text
+            .split_once("analyze:allow")
+            .map(|(_, rest)| rest)
+            .and_then(|rest| rest.strip_prefix('('))
+            .and_then(|rest| rest.split_once(')'))
+            .and_then(|(id, tail)| {
+                let id = id.trim();
+                let reason = tail.trim_start().strip_prefix(':').map(str::trim);
+                match (id.is_empty(), reason) {
+                    (false, Some(r)) if !r.is_empty() => Some(AllowDirective {
+                        line,
+                        lint: id.to_string(),
+                        reason: r.to_string(),
+                    }),
+                    _ => None,
+                }
+            });
+        match directive {
+            Some(d) => self.out.allows.push(d),
+            None => self
+                .out
+                .malformed_allows
+                .push((line, text.trim().to_string())),
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Plain (or byte) string literal starting at `"`.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Raw string starting at `#` or `"` (the `r`/`br` prefix is already
+    /// consumed): `r##"..."##` with any hash count, no escapes.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            if self.peek(0) == b'"' && (1..=hashes).all(|k| self.peek(k) == b'#') {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a` not followed by a closing quote is a lifetime; everything
+        // else (including `'\''` escapes) is a char literal.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while is_ident_continue(self.peek(0)) {
+                text.push(self.peek(0) as char);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let radix_prefixed = self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b');
+        let mut prev = 0u8;
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            let take = is_ident_continue(c)
+                || (c == b'.' && self.peek(1).is_ascii_digit() && !radix_prefixed)
+                || (matches!(c, b'+' | b'-') && matches!(prev, b'e' | b'E') && !radix_prefixed);
+            if !take {
+                break;
+            }
+            prev = c;
+            self.bump();
+        }
+        self.push(TokKind::Number, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(self.b.get(start..self.i).unwrap_or(&[])).into_owned();
+        // String-literal prefixes: `r"`/`br"`/`cr"` (raw, maybe with
+        // hashes), `b"`/`c"` (plain with escapes).
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr", b'"' | b'#') if self.prefixes_string() => self.raw_string(),
+            ("b" | "c", b'"') => self.string(),
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+
+    /// Whether the cursor (at `"` or `#…`) really starts a raw string —
+    /// distinguishes `r#"x"#` from `r # [attr]`-style token soup by
+    /// requiring a quote after the hashes.
+    fn prefixes_string(&self) -> bool {
+        let mut k = 0;
+        while self.peek(k) == b'#' {
+            k += 1;
+        }
+        self.peek(k) == b'"'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let lexed = lex("let x = a.unwrap();\nlet y = 2;");
+        let unwrap = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert_eq!(unwrap.kind, TokKind::Ident);
+        assert_eq!(unwrap.line, 1);
+        let y = lexed.tokens.iter().find(|t| t.text == "y").expect("y");
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn comments_hide_tokens() {
+        let toks = texts("a // unwrap()\n/* panic! /* nested */ still */ b");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn strings_hide_tokens_and_handle_raw_and_escapes() {
+        for src in [
+            r#"x("unwrap() \" panic!")"#,
+            r##"x(r#"unwrap() " panic!"#)"##,
+            r#"x(b"unwrap()")"#,
+            r##"x(br#"panic!"#)"##,
+        ] {
+            let toks = texts(src);
+            assert!(
+                toks.iter().all(|(_, t)| t != "unwrap" && t != "panic"),
+                "{src}: {toks:?}"
+            );
+            assert_eq!(
+                toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+                1,
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = texts(r"f::<'a>('b', '\'', '\\', 'c')");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            1
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = texts("0..10; 1.5e-3; 0xFF; 2.0f64; x.0.abs()");
+        let dots = toks.iter().filter(|(_, t)| t == ".").count();
+        assert_eq!(dots, 4, "{toks:?}"); // two from `..`, two from `x.0.abs`
+        assert!(toks.iter().any(|(_, t)| t == "abs"));
+    }
+
+    #[test]
+    fn allow_directives_parse_and_malformed_are_kept() {
+        let lexed = lex(concat!(
+            "a(); // analyze:allow(P201): infallible by construction\n",
+            "b(); // analyze:allow(P202) missing colon\n",
+            "c(); // analyze:allow(P203):\n",
+        ));
+        assert_eq!(
+            lexed.allows,
+            vec![AllowDirective {
+                line: 1,
+                lint: "P201".into(),
+                reason: "infallible by construction".into()
+            }]
+        );
+        assert_eq!(lexed.malformed_allows.len(), 2);
+        assert_eq!(lexed.malformed_allows.first().map(|m| m.0), Some(2));
+    }
+}

@@ -1,0 +1,167 @@
+//! CLI for the workspace auditor.
+//!
+//! ```text
+//! onesched-analyze [--root DIR] [--baseline FILE] [--report FILE]
+//!                  [--deny] [--write-baseline] [--list-lints]
+//! ```
+//!
+//! Default mode prints a summary and exits 0. `--deny` turns the baseline
+//! comparison into a gate: exit 1 on any new violation or baseline drift.
+//! `--write-baseline` regenerates the baseline from the current scan (the
+//! burn-down step after fixing grandfathered sites). `--report` writes the
+//! JSON report for CI artifacts.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use onesched_analyze::{analyze_root, baseline, find_workspace_root, lints, load_baseline, report};
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    report_path: Option<PathBuf>,
+    deny: bool,
+    write_baseline: bool,
+    list_lints: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline_path: None,
+        report_path: None,
+        deny: false,
+        write_baseline: false,
+        list_lints: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--list-lints" => args.list_lints = true,
+            "--root" => args.root = Some(PathBuf::from(want(&mut it, "--root")?)),
+            "--baseline" => {
+                args.baseline_path = Some(PathBuf::from(want(&mut it, "--baseline")?));
+            }
+            "--report" => args.report_path = Some(PathBuf::from(want(&mut it, "--report")?)),
+            "--help" | "-h" => {
+                println!(
+                    "onesched-analyze [--root DIR] [--baseline FILE] [--report FILE] \
+                     [--deny] [--write-baseline] [--list-lints]\n\
+                     See ANALYSIS.md for the lint table and workflow."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn want(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("onesched-analyze: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.list_lints {
+        for l in lints::LINTS {
+            println!("{}  [{}]  {}", l.id, l.family.name(), l.summary);
+        }
+        return Ok(true);
+    }
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or_else(|| "no workspace root found (pass --root)".to_string())?
+        }
+    };
+    let baseline_path = args
+        .baseline_path
+        .unwrap_or_else(|| root.join("analyze-baseline.json"));
+
+    let analysis = analyze_root(&root).map_err(|e| format!("scan failed: {e}"))?;
+
+    if args.write_baseline {
+        let base = baseline::from_findings(&analysis.findings);
+        let json = serde_json::to_string(&base).map_err(|e| format!("serialize: {e:?}"))?;
+        std::fs::write(&baseline_path, json + "\n")
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} entries, {} findings)",
+            baseline_path.display(),
+            base.entries.len(),
+            analysis.findings.len()
+        );
+        return Ok(true);
+    }
+
+    let base = load_baseline(&baseline_path)?;
+    let gate = baseline::compare(&analysis.findings, &base);
+    let rep = report(&analysis, gate);
+
+    println!(
+        "scanned {} files: {} findings ({} grandfathered entries in baseline)",
+        rep.files_scanned,
+        rep.total_findings,
+        base.entries.len()
+    );
+    for t in &rep.totals {
+        if t.count > 0 {
+            println!("  {}: {}", t.lint, t.count);
+        }
+    }
+    for w in &rep.warnings {
+        println!("warning: {w}");
+    }
+    for item in &rep.gate.new_violations {
+        println!(
+            "NEW {} in {}: {} > baseline {} (lines {:?})",
+            item.lint, item.file, item.current, item.baseline, item.lines
+        );
+    }
+    for item in &rep.gate.drift {
+        println!(
+            "DRIFT {} in {}: {} < baseline {} — fixed sites must leave the \
+             baseline; rerun with --write-baseline",
+            item.lint, item.file, item.current, item.baseline
+        );
+    }
+
+    if let Some(path) = &args.report_path {
+        let json = serde_json::to_string(&rep).map_err(|e| format!("serialize: {e:?}"))?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("report written to {}", path.display());
+    }
+
+    let clean = rep.gate.is_clean();
+    if clean {
+        println!("gate: clean");
+    } else {
+        println!(
+            "gate: {} new, {} drifted",
+            rep.gate.new_violations.len(),
+            rep.gate.drift.len()
+        );
+    }
+    Ok(!args.deny || clean)
+}

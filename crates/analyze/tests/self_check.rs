@@ -1,0 +1,35 @@
+//! Self-check: the committed `analyze-baseline.json` must match the tree
+//! exactly — no new violations AND no drift. This is the same gate CI runs
+//! via `cargo run -p onesched-analyze -- --deny`, expressed as a test so
+//! `cargo test --workspace` catches a stale baseline before CI does.
+//!
+//! If this test fails after you fixed violations, lock the progress in
+//! with `cargo run -p onesched-analyze -- --write-baseline` and commit the
+//! updated baseline (see ANALYSIS.md).
+
+use std::path::Path;
+
+#[test]
+fn committed_baseline_matches_tree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let root = root.canonicalize().expect("workspace root exists");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected workspace root at {}",
+        root.display()
+    );
+
+    let analysis = onesched_analyze::analyze_root(&root).expect("tree scans");
+    assert!(analysis.files_scanned > 0, "no files scanned");
+
+    let baseline = onesched_analyze::load_baseline(&root.join("analyze-baseline.json"))
+        .expect("baseline parses");
+    let gate = onesched_analyze::baseline::compare(&analysis.findings, &baseline);
+    assert!(
+        gate.is_clean(),
+        "analyzer gate is dirty — run `cargo run -p onesched-analyze -- --write-baseline` \
+         if the change is intentional.\nnew: {:?}\ndrift: {:?}",
+        gate.new_violations,
+        gate.drift
+    );
+}

@@ -12,6 +12,8 @@
 //! `cargo bench --workspace` completes in minutes; the `experiments` binary
 //! runs the full-size sweep.
 
+#![forbid(unsafe_code)]
+
 use criterion::{BenchmarkId, Criterion};
 use onesched_heuristics::{CommModel, Heft, Ilha, Scheduler};
 use onesched_platform::Platform;

@@ -115,6 +115,11 @@ pub enum ExecError {
         /// Total activities.
         total: usize,
     },
+    /// An internal engine invariant failed. This indicates a bug in the
+    /// engine itself, never a property of the submitted schedule; it is an
+    /// error variant (rather than a panic) so a daemon embedding the engine
+    /// survives it.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ExecError {
@@ -130,6 +135,9 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::Stalled { executed, total } => {
                 write!(f, "replay stalled after {executed}/{total} activities")
+            }
+            ExecError::Internal(what) => {
+                write!(f, "internal engine invariant violated: {what}")
             }
         }
     }
@@ -303,8 +311,12 @@ pub fn execute(
     let mut hops: Vec<CommPlacement> = Vec::new();
     for (ei, edge) in g.edges().iter().enumerate() {
         let e = EdgeId(ei as u32);
-        let src_p = *schedule.task(edge.src).expect("checked above");
-        let dst_p = *schedule.task(edge.dst).expect("checked above");
+        let src_p = *schedule
+            .task(edge.src)
+            .ok_or(ExecError::UnplacedTask(edge.src))?;
+        let dst_p = *schedule
+            .task(edge.dst)
+            .ok_or(ExecError::UnplacedTask(edge.dst))?;
         if src_p.proc == dst_p.proc || edge.data <= EPS {
             // Local or free edge: plain precedence (recorded hops, if any,
             // are meaningless — the validator ignores them too).
@@ -408,7 +420,11 @@ pub fn execute(
         for (idx, &a) in r.order.iter().enumerate() {
             let a = a as usize;
             let slot = acts[a].claims.iter().position(|&c| c as usize == ri);
-            let slot = slot.expect("claims and orders agree");
+            // `r.order` was filled by iterating each activity's claims, so
+            // the reverse lookup must succeed.
+            let Some(slot) = slot else {
+                return Err(ExecError::Internal("claims and orders agree"));
+            };
             let pos = &mut positions[a];
             pos.resize(acts[a].claims.len(), 0);
             pos[slot] = idx as u32;
@@ -536,7 +552,10 @@ pub fn execute(
         match a.kind {
             ActKind::Task(task) => trace.record_task(TaskPlacement {
                 task,
-                proc: schedule.task(task).expect("checked").proc,
+                proc: schedule
+                    .task(task)
+                    .ok_or(ExecError::UnplacedTask(task))?
+                    .proc,
                 start,
                 finish,
             }),
@@ -677,8 +696,14 @@ pub fn check_replay(
     };
     let mut out = Vec::new();
     for v in g.tasks() {
-        let rec = schedule.task(v).expect("execute checked completeness");
-        let ex = report.trace.task(v).expect("trace is complete");
+        // `execute` succeeded, so every task has both a recorded placement
+        // and an executed one; a gap means the engine itself misbehaved.
+        let (Some(rec), Some(ex)) = (schedule.task(v), report.trace.task(v)) else {
+            out.push(ReplayViolation::Infeasible(ExecError::Internal(
+                "replayed trace covers every placed task",
+            )));
+            continue;
+        };
         if ex.start > rec.start + tol || ex.finish > rec.finish + tol {
             out.push(ReplayViolation::TaskDrift {
                 task: v,
@@ -693,7 +718,7 @@ pub fn check_replay(
     let mut executed: Vec<&CommPlacement> = report.trace.comms().iter().collect();
     // Local/zero edges drop their (meaningless) recorded hops at execution;
     // compare only hops of edges the engine transferred.
-    let transferred: std::collections::HashSet<u32> = executed.iter().map(|c| c.edge.0).collect();
+    let transferred: std::collections::BTreeSet<u32> = executed.iter().map(|c| c.edge.0).collect();
     let rec_hops: Vec<&CommPlacement> = recorded
         .comms()
         .iter()

@@ -31,6 +31,11 @@
 //! and ILHA are the same code with free communication ports.
 
 #![warn(missing_docs)]
+// Burn-down: pre-existing unwrap/expect/panic sites are grandfathered
+// here and tracked per (file, lint) by `onesched-analyze` via the committed
+// analyze-baseline.json; new code must use typed errors instead. Remove
+// this allow once the crate's P-lint counts reach zero. See ANALYSIS.md.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 #![forbid(unsafe_code)]
 
 pub mod avg_weights;

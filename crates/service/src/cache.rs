@@ -12,7 +12,7 @@
 
 use crate::protocol::{LatencyEntry, ResolvedJob, ResolvedSim, StatsResponse};
 use crate::runner::schedule_timed;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// The recorded outcome of one schedule construction.
@@ -103,13 +103,21 @@ pub struct SimOutcome {
 /// [`run_job`] would, then replay it through the `onesched-exec` engine
 /// under the resolved perturbation. Deterministic: equal
 /// `(job key, sim key)` pairs produce equal outcomes up to the timings.
-pub fn run_sim_job(job: &ResolvedJob, sim: &ResolvedSim) -> SimOutcome {
+///
+/// Construction from a resolved job cannot fail, but the engine's own
+/// validation is the last line of defense: rather than asserting that
+/// constructed schedules replay, any [`onesched_exec::ExecError`] is
+/// carried back to the caller (the daemon turns it into an `error`
+/// response instead of losing a worker).
+pub fn run_sim_job(
+    job: &ResolvedJob,
+    sim: &ResolvedSim,
+) -> Result<SimOutcome, onesched_exec::ExecError> {
     let (outcome, g, platform, sched) = construct(job);
     let t0 = Instant::now();
-    let report = onesched_exec::execute(&g, &platform, job.model(), &sched, &sim.exec_config())
-        .expect("constructed schedules are executable");
+    let report = onesched_exec::execute(&g, &platform, job.model(), &sched, &sim.exec_config())?;
     let exec = t0.elapsed();
-    SimOutcome {
+    Ok(SimOutcome {
         job: outcome,
         policy: sim.policy().name().to_string(),
         seed: sim.seed(),
@@ -117,16 +125,20 @@ pub fn run_sim_job(job: &ResolvedJob, sim: &ResolvedSim) -> SimOutcome {
         degradation: report.degradation(),
         trace_fingerprint: report.trace_fingerprint,
         exec,
-    }
+    })
 }
 
 /// An outcome cache: canonical key → recorded outcome, with FIFO eviction
 /// at a fixed capacity. One instance holds schedule outcomes, another the
 /// simulate outcomes.
+///
+/// Backed by a `BTreeMap` so that any iteration over the cache (now or in
+/// a future `dump`/shard operation) is in key order — the daemon's
+/// observable behavior must never depend on hash iteration order.
 #[derive(Debug)]
 pub struct Registry<V = JobOutcome> {
     capacity: usize,
-    map: HashMap<String, V>,
+    map: BTreeMap<String, V>,
     order: VecDeque<String>,
     /// Number of constructions actually run through this registry (cache
     /// hits excluded) — the counter the no-recompute tests pin.
@@ -141,7 +153,7 @@ impl<V> Registry<V> {
     pub fn new(capacity: usize) -> Registry<V> {
         Registry {
             capacity: capacity.max(1),
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
             executions: 0,
             evictions: 0,
@@ -208,8 +220,9 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Requests answered with an error response.
     pub errors: u64,
-    /// Latency samples keyed by scheduler display name.
-    latencies: HashMap<String, LatencySample>,
+    /// Latency samples keyed by scheduler display name. Ordered so the
+    /// `stats` latency table is stable run to run.
+    latencies: BTreeMap<String, LatencySample>,
 }
 
 /// Nearest-rank percentile of a *sorted* sample (`q` in `[0, 1]`).
@@ -218,7 +231,10 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    sorted
+        .get(rank.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or(0.0)
 }
 
 impl ServiceStats {
@@ -246,7 +262,9 @@ impl ServiceStats {
         cache_evictions: u64,
         uptime: Duration,
     ) -> StatsResponse {
-        let mut latency: Vec<LatencyEntry> = self
+        // BTreeMap iteration is already in scheduler-name order, so the
+        // latency table is deterministic without a sort.
+        let latency: Vec<LatencyEntry> = self
             .latencies
             .iter()
             .map(|(scheduler, sample)| {
@@ -262,7 +280,6 @@ impl ServiceStats {
                 }
             })
             .collect();
-        latency.sort_by(|a, b| a.scheduler.cmp(&b.scheduler));
         StatsResponse {
             op: "stats".into(),
             queue_depth,
@@ -341,20 +358,20 @@ mod tests {
     fn sim_job_executes_and_zero_noise_matches_static() {
         let job = lu_job();
         let sim = crate::protocol::SimSpec::default().resolve().unwrap();
-        let a = run_sim_job(&job, &sim);
+        let a = run_sim_job(&job, &sim).expect("executes");
         assert_eq!(a.degradation, 1.0, "zero noise replays exactly");
         assert_eq!(a.executed_makespan, a.job.makespan);
         assert_eq!(a.job.violations, 0);
         // deterministic, including the executed trace
-        let b = run_sim_job(&job, &sim);
+        let b = run_sim_job(&job, &sim).expect("executes");
         assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
         assert_eq!(a.job.fingerprint, b.job.fingerprint);
         // noise moves the executed makespan but stays seed-deterministic
         let noisy = crate::protocol::SimSpec::noise("list-dynamic", 0.3, 9)
             .resolve()
             .unwrap();
-        let x = run_sim_job(&job, &noisy);
-        let y = run_sim_job(&job, &noisy);
+        let x = run_sim_job(&job, &noisy).expect("executes");
+        let y = run_sim_job(&job, &noisy).expect("executes");
         assert_eq!(x.trace_fingerprint, y.trace_fingerprint);
         assert_ne!(x.trace_fingerprint, a.trace_fingerprint);
         assert_eq!(

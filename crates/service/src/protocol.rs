@@ -136,30 +136,51 @@ impl SimSpec {
 
     /// Validate the spec, fill every default, and derive the canonical
     /// sim-cache key suffix.
+    ///
+    /// Resolution *stores* the typed [`onesched_exec::ExecConfig`] it
+    /// validated, so the accessors below are infallible: nothing after
+    /// intake re-reads the optional spec fields.
     pub fn resolve(&self) -> Result<ResolvedSim, String> {
         let mut spec = self.clone();
         let policy =
             onesched_exec::DispatchPolicy::parse(spec.policy.as_deref().unwrap_or("static-order"))?;
         spec.policy = Some(policy.name().to_string());
-        spec.seed = Some(spec.seed.unwrap_or(0));
-        for (what, v) in [
+        let seed = spec.seed.unwrap_or(0);
+        spec.seed = Some(seed);
+        let mut checked = [0.0f64; 3];
+        for ((what, v), out) in [
             ("task_sigma", &mut spec.task_sigma),
             ("bw_degradation", &mut spec.bw_degradation),
             ("outage_frac", &mut spec.outage_frac),
-        ] {
+        ]
+        .into_iter()
+        .zip(checked.iter_mut())
+        {
             let x = v.unwrap_or(0.0);
             if !x.is_finite() || x < 0.0 {
                 return Err(format!("{what} must be finite and non-negative, got {x}"));
             }
             *v = Some(x);
+            *out = x;
         }
+        let [task_sigma, bw_degradation, outage_frac] = checked;
         let prob = spec.outage_prob.unwrap_or(0.0);
         if !(0.0..=1.0).contains(&prob) {
             return Err(format!("outage_prob {prob} outside [0, 1]"));
         }
         spec.outage_prob = Some(prob);
+        let config = onesched_exec::ExecConfig {
+            policy,
+            perturb: onesched_exec::Perturbation {
+                task_sigma,
+                bw_degradation,
+                outage_prob: prob,
+                outage_frac,
+            },
+            seed,
+        };
         let key = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
-        Ok(ResolvedSim { spec, key, policy })
+        Ok(ResolvedSim { spec, key, config })
     }
 }
 
@@ -171,32 +192,23 @@ pub struct ResolvedSim {
     /// Canonical key suffix: combined with [`ResolvedJob::key`] it
     /// identifies one deterministic construct-then-execute problem.
     pub key: String,
-    policy: onesched_exec::DispatchPolicy,
+    config: onesched_exec::ExecConfig,
 }
 
 impl ResolvedSim {
     /// The dispatch policy.
     pub fn policy(&self) -> onesched_exec::DispatchPolicy {
-        self.policy
+        self.config.policy
     }
 
     /// The perturbation seed.
     pub fn seed(&self) -> u64 {
-        self.spec.seed.expect("resolved")
+        self.config.seed
     }
 
     /// The engine configuration this spec describes.
     pub fn exec_config(&self) -> onesched_exec::ExecConfig {
-        onesched_exec::ExecConfig {
-            policy: self.policy,
-            perturb: onesched_exec::Perturbation {
-                task_sigma: self.spec.task_sigma.expect("resolved"),
-                bw_degradation: self.spec.bw_degradation.expect("resolved"),
-                outage_prob: self.spec.outage_prob.expect("resolved"),
-                outage_frac: self.spec.outage_frac.expect("resolved"),
-            },
-            seed: self.seed(),
-        }
+        self.config
     }
 }
 
@@ -439,6 +451,12 @@ impl SchedulerSpec {
 }
 
 /// A validated, fully-defaulted job, ready to run and to key the cache.
+///
+/// Resolution stores the *typed* configuration it validated — the parsed
+/// generator parameters, the materialized platform, the scheduler choice —
+/// so the `build_*` methods are infallible. A worker thread never re-reads
+/// an optional spec field and can never panic on a malformed job: every
+/// rejection happens at intake, as an `error` response.
 #[derive(Debug, Clone)]
 pub struct ResolvedJob {
     /// The normalized spec (every optional field filled).
@@ -447,6 +465,34 @@ pub struct ResolvedJob {
     /// deterministic scheduling problem.
     pub key: String,
     model: CommModel,
+    dag: ResolvedDag,
+    platform: Platform,
+    scheduler: ResolvedScheduler,
+}
+
+/// The validated DAG generator choice inside a [`ResolvedJob`].
+#[derive(Debug, Clone)]
+enum ResolvedDag {
+    /// A paper testbed at size `n` with CCR `c`.
+    Testbed { tb: Testbed, n: usize, c: f64 },
+    /// A seeded random layered DAG.
+    Random {
+        layers: usize,
+        max_width: usize,
+        edge_prob: f64,
+        seed: u64,
+    },
+    /// The §4.4 toy graph.
+    Toy,
+}
+
+/// The validated scheduler choice inside a [`ResolvedJob`].
+#[derive(Debug, Clone, Copy)]
+enum ResolvedScheduler {
+    Heft,
+    Ilha(usize),
+    RoutedHeft,
+    RoutedIlha(usize),
 }
 
 /// Parse a kebab-case communication-model name (`CommModel::name`).
@@ -488,7 +534,7 @@ pub const MAX_PROCS: usize = 512;
 /// through the paper's three processor speeds.
 fn default_cycle_times(procs: usize) -> Vec<f64> {
     const PATTERN: [f64; 3] = [6.0, 10.0, 15.0];
-    (0..procs).map(|i| PATTERN[i % PATTERN.len()]).collect()
+    PATTERN.iter().copied().cycle().take(procs).collect()
 }
 
 impl JobSpec {
@@ -500,7 +546,7 @@ impl JobSpec {
 
         // -- dag --------------------------------------------------------
         let d = &mut spec.dag;
-        match d.kind.as_str() {
+        let dag = match d.kind.as_str() {
             "testbed" => {
                 let name = d
                     .testbed
@@ -524,11 +570,13 @@ impl JobSpec {
                         tb.name()
                     ));
                 }
-                d.c = Some(d.c.unwrap_or(PAPER_C));
+                let c = d.c.unwrap_or(PAPER_C);
+                d.c = Some(c);
                 d.layers = None;
                 d.max_width = None;
                 d.edge_prob = None;
                 d.seed = None;
+                ResolvedDag::Testbed { tb, n, c }
             }
             "random" => {
                 if d.c.is_some() {
@@ -552,21 +600,34 @@ impl JobSpec {
                 if !(0.0..=1.0).contains(&prob) {
                     return Err(format!("edge_prob {prob} outside [0, 1]"));
                 }
+                let seed = d.seed.unwrap_or(0);
                 d.edge_prob = Some(prob);
-                d.seed = Some(d.seed.unwrap_or(0));
+                d.seed = Some(seed);
                 d.testbed = None;
                 d.n = None;
                 d.c = None;
+                ResolvedDag::Random {
+                    layers,
+                    max_width: width,
+                    edge_prob: prob,
+                    seed,
+                }
             }
             "toy" => {
                 *d = DagSpec::toy();
+                ResolvedDag::Toy
             }
             other => return Err(format!("unknown dag kind {other:?}")),
-        }
+        };
 
         // -- platform ---------------------------------------------------
+        // Each arm both normalizes the spec (for the canonical cache key)
+        // and materializes the Platform: the single materialization serves
+        // the connectivity check, ILHA's auto chunk, and — stored in the
+        // ResolvedJob — every later `build_platform()` call, so workers
+        // never re-derive it from optional fields.
         let mut p = spec.platform.take().unwrap_or_else(PlatformSpec::paper);
-        match p.kind.as_str() {
+        let platform = match p.kind.as_str() {
             "paper" => {
                 p.procs = None;
                 p.cycle_times = None;
@@ -574,6 +635,7 @@ impl JobSpec {
                 p.links = None;
                 p.extra_prob = None;
                 p.seed = None;
+                Platform::paper()
             }
             "homogeneous" => {
                 let procs = p.procs.unwrap_or(10);
@@ -589,6 +651,7 @@ impl JobSpec {
                 p.links = None;
                 p.extra_prob = None;
                 p.seed = None;
+                Platform::homogeneous(procs)
             }
             "star" | "ring" | "line" | "random-connected" => {
                 let ct = match p.cycle_times.take() {
@@ -605,21 +668,30 @@ impl JobSpec {
                 if ct.iter().any(|&t| t <= 0.0 || !t.is_finite()) {
                     return Err("cycle_times must be positive and finite".into());
                 }
+                let lt = p.link_time.unwrap_or(1.0);
                 p.procs = Some(ct.len());
-                p.cycle_times = Some(ct);
-                p.link_time = Some(p.link_time.unwrap_or(1.0));
+                p.cycle_times = Some(ct.clone());
+                p.link_time = Some(lt);
                 p.links = None;
-                if p.kind == "random-connected" {
+                let built = if p.kind == "random-connected" {
                     let prob = p.extra_prob.unwrap_or(0.3);
                     if !(0.0..=1.0).contains(&prob) {
                         return Err(format!("extra_prob {prob} outside [0, 1]"));
                     }
+                    let seed = p.seed.unwrap_or(0);
                     p.extra_prob = Some(prob);
-                    p.seed = Some(p.seed.unwrap_or(0));
+                    p.seed = Some(seed);
+                    topology::random_connected(ct, lt, prob, seed)
                 } else {
                     p.extra_prob = None;
                     p.seed = None;
-                }
+                    match p.kind.as_str() {
+                        "star" => topology::star(ct, lt),
+                        "ring" => topology::ring(ct, lt),
+                        _ => topology::line(ct, lt),
+                    }
+                };
+                built.map_err(|e| format!("invalid {} platform: {e}", p.kind))?
             }
             "custom" => {
                 let ct = match p.cycle_times.take() {
@@ -636,11 +708,12 @@ impl JobSpec {
                     return Err("cycle_times must be positive and finite".into());
                 }
                 let procs = ct.len();
-                let mut links = p
+                let raw = p
                     .links
                     .take()
                     .ok_or("custom platform requires `links` ([from, to, latency] triples)")?;
-                for l in &links {
+                let mut triples: Vec<(usize, usize, f64)> = Vec::with_capacity(raw.len());
+                for l in &raw {
                     let [from, to, lat] = l.as_slice() else {
                         return Err(format!(
                             "custom link {l:?} must be a [from, to, latency] triple"
@@ -661,49 +734,66 @@ impl JobSpec {
                             "custom link latency {lat} must be finite and non-negative"
                         ));
                     }
+                    triples.push((*from as usize, *to as usize, *lat));
                 }
                 // canonical: sorted by (from, to), duplicates rejected
-                links.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
-                if links
+                triples.sort_by_key(|&(from, to, _)| (from, to));
+                let duplicate = triples
                     .windows(2)
-                    .any(|w| w[0][0] == w[1][0] && w[0][1] == w[1][1])
-                {
+                    .any(|w| matches!(w, [a, b] if (a.0, a.1) == (b.0, b.1)));
+                if duplicate {
                     return Err("custom links contain a duplicate (from, to) pair".into());
                 }
+                let mut link = vec![f64::INFINITY; procs * procs];
+                for cell in link.iter_mut().step_by(procs + 1) {
+                    *cell = 0.0; // diagonal: a processor reaches itself freely
+                }
+                for &(from, to, lat) in &triples {
+                    if let Some(cell) = link.get_mut(from * procs + to) {
+                        *cell = lat;
+                    }
+                }
                 p.procs = Some(procs);
-                p.cycle_times = Some(ct);
-                p.links = Some(links);
+                p.cycle_times = Some(ct.clone());
+                p.links = Some(
+                    triples
+                        .iter()
+                        .map(|&(from, to, lat)| vec![from as f64, to as f64, lat])
+                        .collect(),
+                );
                 p.link_time = None;
                 p.extra_prob = None;
                 p.seed = None;
+                Platform::new(ct, link).map_err(|e| format!("invalid custom platform: {e}"))?
             }
             other => return Err(format!("unknown platform kind {other:?}")),
-        }
+        };
 
         // -- scheduler --------------------------------------------------
-        // One platform materialization serves both the connectivity check
-        // and ILHA's auto chunk (link matrices are procs², so building it
-        // repeatedly on the intake thread would be wasteful).
-        let platform = build_platform(&p);
         let mut s = spec.scheduler.take().unwrap_or_else(SchedulerSpec::heft);
         let routed_platform = !platform.is_fully_connected();
-        match s.kind.as_str() {
-            "heft" => s.b = None,
-            "routed-heft" => s.b = None,
+        let scheduler = match s.kind.as_str() {
+            "heft" => {
+                s.b = None;
+                ResolvedScheduler::Heft
+            }
+            "routed-heft" => {
+                s.b = None;
+                ResolvedScheduler::RoutedHeft
+            }
             "ilha" => {
-                let b = match s.b {
-                    Some(b) => b,
-                    None => match (spec.dag.kind.as_str(), &spec.dag.testbed) {
-                        ("testbed", Some(name)) => parse_testbed(name)?.paper_best_b(),
-                        // auto chunk: fix the value now so the cache key
-                        // is explicit about what ran
-                        _ => Ilha::auto(&platform).b,
-                    },
+                let b = match (s.b, &dag) {
+                    (Some(b), _) => b,
+                    (None, ResolvedDag::Testbed { tb, .. }) => tb.paper_best_b(),
+                    // auto chunk: fix the value now so the cache key is
+                    // explicit about what ran
+                    (None, _) => Ilha::auto(&platform).b,
                 };
                 if b == 0 {
                     return Err("ilha chunk size b must be at least 1".into());
                 }
                 s.b = Some(b);
+                ResolvedScheduler::Ilha(b)
             }
             "routed-ilha" => {
                 // routed platforms have no paper-tuned B; the platform's
@@ -713,9 +803,10 @@ impl JobSpec {
                     return Err("routed-ilha chunk size b must be at least 1".into());
                 }
                 s.b = Some(b);
+                ResolvedScheduler::RoutedIlha(b)
             }
             other => return Err(format!("unknown scheduler kind {other:?}")),
-        }
+        };
         let routed_scheduler = matches!(s.kind.as_str(), "routed-heft" | "routed-ilha");
         if routed_platform {
             if !routed_scheduler {
@@ -749,7 +840,14 @@ impl JobSpec {
         // participates so a validated result is never served for an
         // unvalidated submission or vice versa.
         let key = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
-        Ok(ResolvedJob { spec, key, model })
+        Ok(ResolvedJob {
+            spec,
+            key,
+            model,
+            dag,
+            platform,
+            scheduler,
+        })
     }
 }
 
@@ -767,7 +865,9 @@ fn first_unroutable_pair(
     let reach = |reverse: bool| -> Vec<bool> {
         let mut seen = vec![false; p];
         let mut stack = vec![0usize];
-        seen[0] = true;
+        if let Some(origin) = seen.first_mut() {
+            *origin = true;
+        }
         while let Some(q) = stack.pop() {
             for (r, seen_r) in seen.iter_mut().enumerate() {
                 let link = if reverse {
@@ -794,85 +894,48 @@ fn first_unroutable_pair(
         .map(|r| (ProcId(r as u32), ProcId(0)))
 }
 
-fn build_platform(p: &PlatformSpec) -> Platform {
-    match p.kind.as_str() {
-        "paper" => Platform::paper(),
-        "homogeneous" => Platform::homogeneous(p.procs.expect("resolved")),
-        "custom" => {
-            let ct = p.cycle_times.clone().expect("resolved");
-            let procs = ct.len();
-            let mut link = vec![f64::INFINITY; procs * procs];
-            for q in 0..procs {
-                link[q * procs + q] = 0.0;
-            }
-            for l in p.links.as_deref().expect("resolved") {
-                let (from, to) = (l[0] as usize, l[1] as usize);
-                link[from * procs + to] = l[2];
-            }
-            Platform::new(ct, link).expect("resolved platform parameters are valid")
-        }
-        kind => {
-            let ct = p.cycle_times.clone().expect("resolved");
-            let lt = p.link_time.expect("resolved");
-            match kind {
-                "star" => topology::star(ct, lt),
-                "ring" => topology::ring(ct, lt),
-                "line" => topology::line(ct, lt),
-                "random-connected" => topology::random_connected(
-                    ct,
-                    lt,
-                    p.extra_prob.expect("resolved"),
-                    p.seed.expect("resolved"),
-                ),
-                other => unreachable!("unresolved platform kind {other}"),
-            }
-            .expect("resolved platform parameters are valid")
-        }
-    }
-}
-
 impl ResolvedJob {
     /// The communication model this job runs under.
     pub fn model(&self) -> CommModel {
         self.model
     }
 
-    /// Generate the job's task graph (deterministic).
+    /// Generate the job's task graph (deterministic, infallible: every
+    /// parameter was validated and stored typed at resolution).
     pub fn build_graph(&self) -> TaskGraph {
-        let d = &self.spec.dag;
-        match d.kind.as_str() {
-            "testbed" => {
-                let tb = parse_testbed(d.testbed.as_deref().expect("resolved")).expect("resolved");
-                tb.generate(d.n.expect("resolved"), d.c.expect("resolved"))
-            }
-            "random" => {
+        match &self.dag {
+            ResolvedDag::Testbed { tb, n, c } => tb.generate(*n, *c),
+            ResolvedDag::Random {
+                layers,
+                max_width,
+                edge_prob,
+                seed,
+            } => {
                 let cfg = RandomDagConfig {
-                    layers: d.layers.expect("resolved"),
-                    max_width: d.max_width.expect("resolved"),
-                    edge_prob: d.edge_prob.expect("resolved"),
+                    layers: *layers,
+                    max_width: *max_width,
+                    edge_prob: *edge_prob,
                     ..RandomDagConfig::default()
                 };
-                random_layered(&cfg, d.seed.expect("resolved"))
+                random_layered(&cfg, *seed)
             }
-            "toy" => onesched_testbeds::toy(),
-            other => unreachable!("unresolved dag kind {other}"),
+            ResolvedDag::Toy => onesched_testbeds::toy(),
         }
     }
 
-    /// Build the job's platform (deterministic).
+    /// The job's platform (deterministic, infallible: materialized once at
+    /// resolution and cloned per run).
     pub fn build_platform(&self) -> Platform {
-        build_platform(self.spec.platform.as_ref().expect("resolved"))
+        self.platform.clone()
     }
 
-    /// Instantiate the job's scheduler.
+    /// Instantiate the job's scheduler (infallible).
     pub fn build_scheduler(&self) -> Box<dyn Scheduler> {
-        let s = self.spec.scheduler.as_ref().expect("resolved");
-        match s.kind.as_str() {
-            "heft" => Box::new(Heft::new()),
-            "ilha" => Box::new(Ilha::new(s.b.expect("resolved"))),
-            "routed-heft" => Box::new(RoutedHeft::new()),
-            "routed-ilha" => Box::new(RoutedIlha::new(s.b.expect("resolved"))),
-            other => unreachable!("unresolved scheduler kind {other}"),
+        match self.scheduler {
+            ResolvedScheduler::Heft => Box::new(Heft::new()),
+            ResolvedScheduler::Ilha(b) => Box::new(Ilha::new(b)),
+            ResolvedScheduler::RoutedHeft => Box::new(RoutedHeft::new()),
+            ResolvedScheduler::RoutedIlha(b) => Box::new(RoutedIlha::new(b)),
         }
     }
 }

@@ -145,16 +145,24 @@ pub fn run_sweep_repeated(
                     break;
                 }
                 let r = run_job(&jobs[i], &platform, model, repeats.max(1));
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                let mut slot = slots[i]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                *slot = Some(r);
             });
         }
     });
+    // Every index was claimed by exactly one worker (the atomic counter hands
+    // each out once and the scope joins before we get here), but a worker
+    // that panicked mid-job leaves its slot empty — recompute such a job
+    // serially rather than panicking the sweep.
     slots
         .into_iter()
-        .map(|m| {
+        .zip(jobs)
+        .map(|(m, job)| {
             m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was claimed by a worker")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .unwrap_or_else(|| run_job(job, &platform, model, repeats.max(1)))
         })
         .collect()
 }

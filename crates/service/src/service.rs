@@ -21,14 +21,32 @@ use crate::protocol::{
     SimResultResponse, PROTOCOL_VERSION,
 };
 use crate::queue::PriorityQueue;
+use serde::Serialize;
 use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// A line-oriented output shared between the intake thread and the workers.
 pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Lock a mutex, recovering from poisoning. Everything the daemon guards —
+/// counters, caches, the queue, a writer — is valid at every instruction
+/// boundary, so a panicking thread elsewhere must not cascade into wedging
+/// the rest of the worker pool.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Serialize a response line. The response types cannot fail to serialize,
+/// but the answer path must never panic a worker, so the impossible case
+/// degrades to a fixed protocol error line.
+fn to_line<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| {
+        r#"{"op":"error","message":"internal: response serialization failed"}"#.to_string()
+    })
+}
 
 /// Default bound on queued jobs (see [`ServiceConfig::queue_cap`]).
 pub const DEFAULT_QUEUE_CAP: usize = 16_384;
@@ -123,7 +141,7 @@ impl Service {
         // its lock acquisition (it will see the flag) or parked in
         // `ready.wait` (it will get this notification) — never in between,
         // which would lose the wakeup and hang the scoped join forever.
-        let _guard = self.queue.lock().expect("queue poisoned");
+        let _guard = lock(&self.queue);
         self.ready.notify_all();
     }
 
@@ -133,10 +151,7 @@ impl Service {
     /// CI smoke test and shell pipelines use.
     pub fn serve_stdio(&self) -> io::Result<()> {
         let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
-        write_line(
-            &out,
-            &serde_json::to_string(&self.ready_response("stdio")).expect("serialize ready"),
-        );
+        write_line(&out, &to_line(&self.ready_response("stdio")));
         std::thread::scope(|scope| {
             for _ in 0..self.cfg.workers {
                 scope.spawn(|| self.worker());
@@ -156,11 +171,7 @@ impl Service {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?;
-        write_line(
-            announce,
-            &serde_json::to_string(&self.ready_response(&bound.to_string()))
-                .expect("serialize ready"),
-        );
+        write_line(announce, &to_line(&self.ready_response(&bound.to_string())));
         std::thread::scope(|scope| -> io::Result<()> {
             for _ in 0..self.cfg.workers {
                 scope.spawn(|| self.worker());
@@ -297,7 +308,7 @@ impl Service {
                 // depth check and the push are atomic, and reject with a
                 // protocol error once the cap is reached.
                 {
-                    let mut q = self.queue.lock().expect("queue poisoned");
+                    let mut q = lock(&self.queue);
                     if q.len() >= self.cfg.queue_cap {
                         drop(q);
                         self.respond_error(
@@ -315,23 +326,23 @@ impl Service {
                 self.ready.notify_one();
             }
             "stats" => {
-                let queue_depth = self.queue.lock().expect("queue poisoned").len();
+                let queue_depth = lock(&self.queue).len();
                 let (cache_size, evictions) = {
-                    let r = self.registry.lock().expect("registry poisoned");
+                    let r = lock(&self.registry);
                     (r.len(), r.evictions)
                 };
                 let (sim_cache_size, sim_evictions) = {
-                    let r = self.sim_registry.lock().expect("registry poisoned");
+                    let r = lock(&self.sim_registry);
                     (r.len(), r.evictions)
                 };
-                let snap = self.stats.lock().expect("stats poisoned").snapshot(
+                let snap = lock(&self.stats).snapshot(
                     queue_depth,
                     cache_size,
                     sim_cache_size,
                     evictions + sim_evictions,
                     self.started.elapsed(),
                 );
-                write_line(out, &serde_json::to_string(&snap).expect("serialize stats"));
+                write_line(out, &to_line(&snap));
             }
             "shutdown" => {
                 self.begin_shutdown();
@@ -339,7 +350,7 @@ impl Service {
                     op: "ok".into(),
                     message: "shutting down; draining queued jobs".into(),
                 };
-                write_line(out, &serde_json::to_string(&ack).expect("serialize ack"));
+                write_line(out, &to_line(&ack));
             }
             other => {
                 self.respond_error(out, req.id, format!("unknown op {other:?}"));
@@ -348,13 +359,13 @@ impl Service {
     }
 
     fn respond_error(&self, out: &SharedWriter, id: Option<String>, message: String) {
-        self.stats.lock().expect("stats poisoned").errors += 1;
+        lock(&self.stats).errors += 1;
         let resp = ErrorResponse {
             op: "error".into(),
             id,
             message,
         };
-        write_line(out, &serde_json::to_string(&resp).expect("serialize error"));
+        write_line(out, &to_line(&resp));
     }
 
     /// Worker loop: claim the highest-priority job, serve it from the cache
@@ -363,7 +374,7 @@ impl Service {
     fn worker(&self) {
         loop {
             let ticket = {
-                let mut q = self.queue.lock().expect("queue poisoned");
+                let mut q = lock(&self.queue);
                 loop {
                     if let Some(t) = q.pop() {
                         break t;
@@ -371,7 +382,10 @@ impl Service {
                     if self.is_shutdown() {
                         return;
                     }
-                    q = self.ready.wait(q).expect("queue poisoned");
+                    q = match self.ready.wait(q) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
                 }
             };
             self.run_ticket(ticket);
@@ -386,26 +400,18 @@ impl Service {
     }
 
     fn run_schedule_ticket(&self, id: &str, job: &ResolvedJob, out: &SharedWriter) {
-        let cached = self
-            .registry
-            .lock()
-            .expect("registry poisoned")
-            .get(&job.key)
-            .cloned();
+        let cached = lock(&self.registry).get(&job.key).cloned();
         let (outcome, cache_hit) = match cached {
             Some(outcome) => (outcome, true),
             None => {
                 // run WITHOUT holding any lock: construction is the slow part
                 let outcome = run_job(job);
-                self.registry
-                    .lock()
-                    .expect("registry poisoned")
-                    .insert(job.key.clone(), outcome.clone());
+                lock(&self.registry).insert(job.key.clone(), outcome.clone());
                 (outcome, false)
             }
         };
         {
-            let mut stats = self.stats.lock().expect("stats poisoned");
+            let mut stats = lock(&self.stats);
             stats.jobs_done += 1;
             if cache_hit {
                 stats.cache_hits += 1;
@@ -427,10 +433,7 @@ impl Service {
             cache_hit,
             violations: outcome.violations,
         };
-        write_line(
-            out,
-            &serde_json::to_string(&resp).expect("serialize result"),
-        );
+        write_line(out, &to_line(&resp));
     }
 
     fn run_sim_ticket(&self, id: &str, job: &ResolvedJob, sim: &ResolvedSim, out: &SharedWriter) {
@@ -438,25 +441,25 @@ impl Service {
         // the same schedule under a different seed or policy is a
         // different deterministic experiment.
         let key = format!("{}|{}", job.key, sim.key);
-        let cached = self
-            .sim_registry
-            .lock()
-            .expect("registry poisoned")
-            .get(&key)
-            .cloned();
+        let cached = lock(&self.sim_registry).get(&key).cloned();
         let (outcome, cache_hit) = match cached {
             Some(outcome) => (outcome, true),
-            None => {
-                let outcome = run_sim_job(job, sim);
-                self.sim_registry
-                    .lock()
-                    .expect("registry poisoned")
-                    .insert(key, outcome.clone());
-                (outcome, false)
-            }
+            None => match run_sim_job(job, sim) {
+                Ok(outcome) => {
+                    lock(&self.sim_registry).insert(key, outcome.clone());
+                    (outcome, false)
+                }
+                // The engine refused the schedule: answer with a protocol
+                // error instead of panicking the worker. No outcome is
+                // cached (the job stays retryable after a fix).
+                Err(e) => {
+                    self.respond_error(out, Some(id.to_string()), format!("execution failed: {e}"));
+                    return;
+                }
+            },
         };
         {
-            let mut stats = self.stats.lock().expect("stats poisoned");
+            let mut stats = lock(&self.stats);
             stats.jobs_done += 1;
             stats.sims_done += 1;
             if cache_hit {
@@ -483,10 +486,7 @@ impl Service {
             cache_hit,
             violations: outcome.job.violations,
         };
-        write_line(
-            out,
-            &serde_json::to_string(&resp).expect("serialize sim result"),
-        );
+        write_line(out, &to_line(&resp));
     }
 }
 
@@ -495,7 +495,7 @@ impl Service {
 /// complete. Write errors are swallowed: a vanished client must not take a
 /// worker down.
 fn write_line(out: &SharedWriter, line: &str) {
-    let mut w = out.lock().expect("writer poisoned");
+    let mut w = lock(out);
     let _ = w.write_all(line.as_bytes());
     let _ = w.write_all(b"\n");
     let _ = w.flush();

@@ -138,7 +138,7 @@ impl Schedule {
 
     /// Number of distinct processors actually used.
     pub fn procs_used(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for p in self.task_placements() {
             seen.insert(p.proc);
         }
