@@ -99,23 +99,49 @@ pub struct SimOutcome {
     pub exec: Duration,
 }
 
+/// Why [`run_sim_job`] did not produce a simulation outcome.
+#[derive(Debug)]
+pub enum SimRunError {
+    /// The job's wall-clock deadline passed after construction, before
+    /// the engine ran. Carries the construction outcome so the schedule
+    /// cache still benefits from the work already done.
+    DeadlineExceeded(Box<JobOutcome>),
+    /// The engine refused the schedule (the daemon turns this into an
+    /// `error` response instead of losing a worker).
+    Exec(onesched_exec::ExecError),
+}
+
+impl std::fmt::Display for SimRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimRunError::DeadlineExceeded(_) => write!(f, "deadline exceeded"),
+            SimRunError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
 /// Execute a resolved simulate job: construct the schedule exactly as
 /// [`run_job`] would, then replay it through the `onesched-exec` engine
 /// under the resolved perturbation. Deterministic: equal
 /// `(job key, sim key)` pairs produce equal outcomes up to the timings.
 ///
-/// Construction from a resolved job cannot fail, but the engine's own
-/// validation is the last line of defense: rather than asserting that
-/// constructed schedules replay, any [`onesched_exec::ExecError`] is
-/// carried back to the caller (the daemon turns it into an `error`
-/// response instead of losing a worker).
+/// Construction from a resolved job cannot fail, but two things can stop
+/// the simulation half: the caller's `deadline` (checked between the
+/// construction and execution stages — the per-job timeout's only
+/// preemption point inside a run) and the engine's own validation, both
+/// reported as a typed [`SimRunError`].
 pub fn run_sim_job(
     job: &ResolvedJob,
     sim: &ResolvedSim,
-) -> Result<SimOutcome, onesched_exec::ExecError> {
+    deadline: Option<Instant>,
+) -> Result<SimOutcome, SimRunError> {
     let (outcome, g, platform, sched) = construct(job);
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        return Err(SimRunError::DeadlineExceeded(Box::new(outcome)));
+    }
     let t0 = Instant::now();
-    let report = onesched_exec::execute(&g, &platform, job.model(), &sched, &sim.exec_config())?;
+    let report = onesched_exec::execute(&g, &platform, job.model(), &sched, &sim.exec_config())
+        .map_err(SimRunError::Exec)?;
     let exec = t0.elapsed();
     Ok(SimOutcome {
         job: outcome,
@@ -220,9 +246,36 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Requests answered with an error response.
     pub errors: u64,
+    /// Jobs replayed from the ledger at startup (re-queued unacknowledged
+    /// work plus rehydrated acknowledged outcomes).
+    pub jobs_recovered: u64,
+    /// Construction attempts re-queued after a worker panic.
+    pub jobs_retried: u64,
+    /// Jobs answered with a `timeout` error.
+    pub jobs_timed_out: u64,
+    /// Queued jobs evicted by admission control or the shutdown drain.
+    pub jobs_shed: u64,
     /// Latency samples keyed by scheduler display name. Ordered so the
     /// `stats` latency table is stable run to run.
     latencies: BTreeMap<String, LatencySample>,
+}
+
+/// Point-in-time gauges the service owns (the stats mutex does not), fed
+/// into [`ServiceStats::snapshot`] alongside the counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StatsGauges {
+    /// Jobs waiting in the priority queue.
+    pub queue_depth: usize,
+    /// Entries in the schedule cache.
+    pub cache_size: usize,
+    /// Entries in the simulation cache.
+    pub sim_cache_size: usize,
+    /// Evictions from either cache since startup.
+    pub cache_evictions: u64,
+    /// Current ledger size in bytes (0 without a ledger).
+    pub ledger_bytes: u64,
+    /// Ledger events appended since the daemon started.
+    pub uptime_events: u64,
 }
 
 /// Nearest-rank percentile of a *sorted* sample (`q` in `[0, 1]`).
@@ -251,17 +304,27 @@ impl ServiceStats {
         sample.max_ms = sample.max_ms.max(ms);
     }
 
+    /// Mean of the recent construction latencies across all schedulers,
+    /// in milliseconds — the per-job cost estimate behind the
+    /// `retry_after_ms` backoff hint. `fallback_ms` answers for a cold
+    /// daemon with no samples yet.
+    pub fn mean_recent_ms(&self, fallback_ms: f64) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for sample in self.latencies.values() {
+            sum += sample.recent.iter().sum::<f64>();
+            n += sample.recent.len();
+        }
+        if n == 0 {
+            fallback_ms
+        } else {
+            sum / n as f64
+        }
+    }
+
     /// Package the counters plus caller-supplied gauges as a response.
     /// Percentiles cover the most recent [`LATENCY_WINDOW`] constructions
     /// per scheduler; `count` and `max_ms` are all-time.
-    pub fn snapshot(
-        &self,
-        queue_depth: usize,
-        cache_size: usize,
-        sim_cache_size: usize,
-        cache_evictions: u64,
-        uptime: Duration,
-    ) -> StatsResponse {
+    pub fn snapshot(&self, gauges: StatsGauges, uptime: Duration) -> StatsResponse {
         // BTreeMap iteration is already in scheduler-name order, so the
         // latency table is deterministic without a sort.
         let latency: Vec<LatencyEntry> = self
@@ -282,14 +345,20 @@ impl ServiceStats {
             .collect();
         StatsResponse {
             op: "stats".into(),
-            queue_depth,
+            queue_depth: gauges.queue_depth,
             jobs_done: self.jobs_done,
             sims_done: self.sims_done,
             cache_hits: self.cache_hits,
             errors: self.errors,
-            cache_size,
-            sim_cache_size,
-            cache_evictions,
+            cache_size: gauges.cache_size,
+            sim_cache_size: gauges.sim_cache_size,
+            cache_evictions: gauges.cache_evictions,
+            jobs_recovered: self.jobs_recovered,
+            jobs_retried: self.jobs_retried,
+            jobs_timed_out: self.jobs_timed_out,
+            jobs_shed: self.jobs_shed,
+            ledger_bytes: gauges.ledger_bytes,
+            uptime_events: gauges.uptime_events,
             uptime_ms: uptime.as_secs_f64() * 1e3,
             latency,
         }
@@ -358,26 +427,45 @@ mod tests {
     fn sim_job_executes_and_zero_noise_matches_static() {
         let job = lu_job();
         let sim = crate::protocol::SimSpec::default().resolve().unwrap();
-        let a = run_sim_job(&job, &sim).expect("executes");
+        let a = run_sim_job(&job, &sim, None).expect("executes");
         assert_eq!(a.degradation, 1.0, "zero noise replays exactly");
         assert_eq!(a.executed_makespan, a.job.makespan);
         assert_eq!(a.job.violations, 0);
         // deterministic, including the executed trace
-        let b = run_sim_job(&job, &sim).expect("executes");
+        let b = run_sim_job(&job, &sim, None).expect("executes");
         assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
         assert_eq!(a.job.fingerprint, b.job.fingerprint);
         // noise moves the executed makespan but stays seed-deterministic
         let noisy = crate::protocol::SimSpec::noise("list-dynamic", 0.3, 9)
             .resolve()
             .unwrap();
-        let x = run_sim_job(&job, &noisy).expect("executes");
-        let y = run_sim_job(&job, &noisy).expect("executes");
+        let x = run_sim_job(&job, &noisy, None).expect("executes");
+        let y = run_sim_job(&job, &noisy, None).expect("executes");
         assert_eq!(x.trace_fingerprint, y.trace_fingerprint);
         assert_ne!(x.trace_fingerprint, a.trace_fingerprint);
         assert_eq!(
             x.job.fingerprint, a.job.fingerprint,
             "construction is untouched"
         );
+    }
+
+    #[test]
+    fn sim_deadline_checked_between_construct_and_execute() {
+        let job = lu_job();
+        let sim = crate::protocol::SimSpec::default().resolve().unwrap();
+        let expired = Instant::now()
+            .checked_sub(Duration::from_secs(1))
+            .unwrap_or_else(Instant::now);
+        match run_sim_job(&job, &sim, Some(expired)) {
+            Err(SimRunError::DeadlineExceeded(outcome)) => {
+                // the construction half completed and is cacheable
+                assert_eq!(outcome.fingerprint, run_job(&job).fingerprint);
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        // a generous deadline lets the run finish
+        let ok = run_sim_job(&job, &sim, Some(Instant::now() + Duration::from_secs(600)));
+        assert!(ok.is_ok());
     }
 
     #[test]
@@ -390,7 +478,17 @@ mod tests {
         let mut stats = ServiceStats::default();
         stats.record_latency("HEFT", Duration::from_millis(2));
         stats.record_latency("HEFT", Duration::from_millis(8));
-        let snap = stats.snapshot(3, 1, 2, 5, Duration::from_secs(1));
+        let snap = stats.snapshot(
+            StatsGauges {
+                queue_depth: 3,
+                cache_size: 1,
+                sim_cache_size: 2,
+                cache_evictions: 5,
+                ledger_bytes: 0,
+                uptime_events: 0,
+            },
+            Duration::from_secs(1),
+        );
         assert_eq!(snap.latency.len(), 1);
         assert_eq!(snap.latency[0].count, 2);
         assert_eq!(snap.latency[0].max_ms, 8.0);
@@ -407,7 +505,7 @@ mod tests {
         for _ in 0..LATENCY_WINDOW {
             stats.record_latency("HEFT", Duration::from_millis(1));
         }
-        let snap = stats.snapshot(0, 0, 0, 0, Duration::from_secs(1));
+        let snap = stats.snapshot(StatsGauges::default(), Duration::from_secs(1));
         let l = &snap.latency[0];
         assert_eq!(l.count, LATENCY_WINDOW as u64 + 1, "count is all-time");
         assert_eq!(l.max_ms, 100_000.0, "max is all-time");

@@ -1,0 +1,603 @@
+//! The write-ahead job ledger: an append-only NDJSON event log that makes
+//! the daemon crash-recoverable.
+//!
+//! Every accepted submission appends a `submitted` record *before* it
+//! enters the queue; each construction attempt appends `started`; the
+//! answer appends `done` (with the recorded outcome) or `failed` (with the
+//! error) *before* the response line is written to the client. Because all
+//! jobs are deterministic — generators are seeded, schedulers are pure,
+//! the engine derives noise from the request seed — recovery is cheap:
+//! [`parse_ledger`] replays the event log, acknowledged outcomes rehydrate
+//! the caches, and unacknowledged specs are simply re-run, producing
+//! bit-identical fingerprints (see `Service::recover` in
+//! [`crate::service`]).
+//!
+//! Durability model: each append is written to the kernel immediately
+//! (`write_all` on the file, no userspace buffering), so records survive a
+//! `SIGKILL` of the daemon; `sync_data` runs every
+//! [`Ledger::DEFAULT_SYNC_EVERY`] appends and on graceful shutdown to
+//! bound data loss on host power failure without paying an fsync per job.
+//!
+//! Torn tails are expected, not errors: a crash mid-`write` leaves a
+//! partial last line, and [`parse_ledger`] recovers the longest valid
+//! prefix — it stops at the first malformed record and never panics.
+//! [`Ledger::open`] then truncates the file to that prefix before
+//! appending, so one crash cannot corrupt the next session's log.
+
+use crate::cache::{JobOutcome, SimOutcome};
+use crate::protocol::{JobSpec, SimSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Ledger schema tag, recorded in every `submitted` record so a future
+/// format change can detect and migrate old logs.
+pub const LEDGER_SCHEMA: &str = "onesched-ledger/v1";
+
+/// FNV-1a 64-bit hash of a canonical spec key, as 16 hex digits. The
+/// ledger stores this digest instead of the full canonical key (which can
+/// be kilobytes for elaborate platform specs); the full spec travels in
+/// the `submitted` record and the digest joins the lifecycle events to it.
+pub fn key_hash(key: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// One ledger event. A flat record (every lifecycle stage shares the
+/// shape, distinguished by `event`) keyed by `seq`, the daemon's
+/// monotone submission counter — ids are client-chosen and may repeat, so
+/// `seq` is the join key between a submission and its lifecycle events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRecord {
+    /// `"submitted"`, `"started"`, `"done"`, or `"failed"`. Unknown events
+    /// parse fine (forward compatibility) and are ignored by recovery.
+    pub event: String,
+    /// The daemon's submission sequence number this event belongs to.
+    pub seq: u64,
+    /// Schema tag ([`LEDGER_SCHEMA`]) — `submitted` records only.
+    #[serde(default)]
+    pub schema: Option<String>,
+    /// The job id the response will carry.
+    #[serde(default)]
+    pub id: Option<String>,
+    /// Canonical-spec digest ([`key_hash`]); for simulations, the digest
+    /// of `"{job_key}|{sim_key}"`.
+    #[serde(default)]
+    pub key: Option<String>,
+    /// Submission priority — `submitted` records only.
+    #[serde(default)]
+    pub priority: Option<i64>,
+    /// The normalized job spec — `submitted` records only.
+    #[serde(default)]
+    pub job: Option<JobSpec>,
+    /// The normalized sim spec — `submitted` records for `simulate` only.
+    #[serde(default)]
+    pub sim: Option<SimSpec>,
+    /// The recorded outcome — `done` records for completed work.
+    #[serde(default)]
+    pub outcome: Option<LedgerOutcome>,
+    /// Why the job failed (`failed`) or was tombstoned (`done` without an
+    /// outcome, e.g. `"shutting-down"`).
+    #[serde(default)]
+    pub message: Option<String>,
+}
+
+impl LedgerRecord {
+    /// A `submitted` record: the durable intent to run a job.
+    pub fn submitted(
+        seq: u64,
+        id: &str,
+        key: &str,
+        priority: i64,
+        job: JobSpec,
+        sim: Option<SimSpec>,
+    ) -> LedgerRecord {
+        LedgerRecord {
+            event: "submitted".into(),
+            seq,
+            schema: Some(LEDGER_SCHEMA.into()),
+            id: Some(id.into()),
+            key: Some(key.into()),
+            priority: Some(priority),
+            job: Some(job),
+            sim,
+            outcome: None,
+            message: None,
+        }
+    }
+
+    /// A `started` record: a worker began (another) construction attempt.
+    pub fn started(seq: u64, id: &str, key: &str) -> LedgerRecord {
+        LedgerRecord {
+            event: "started".into(),
+            seq,
+            schema: None,
+            id: Some(id.into()),
+            key: Some(key.into()),
+            priority: None,
+            job: None,
+            sim: None,
+            outcome: None,
+            message: None,
+        }
+    }
+
+    /// A `done` record: the job was answered. Carries the outcome for real
+    /// completions; tombstones (shed, shutting-down) carry a `message`
+    /// instead.
+    pub fn done(
+        seq: u64,
+        id: &str,
+        key: &str,
+        outcome: Option<LedgerOutcome>,
+        message: Option<String>,
+    ) -> LedgerRecord {
+        LedgerRecord {
+            event: "done".into(),
+            seq,
+            schema: None,
+            id: Some(id.into()),
+            key: Some(key.into()),
+            priority: None,
+            job: None,
+            sim: None,
+            outcome,
+            message,
+        }
+    }
+
+    /// A `failed` record: the job was answered with a protocol error
+    /// (execution failure, timeout, poison).
+    pub fn failed(seq: u64, id: &str, key: &str, message: String) -> LedgerRecord {
+        LedgerRecord {
+            event: "failed".into(),
+            seq,
+            schema: None,
+            id: Some(id.into()),
+            key: Some(key.into()),
+            priority: None,
+            job: None,
+            sim: None,
+            outcome: None,
+            message: Some(message),
+        }
+    }
+}
+
+/// A recorded outcome as it appears in a `done` record: the
+/// [`JobOutcome`] fields (fingerprint as 16 hex digits, duration as
+/// milliseconds) plus the simulation half for `simulate` jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerOutcome {
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Number of tasks scheduled.
+    pub tasks: usize,
+    /// Schedule makespan.
+    pub makespan: f64,
+    /// Speedup over sequential.
+    pub speedup: f64,
+    /// Number of effective communications.
+    pub effective_comms: usize,
+    /// Placement fingerprint, 16 hex digits.
+    pub fingerprint: String,
+    /// Construction wall-clock, milliseconds.
+    pub construct_ms: f64,
+    /// Validator violations.
+    pub violations: usize,
+    /// Dispatch policy — simulations only.
+    #[serde(default)]
+    pub policy: Option<String>,
+    /// Perturbation seed — simulations only.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Executed makespan — simulations only.
+    #[serde(default)]
+    pub executed_makespan: Option<f64>,
+    /// Executed/static makespan ratio — simulations only.
+    #[serde(default)]
+    pub degradation: Option<f64>,
+    /// Executed-trace fingerprint, 16 hex digits — simulations only.
+    #[serde(default)]
+    pub trace_fingerprint: Option<String>,
+    /// Engine wall-clock, milliseconds — simulations only.
+    #[serde(default)]
+    pub exec_ms: Option<f64>,
+}
+
+/// Parse 16 hex digits back to the u64 fingerprint.
+fn parse_fingerprint(hex: &str) -> Option<u64> {
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Milliseconds back to a `Duration`, rejecting nothing: negative or
+/// non-finite values (impossible from our own writer, but the ledger is
+/// client-editable bytes on disk) degrade to zero instead of panicking.
+fn duration_from_ms(ms: f64) -> Duration {
+    Duration::try_from_secs_f64((ms / 1e3).max(0.0)).unwrap_or_default()
+}
+
+impl LedgerOutcome {
+    /// Record a construction outcome.
+    pub fn from_job(o: &JobOutcome) -> LedgerOutcome {
+        LedgerOutcome {
+            scheduler: o.scheduler.clone(),
+            tasks: o.tasks,
+            makespan: o.makespan,
+            speedup: o.speedup,
+            effective_comms: o.effective_comms,
+            fingerprint: format!("{:016x}", o.fingerprint),
+            construct_ms: o.construct.as_secs_f64() * 1e3,
+            violations: o.violations,
+            policy: None,
+            seed: None,
+            executed_makespan: None,
+            degradation: None,
+            trace_fingerprint: None,
+            exec_ms: None,
+        }
+    }
+
+    /// Record a construct-then-execute outcome.
+    pub fn from_sim(o: &SimOutcome) -> LedgerOutcome {
+        LedgerOutcome {
+            policy: Some(o.policy.clone()),
+            seed: Some(o.seed),
+            executed_makespan: Some(o.executed_makespan),
+            degradation: Some(o.degradation),
+            trace_fingerprint: Some(format!("{:016x}", o.trace_fingerprint)),
+            exec_ms: Some(o.exec.as_secs_f64() * 1e3),
+            ..LedgerOutcome::from_job(&o.job)
+        }
+    }
+
+    /// Rehydrate the construction outcome, if the record is well-formed.
+    pub fn to_job(&self) -> Option<JobOutcome> {
+        Some(JobOutcome {
+            scheduler: self.scheduler.clone(),
+            tasks: self.tasks,
+            makespan: self.makespan,
+            speedup: self.speedup,
+            effective_comms: self.effective_comms,
+            fingerprint: parse_fingerprint(&self.fingerprint)?,
+            construct: duration_from_ms(self.construct_ms),
+            violations: self.violations,
+        })
+    }
+
+    /// Rehydrate the simulation outcome, if this record carries one.
+    pub fn to_sim(&self) -> Option<SimOutcome> {
+        Some(SimOutcome {
+            job: self.to_job()?,
+            policy: self.policy.clone()?,
+            seed: self.seed?,
+            executed_makespan: self.executed_makespan?,
+            degradation: self.degradation?,
+            trace_fingerprint: parse_fingerprint(self.trace_fingerprint.as_deref()?)?,
+            exec: duration_from_ms(self.exec_ms?),
+        })
+    }
+}
+
+/// The result of reading a ledger file: the longest valid prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<LedgerRecord>,
+    /// Byte length of the valid prefix ([`Ledger::open`] truncates the
+    /// file to this before appending).
+    pub valid_bytes: u64,
+    /// Whether anything followed the valid prefix (a torn write or
+    /// corruption that was discarded).
+    pub torn: bool,
+}
+
+/// Parse ledger bytes tolerantly: complete, well-formed NDJSON lines are
+/// records; everything at and after the first malformed or unterminated
+/// line is discarded (`torn`). Never panics, never errors — a corrupt
+/// ledger yields the longest valid prefix, possibly empty.
+pub fn parse_ledger(bytes: &[u8]) -> Replay {
+    let mut records = Vec::new();
+    let mut valid_bytes: u64 = 0;
+    let mut torn = false;
+    for chunk in bytes.split_inclusive(|&b| b == b'\n') {
+        // An unterminated final chunk is a torn write: the record was cut
+        // mid-line, so its bytes cannot parse as a complete JSON object.
+        let Some((&last, body)) = chunk.split_last() else {
+            break;
+        };
+        if last != b'\n' {
+            torn = true;
+            break;
+        }
+        let parsed = std::str::from_utf8(body)
+            .ok()
+            .map(|text| text.strip_suffix('\r').unwrap_or(text))
+            .and_then(|text| serde_json::from_str::<LedgerRecord>(text).ok());
+        match parsed {
+            Some(record) => {
+                records.push(record);
+                valid_bytes += chunk.len() as u64;
+            }
+            None => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    Replay {
+        records,
+        valid_bytes,
+        torn,
+    }
+}
+
+/// A ledger I/O failure, with the operation and path that failed. The
+/// *reader* never produces one (corruption is tolerated, not reported);
+/// only opening and appending touch the filesystem.
+#[derive(Debug)]
+pub struct LedgerError {
+    op: &'static str,
+    path: PathBuf,
+    source: std::io::Error,
+}
+
+impl LedgerError {
+    fn new(op: &'static str, path: &Path, source: std::io::Error) -> LedgerError {
+        LedgerError {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ledger {} failed for {}: {}",
+            self.op,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for LedgerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The append half of the ledger: an open file positioned after the valid
+/// prefix, with fsync batching.
+#[derive(Debug)]
+pub struct Ledger {
+    file: File,
+    path: PathBuf,
+    sync_every: u64,
+    unsynced: u64,
+    bytes: u64,
+    appended: u64,
+}
+
+impl Ledger {
+    /// How many appends between `sync_data` calls by default. Every append
+    /// still reaches the kernel immediately (SIGKILL-safe); the batch only
+    /// amortizes the disk flush that guards against power loss.
+    pub const DEFAULT_SYNC_EVERY: u64 = 64;
+
+    /// Open (creating if absent) the ledger at `path`: read and return the
+    /// valid prefix, truncate any torn tail, and position the writer at
+    /// the end of the prefix.
+    pub fn open(path: &Path) -> Result<(Ledger, Replay), LedgerError> {
+        Ledger::open_with(path, Ledger::DEFAULT_SYNC_EVERY)
+    }
+
+    /// [`Ledger::open`] with an explicit fsync batch size (`0` behaves
+    /// as `1`: sync on every append).
+    pub fn open_with(path: &Path, sync_every: u64) -> Result<(Ledger, Replay), LedgerError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(LedgerError::new("read", path, e)),
+        };
+        let replay = parse_ledger(&bytes);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| LedgerError::new("open", path, e))?;
+        file.set_len(replay.valid_bytes)
+            .map_err(|e| LedgerError::new("truncate", path, e))?;
+        file.seek(SeekFrom::Start(replay.valid_bytes))
+            .map_err(|e| LedgerError::new("seek", path, e))?;
+        Ok((
+            Ledger {
+                file,
+                path: path.to_path_buf(),
+                sync_every: sync_every.max(1),
+                unsynced: 0,
+                bytes: replay.valid_bytes,
+                appended: 0,
+            },
+            replay,
+        ))
+    }
+
+    /// Append one record as a complete NDJSON line, writing it through to
+    /// the kernel before returning.
+    pub fn append(&mut self, record: &LedgerRecord) -> Result<(), LedgerError> {
+        let mut line = serde_json::to_string(record).map_err(|e| {
+            LedgerError::new(
+                "serialize",
+                &self.path,
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+            )
+        })?;
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| LedgerError::new("append", &self.path, e))?;
+        self.bytes += line.len() as u64;
+        self.appended += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush pending appends to stable storage (`sync_data`).
+    pub fn sync(&mut self) -> Result<(), LedgerError> {
+        self.file
+            .sync_data()
+            .map_err(|e| LedgerError::new("sync", &self.path, e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Current ledger size in bytes (valid prefix plus appends).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records appended through this handle (excludes the replayed
+    /// prefix).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The ledger file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::DagSpec;
+    use onesched_testbeds::Testbed;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            dag: DagSpec::testbed(Testbed::Lu, 10),
+            platform: None,
+            scheduler: None,
+            model: None,
+            validate: false,
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "onesched-ledger-test-{}-{tag}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn record_round_trips_through_ndjson() {
+        let rec = LedgerRecord::submitted(7, "job-7", &key_hash("k"), 3, spec(), None);
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: LedgerRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.schema.as_deref(), Some(LEDGER_SCHEMA));
+    }
+
+    #[test]
+    fn parse_recovers_longest_valid_prefix() {
+        let a = serde_json::to_string(&LedgerRecord::started(0, "a", "k")).unwrap();
+        let b = serde_json::to_string(&LedgerRecord::started(1, "b", "k")).unwrap();
+        let full = format!("{a}\n{b}\n");
+        let clean = parse_ledger(full.as_bytes());
+        assert_eq!(clean.records.len(), 2);
+        assert_eq!(clean.valid_bytes, full.len() as u64);
+        assert!(!clean.torn);
+        // a torn third line: everything before it survives
+        let torn = format!("{full}{{\"event\":\"sta");
+        let r = parse_ledger(torn.as_bytes());
+        assert_eq!(r.records, clean.records);
+        assert_eq!(r.valid_bytes, full.len() as u64);
+        assert!(r.torn);
+        // garbage mid-file: the prefix before it survives, the valid
+        // record after it is sacrificed (append-only logs cannot skip)
+        let poisoned = format!("{a}\nnot json\n{b}\n");
+        let r = parse_ledger(poisoned.as_bytes());
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.valid_bytes, (a.len() + 1) as u64);
+        assert!(r.torn);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_appends_cleanly() {
+        let path = temp_path("truncate");
+        let rec = LedgerRecord::submitted(0, "x", "deadbeef", 0, spec(), None);
+        {
+            let (mut ledger, replay) = Ledger::open(&path).unwrap();
+            assert!(replay.records.is_empty());
+            ledger.append(&rec).unwrap();
+            ledger.sync().unwrap();
+        }
+        // simulate a crash mid-append
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"done\",\"se").unwrap();
+        }
+        let (ledger, replay) = Ledger::open(&path).unwrap();
+        assert_eq!(replay.records, vec![rec.clone()]);
+        assert!(replay.torn);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(clean_len, replay.valid_bytes, "tail truncated on open");
+        assert_eq!(ledger.bytes(), replay.valid_bytes);
+        drop(ledger);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn outcome_round_trips_job_and_sim_halves() {
+        let job = JobOutcome {
+            scheduler: "HEFT".into(),
+            tasks: 55,
+            makespan: 123.5,
+            speedup: 3.25,
+            effective_comms: 40,
+            fingerprint: 0xdead_beef_cafe_f00d,
+            construct: Duration::from_millis(12),
+            violations: 0,
+        };
+        let rec = LedgerOutcome::from_job(&job);
+        assert_eq!(rec.to_job(), Some(job.clone()));
+        assert_eq!(rec.to_sim(), None, "no sim half recorded");
+        let sim = SimOutcome {
+            job,
+            policy: "static-order".into(),
+            seed: 9,
+            executed_makespan: 130.0,
+            degradation: 1.05,
+            trace_fingerprint: 0x0123_4567_89ab_cdef,
+            exec: Duration::from_millis(3),
+        };
+        let rec = LedgerOutcome::from_sim(&sim);
+        assert_eq!(rec.to_sim(), Some(sim));
+        // a hand-edited fingerprint that is not hex refuses to rehydrate
+        let mut bad = rec.clone();
+        bad.fingerprint = "zz".into();
+        assert_eq!(bad.to_job(), None);
+    }
+}

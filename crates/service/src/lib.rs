@@ -11,6 +11,10 @@
 //!   by resolved job, the deterministic job executor, and service
 //!   statistics (queue depth, cache hits, per-scheduler latency
 //!   percentiles);
+//! * [`ledger`] — the append-only write-ahead job ledger (NDJSON events
+//!   with a torn-tail-tolerant reader) that makes the daemon
+//!   crash-recoverable: restarts replay unacknowledged jobs and rehydrate
+//!   the caches from acknowledged outcomes;
 //! * [`service`] — the daemon core: a `std::thread::scope` worker pool
 //!   over stdio or TCP intake, streaming one JSON result line per job;
 //! * [`workloads`] — generators for service-scale scenarios: random
@@ -56,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod ledger;
 pub mod protocol;
 pub mod queue;
 pub mod runner;

@@ -1037,6 +1037,30 @@ pub struct StatsResponse {
     pub sim_cache_size: usize,
     /// Entries evicted from either cache since startup.
     pub cache_evictions: u64,
+    /// Jobs replayed from the ledger at startup (unacknowledged work
+    /// re-queued plus acknowledged outcomes rehydrated into the caches).
+    #[serde(default)]
+    pub jobs_recovered: u64,
+    /// Construction attempts re-queued after a worker panic (bounded by
+    /// `--max-retries`).
+    #[serde(default)]
+    pub jobs_retried: u64,
+    /// Jobs answered with a `timeout` error because their wall-clock
+    /// deadline (`--timeout-ms`) passed.
+    #[serde(default)]
+    pub jobs_timed_out: u64,
+    /// Queued jobs evicted by admission control (answered `overloaded`)
+    /// or drained at shutdown (answered `shutting-down`).
+    #[serde(default)]
+    pub jobs_shed: u64,
+    /// Current ledger file size in bytes (0 when running without
+    /// `--ledger`).
+    #[serde(default)]
+    pub ledger_bytes: u64,
+    /// Ledger events appended since this daemon started (recovery
+    /// tombstones included; the replayed prefix is not).
+    #[serde(default)]
+    pub uptime_events: u64,
     /// Milliseconds since the daemon started.
     pub uptime_ms: f64,
     /// Per-scheduler construction-latency percentiles (cache hits are
@@ -1063,8 +1087,9 @@ pub struct LatencyEntry {
     pub max_ms: f64,
 }
 
-/// Request failure (op `"error"`): unparseable line, invalid spec, or
-/// unknown op. The offending submission's id is echoed when known.
+/// Request failure (op `"error"`): unparseable line, invalid spec, unknown
+/// op, or a robustness rejection (overload, timeout, poison, shutdown).
+/// The offending submission's id is echoed when known.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorResponse {
     /// Always `"error"`.
@@ -1074,6 +1099,16 @@ pub struct ErrorResponse {
     pub id: Option<String>,
     /// Human-readable reason.
     pub message: String,
+    /// Machine-readable error class for clients that branch on failures:
+    /// `"queue-full"`, `"overloaded"`, `"timeout"`, `"shutting-down"`,
+    /// `"poisoned"`, or absent for plain request errors.
+    #[serde(default)]
+    pub kind: Option<String>,
+    /// For `"overloaded"`/`"queue-full"`: a backoff hint in milliseconds,
+    /// estimated from the current queue depth, the worker count, and
+    /// recent construction latency.
+    #[serde(default)]
+    pub retry_after_ms: Option<f64>,
 }
 
 /// Plain acknowledgement (op `"ok"`), e.g. for `shutdown`.

@@ -4,52 +4,32 @@
 //! wins (each push gets a monotone sequence number, so starvation within a
 //! priority class is impossible and result order is deterministic for a
 //! single-worker daemon).
+//!
+//! The queue is an ordered map rather than a binary heap so admission
+//! control can also evict from the *bottom*: [`PriorityQueue::shed_lowest`]
+//! removes the lowest-priority, most-recently-submitted entry — the
+//! mirror image of [`PriorityQueue::pop`] — which is what load shedding
+//! wants (sacrifice the newest low-priority work, keep the oldest).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
 
 /// A `(priority, arrival)`-ordered queue of jobs.
+///
+/// Keys sort by `(Reverse(priority), seq)`: the first map entry is the
+/// highest-priority, earliest-submitted item and the last entry is the
+/// lowest-priority, latest-submitted item. `seq` is unique per queue, so
+/// the order is total and values never participate in comparisons.
 #[derive(Debug)]
 pub struct PriorityQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    map: BTreeMap<(Reverse<i64>, u64), T>,
     next_seq: u64,
 }
-
-#[derive(Debug)]
-struct Entry<T> {
-    priority: i64,
-    seq: u64,
-    item: T,
-}
-
-// Order by priority (max first), then by arrival (min first). `seq` is
-// unique per queue, so the order is total and `item` never participates.
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.priority
-            .cmp(&other.priority)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl<T> Eq for Entry<T> {}
 
 impl<T> Default for PriorityQueue<T> {
     fn default() -> Self {
         PriorityQueue {
-            heap: BinaryHeap::new(),
+            map: BTreeMap::new(),
             next_seq: 0,
         }
     }
@@ -65,26 +45,35 @@ impl<T> PriorityQueue<T> {
     pub fn push(&mut self, priority: i64, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            priority,
-            seq,
-            item,
-        });
+        self.map.insert((Reverse(priority), seq), item);
     }
 
     /// Dequeue the highest-priority, earliest-submitted item.
     pub fn pop(&mut self) -> Option<T> {
-        self.heap.pop().map(|e| e.item)
+        self.map.pop_first().map(|(_, item)| item)
+    }
+
+    /// Evict the lowest-priority, most-recently-submitted item, returning
+    /// it with its priority. This is the load-shedding victim: among the
+    /// least-important work, the entry that has waited the shortest time.
+    pub fn shed_lowest(&mut self) -> Option<(i64, T)> {
+        self.map.pop_last().map(|((Reverse(p), _), item)| (p, item))
+    }
+
+    /// Priority of the entry [`PriorityQueue::shed_lowest`] would evict
+    /// (the minimum priority currently queued), if any.
+    pub fn min_priority(&self) -> Option<i64> {
+        self.map.last_key_value().map(|((Reverse(p), _), _)| *p)
     }
 
     /// Number of queued items.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.map.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.map.is_empty()
     }
 }
 
@@ -118,5 +107,31 @@ mod tests {
         assert_eq!(q.pop(), Some(4));
         assert_eq!(q.pop(), None);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn shed_takes_lowest_priority_newest_first() {
+        let mut q = PriorityQueue::new();
+        q.push(0, "low-old");
+        q.push(5, "high");
+        q.push(0, "low-new");
+        assert_eq!(q.min_priority(), Some(0));
+        assert_eq!(q.shed_lowest(), Some((0, "low-new")));
+        assert_eq!(q.shed_lowest(), Some((0, "low-old")));
+        assert_eq!(q.min_priority(), Some(5));
+        assert_eq!(q.shed_lowest(), Some((5, "high")));
+        assert_eq!(q.shed_lowest(), None);
+        assert_eq!(q.min_priority(), None);
+    }
+
+    #[test]
+    fn shed_and_pop_are_opposite_ends() {
+        let mut q = PriorityQueue::new();
+        for p in [3, 1, 2, 1, 3] {
+            q.push(p, p);
+        }
+        assert_eq!(q.pop(), Some(3), "pop takes the top");
+        assert_eq!(q.shed_lowest(), Some((1, 1)), "shed takes the bottom");
+        assert_eq!(q.len(), 3);
     }
 }

@@ -141,13 +141,13 @@ pub fn run_sweep_repeated(
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
+                // the atomic counter can exceed jobs.len(); .get() is both
+                // the bounds check and the loop exit
+                let Some((job, slot)) = jobs.get(i).zip(slots.get(i)) else {
                     break;
-                }
-                let r = run_job(&jobs[i], &platform, model, repeats.max(1));
-                let mut slot = slots[i]
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                };
+                let r = run_job(job, &platform, model, repeats.max(1));
+                let mut slot = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
                 *slot = Some(r);
             });
         }

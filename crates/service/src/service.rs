@@ -1,5 +1,6 @@
 //! The long-running scheduling daemon: request intake, the priority queue,
-//! the worker pool, and result streaming.
+//! the worker pool, result streaming — and the robustness layer that keeps
+//! all of it alive across crashes and overload.
 //!
 //! Architecture (the scheduler/runner split of dslab, adapted to a
 //! service): schedulers stay pure functions of `(graph, platform, model)`;
@@ -14,16 +15,45 @@
 //! writer's lock as one complete line, so concurrent jobs never interleave
 //! bytes within a line. Responses stream in *completion* order (priority
 //! first), not submission order — clients match results by `id`.
+//!
+//! ## Durability and graceful degradation
+//!
+//! With `--ledger PATH` every accepted job is written ahead to an
+//! append-only NDJSON event log ([`crate::ledger`]) *before* it enters the
+//! queue, and its outcome is recorded *before* the response line goes out.
+//! On startup [`Service::with_ledger`] replays the log: acknowledged
+//! outcomes rehydrate the schedule/sim caches, unacknowledged jobs
+//! re-enter the queue in their original priority/FIFO order, and jobs that
+//! took the daemon down more than `max_retries` times are tombstoned as
+//! poison instead of crash-looping. Because every job is deterministic,
+//! recovery is just re-running specs — restarted results are bit-identical
+//! to an uninterrupted run (the fault-injection harness in
+//! `tests/service_recovery.rs` SIGKILLs the daemon mid-batch to prove it).
+//!
+//! Under load the daemon degrades in stages rather than falling over: past
+//! the queue's high-water mark new work competes by priority (the
+//! lowest-priority newest entry is shed with an `overloaded` error and a
+//! `retry_after_ms` hint), at the hard cap submissions are rejected
+//! outright, per-job wall-clock deadlines turn stragglers into `timeout`
+//! errors, and a worker panic re-queues the job at reduced priority
+//! (deterministic backoff by position, not wall-clock) up to `max_retries`
+//! before the job is poisoned.
 
-use crate::cache::{run_job, run_sim_job, Registry, ServiceStats, SimOutcome};
+use crate::cache::{
+    run_job, run_sim_job, Registry, ServiceStats, SimOutcome, SimRunError, StatsGauges,
+};
+use crate::ledger::{key_hash, Ledger, LedgerError, LedgerOutcome, LedgerRecord, Replay};
 use crate::protocol::{
     AckResponse, ErrorResponse, ReadyResponse, Request, ResolvedJob, ResolvedSim, ResultResponse,
     SimResultResponse, PROTOCOL_VERSION,
 };
 use crate::queue::PriorityQueue;
 use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -48,8 +78,19 @@ fn to_line<T: Serialize>(value: &T) -> String {
     })
 }
 
+/// A writer that discards everything: where recovered (ownerless) jobs
+/// stream their results — the outcomes land in the caches and the ledger,
+/// which is what the original clients will be answered from.
+fn sink_writer() -> SharedWriter {
+    Arc::new(Mutex::new(Box::new(io::sink())))
+}
+
 /// Default bound on queued jobs (see [`ServiceConfig::queue_cap`]).
 pub const DEFAULT_QUEUE_CAP: usize = 16_384;
+
+/// Default bound on construction attempts per job (see
+/// [`ServiceConfig::max_retries`]).
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +104,19 @@ pub struct ServiceConfig {
     /// the cap are answered with a protocol `error` instead of growing the
     /// queue unboundedly — backpressure a flooding client can see.
     pub queue_cap: usize,
+    /// How many times a job that panicked a worker (or repeatedly took
+    /// the daemon down, per the ledger's `started` count) is retried
+    /// before being tombstoned as poison.
+    pub max_retries: u32,
+    /// Per-job wall-clock deadline, measured from acceptance. Checked at
+    /// dequeue and between the construct/execute stages; an expired job is
+    /// answered with a `timeout` protocol error. `None` disables it.
+    pub timeout: Option<Duration>,
+    /// Queue depth at which admission control starts shedding
+    /// lowest-priority work (`None`: three quarters of `queue_cap`).
+    /// Setting it to `queue_cap` disables shedding, leaving only the hard
+    /// cap.
+    pub high_water: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +125,9 @@ impl Default for ServiceConfig {
             workers: crate::runner::default_threads(),
             cache_capacity: 1024,
             queue_cap: DEFAULT_QUEUE_CAP,
+            max_retries: DEFAULT_MAX_RETRIES,
+            timeout: None,
+            high_water: None,
         }
     }
 }
@@ -83,16 +140,71 @@ enum Work {
     Sim(ResolvedJob, ResolvedSim),
 }
 
-/// One queued submission: the resolved work plus where its result goes.
+impl Work {
+    /// The canonical-spec digest joining this work's ledger events.
+    fn hash(&self) -> String {
+        match self {
+            Work::Job(job) => key_hash(&job.key),
+            Work::Sim(job, sim) => key_hash(&format!("{}|{}", job.key, sim.key)),
+        }
+    }
+}
+
+/// One queued submission: the resolved work plus where its result goes and
+/// the robustness bookkeeping (ledger seq, deadline, attempt count).
 struct Ticket {
+    /// The daemon's submission sequence number (the ledger join key).
+    seq: u64,
     id: String,
+    /// The priority the client asked for (retries re-queue below it).
+    priority: i64,
+    /// Construction attempts so far (in-process panics plus, for
+    /// recovered jobs, the ledger's `started` count).
+    attempts: u32,
+    /// Wall-clock deadline, when the service has a timeout configured.
+    deadline: Option<Instant>,
+    /// Canonical-spec digest ([`Work::hash`], precomputed).
+    key: String,
     work: Work,
     out: SharedWriter,
 }
 
-/// The scheduling service. Create one, then drive it with
-/// [`Service::serve_stdio`] or [`Service::serve_tcp`] (or feed request
-/// lines directly through [`Service::serve_reader`] for embedding/tests).
+/// What [`Service::with_ledger`] found and did while replaying the ledger.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Records in the ledger's valid prefix.
+    pub events_replayed: usize,
+    /// Whether a torn tail (crash mid-append) was truncated.
+    pub torn_tail: bool,
+    /// Unacknowledged jobs re-queued for execution.
+    pub jobs_requeued: usize,
+    /// Acknowledged outcomes rehydrated into the schedule/sim caches.
+    pub results_rehydrated: usize,
+    /// Jobs tombstoned as poison (`started` more than `max_retries`
+    /// times without completing).
+    pub poisoned: usize,
+    /// Submitted records whose spec no longer resolves (tombstoned).
+    pub skipped: usize,
+}
+
+/// A `submitted` record folded together with its lifecycle events during
+/// recovery.
+struct PendingSub {
+    id: String,
+    hash: String,
+    priority: i64,
+    job: crate::protocol::JobSpec,
+    sim: Option<crate::protocol::SimSpec>,
+    starts: u32,
+    resolved: bool,
+    outcome: Option<LedgerOutcome>,
+}
+
+/// The scheduling service. Create one with [`Service::new`] (in-memory
+/// only) or [`Service::with_ledger`] (durable, crash-recoverable), then
+/// drive it with [`Service::serve_stdio`] or [`Service::serve_tcp`] (or
+/// feed request lines directly through [`Service::serve_reader`] for
+/// embedding/tests).
 pub struct Service {
     cfg: ServiceConfig,
     queue: Mutex<PriorityQueue<Ticket>>,
@@ -100,8 +212,13 @@ pub struct Service {
     registry: Mutex<Registry>,
     sim_registry: Mutex<Registry<SimOutcome>>,
     stats: Mutex<ServiceStats>,
+    ledger: Option<Mutex<Ledger>>,
+    /// Canonical-spec digests tombstoned as poison: resubmissions are
+    /// rejected at intake instead of crash-looping a worker.
+    poisoned: Mutex<BTreeSet<String>>,
     shutdown: AtomicBool,
     next_job: AtomicU64,
+    next_seq: AtomicU64,
     started: Instant,
 }
 
@@ -110,7 +227,7 @@ pub struct Service {
 const POLL: Duration = Duration::from_millis(25);
 
 impl Service {
-    /// New idle service.
+    /// New idle service (no ledger: no durability, no recovery).
     pub fn new(cfg: ServiceConfig) -> Service {
         let cfg = ServiceConfig {
             workers: cfg.workers.max(1),
@@ -123,10 +240,199 @@ impl Service {
             queue: Mutex::new(PriorityQueue::new()),
             ready: Condvar::new(),
             stats: Mutex::new(ServiceStats::default()),
+            ledger: None,
+            poisoned: Mutex::new(BTreeSet::new()),
             shutdown: AtomicBool::new(false),
             next_job: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// New durable service journaling to the ledger at `path`, recovering
+    /// whatever a previous process left there: the torn tail (if any) is
+    /// truncated, acknowledged outcomes rehydrate the caches,
+    /// unacknowledged jobs re-enter the queue in original priority/FIFO
+    /// order, and crash-looping jobs are tombstoned as poison.
+    pub fn with_ledger(
+        cfg: ServiceConfig,
+        path: &Path,
+    ) -> Result<(Service, RecoveryReport), LedgerError> {
+        let (mut ledger, replay) = Ledger::open(path)?;
+        let svc = Service::new(cfg);
+        let report = svc.recover(&replay, &mut ledger);
+        ledger.sync()?;
+        Ok((
+            Service {
+                ledger: Some(Mutex::new(ledger)),
+                ..svc
+            },
+            report,
+        ))
+    }
+
+    /// Replay a parsed ledger into this (idle, pre-serve) service.
+    fn recover(&self, replay: &Replay, ledger: &mut Ledger) -> RecoveryReport {
+        let mut report = RecoveryReport {
+            events_replayed: replay.records.len(),
+            torn_tail: replay.torn,
+            ..RecoveryReport::default()
+        };
+        // Fold lifecycle events onto their submissions, keyed by seq (ids
+        // are client-chosen and may repeat across restarts).
+        let mut subs: BTreeMap<u64, PendingSub> = BTreeMap::new();
+        let mut next_seq: u64 = 0;
+        for rec in &replay.records {
+            next_seq = next_seq.max(rec.seq.saturating_add(1));
+            match rec.event.as_str() {
+                "submitted" => {
+                    if let (Some(id), Some(job)) = (rec.id.clone(), rec.job.clone()) {
+                        subs.insert(
+                            rec.seq,
+                            PendingSub {
+                                id,
+                                hash: rec.key.clone().unwrap_or_default(),
+                                priority: rec.priority.unwrap_or(0),
+                                job,
+                                sim: rec.sim.clone(),
+                                starts: 0,
+                                resolved: false,
+                                outcome: None,
+                            },
+                        );
+                    }
+                }
+                "started" => {
+                    if let Some(s) = subs.get_mut(&rec.seq) {
+                        s.starts = s.starts.saturating_add(1);
+                    }
+                }
+                "done" | "failed" => {
+                    if let Some(s) = subs.get_mut(&rec.seq) {
+                        s.resolved = true;
+                        if s.outcome.is_none() {
+                            s.outcome.clone_from(&rec.outcome);
+                        }
+                    }
+                }
+                // Unknown events: a newer schema's extras, skipped.
+                _ => {}
+            }
+        }
+        self.next_seq.store(next_seq, Ordering::Relaxed);
+
+        // BTreeMap iteration is in seq order, so re-queued jobs keep their
+        // original FIFO order within each priority class.
+        for (seq, sub) in subs {
+            let resolved_job = match sub.job.resolve() {
+                Ok(j) => j,
+                Err(e) => {
+                    // Accepted by a previous (incompatible?) build: answer
+                    // the ledger, not the long-gone client.
+                    let msg = format!("unresolvable after restart: {e}");
+                    let _ = ledger.append(&LedgerRecord::failed(seq, &sub.id, &sub.hash, msg));
+                    report.skipped += 1;
+                    continue;
+                }
+            };
+            let resolved_sim = match &sub.sim {
+                Some(s) => match s.resolve() {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        let msg = format!("unresolvable after restart: {e}");
+                        let _ = ledger.append(&LedgerRecord::failed(seq, &sub.id, &sub.hash, msg));
+                        report.skipped += 1;
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            if sub.resolved {
+                // Acknowledged: rehydrate the recorded outcome so repeat
+                // submissions are cache hits, bit-identical to pre-crash.
+                if let Some(out_rec) = &sub.outcome {
+                    match &resolved_sim {
+                        Some(sim) => {
+                            if let Some(o) = out_rec.to_sim() {
+                                let key = format!("{}|{}", resolved_job.key, sim.key);
+                                lock(&self.sim_registry).insert(key, o);
+                                report.results_rehydrated += 1;
+                            }
+                        }
+                        None => {
+                            if let Some(o) = out_rec.to_job() {
+                                lock(&self.registry).insert(resolved_job.key.clone(), o);
+                                report.results_rehydrated += 1;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            let work = match resolved_sim {
+                Some(sim) => Work::Sim(resolved_job, sim),
+                None => Work::Job(resolved_job),
+            };
+            let hash = work.hash();
+            if sub.starts > self.cfg.max_retries {
+                // This job took a previous daemon down on every attempt:
+                // tombstone it instead of crash-looping forever.
+                lock(&self.poisoned).insert(hash.clone());
+                let msg = format!(
+                    "poison: started {} times without completing (max-retries {})",
+                    sub.starts, self.cfg.max_retries
+                );
+                let _ = ledger.append(&LedgerRecord::failed(seq, &sub.id, &hash, msg));
+                report.poisoned += 1;
+                continue;
+            }
+            // Unacknowledged: re-queue for execution. The original client
+            // is gone, so results stream to a sink — the caches and the
+            // ledger keep the outcome for when the client resubmits.
+            let ticket = Ticket {
+                seq,
+                id: sub.id,
+                priority: sub.priority,
+                attempts: sub.starts,
+                deadline: self.cfg.timeout.map(|t| Instant::now() + t),
+                key: hash,
+                work,
+                out: sink_writer(),
+            };
+            let effective = sub.priority.saturating_sub(i64::from(sub.starts));
+            lock(&self.queue).push(effective, ticket);
+            report.jobs_requeued += 1;
+        }
+        lock(&self.stats).jobs_recovered =
+            (report.jobs_requeued + report.results_rehydrated) as u64;
+        report
+    }
+
+    /// Append one record to the ledger, if the service has one. Append
+    /// failures degrade durability, not availability: the daemon logs and
+    /// keeps serving.
+    fn ledger_append(&self, rec: &LedgerRecord) {
+        if let Some(l) = &self.ledger {
+            if let Err(e) = lock(l).append(rec) {
+                eprintln!("onesched-svc: ledger append failed (durability degraded): {e}");
+            }
+        }
+    }
+
+    /// The queue depth at which admission control starts shedding.
+    fn high_water(&self) -> usize {
+        self.cfg
+            .high_water
+            .unwrap_or_else(|| (self.cfg.queue_cap / 4).saturating_mul(3))
+            .clamp(1, self.cfg.queue_cap)
+    }
+
+    /// Backoff hint for overload rejections: roughly how long the queue
+    /// needs to drain `depth` jobs across the worker pool at the recent
+    /// mean construction latency.
+    fn retry_after_ms(&self, depth: usize) -> f64 {
+        let per_job_ms = lock(&self.stats).mean_recent_ms(50.0);
+        (depth.max(1) as f64 / self.cfg.workers.max(1) as f64) * per_job_ms
     }
 
     /// Whether shutdown has been requested.
@@ -134,21 +440,66 @@ impl Service {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Request shutdown: intake stops, workers drain the queue and exit.
+    /// Request shutdown: intake stops, every still-queued job is answered
+    /// with a `shutting-down` protocol error (and tombstoned in the
+    /// ledger), in-flight jobs finish, workers exit.
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        // Notify while holding the queue mutex: a worker is either before
-        // its lock acquisition (it will see the flag) or parked in
-        // `ready.wait` (it will get this notification) — never in between,
-        // which would lose the wakeup and hang the scoped join forever.
-        let _guard = lock(&self.queue);
-        self.ready.notify_all();
+        // Drain and notify while holding the queue mutex: a worker is
+        // either before its lock acquisition (it will see the flag and the
+        // empty queue) or parked in `ready.wait` (it will get this
+        // notification) — never in between, which would lose the wakeup
+        // and hang the scoped join forever.
+        let drained: Vec<Ticket> = {
+            let mut q = lock(&self.queue);
+            let mut v = Vec::new();
+            while let Some(t) = q.pop() {
+                v.push(t);
+            }
+            self.ready.notify_all();
+            v
+        };
+        for t in drained {
+            // `done` tombstone: the job is concluded (shed), not
+            // unacknowledged — a restart must not replay it.
+            self.ledger_append(&LedgerRecord::done(
+                t.seq,
+                &t.id,
+                &t.key,
+                None,
+                Some("shutting-down".into()),
+            ));
+            lock(&self.stats).jobs_shed += 1;
+            self.respond_error_kind(
+                &t.out,
+                Some(t.id),
+                "shutting down: job accepted but not run".into(),
+                Some("shutting-down"),
+                None,
+            );
+        }
+        if let Some(l) = &self.ledger {
+            let _ = lock(l).sync();
+        }
+    }
+
+    /// Block until the queue is empty (in-flight jobs may still be
+    /// running) or shutdown is requested. Batch sessions call this before
+    /// [`Service::begin_shutdown`] so every accepted job is *answered*
+    /// rather than shed.
+    pub fn drain_queue(&self) {
+        loop {
+            if self.is_shutdown() || lock(&self.queue).is_empty() {
+                return;
+            }
+            std::thread::sleep(POLL);
+        }
     }
 
     /// Serve newline-delimited requests from stdin, streaming responses to
-    /// stdout, until EOF or a `shutdown` request; queued jobs are drained
-    /// before returning. One process = one batch session, which is what the
-    /// CI smoke test and shell pipelines use.
+    /// stdout, until EOF or a `shutdown` request; at EOF queued jobs are
+    /// drained (run, not shed) before returning. One process = one batch
+    /// session, which is what the CI smoke test and shell pipelines use.
     pub fn serve_stdio(&self) -> io::Result<()> {
         let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
         write_line(&out, &to_line(&self.ready_response("stdio")));
@@ -158,6 +509,7 @@ impl Service {
             }
             let stdin = io::stdin().lock();
             self.serve_reader(stdin, &out);
+            self.drain_queue();
             self.begin_shutdown();
         });
         Ok(())
@@ -229,7 +581,9 @@ impl Service {
     }
 
     /// One TCP connection: read request lines (polling so shutdown can
-    /// interrupt), answer on the same stream.
+    /// interrupt), answer on the same stream. A connection that drops
+    /// mid-line simply never completes that line — the partial request is
+    /// discarded, accepted jobs are unaffected.
     fn handle_conn(&self, stream: TcpStream) -> io::Result<()> {
         stream.set_read_timeout(Some(POLL))?;
         let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream.try_clone()?)));
@@ -243,11 +597,12 @@ impl Service {
             match io::Read::read(&mut stream, &mut chunk) {
                 Ok(0) => return Ok(()), // client closed
                 Ok(n) => {
-                    buf.extend_from_slice(&chunk[..n]);
+                    buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
                     // process every complete line in the buffer
                     while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-                        let line: Vec<u8> = buf.drain(..=pos).collect();
-                        let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+                        let mut line: Vec<u8> = buf.drain(..=pos).collect();
+                        line.pop(); // the newline itself
+                        let line = String::from_utf8_lossy(&line);
                         if !line.trim().is_empty() {
                             self.handle_line(line.trim_end_matches('\r'), &out);
                         }
@@ -272,59 +627,7 @@ impl Service {
             }
         };
         match req.op.as_str() {
-            "submit" | "simulate" => {
-                let op = req.op.as_str();
-                let Some(spec) = req.job else {
-                    self.respond_error(out, req.id, format!("{op} requires a `job`"));
-                    return;
-                };
-                let job = match spec.resolve() {
-                    Ok(j) => j,
-                    Err(e) => {
-                        self.respond_error(out, req.id, e);
-                        return;
-                    }
-                };
-                let work = if op == "simulate" {
-                    match req.sim.unwrap_or_default().resolve() {
-                        Ok(sim) => Work::Sim(job, sim),
-                        Err(e) => {
-                            self.respond_error(out, req.id, e);
-                            return;
-                        }
-                    }
-                } else {
-                    Work::Job(job)
-                };
-                let id = req.id.unwrap_or_else(|| {
-                    format!("job-{}", self.next_job.fetch_add(1, Ordering::Relaxed))
-                });
-                let ticket = Ticket {
-                    id,
-                    work,
-                    out: Arc::clone(out),
-                };
-                // Backpressure: bound the queue under the lock so the
-                // depth check and the push are atomic, and reject with a
-                // protocol error once the cap is reached.
-                {
-                    let mut q = lock(&self.queue);
-                    if q.len() >= self.cfg.queue_cap {
-                        drop(q);
-                        self.respond_error(
-                            out,
-                            Some(ticket.id),
-                            format!(
-                                "queue full ({} jobs queued, cap {})",
-                                self.cfg.queue_cap, self.cfg.queue_cap
-                            ),
-                        );
-                        return;
-                    }
-                    q.push(req.priority.unwrap_or(0), ticket);
-                }
-                self.ready.notify_one();
-            }
+            "submit" | "simulate" => self.handle_submission(req, out),
             "stats" => {
                 let queue_depth = lock(&self.queue).len();
                 let (cache_size, evictions) = {
@@ -335,22 +638,31 @@ impl Service {
                     let r = lock(&self.sim_registry);
                     (r.len(), r.evictions)
                 };
-                let snap = lock(&self.stats).snapshot(
+                let (ledger_bytes, uptime_events) = match &self.ledger {
+                    Some(l) => {
+                        let l = lock(l);
+                        (l.bytes(), l.appended())
+                    }
+                    None => (0, 0),
+                };
+                let gauges = StatsGauges {
                     queue_depth,
                     cache_size,
                     sim_cache_size,
-                    evictions + sim_evictions,
-                    self.started.elapsed(),
-                );
+                    cache_evictions: evictions + sim_evictions,
+                    ledger_bytes,
+                    uptime_events,
+                };
+                let snap = lock(&self.stats).snapshot(gauges, self.started.elapsed());
                 write_line(out, &to_line(&snap));
             }
             "shutdown" => {
-                self.begin_shutdown();
                 let ack = AckResponse {
                     op: "ok".into(),
-                    message: "shutting down; draining queued jobs".into(),
+                    message: "shutting down; queued jobs answered shutting-down".into(),
                 };
                 write_line(out, &to_line(&ack));
+                self.begin_shutdown();
             }
             other => {
                 self.respond_error(out, req.id, format!("unknown op {other:?}"));
@@ -358,12 +670,175 @@ impl Service {
         }
     }
 
+    /// Intake for `submit`/`simulate`: resolve, check poison, admission-
+    /// control the queue (hard cap, then high-water shedding), journal the
+    /// acceptance, enqueue.
+    fn handle_submission(&self, req: Request, out: &SharedWriter) {
+        let op = req.op.as_str();
+        let Some(spec) = req.job else {
+            self.respond_error(out, req.id, format!("{op} requires a `job`"));
+            return;
+        };
+        let job = match spec.resolve() {
+            Ok(j) => j,
+            Err(e) => {
+                self.respond_error(out, req.id, e);
+                return;
+            }
+        };
+        let work = if op == "simulate" {
+            match req.sim.unwrap_or_default().resolve() {
+                Ok(sim) => Work::Sim(job, sim),
+                Err(e) => {
+                    self.respond_error(out, req.id, e);
+                    return;
+                }
+            }
+        } else {
+            Work::Job(job)
+        };
+        let id = req
+            .id
+            .unwrap_or_else(|| format!("job-{}", self.next_job.fetch_add(1, Ordering::Relaxed)));
+        let hash = work.hash();
+        if lock(&self.poisoned).contains(&hash) {
+            self.respond_error_kind(
+                out,
+                Some(id),
+                "job is poisoned: repeated attempts crashed without completing".into(),
+                Some("poisoned"),
+                None,
+            );
+            return;
+        }
+        let priority = req.priority.unwrap_or(0);
+        let ticket = Ticket {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            id,
+            priority,
+            attempts: 0,
+            deadline: self.cfg.timeout.map(|t| Instant::now() + t),
+            key: hash,
+            work,
+            out: Arc::clone(out),
+        };
+        // Admission control under the queue lock, so the depth checks,
+        // the write-ahead journal entry, and the push are atomic. Stages:
+        // reject at the hard cap; past the high-water mark admit only work
+        // that outranks the queue's bottom (shedding that bottom entry).
+        let shed: Option<Ticket> = {
+            let mut q = lock(&self.queue);
+            if self.is_shutdown() {
+                drop(q);
+                self.respond_error_kind(
+                    out,
+                    Some(ticket.id),
+                    "shutting down: no longer accepting jobs".into(),
+                    Some("shutting-down"),
+                    None,
+                );
+                return;
+            }
+            let depth = q.len();
+            if depth >= self.cfg.queue_cap {
+                drop(q);
+                let hint = self.retry_after_ms(depth);
+                self.respond_error_kind(
+                    out,
+                    Some(ticket.id),
+                    format!(
+                        "queue full ({depth} jobs queued, cap {})",
+                        self.cfg.queue_cap
+                    ),
+                    Some("queue-full"),
+                    Some(hint),
+                );
+                return;
+            }
+            let mut shed = None;
+            if depth >= self.high_water() {
+                let floor = q.min_priority().unwrap_or(i64::MIN);
+                if ticket.priority <= floor {
+                    // The newcomer would be the shedding victim anyway
+                    // (lowest priority, newest): reject it directly.
+                    drop(q);
+                    let hint = self.retry_after_ms(depth);
+                    self.respond_error_kind(
+                        out,
+                        Some(ticket.id),
+                        format!(
+                            "overloaded ({depth} jobs queued, high-water {}): \
+                             priority {} does not outrank queued work",
+                            self.high_water(),
+                            ticket.priority
+                        ),
+                        Some("overloaded"),
+                        Some(hint),
+                    );
+                    return;
+                }
+                shed = q.shed_lowest().map(|(_, t)| t);
+            }
+            // Write-ahead: journal the acceptance before it is queued, so
+            // a crash between the two replays the job instead of losing
+            // it. (Journaling under the queue lock keeps the ledger's
+            // submitted order consistent with seq order.)
+            let (job_spec, sim_spec) = match &ticket.work {
+                Work::Job(j) => (j.spec.clone(), None),
+                Work::Sim(j, s) => (j.spec.clone(), Some(s.spec.clone())),
+            };
+            self.ledger_append(&LedgerRecord::submitted(
+                ticket.seq,
+                &ticket.id,
+                &ticket.key,
+                ticket.priority,
+                job_spec,
+                sim_spec,
+            ));
+            q.push(ticket.priority, ticket);
+            shed
+        };
+        if let Some(victim) = shed {
+            let depth = lock(&self.queue).len();
+            let hint = self.retry_after_ms(depth);
+            self.ledger_append(&LedgerRecord::done(
+                victim.seq,
+                &victim.id,
+                &victim.key,
+                None,
+                Some("overloaded: shed by higher-priority work".into()),
+            ));
+            lock(&self.stats).jobs_shed += 1;
+            self.respond_error_kind(
+                &victim.out,
+                Some(victim.id),
+                "overloaded: shed by higher-priority work".into(),
+                Some("overloaded"),
+                Some(hint),
+            );
+        }
+        self.ready.notify_one();
+    }
+
     fn respond_error(&self, out: &SharedWriter, id: Option<String>, message: String) {
+        self.respond_error_kind(out, id, message, None, None);
+    }
+
+    fn respond_error_kind(
+        &self,
+        out: &SharedWriter,
+        id: Option<String>,
+        message: String,
+        kind: Option<&str>,
+        retry_after_ms: Option<f64>,
+    ) {
         lock(&self.stats).errors += 1;
         let resp = ErrorResponse {
             op: "error".into(),
             id,
             message,
+            kind: kind.map(str::to_string),
+            retry_after_ms,
         };
         write_line(out, &to_line(&resp));
     }
@@ -392,14 +867,99 @@ impl Service {
         }
     }
 
+    /// Run one claimed ticket: deadline gate, `started` journal entry,
+    /// then the actual work behind a panic barrier — a panicking job is
+    /// re-queued at reduced priority up to `max_retries`, then poisoned.
     fn run_ticket(&self, ticket: Ticket) {
-        match ticket.work {
-            Work::Job(ref job) => self.run_schedule_ticket(&ticket.id, job, &ticket.out),
-            Work::Sim(ref job, ref sim) => self.run_sim_ticket(&ticket.id, job, sim, &ticket.out),
+        if ticket.deadline.is_some_and(|d| Instant::now() > d) {
+            self.answer_timeout(&ticket);
+            return;
+        }
+        self.ledger_append(&LedgerRecord::started(ticket.seq, &ticket.id, &ticket.key));
+        // The panic barrier: schedulers are pure and total, but "never
+        // takes the worker pool down" must not depend on that. The shared
+        // state (locks, counters, caches) is valid at every instruction
+        // boundary and `lock` recovers poisoned mutexes, so unwinding
+        // cannot leave it inconsistent.
+        let ran = catch_unwind(AssertUnwindSafe(|| self.execute(&ticket)));
+        if ran.is_err() {
+            self.handle_panic(ticket);
         }
     }
 
-    fn run_schedule_ticket(&self, id: &str, job: &ResolvedJob, out: &SharedWriter) {
+    /// Retry-or-poison after a panic escaped a job.
+    fn handle_panic(&self, mut ticket: Ticket) {
+        if ticket.attempts < self.cfg.max_retries && !self.is_shutdown() {
+            ticket.attempts += 1;
+            lock(&self.stats).jobs_retried += 1;
+            // Deterministic backoff by *position*, not wall-clock: each
+            // attempt re-queues one priority level lower, so the retry
+            // runs after the work that was queued alongside it, in an
+            // order that depends only on the queue contents.
+            let backoff = ticket.priority.saturating_sub(i64::from(ticket.attempts));
+            {
+                let mut q = lock(&self.queue);
+                q.push(backoff, ticket);
+            }
+            self.ready.notify_one();
+            return;
+        }
+        let attempts = ticket.attempts + 1;
+        lock(&self.poisoned).insert(ticket.key.clone());
+        self.ledger_append(&LedgerRecord::failed(
+            ticket.seq,
+            &ticket.id,
+            &ticket.key,
+            format!(
+                "poison: {attempts} attempts panicked (max-retries {})",
+                self.cfg.max_retries
+            ),
+        ));
+        // The poison answer may be going to the very writer whose panics
+        // exhausted the retries — guard it too, or the failure path for a
+        // broken client takes the worker down with it.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            self.respond_error_kind(
+                &ticket.out,
+                Some(ticket.id.clone()),
+                format!("job failed: {attempts} attempts panicked; poisoned"),
+                Some("poisoned"),
+                None,
+            );
+        }));
+    }
+
+    /// Answer a job whose wall-clock deadline passed.
+    fn answer_timeout(&self, ticket: &Ticket) {
+        lock(&self.stats).jobs_timed_out += 1;
+        self.ledger_append(&LedgerRecord::failed(
+            ticket.seq,
+            &ticket.id,
+            &ticket.key,
+            "timeout".into(),
+        ));
+        let budget_ms = self
+            .cfg
+            .timeout
+            .map(|t| t.as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        self.respond_error_kind(
+            &ticket.out,
+            Some(ticket.id.clone()),
+            format!("timeout: job exceeded its {budget_ms} ms deadline"),
+            Some("timeout"),
+            None,
+        );
+    }
+
+    fn execute(&self, ticket: &Ticket) {
+        match &ticket.work {
+            Work::Job(job) => self.execute_schedule(ticket, job),
+            Work::Sim(job, sim) => self.execute_sim(ticket, job, sim),
+        }
+    }
+
+    fn execute_schedule(&self, ticket: &Ticket, job: &ResolvedJob) {
         let cached = lock(&self.registry).get(&job.key).cloned();
         let (outcome, cache_hit) = match cached {
             Some(outcome) => (outcome, true),
@@ -410,6 +970,13 @@ impl Service {
                 (outcome, false)
             }
         };
+        // Deadline re-check between construction and the answer: the
+        // outcome stays cached (the work is done and deterministic), but
+        // the client asked for a bounded wait.
+        if ticket.deadline.is_some_and(|d| Instant::now() > d) {
+            self.answer_timeout(ticket);
+            return;
+        }
         {
             let mut stats = lock(&self.stats);
             stats.jobs_done += 1;
@@ -419,9 +986,16 @@ impl Service {
                 stats.record_latency(&outcome.scheduler, outcome.construct);
             }
         }
+        self.ledger_append(&LedgerRecord::done(
+            ticket.seq,
+            &ticket.id,
+            &ticket.key,
+            Some(LedgerOutcome::from_job(&outcome)),
+            None,
+        ));
         let resp = ResultResponse {
             op: "result".into(),
-            id: id.into(),
+            id: ticket.id.clone(),
             scheduler: outcome.scheduler,
             model: job.model().name().into(),
             tasks: outcome.tasks,
@@ -433,10 +1007,10 @@ impl Service {
             cache_hit,
             violations: outcome.violations,
         };
-        write_line(out, &to_line(&resp));
+        write_line(&ticket.out, &to_line(&resp));
     }
 
-    fn run_sim_ticket(&self, id: &str, job: &ResolvedJob, sim: &ResolvedSim, out: &SharedWriter) {
+    fn execute_sim(&self, ticket: &Ticket, job: &ResolvedJob, sim: &ResolvedSim) {
         // The sim cache key is the job key plus the resolved sim spec:
         // the same schedule under a different seed or policy is a
         // different deterministic experiment.
@@ -444,20 +1018,39 @@ impl Service {
         let cached = lock(&self.sim_registry).get(&key).cloned();
         let (outcome, cache_hit) = match cached {
             Some(outcome) => (outcome, true),
-            None => match run_sim_job(job, sim) {
+            None => match run_sim_job(job, sim, ticket.deadline) {
                 Ok(outcome) => {
                     lock(&self.sim_registry).insert(key, outcome.clone());
                     (outcome, false)
                 }
+                // The deadline passed between construction and execution:
+                // keep the constructed half (a future plain submit of the
+                // same job is a cache hit), answer the timeout.
+                Err(SimRunError::DeadlineExceeded(constructed)) => {
+                    lock(&self.registry).insert(job.key.clone(), *constructed);
+                    self.answer_timeout(ticket);
+                    return;
+                }
                 // The engine refused the schedule: answer with a protocol
                 // error instead of panicking the worker. No outcome is
                 // cached (the job stays retryable after a fix).
-                Err(e) => {
-                    self.respond_error(out, Some(id.to_string()), format!("execution failed: {e}"));
+                Err(SimRunError::Exec(e)) => {
+                    let msg = format!("execution failed: {e}");
+                    self.ledger_append(&LedgerRecord::failed(
+                        ticket.seq,
+                        &ticket.id,
+                        &ticket.key,
+                        msg.clone(),
+                    ));
+                    self.respond_error(&ticket.out, Some(ticket.id.clone()), msg);
                     return;
                 }
             },
         };
+        if ticket.deadline.is_some_and(|d| Instant::now() > d) {
+            self.answer_timeout(ticket);
+            return;
+        }
         {
             let mut stats = lock(&self.stats);
             stats.jobs_done += 1;
@@ -468,9 +1061,16 @@ impl Service {
                 stats.record_latency(&outcome.job.scheduler, outcome.job.construct);
             }
         }
+        self.ledger_append(&LedgerRecord::done(
+            ticket.seq,
+            &ticket.id,
+            &ticket.key,
+            Some(LedgerOutcome::from_sim(&outcome)),
+            None,
+        ));
         let resp = SimResultResponse {
             op: "sim-result".into(),
-            id: id.into(),
+            id: ticket.id.clone(),
             scheduler: outcome.job.scheduler,
             model: job.model().name().into(),
             policy: outcome.policy,
@@ -486,7 +1086,7 @@ impl Service {
             cache_hit,
             violations: outcome.job.violations,
         };
-        write_line(out, &to_line(&resp));
+        write_line(&ticket.out, &to_line(&resp));
     }
 }
 
@@ -504,8 +1104,9 @@ fn write_line(out: &SharedWriter, line: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{DagSpec, JobSpec, OpProbe, SchedulerSpec, StatsResponse};
+    use crate::protocol::{DagSpec, JobSpec, OpProbe, SchedulerSpec, SimSpec, StatsResponse};
     use onesched_testbeds::Testbed;
+    use std::collections::HashMap;
 
     /// A writer that appends into shared memory, for driving the service
     /// without sockets.
@@ -522,12 +1123,18 @@ mod tests {
         }
     }
 
-    fn drive(requests: &[Request], workers: usize) -> Vec<String> {
-        let svc = Service::new(ServiceConfig {
-            workers,
-            cache_capacity: 64,
-            ..ServiceConfig::default()
-        });
+    impl MemWriter {
+        fn lines(&self) -> Vec<String> {
+            let bytes = self.0.lock().unwrap().clone();
+            String::from_utf8(bytes)
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect()
+        }
+    }
+
+    fn drive_svc(svc: &Service, requests: &[Request], workers: usize) -> Vec<String> {
         let sink = MemWriter::default();
         let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
         let input: String = requests
@@ -539,14 +1146,19 @@ mod tests {
                 scope.spawn(|| svc.worker());
             }
             svc.serve_reader(input.as_bytes(), &out);
+            svc.drain_queue();
             svc.begin_shutdown();
         });
-        let bytes = sink.0.lock().unwrap().clone();
-        String::from_utf8(bytes)
-            .unwrap()
-            .lines()
-            .map(str::to_string)
-            .collect()
+        sink.lines()
+    }
+
+    fn drive(requests: &[Request], workers: usize) -> Vec<String> {
+        let svc = Service::new(ServiceConfig {
+            workers,
+            cache_capacity: 64,
+            ..ServiceConfig::default()
+        });
+        drive_svc(&svc, requests, workers)
     }
 
     fn submit(id: &str, priority: i64, job: JobSpec) -> Request {
@@ -561,6 +1173,16 @@ mod tests {
             model: None,
             validate: true,
         }
+    }
+
+    fn temp_ledger(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "onesched-svc-test-{}-{tag}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
     }
 
     #[test]
@@ -617,6 +1239,7 @@ mod tests {
         let s = stats.expect("stats response");
         assert!(s.cache_hits <= 2);
         assert_eq!(s.op, "stats");
+        assert_eq!(s.ledger_bytes, 0, "no ledger configured");
     }
 
     #[test]
@@ -678,11 +1301,14 @@ mod tests {
     #[test]
     fn bounded_queue_rejects_overflow_with_protocol_error() {
         // No workers drain the queue: handle_line fills it synchronously,
-        // so the bound is deterministic.
+        // so the bound is deterministic. high_water == queue_cap disables
+        // shedding, leaving the hard cap alone.
         let svc = Service::new(ServiceConfig {
             workers: 1,
             cache_capacity: 8,
             queue_cap: 3,
+            high_water: Some(3),
+            ..ServiceConfig::default()
         });
         let sink = MemWriter::default();
         let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
@@ -691,17 +1317,19 @@ mod tests {
             svc.handle_line(&serde_json::to_string(&req).unwrap(), &out);
         }
         assert_eq!(svc.queue.lock().unwrap().len(), 3, "cap holds");
-        let bytes = sink.0.lock().unwrap().clone();
-        let lines: Vec<String> = String::from_utf8(bytes)
-            .unwrap()
-            .lines()
-            .map(str::to_string)
-            .collect();
+        let lines = sink.lines();
         assert_eq!(lines.len(), 2, "two rejections answered inline");
         for (line, id) in lines.iter().zip(["q3", "q4"]) {
             let e: ErrorResponse = serde_json::from_str(line).expect("error response");
             assert_eq!(e.id.as_deref(), Some(id));
             assert!(e.message.contains("queue full"), "{}", e.message);
+            assert!(
+                e.message.contains("3 jobs queued, cap 3"),
+                "depth and cap in message: {}",
+                e.message
+            );
+            assert_eq!(e.kind.as_deref(), Some("queue-full"));
+            assert!(e.retry_after_ms.is_some(), "backoff hint present");
         }
         assert_eq!(svc.stats.lock().unwrap().errors, 2);
         // draining the queue reopens intake
@@ -718,15 +1346,183 @@ mod tests {
                 &serde_json::to_string(&submit("after", 0, lu_spec(8))).unwrap(),
                 &out,
             );
+            svc.drain_queue();
             svc.begin_shutdown();
         });
-        let bytes = sink.0.lock().unwrap().clone();
-        let text = String::from_utf8(bytes).unwrap();
+        let text = sink.lines().join("\n");
         assert!(
             text.lines()
                 .any(|l| l.contains("\"after\"") && l.contains("\"result\"")),
             "post-drain submission accepted: {text}"
         );
+    }
+
+    #[test]
+    fn high_water_sheds_lowest_priority_work() {
+        // No workers: depths are deterministic. high_water 1 means the
+        // second submission onward competes by priority.
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            queue_cap: 8,
+            high_water: Some(1),
+            ..ServiceConfig::default()
+        });
+        let sink = MemWriter::default();
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
+        let send = |id: &str, prio: i64| {
+            let req = submit(id, prio, lu_spec(8));
+            svc.handle_line(&serde_json::to_string(&req).unwrap(), &out);
+        };
+        send("low", 0); // depth 0 < high water: admitted normally
+        send("low2", 0); // at high water, does not outrank "low": rejected
+        send("high", 5); // outranks "low": admitted, "low" shed
+        let mut by_id: HashMap<String, ErrorResponse> = HashMap::new();
+        for line in sink.lines() {
+            let e: ErrorResponse = serde_json::from_str(&line).expect("error response");
+            by_id.insert(e.id.clone().unwrap_or_default(), e);
+        }
+        assert_eq!(by_id.len(), 2, "low2 rejected, low shed");
+        let rejected = &by_id["low2"];
+        assert_eq!(rejected.kind.as_deref(), Some("overloaded"));
+        assert!(rejected.message.contains("does not outrank"));
+        assert!(rejected.retry_after_ms.is_some());
+        let shed = &by_id["low"];
+        assert_eq!(shed.kind.as_deref(), Some("overloaded"));
+        assert!(shed.message.contains("shed by higher-priority work"));
+        assert_eq!(svc.stats.lock().unwrap().jobs_shed, 1, "one victim shed");
+        assert_eq!(svc.queue.lock().unwrap().len(), 1, "only `high` queued");
+        svc.begin_shutdown(); // sheds "high" too — answered shutting-down
+        let lines = sink.lines();
+        let last: ErrorResponse = serde_json::from_str(&lines[lines.len() - 1]).unwrap();
+        assert_eq!(last.id.as_deref(), Some("high"));
+        assert_eq!(last.kind.as_deref(), Some("shutting-down"));
+    }
+
+    #[test]
+    fn expired_deadline_answers_timeout() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            timeout: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        });
+        let lines = drive_svc(&svc, &[submit("t0", 0, lu_spec(8))], 1);
+        assert_eq!(lines.len(), 1);
+        let e: ErrorResponse = serde_json::from_str(&lines[0]).expect("error response");
+        assert_eq!(e.id.as_deref(), Some("t0"));
+        assert_eq!(e.kind.as_deref(), Some("timeout"));
+        assert!(e.message.contains("timeout"), "{}", e.message);
+        assert_eq!(svc.stats.lock().unwrap().jobs_timed_out, 1);
+    }
+
+    /// A writer whose first `panics` write calls panic — injected faults on
+    /// the answer path, which the worker's panic barrier must absorb.
+    #[derive(Clone)]
+    struct PanicWriter {
+        inner: MemWriter,
+        panics_left: Arc<Mutex<u32>>,
+    }
+
+    impl Write for PanicWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let mut left = self.panics_left.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                drop(left);
+                panic!("injected write fault");
+            }
+            drop(left);
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_retried_then_answered() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            max_retries: 2,
+            ..ServiceConfig::default()
+        });
+        let sink = MemWriter::default();
+        let writer = PanicWriter {
+            inner: sink.clone(),
+            panics_left: Arc::new(Mutex::new(2)),
+        };
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(writer)));
+        svc.handle_line(
+            &serde_json::to_string(&submit("flaky", 3, lu_spec(8))).unwrap(),
+            &out,
+        );
+        std::thread::scope(|scope| {
+            scope.spawn(|| svc.worker());
+            // wait until the (eventually successful) result line lands
+            for _ in 0..400 {
+                if sink.lines().iter().any(|l| l.contains("\"result\"")) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            svc.begin_shutdown();
+        });
+        let lines = sink.lines();
+        let r: ResultResponse = serde_json::from_str(
+            lines
+                .iter()
+                .find(|l| l.contains("\"result\""))
+                .expect("third attempt answered"),
+        )
+        .unwrap();
+        assert_eq!(r.id, "flaky");
+        assert_eq!(svc.stats.lock().unwrap().jobs_retried, 2);
+    }
+
+    #[test]
+    fn panicking_job_poisons_after_max_retries() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            max_retries: 1,
+            ..ServiceConfig::default()
+        });
+        let sink = MemWriter::default();
+        let writer = PanicWriter {
+            inner: sink.clone(),
+            panics_left: Arc::new(Mutex::new(u32::MAX)), // never stops panicking
+        };
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(writer)));
+        svc.handle_line(
+            &serde_json::to_string(&submit("cursed", 0, lu_spec(8))).unwrap(),
+            &out,
+        );
+        std::thread::scope(|scope| {
+            scope.spawn(|| svc.worker());
+            for _ in 0..400 {
+                if !svc.poisoned.lock().unwrap().is_empty() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            svc.begin_shutdown();
+        });
+        assert_eq!(svc.poisoned.lock().unwrap().len(), 1, "job poisoned");
+        // resubmission of the same spec is rejected at intake
+        let clean = MemWriter::default();
+        let out2: SharedWriter = Arc::new(Mutex::new(Box::new(clean.clone())));
+        // shutdown already requested; poison check runs first, so reset
+        svc.shutdown.store(false, Ordering::Release);
+        svc.handle_line(
+            &serde_json::to_string(&submit("cursed-again", 0, lu_spec(8))).unwrap(),
+            &out2,
+        );
+        let lines = clean.lines();
+        assert_eq!(lines.len(), 1);
+        let e: ErrorResponse = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(e.kind.as_deref(), Some("poisoned"));
     }
 
     #[test]
@@ -773,9 +1569,6 @@ mod tests {
         assert!(s.sim_cache_size <= 2);
     }
 
-    use crate::protocol::SimSpec;
-    use std::collections::HashMap;
-
     #[test]
     fn shutdown_request_stops_intake() {
         let reqs = vec![
@@ -789,11 +1582,174 @@ mod tests {
             .map(|l| serde_json::from_str::<OpProbe>(l).unwrap().op)
             .collect();
         assert!(ops.contains(&"ok".to_string()), "shutdown acked: {ops:?}");
-        let ids: Vec<String> = lines
-            .iter()
-            .filter(|l| l.contains("\"result\""))
-            .map(|l| serde_json::from_str::<ResultResponse>(l).unwrap().id)
-            .collect();
-        assert_eq!(ids, ["before"], "queued job drained, later line unread");
+        // "before" is answered exactly once: either the worker ran it
+        // (result) or the shutdown drain shed it (shutting-down error)
+        let answers: Vec<&String> = lines.iter().filter(|l| l.contains("\"before\"")).collect();
+        assert_eq!(answers.len(), 1, "answered exactly once: {lines:?}");
+        let probe: OpProbe = serde_json::from_str(answers[0]).unwrap();
+        match probe.op.as_str() {
+            "result" => {}
+            "error" => {
+                let e: ErrorResponse = serde_json::from_str(answers[0]).unwrap();
+                assert_eq!(e.kind.as_deref(), Some("shutting-down"));
+            }
+            other => panic!("unexpected op {other}"),
+        }
+        assert!(
+            !lines.iter().any(|l| l.contains("\"after\"")),
+            "line after shutdown unread"
+        );
+    }
+
+    #[test]
+    fn ledger_recovery_requeues_and_rehydrates() {
+        let path = temp_ledger("recovery");
+        let spec_a = lu_spec(9);
+        let spec_b = JobSpec {
+            scheduler: Some(SchedulerSpec::ilha(4)),
+            ..lu_spec(11)
+        };
+        let cfg = ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        };
+        // Session 1: accept two jobs, crash before any worker runs them.
+        {
+            let (svc, report) = Service::with_ledger(cfg.clone(), &path).unwrap();
+            assert_eq!(report, RecoveryReport::default(), "fresh ledger");
+            let out: SharedWriter = Arc::new(Mutex::new(Box::new(MemWriter::default())));
+            svc.handle_line(
+                &serde_json::to_string(&submit("a", 0, spec_a.clone())).unwrap(),
+                &out,
+            );
+            svc.handle_line(
+                &serde_json::to_string(&submit("b", 2, spec_b.clone())).unwrap(),
+                &out,
+            );
+            assert_eq!(svc.queue.lock().unwrap().len(), 2);
+            // dropped here without shutdown: the "crash"
+        }
+        // Session 2: recovery re-queues both, a worker drains them to the
+        // ledger (their clients are gone).
+        {
+            let (svc, report) = Service::with_ledger(cfg.clone(), &path).unwrap();
+            assert_eq!(report.jobs_requeued, 2);
+            assert_eq!(report.results_rehydrated, 0);
+            assert_eq!(report.events_replayed, 2);
+            assert!(!report.torn_tail);
+            assert_eq!(svc.stats.lock().unwrap().jobs_recovered, 2);
+            std::thread::scope(|scope| {
+                scope.spawn(|| svc.worker());
+                for _ in 0..400 {
+                    if svc.stats.lock().unwrap().jobs_done == 2 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                svc.begin_shutdown();
+            });
+            assert_eq!(svc.stats.lock().unwrap().jobs_done, 2);
+        }
+        // Session 3: the recorded outcomes rehydrate the cache, so the
+        // original client's resubmission is a bit-identical cache hit.
+        let (svc, report) = Service::with_ledger(cfg, &path).unwrap();
+        assert_eq!(report.jobs_requeued, 0);
+        assert_eq!(report.results_rehydrated, 2);
+        let lines = drive_svc(&svc, &[submit("a-again", 0, spec_a.clone())], 1);
+        let r: ResultResponse = serde_json::from_str(&lines[0]).unwrap();
+        assert!(r.cache_hit, "rehydrated cache answers the resubmission");
+        let direct = run_job(&spec_a.resolve().unwrap());
+        assert_eq!(
+            r.fingerprint,
+            format!("{:016x}", direct.fingerprint),
+            "recovered result is bit-identical to a direct run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_looping_job_is_poisoned_on_recovery() {
+        let path = temp_ledger("poison");
+        let spec = lu_spec(13);
+        let resolved_key = key_hash(&spec.resolve().unwrap().key);
+        {
+            // Synthesize the ledger of a job that took three daemons down:
+            // submitted once, started three times, never done.
+            let (mut ledger, _) = Ledger::open(&path).unwrap();
+            ledger
+                .append(&LedgerRecord::submitted(
+                    0,
+                    "looper",
+                    &resolved_key,
+                    0,
+                    spec.clone(),
+                    None,
+                ))
+                .unwrap();
+            for _ in 0..3 {
+                ledger
+                    .append(&LedgerRecord::started(0, "looper", &resolved_key))
+                    .unwrap();
+            }
+            ledger.sync().unwrap();
+        }
+        let cfg = ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            max_retries: 2,
+            ..ServiceConfig::default()
+        };
+        let (svc, report) = Service::with_ledger(cfg, &path).unwrap();
+        assert_eq!(report.poisoned, 1, "3 starts > max-retries 2");
+        assert_eq!(report.jobs_requeued, 0);
+        assert!(svc.poisoned.lock().unwrap().contains(&resolved_key));
+        // resubmission of the poisoned spec is rejected at intake
+        let sink = MemWriter::default();
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
+        svc.handle_line(
+            &serde_json::to_string(&submit("looper-again", 0, spec)).unwrap(),
+            &out,
+        );
+        let e: ErrorResponse = serde_json::from_str(&sink.lines()[0]).unwrap();
+        assert_eq!(e.kind.as_deref(), Some("poisoned"));
+        // the tombstone is durable: the next session poisons it again
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recovered_job_below_retry_budget_is_requeued_with_backoff() {
+        let path = temp_ledger("backoff");
+        let spec = lu_spec(7);
+        let resolved_key = key_hash(&spec.resolve().unwrap().key);
+        {
+            let (mut ledger, _) = Ledger::open(&path).unwrap();
+            ledger
+                .append(&LedgerRecord::submitted(
+                    5,
+                    "once",
+                    &resolved_key,
+                    10,
+                    spec,
+                    None,
+                ))
+                .unwrap();
+            ledger
+                .append(&LedgerRecord::started(5, "once", &resolved_key))
+                .unwrap();
+            ledger.sync().unwrap();
+        }
+        let cfg = ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            max_retries: 2,
+            ..ServiceConfig::default()
+        };
+        let (svc, report) = Service::with_ledger(cfg, &path).unwrap();
+        assert_eq!(report.jobs_requeued, 1, "1 start <= max-retries: retried");
+        assert_eq!(report.poisoned, 0);
+        // seq resumes after the replayed prefix
+        assert_eq!(svc.next_seq.load(Ordering::Relaxed), 6);
+        let _ = std::fs::remove_file(&path);
     }
 }

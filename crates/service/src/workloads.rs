@@ -193,6 +193,72 @@ pub fn smoke_requests() -> Vec<Request> {
     ]
 }
 
+/// The chaos batch for the fault-injection harness: a mixed spread of
+/// small submits and simulates at varied priorities, every job seeded by
+/// `seed` so two runs of the same batch are bit-identical end to end. The
+/// harness SIGKILLs the daemon partway through this batch and diffs the
+/// post-recovery results against an uninterrupted run — every request here
+/// must be deterministic and answerable (no `stats` lines, whose counters
+/// legitimately differ across a crash).
+pub fn chaos_requests(seed: u64) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    // a rotation of testbeds at small n: cheap enough to run many, varied
+    // enough that cache hits don't collapse the batch into one job
+    for (i, tb) in Testbed::ALL.iter().cycle().take(18).enumerate() {
+        let n = 6 + (i % 5) * 3;
+        let priority = (i as i64 % 5) - 2;
+        let job = JobSpec {
+            dag: DagSpec::testbed(*tb, n),
+            platform: None,
+            scheduler: Some(if i % 2 == 0 {
+                SchedulerSpec::heft()
+            } else {
+                SchedulerSpec::ilha(tb.paper_best_b())
+            }),
+            model: None,
+            validate: true,
+        };
+        if i % 3 == 2 {
+            reqs.push(Request::simulate(
+                Some(format!("chaos-sim-{i}-{}-{n}", tb.name())),
+                priority,
+                job,
+                SimSpec::noise("static-order", 0.1, seed + i as u64),
+            ));
+        } else {
+            reqs.push(Request::submit(
+                Some(format!("chaos-{i}-{}-{n}", tb.name())),
+                priority,
+                job,
+            ));
+        }
+    }
+    // a couple of routed jobs so recovery covers the §4.3 path too
+    reqs.push(Request::submit(
+        Some("chaos-routed-ring".into()),
+        1,
+        JobSpec {
+            dag: DagSpec::testbed(Testbed::Stencil, 8),
+            platform: Some(PlatformSpec::routed("ring", 5, 1.0)),
+            scheduler: Some(SchedulerSpec::routed_ilha()),
+            model: None,
+            validate: true,
+        },
+    ));
+    reqs.push(Request::submit(
+        Some("chaos-routed-star".into()),
+        -1,
+        JobSpec {
+            dag: DagSpec::testbed(Testbed::ForkJoin, 12),
+            platform: Some(PlatformSpec::routed("star", 5, 1.0)),
+            scheduler: Some(SchedulerSpec::routed_heft()),
+            model: None,
+            validate: true,
+        },
+    ));
+    reqs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +300,27 @@ mod tests {
                     .resolve()
                     .expect("generated specs are valid");
             }
+        }
+    }
+
+    #[test]
+    fn chaos_batch_is_deterministic_and_resolves() {
+        let reqs = chaos_requests(7);
+        assert_eq!(reqs, chaos_requests(7), "same seed, same batch");
+        assert_ne!(reqs, chaos_requests(8), "seed varies the sims");
+        assert!(reqs.len() >= 20);
+        let mut ids = std::collections::HashSet::new();
+        for r in &reqs {
+            assert!(r.op == "submit" || r.op == "simulate", "no stats lines");
+            r.job
+                .clone()
+                .expect("job present")
+                .resolve()
+                .expect("valid");
+            if let Some(sim) = r.sim.clone() {
+                sim.resolve().expect("valid sim");
+            }
+            assert!(ids.insert(r.id.clone()), "ids unique: {:?}", r.id);
         }
     }
 

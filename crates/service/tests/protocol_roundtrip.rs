@@ -162,6 +162,12 @@ proptest! {
             cache_size: depth,
             sim_cache_size: depth / 2,
             cache_evictions: counters.0,
+            jobs_recovered: counters.1,
+            jobs_retried: counters.2 % 7,
+            jobs_timed_out: counters.0 % 5,
+            jobs_shed: counters.1 % 3,
+            ledger_bytes: counters.2,
+            uptime_events: counters.0 % 1000,
             uptime_ms: construct_ms,
             latency: lat.iter().enumerate().map(|(i, &(ms, count))| LatencyEntry {
                 scheduler: format!("S{i}"),
@@ -179,9 +185,15 @@ proptest! {
             op: "error".into(),
             id: (violations % 2 == 0).then(|| name_from(&id_ixs)),
             message: name_from(&id_ixs),
+            kind: (violations % 3 == 0).then(|| "overloaded".to_string()),
+            retry_after_ms: (violations % 3 == 0).then_some(construct_ms),
         };
         let back: ErrorResponse = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
         prop_assert_eq!(back, err);
+        // pre-robustness error lines (no kind/retry_after_ms) still parse
+        let legacy: ErrorResponse =
+            serde_json::from_str(r#"{"op":"error","message":"queue full"}"#).unwrap();
+        prop_assert_eq!(legacy.kind, None);
 
         let sim = SimResultResponse {
             op: "sim-result".into(),

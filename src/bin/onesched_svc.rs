@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N]
-//!                    [--queue-cap N]
+//!                    [--queue-cap N] [--ledger PATH] [--max-retries N]
+//!                    [--timeout-ms N] [--high-water N]
 //! onesched-svc submit --tcp ADDR [FILE|-]
 //! onesched-svc stats --tcp ADDR
 //! onesched-svc shutdown --tcp ADDR
-//! onesched-svc gen <smoke | stress | routed | sim> [--tasks N] [--seed S]
-//!                  [--count K] [--procs P] [--n N] [--testbed NAME]
+//! onesched-svc gen <smoke | stress | routed | sim | chaos> [--tasks N]
+//!                  [--seed S] [--count K] [--procs P] [--n N]
+//!                  [--testbed NAME]
 //! ```
 //!
 //! * `serve` runs the daemon. In `--stdio` mode (default) it reads request
@@ -15,7 +17,11 @@
 //!   process per batch, ideal for pipelines. In `--tcp` mode it serves
 //!   concurrent connections until a `shutdown` request; `--tcp
 //!   127.0.0.1:0` binds an ephemeral port announced by the `ready` line on
-//!   stdout.
+//!   stdout. With `--ledger PATH` the daemon journals every job to an
+//!   append-only write-ahead log and recovers it on restart: acknowledged
+//!   results rehydrate the caches, unacknowledged jobs re-run (producing
+//!   bit-identical results — everything is deterministic), and jobs that
+//!   repeatedly crashed the daemon are tombstoned as poison.
 //! * `submit` sends request lines from a file (or stdin with `-`) to a
 //!   running daemon and prints one response line per request.
 //! * `gen` prints workload request batches (`onesched-svc gen smoke |
@@ -55,7 +61,7 @@ fn main() {
     std::process::exit(code);
 }
 
-const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc gen <smoke|stress|routed|sim> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
+const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n                     [--ledger PATH] [--max-retries N] [--timeout-ms N] [--high-water N]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc gen <smoke|stress|routed|sim|chaos> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
 
 /// Pull `--flag value` out of `args`, leaving positionals behind.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -88,16 +94,56 @@ fn serve(args: &[String]) -> i32 {
     let queue_cap = take_flag(&mut args, "--queue-cap")
         .map(|v| parse_or_die::<usize>("--queue-cap", &v))
         .unwrap_or(onesched::service::service::DEFAULT_QUEUE_CAP);
+    let ledger = take_flag(&mut args, "--ledger");
+    let max_retries = take_flag(&mut args, "--max-retries")
+        .map(|v| parse_or_die::<u32>("--max-retries", &v))
+        .unwrap_or(onesched::service::service::DEFAULT_MAX_RETRIES);
+    let timeout = take_flag(&mut args, "--timeout-ms")
+        .map(|v| std::time::Duration::from_millis(parse_or_die::<u64>("--timeout-ms", &v)));
+    let high_water =
+        take_flag(&mut args, "--high-water").map(|v| parse_or_die::<usize>("--high-water", &v));
     args.retain(|a| a != "--stdio");
     if !args.is_empty() {
         eprintln!("onesched-svc: unexpected arguments {args:?}\n{USAGE}");
         return 2;
     }
-    let svc = Service::new(ServiceConfig {
+    let cfg = ServiceConfig {
         workers,
         cache_capacity: cache,
         queue_cap,
-    });
+        max_retries,
+        timeout,
+        high_water,
+    };
+    let svc = match ledger {
+        Some(path) => {
+            match Service::with_ledger(cfg, std::path::Path::new(&path)) {
+                Ok((svc, report)) => {
+                    // stderr, not stdout: the protocol stream stays clean
+                    eprintln!(
+                        "onesched-svc: ledger {path}: replayed {} events{}, \
+                         requeued {}, rehydrated {}, poisoned {}, skipped {}",
+                        report.events_replayed,
+                        if report.torn_tail {
+                            " (torn tail truncated)"
+                        } else {
+                            ""
+                        },
+                        report.jobs_requeued,
+                        report.results_rehydrated,
+                        report.poisoned,
+                        report.skipped,
+                    );
+                    svc
+                }
+                Err(e) => {
+                    eprintln!("onesched-svc: {e}");
+                    return 1;
+                }
+            }
+        }
+        None => Service::new(cfg),
+    };
     let result = match tcp {
         Some(addr) => {
             let announce: onesched::service::service::SharedWriter =
@@ -292,6 +338,7 @@ fn gen(args: &[String]) -> i32 {
             })
             .collect(),
         "routed" => workloads::routed_requests(procs, n, 0),
+        "chaos" => workloads::chaos_requests(seed),
         other => {
             eprintln!("onesched-svc: unknown workload {other:?}\n{USAGE}");
             return 2;
