@@ -65,6 +65,13 @@ pub const LINTS: &[Lint] = &[
                   seeds must come from the spec so runs are reproducible",
     },
     Lint {
+        id: "D104",
+        family: Family::Determinism,
+        summary: "literal Instant::now() call: wall-clock reads must go through the \
+                  onesched-trace Clock trait so traced runs replay deterministically \
+                  (the sole sanctioned site is WallClock in crates/trace/src/clock.rs)",
+    },
+    Lint {
         id: "P201",
         family: Family::PanicSafety,
         summary: ".unwrap() in library code outside tests",
@@ -112,6 +119,11 @@ pub fn lint_by_id(id: &str) -> Option<&'static Lint> {
 /// Crates whose non-test code is scanned for D101 (hashed-collection use on
 /// schedule-construction / execution / service hot paths).
 pub const D101_CRATES: &[&str] = &["sim", "heuristics", "exec", "service"];
+
+/// Files exempt from D104: the one place allowed to read the wall clock
+/// directly, because it *implements* the `Clock` abstraction everything
+/// else is required to use.
+pub const D104_EXEMPT_FILES: &[&str] = &["crates/trace/src/clock.rs"];
 
 /// Crates whose non-test code is scanned for D102 (wall-clock reads in pure
 /// construction code). The service and exec-engine crates legitimately

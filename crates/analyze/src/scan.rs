@@ -8,7 +8,7 @@
 //! the heuristics get wrong is suppressible inline with a reason.
 
 use crate::lexer::{self, TokKind, Token};
-use crate::lints::{lint_by_id, D101_CRATES, D102_CRATES};
+use crate::lints::{lint_by_id, D101_CRATES, D102_CRATES, D104_EXEMPT_FILES};
 
 /// One lint violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -225,6 +225,19 @@ fn check_tokens(rel: &str, krate: &str, toks: &[Token], mask: &[bool]) -> Vec<Fi
             Some("from_entropy" | "thread_rng" | "OsRng" | "from_os_rng") => push("D103", line),
             _ => {}
         }
+        // D104: a literal `Instant::now()` call anywhere in the
+        // workspace. Wall-clock reads must go through the trace crate's
+        // `Clock` trait so traced runs replay deterministically; the one
+        // sanctioned direct read is `WallClock` itself. Fires alongside
+        // D102 in pure-model crates (both hazards are real there).
+        if ident_text(toks, i) == Some("Instant")
+            && is_punct(toks, i + 1, ":")
+            && is_punct(toks, i + 2, ":")
+            && ident_text(toks, i + 3) == Some("now")
+            && !D104_EXEMPT_FILES.contains(&rel)
+        {
+            push("D104", line);
+        }
         // P205: `[` preceded by an expression (identifier that is not a
         // keyword, `self`, a closing `)`/`]`). Macro brackets (`vec![`)
         // are excluded because `!` precedes the `[`.
@@ -423,6 +436,32 @@ mod tests {
         assert_eq!(
             lints_at("a.rs", "dag", "fn f() { let r = StdRng::from_entropy(); }"),
             vec![("D103", 1)]
+        );
+    }
+
+    #[test]
+    fn instant_now_fires_everywhere_but_the_clock_impl() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        // fires in any crate, including ones D102 does not scan
+        assert_eq!(
+            lints_at("crates/service/src/a.rs", "service", src),
+            vec![("D104", 1)]
+        );
+        assert_eq!(
+            lints_at("crates/exec/src/a.rs", "exec", src),
+            vec![("D104", 1)]
+        );
+        // in a D102 crate both wall-clock lints fire: the type and the call
+        assert_eq!(
+            lints_at("crates/sim/src/a.rs", "sim", src),
+            vec![("D102", 1), ("D104", 1)]
+        );
+        // the Clock implementation itself is the sanctioned site
+        assert_eq!(lints_at("crates/trace/src/clock.rs", "trace", src), vec![]);
+        // a bare Instant type mention (no ::now) is not a D104
+        assert_eq!(
+            lints_at("crates/service/src/a.rs", "service", "fn f(d: Instant) {}"),
+            vec![]
         );
     }
 

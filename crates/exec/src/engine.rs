@@ -157,6 +157,9 @@ pub struct ExecReport {
     /// [`trace_fingerprint`] of the executed trace — the determinism and
     /// bit-exactness gate.
     pub trace_fingerprint: u64,
+    /// Events drained from the event queue during the replay — the
+    /// engine-loop work counter surfaced on `execute` trace spans.
+    pub events_processed: u64,
 }
 
 impl ExecReport {
@@ -445,6 +448,7 @@ pub fn execute(
     }
 
     let mut now = 0.0f64;
+    let mut events_processed: u64 = 0;
     loop {
         // Start everything startable at the current time, in ready order.
         let mut i = 0;
@@ -491,6 +495,7 @@ pub fn execute(
         now = t;
         let mut next = Some(first);
         while let Some(kind) = next {
+            events_processed += 1;
             match kind {
                 EventKind::Finish(a) => {
                     acts[a].done = true;
@@ -576,6 +581,7 @@ pub fn execute(
         static_makespan,
         executed_makespan,
         trace_fingerprint,
+        events_processed,
     })
 }
 

@@ -40,14 +40,15 @@ pub fn optimal_distribution(platform: &Platform, n: usize) -> Vec<usize> {
     while assigned < n {
         let mut best = 0usize;
         let mut best_finish = f64::INFINITY;
-        for (i, &c) in counts.iter().enumerate() {
-            let finish = platform.cycle_times()[i] * (c as f64 + 1.0);
+        for (i, (&c, &t)) in counts.iter().zip(platform.cycle_times()).enumerate() {
+            let finish = t * (c as f64 + 1.0);
             if finish < best_finish {
                 best_finish = finish;
                 best = i;
             }
         }
-        counts[best] += 1;
+        let Some(c) = counts.get_mut(best) else { break };
+        *c += 1;
         assigned += 1;
     }
     counts
@@ -58,8 +59,8 @@ pub fn optimal_distribution(platform: &Platform, n: usize) -> Vec<usize> {
 pub fn distribution_finish_time(platform: &Platform, counts: &[usize], task_weight: f64) -> f64 {
     counts
         .iter()
-        .enumerate()
-        .map(|(i, &c)| c as f64 * task_weight * platform.cycle_times()[i])
+        .zip(platform.cycle_times())
+        .map(|(&c, &t)| c as f64 * task_weight * t)
         .fold(0.0, f64::max)
 }
 

@@ -12,6 +12,7 @@
 
 use crate::avg_weights::paper_bottom_levels;
 use crate::placement::{best_placement_with, commit_placement, EftScratch, PlacementPolicy};
+use crate::probe::{NoProbe, Phase, Probe};
 use crate::Scheduler;
 use onesched_dag::{TaskGraph, TaskId, TopoOrder};
 use onesched_platform::Platform;
@@ -64,6 +65,63 @@ impl PartialOrd for ReadyEntry {
     }
 }
 
+impl Heft {
+    /// The scheduling loop, reporting phases and scan counters to
+    /// `probe`. The probe is write-only: every decision is identical to
+    /// an unprobed run.
+    fn schedule_probed(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Schedule {
+        probe.phase_begin(Phase::Rank);
+        let topo = TopoOrder::new(g);
+        let bl = paper_bottom_levels(g, &topo, platform);
+        probe.phase_end(Phase::Rank);
+
+        let mut pool = ResourcePool::new(platform.num_procs(), model);
+        let mut sched = Schedule::with_tasks(g.num_tasks());
+
+        let mut pending_preds: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
+        let mut ready: BinaryHeap<ReadyEntry> = g
+            .tasks()
+            .filter(|&v| g.in_degree(v) == 0)
+            .map(|task| ReadyEntry {
+                bl: bl.get(task.index()).copied().unwrap_or_default(),
+                task,
+            })
+            .collect();
+
+        let mut scratch = EftScratch::default();
+        while let Some(ReadyEntry { task, .. }) = ready.pop() {
+            probe.phase_begin(Phase::Scan);
+            let tp =
+                best_placement_with(g, platform, &pool, &sched, task, self.policy, &mut scratch);
+            probe.phase_end(Phase::Scan);
+            probe.phase_begin(Phase::Commit);
+            commit_placement(&mut pool, &mut sched, tp);
+            probe.phase_end(Phase::Commit);
+            for (succ, _) in g.successors(task) {
+                let Some(pending) = pending_preds.get_mut(succ.index()) else {
+                    continue;
+                };
+                *pending -= 1;
+                if *pending == 0 {
+                    ready.push(ReadyEntry {
+                        bl: bl.get(succ.index()).copied().unwrap_or_default(),
+                        task: succ,
+                    });
+                }
+            }
+        }
+        probe.placement_scan(scratch.scan());
+        debug_assert!(sched.is_complete());
+        sched
+    }
+}
+
 impl Scheduler for Heft {
     fn name(&self) -> String {
         let mut n = String::from("HEFT");
@@ -74,39 +132,17 @@ impl Scheduler for Heft {
     }
 
     fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
-        let topo = TopoOrder::new(g);
-        let bl = paper_bottom_levels(g, &topo, platform);
+        self.schedule_probed(g, platform, model, &NoProbe)
+    }
 
-        let mut pool = ResourcePool::new(platform.num_procs(), model);
-        let mut sched = Schedule::with_tasks(g.num_tasks());
-
-        let mut pending_preds: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
-        let mut ready: BinaryHeap<ReadyEntry> = g
-            .tasks()
-            .filter(|&v| pending_preds[v.index()] == 0)
-            .map(|task| ReadyEntry {
-                bl: bl[task.index()],
-                task,
-            })
-            .collect();
-
-        let mut scratch = EftScratch::default();
-        while let Some(ReadyEntry { task, .. }) = ready.pop() {
-            let tp =
-                best_placement_with(g, platform, &pool, &sched, task, self.policy, &mut scratch);
-            commit_placement(&mut pool, &mut sched, tp);
-            for (succ, _) in g.successors(task) {
-                pending_preds[succ.index()] -= 1;
-                if pending_preds[succ.index()] == 0 {
-                    ready.push(ReadyEntry {
-                        bl: bl[succ.index()],
-                        task: succ,
-                    });
-                }
-            }
-        }
-        debug_assert!(sched.is_complete());
-        sched
+    fn schedule_with_probe(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Schedule {
+        self.schedule_probed(g, platform, model, probe)
     }
 }
 

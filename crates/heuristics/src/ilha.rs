@@ -25,6 +25,7 @@ use crate::heft::ReadyEntry;
 use crate::placement::{
     best_placement_with, commit_placement, stage_on, EftScratch, PlacementPolicy,
 };
+use crate::probe::{NoProbe, Phase, Probe};
 use crate::Scheduler;
 use onesched_dag::{TaskGraph, TaskId, TopoOrder};
 use onesched_platform::{Platform, ProcId};
@@ -77,17 +78,21 @@ impl Ilha {
     }
 }
 
-impl Scheduler for Ilha {
-    fn name(&self) -> String {
-        match self.scan {
-            ScanDepth::ZeroComm => format!("ILHA(B={})", self.b),
-            ScanDepth::UpToOneComm => format!("ILHA1(B={})", self.b),
-        }
-    }
-
-    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+impl Ilha {
+    /// The scheduling loop, reporting phases and scan counters to
+    /// `probe`. The probe is write-only: every decision is identical to
+    /// an unprobed run.
+    fn schedule_probed(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Schedule {
+        probe.phase_begin(Phase::Rank);
         let topo = TopoOrder::new(g);
         let bl = paper_bottom_levels(g, &topo, platform);
+        probe.phase_end(Phase::Rank);
 
         let mut pool = ResourcePool::new(platform.num_procs(), model);
         let mut sched = Schedule::with_tasks(g.num_tasks());
@@ -97,9 +102,9 @@ impl Scheduler for Ilha {
         // sorted list used; a heap makes release and take O(log n)).
         let mut ready: BinaryHeap<ReadyEntry> = g
             .tasks()
-            .filter(|&v| pending_preds[v.index()] == 0)
+            .filter(|&v| g.in_degree(v) == 0)
             .map(|task| ReadyEntry {
-                bl: bl[task.index()],
+                bl: bl.get(task.index()).copied().unwrap_or_default(),
                 task,
             })
             .collect();
@@ -131,13 +136,20 @@ impl Scheduler for Ilha {
             // exactly what per-task commits would have) and the chunk's
             // placements are committed in a single batch, amortizing the
             // per-placement `occupy` cost.
+            probe.phase_begin(Phase::Step1);
             deferred.clear();
             staged1.clear();
             let mut txn = pool.begin();
             for &task in &chunk {
+                let cap_ok = |proc: ProcId| {
+                    used.get(proc.index()).copied().unwrap_or(usize::MAX)
+                        < counts.get(proc.index()).copied().unwrap_or(0)
+                };
                 match step1_target(g, &sched, task, self.scan) {
-                    Some(proc) if used[proc.index()] < counts[proc.index()] => {
-                        used[proc.index()] += 1;
+                    Some(proc) if cap_ok(proc) => {
+                        if let Some(u) = used.get_mut(proc.index()) {
+                            *u += 1;
+                        }
                         staged1.push(stage_on(
                             g,
                             platform,
@@ -159,11 +171,13 @@ impl Scheduler for Ilha {
                 }
                 sched.place_task(tp);
             }
+            probe.phase_end(Phase::Step1);
 
             // Step 2: HEFT-style earliest finish time for the rest (§4.4:
             // "we select the processor that allows for the earliest
             // completion time").
             for &task in &deferred {
+                probe.phase_begin(Phase::Scan);
                 let tp = best_placement_with(
                     g,
                     platform,
@@ -173,24 +187,54 @@ impl Scheduler for Ilha {
                     self.policy,
                     &mut scratch,
                 );
+                probe.phase_end(Phase::Scan);
+                probe.phase_begin(Phase::Commit);
                 commit_placement(&mut pool, &mut sched, tp);
+                probe.phase_end(Phase::Commit);
             }
 
             // Release newly ready tasks.
             for &task in &chunk {
                 for (succ, _) in g.successors(task) {
-                    pending_preds[succ.index()] -= 1;
-                    if pending_preds[succ.index()] == 0 {
+                    let Some(pending) = pending_preds.get_mut(succ.index()) else {
+                        continue;
+                    };
+                    *pending -= 1;
+                    if *pending == 0 {
                         ready.push(ReadyEntry {
-                            bl: bl[succ.index()],
+                            bl: bl.get(succ.index()).copied().unwrap_or_default(),
                             task: succ,
                         });
                     }
                 }
             }
         }
+        probe.placement_scan(scratch.scan());
         debug_assert!(sched.is_complete());
         sched
+    }
+}
+
+impl Scheduler for Ilha {
+    fn name(&self) -> String {
+        match self.scan {
+            ScanDepth::ZeroComm => format!("ILHA(B={})", self.b),
+            ScanDepth::UpToOneComm => format!("ILHA1(B={})", self.b),
+        }
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        self.schedule_probed(g, platform, model, &NoProbe)
+    }
+
+    fn schedule_with_probe(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Schedule {
+        self.schedule_probed(g, platform, model, probe)
     }
 }
 
@@ -209,29 +253,25 @@ pub(crate) fn step1_target(
     let first_proc = sched.task(first).expect("parents scheduled").proc;
     // Track at most two distinct parent processors and their incoming
     // volumes (allocation-free: three or more distinct always means step 2).
-    let mut procs = [(first_proc, g.data(first_edge)), (first_proc, 0.0)];
-    let mut distinct = 1usize;
+    let mut a = (first_proc, g.data(first_edge));
+    let mut b: Option<(ProcId, f64)> = None;
     for (parent, e) in iter {
         let proc = sched.task(parent).expect("parents scheduled").proc;
-        match procs[..distinct].iter_mut().find(|(q, _)| *q == proc) {
-            Some((_, vol)) => *vol += g.data(e),
-            None if distinct < 2 => {
-                procs[1] = (proc, g.data(e));
-                distinct = 2;
+        if proc == a.0 {
+            a.1 += g.data(e);
+        } else {
+            match &mut b {
+                Some(second) if second.0 == proc => second.1 += g.data(e),
+                Some(_) => return None,
+                None => b = Some((proc, g.data(e))),
             }
-            None => return None,
         }
     }
-    match (distinct, scan) {
-        (1, _) => Some(procs[0].0),
-        (2, ScanDepth::UpToOneComm) => {
+    match (b, scan) {
+        (None, _) => Some(a.0),
+        (Some(second), ScanDepth::UpToOneComm) => {
             // Put the task where more data already lives.
-            let best = if procs[0].1 >= procs[1].1 {
-                procs[0].0
-            } else {
-                procs[1].0
-            };
-            Some(best)
+            Some(if a.1 >= second.1 { a.0 } else { second.0 })
         }
         _ => None,
     }

@@ -44,6 +44,7 @@ pub mod distribution;
 mod heft;
 mod ilha;
 mod placement;
+pub mod probe;
 pub mod resched;
 pub mod routed;
 mod scheduler;
@@ -54,6 +55,7 @@ pub use placement::{
     best_placement, best_placement_with, commit_placement, place_on, stage_on, CommOrder,
     EftScratch, PlacementPolicy, TentativePlacement,
 };
+pub use probe::{NoProbe, Phase, Probe, ScanStats};
 pub use scheduler::Scheduler;
 
 // Re-export the model enum so downstream users need one import.

@@ -109,6 +109,17 @@ pub struct EftScratch {
     order: Vec<(f64, ProcId)>,
     send_cache: Vec<(f64, f64)>,
     txn_bufs: onesched_sim::TxnBuffers,
+    scan: crate::probe::ScanStats,
+}
+
+impl EftScratch {
+    /// Cumulative scan counters over every [`best_placement_with`] call
+    /// made with this scratch (pure bookkeeping: counting never alters
+    /// which candidate wins). Schedulers report this to their
+    /// [`crate::probe::Probe`] when construction ends.
+    pub fn scan(&self) -> &crate::probe::ScanStats {
+        &self.scan
+    }
 }
 
 /// Whether a candidate that can finish no earlier than `bound` could still
@@ -168,11 +179,14 @@ fn place_on_ordered(
         // send port alone already forbids anything earlier, so the search
         // may start there instead of walking up from the parent's finish —
         // and when it starts exactly there, the send view is pre-verified.
-        let send_free = if send_cache[j].0 == dur {
-            send_cache[j].1 - dur
+        let cached = send_cache.get(j).copied().unwrap_or((f64::NAN, 0.0));
+        let send_free = if cached.0 == dur {
+            cached.1 - dur
         } else {
             let gap = pool_send_gap(&txn, src_proc, src_finish, dur);
-            send_cache[j] = (dur, gap + dur);
+            if let Some(c) = send_cache.get_mut(j) {
+                *c = (dur, gap + dur);
+            }
             gap
         };
         let start = txn.earliest_comm_slot_seeded(src_proc, proc, src_finish, dur, send_free);
@@ -402,11 +416,14 @@ fn contention_disqualifies(
                 // only depends on the candidate through `dur`, so on
                 // uniform-link platforms one computation serves every
                 // candidate (`send_cache` is keyed by the message).
-                if send_cache[j].0 == dur {
-                    send_cache[j].1
+                let cached = send_cache.get(j).copied().unwrap_or((f64::NAN, 0.0));
+                if cached.0 == dur {
+                    cached.1
                 } else {
                     let a = pool.send_timeline(src_proc).earliest_gap(src_finish, dur) + dur;
-                    send_cache[j] = (dur, a);
+                    if let Some(c) = send_cache.get_mut(j) {
+                        *c = (dur, a);
+                    }
                     a
                 }
             } else {
@@ -505,6 +522,7 @@ pub fn best_placement_with(
         order,
         send_cache,
         txn_bufs,
+        scan,
     } = scratch;
     gather_incoming_into(incoming, g, sched, task, policy.comm_order);
     let incoming = &*incoming;
@@ -523,17 +541,20 @@ pub fn best_placement_with(
     send_cache.clear();
     send_cache.resize(incoming.len(), (f64::NAN, 0.0f64));
     for &(bound, proc) in order.iter() {
+        scan.candidates += 1;
         let incumbent = best.as_ref().map(|b| (b.finish, b.proc));
         if let Some((finish, best_proc)) = incumbent {
             // Skip unless the candidate could still (a) strictly beat the
             // incumbent or (b) tie it and win on the lower processor id —
             // first on the cheap bound, then on the committed-state bound.
             if !can_still_win(bound, proc, finish, best_proc) {
+                scan.pruned_bound += 1;
                 continue;
             }
             if contention_disqualifies(
                 platform, pool, one_port, incoming, send_cache, weight, proc, finish, best_proc,
             ) {
+                scan.pruned_contention += 1;
                 continue;
             }
         }
@@ -544,9 +565,11 @@ pub fn best_placement_with(
             Err(bufs) => {
                 // aborted mid-evaluation: provably cannot win
                 *txn_bufs = bufs;
+                scan.aborted += 1;
                 continue;
             }
             Ok(tp) => {
+                scan.evaluated += 1;
                 let better = match &best {
                     None => true,
                     Some(b) => {

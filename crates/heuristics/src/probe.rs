@@ -1,0 +1,118 @@
+//! Construction observability hooks: phases and placement-scan counters.
+//!
+//! Schedulers are pure functions, and must stay that way — the service's
+//! fingerprints pin every schedule bit-for-bit. Observability therefore
+//! rides alongside, not inside: schedulers *report* to a [`Probe`]
+//! (phase boundaries, scan statistics) and never read anything back, so
+//! an instrumented run takes identical decisions to a bare one. The
+//! default [`NoProbe`] makes every hook a no-op the optimizer can erase;
+//! the service installs a real probe to turn phases into trace spans and
+//! prune counts into metrics.
+
+/// A construction phase, reported around the scheduler's main loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Priority computation: topological order + bottom levels.
+    Rank,
+    /// ILHA's zero-communication scan and batch commit (step 1).
+    Step1,
+    /// Earliest-finish candidate scans (`best_placement` calls).
+    Scan,
+    /// Committing winning placements into the pool and schedule.
+    Commit,
+}
+
+impl Phase {
+    /// Stable lowercase name, used as the trace span suffix
+    /// (`construct.rank`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Rank => "rank",
+            Phase::Step1 => "step1",
+            Phase::Scan => "scan",
+            Phase::Commit => "commit",
+        }
+    }
+}
+
+/// Counters from the branch-and-bound placement scan: how candidates
+/// were disposed of. `candidates` is the sum of the other four.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Candidate processors considered across all scans.
+    pub candidates: u64,
+    /// Skipped on the cheap committed-state-free lower bound.
+    pub pruned_bound: u64,
+    /// Skipped on the committed-timeline contention bound.
+    pub pruned_contention: u64,
+    /// Abandoned mid-evaluation (branch-and-bound early exit).
+    pub aborted: u64,
+    /// Fully evaluated to a tentative placement.
+    pub evaluated: u64,
+}
+
+impl ScanStats {
+    /// Candidates dismissed before or during evaluation.
+    pub fn pruned(&self) -> u64 {
+        self.pruned_bound + self.pruned_contention + self.aborted
+    }
+
+    /// Accumulate another scan's counts into this one.
+    pub fn add(&mut self, other: &ScanStats) {
+        self.candidates += other.candidates;
+        self.pruned_bound += other.pruned_bound;
+        self.pruned_contention += other.pruned_contention;
+        self.aborted += other.aborted;
+        self.evaluated += other.evaluated;
+    }
+}
+
+/// Observer of one schedule construction. All hooks default to no-ops;
+/// implementations must not influence scheduling (they receive shared
+/// references and the schedulers never read them).
+pub trait Probe {
+    /// A phase is starting.
+    fn phase_begin(&self, _phase: Phase) {}
+    /// The phase most recently begun is ending.
+    fn phase_end(&self, _phase: Phase) {}
+    /// Cumulative placement-scan counters for the whole construction,
+    /// reported once at the end.
+    fn placement_scan(&self, _scan: &ScanStats) {}
+}
+
+/// The default probe: observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_stats_accumulate() {
+        let mut a = ScanStats {
+            candidates: 10,
+            pruned_bound: 4,
+            pruned_contention: 2,
+            aborted: 1,
+            evaluated: 3,
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.candidates, 20);
+        assert_eq!(a.pruned(), 14);
+        assert_eq!(a.evaluated, 6);
+        assert_eq!(a.candidates, a.pruned() + a.evaluated);
+    }
+
+    #[test]
+    fn no_probe_hooks_are_callable() {
+        let p = NoProbe;
+        p.phase_begin(Phase::Rank);
+        p.phase_end(Phase::Rank);
+        p.placement_scan(&ScanStats::default());
+        assert_eq!(Phase::Step1.name(), "step1");
+    }
+}

@@ -42,22 +42,27 @@ pub fn reschedule_with_allocation(
     let mut pending: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
     let mut ready: BinaryHeap<ReadyEntry> = g
         .tasks()
-        .filter(|&v| pending[v.index()] == 0)
+        .filter(|&v| g.in_degree(v) == 0)
         .map(|task| ReadyEntry {
-            bl: bl[task.index()],
+            bl: bl.get(task.index()).copied().unwrap_or_default(),
             task,
         })
         .collect();
 
     while let Some(ReadyEntry { task, .. }) = ready.pop() {
-        let proc = alloc[task.index()];
+        let Some(&proc) = alloc.get(task.index()) else {
+            continue;
+        };
         let tp = place_on(g, platform, &sched, pool.begin(), task, proc, policy);
         commit_placement(&mut pool, &mut sched, tp);
         for (succ, _) in g.successors(task) {
-            pending[succ.index()] -= 1;
-            if pending[succ.index()] == 0 {
+            let Some(p) = pending.get_mut(succ.index()) else {
+                continue;
+            };
+            *p -= 1;
+            if *p == 0 {
                 ready.push(ReadyEntry {
-                    bl: bl[succ.index()],
+                    bl: bl.get(succ.index()).copied().unwrap_or_default(),
                     task: succ,
                 });
             }

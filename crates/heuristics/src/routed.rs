@@ -127,9 +127,17 @@ pub struct RoutedScratch {
     /// a stale floor from a slower platform would over-prune.
     min_in_link: Vec<f64>,
     txn_bufs: TxnBuffers,
+    scan: crate::probe::ScanStats,
 }
 
 impl RoutedScratch {
+    /// Cumulative scan counters over every [`best_routed_placement_with`]
+    /// call made with this scratch (pure bookkeeping — see
+    /// [`crate::EftScratch::scan`]).
+    pub fn scan(&self) -> &crate::probe::ScanStats {
+        &self.scan
+    }
+
     fn min_in_links(&mut self, platform: &Platform) -> &[f64] {
         self.min_in_link.clear();
         self.min_in_link.extend(platform.procs().map(|r| {
@@ -202,11 +210,14 @@ fn place_on_routed_ordered(
                 // gap of the first hop (see `routed_contention_disqualifies`
                 // — the sender's committed state is shared across
                 // candidates, and the gap depends only on the hop duration).
-                let send_free = if send_cache[j].0 == dur {
-                    send_cache[j].1 - dur
+                let cached = send_cache.get(j).copied().unwrap_or((f64::NAN, 0.0));
+                let send_free = if cached.0 == dur {
+                    cached.1 - dur
                 } else {
                     let gap = txn.pool().send_timeline(cur).earliest_gap(available, dur);
-                    send_cache[j] = (dur, gap + dur);
+                    if let Some(c) = send_cache.get_mut(j) {
+                        *c = (dur, gap + dur);
+                    }
                     gap
                 };
                 txn.earliest_comm_slot_seeded(cur, to, available, dur, send_free)
@@ -391,7 +402,7 @@ fn quick_routed_bound(
         } else {
             let chain = data * routes.route_latency(src_proc, proc);
             ready = ready.max(src_finish + chain);
-            total_final += data * min_in_link[proc.index()];
+            total_final += data * min_in_link.get(proc.index()).copied().unwrap_or_default();
             first_remote = first_remote.min(src_finish);
         }
     }
@@ -447,11 +458,14 @@ fn routed_contention_disqualifies(
             let arrival = if one_port {
                 let h1 = routes.first_hop(src_proc, proc).expect("connected");
                 let dur1 = platform.comm_time(data, src_proc, h1);
-                let a1 = if send_cache[j].0 == dur1 {
-                    send_cache[j].1
+                let cached = send_cache.get(j).copied().unwrap_or((f64::NAN, 0.0));
+                let a1 = if cached.0 == dur1 {
+                    cached.1
                 } else {
                     let a = pool.send_timeline(src_proc).earliest_gap(src_finish, dur1) + dur1;
-                    send_cache[j] = (dur1, a);
+                    if let Some(c) = send_cache.get_mut(j) {
+                        *c = (dur1, a);
+                    }
                     a
                 };
                 // committed-send arrival of hop 1, then the remaining chain
@@ -461,7 +475,7 @@ fn routed_contention_disqualifies(
                 src_finish + chain
             };
             ready = ready.max(arrival);
-            total_final += data * min_in_link[proc.index()];
+            total_final += data * min_in_link.get(proc.index()).copied().unwrap_or_default();
             first_remote = first_remote.min(src_finish);
         }
         if lost(ready) {
@@ -531,6 +545,7 @@ pub fn best_routed_placement_with(
         send_cache,
         min_in_link,
         txn_bufs,
+        scan,
     } = scratch;
     gather_incoming_into(incoming, g, sched, task);
     let incoming = &*incoming;
@@ -557,9 +572,11 @@ pub fn best_routed_placement_with(
     send_cache.clear();
     send_cache.resize(incoming.len(), (f64::NAN, 0.0f64));
     for &(bound, proc) in order.iter() {
+        scan.candidates += 1;
         let incumbent = best.as_ref().map(|b| (b.finish, b.proc));
         if let Some((finish, best_proc)) = incumbent {
             if !can_still_win(bound, proc, finish, best_proc) {
+                scan.pruned_bound += 1;
                 continue;
             }
             if routed_contention_disqualifies(
@@ -575,6 +592,7 @@ pub fn best_routed_placement_with(
                 finish,
                 best_proc,
             ) {
+                scan.pruned_contention += 1;
                 continue;
             }
         }
@@ -584,9 +602,11 @@ pub fn best_routed_placement_with(
         ) {
             Err(bufs) => {
                 *txn_bufs = bufs;
+                scan.aborted += 1;
                 continue;
             }
             Ok(rp) => {
+                scan.evaluated += 1;
                 let better = match &best {
                     None => true,
                     Some(b) => {
@@ -628,24 +648,41 @@ impl RoutedHeft {
         platform: &Platform,
         model: CommModel,
     ) -> Result<Schedule, RoutedError> {
+        self.try_schedule_probed(g, platform, model, &crate::probe::NoProbe)
+    }
+
+    /// [`RoutedHeft::try_schedule`] reporting phases and scan counters to
+    /// `probe`. The probe is write-only: every decision is identical to
+    /// an unprobed run.
+    pub fn try_schedule_probed(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn crate::probe::Probe,
+    ) -> Result<Schedule, RoutedError> {
+        use crate::probe::Phase;
         let routes = connected_routes(platform)?;
+        probe.phase_begin(Phase::Rank);
         let topo = TopoOrder::new(g);
         let bl = paper_bottom_levels(g, &topo, platform);
+        probe.phase_end(Phase::Rank);
 
         let mut pool = ResourcePool::new(platform.num_procs(), model);
         let mut sched = Schedule::with_tasks(g.num_tasks());
         let mut pending: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
         let mut ready: BinaryHeap<ReadyEntry> = g
             .tasks()
-            .filter(|&v| pending[v.index()] == 0)
+            .filter(|&v| g.in_degree(v) == 0)
             .map(|task| ReadyEntry {
-                bl: bl[task.index()],
+                bl: bl.get(task.index()).copied().unwrap_or_default(),
                 task,
             })
             .collect();
 
         let mut scratch = RoutedScratch::default();
         while let Some(ReadyEntry { task, .. }) = ready.pop() {
+            probe.phase_begin(Phase::Scan);
             let rp = best_routed_placement_with(
                 g,
                 platform,
@@ -656,17 +693,24 @@ impl RoutedHeft {
                 self.policy,
                 &mut scratch,
             );
+            probe.phase_end(Phase::Scan);
+            probe.phase_begin(Phase::Commit);
             commit_routed(&mut pool, &mut sched, rp);
+            probe.phase_end(Phase::Commit);
             for (succ, _) in g.successors(task) {
-                pending[succ.index()] -= 1;
-                if pending[succ.index()] == 0 {
+                let Some(p) = pending.get_mut(succ.index()) else {
+                    continue;
+                };
+                *p -= 1;
+                if *p == 0 {
                     ready.push(ReadyEntry {
-                        bl: bl[succ.index()],
+                        bl: bl.get(succ.index()).copied().unwrap_or_default(),
                         task: succ,
                     });
                 }
             }
         }
+        probe.placement_scan(scratch.scan());
         debug_assert!(sched.is_complete());
         Ok(sched)
     }
@@ -679,6 +723,18 @@ impl Scheduler for RoutedHeft {
 
     fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
         self.try_schedule(g, platform, model)
+            .unwrap_or_else(|e| panic!("RoutedHeft: {e}"))
+    }
+
+    fn schedule_with_probe(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn crate::probe::Probe,
+    ) -> Schedule {
+        self.try_schedule_probed(g, platform, model, probe)
+            // analyze:allow(P203): infallible-by-contract mirror of `schedule`
             .unwrap_or_else(|e| panic!("RoutedHeft: {e}"))
     }
 }
@@ -728,18 +784,34 @@ impl RoutedIlha {
         platform: &Platform,
         model: CommModel,
     ) -> Result<Schedule, RoutedError> {
+        self.try_schedule_probed(g, platform, model, &crate::probe::NoProbe)
+    }
+
+    /// [`RoutedIlha::try_schedule`] reporting phases and scan counters to
+    /// `probe`. The probe is write-only: every decision is identical to
+    /// an unprobed run.
+    pub fn try_schedule_probed(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn crate::probe::Probe,
+    ) -> Result<Schedule, RoutedError> {
+        use crate::probe::Phase;
         let routes = connected_routes(platform)?;
+        probe.phase_begin(Phase::Rank);
         let topo = TopoOrder::new(g);
         let bl = paper_bottom_levels(g, &topo, platform);
+        probe.phase_end(Phase::Rank);
 
         let mut pool = ResourcePool::new(platform.num_procs(), model);
         let mut sched = Schedule::with_tasks(g.num_tasks());
         let mut pending: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
         let mut ready: BinaryHeap<ReadyEntry> = g
             .tasks()
-            .filter(|&v| pending[v.index()] == 0)
+            .filter(|&v| g.in_degree(v) == 0)
             .map(|task| ReadyEntry {
-                bl: bl[task.index()],
+                bl: bl.get(task.index()).copied().unwrap_or_default(),
                 task,
             })
             .collect();
@@ -760,13 +832,20 @@ impl RoutedIlha {
 
             // Step 1: place communication-free tasks under the caps, all
             // staged into ONE transaction and batch-committed.
+            probe.phase_begin(Phase::Step1);
             deferred.clear();
             staged1.clear();
             let mut txn = pool.begin();
             for &task in &chunk {
+                let cap_ok = |proc: ProcId| {
+                    used.get(proc.index()).copied().unwrap_or(usize::MAX)
+                        < counts.get(proc.index()).copied().unwrap_or(0)
+                };
                 match step1_target(g, &sched, task, self.scan) {
-                    Some(proc) if used[proc.index()] < counts[proc.index()] => {
-                        used[proc.index()] += 1;
+                    Some(proc) if cap_ok(proc) => {
+                        if let Some(u) = used.get_mut(proc.index()) {
+                            *u += 1;
+                        }
                         staged1.push(stage_on_routed(
                             g,
                             platform,
@@ -789,9 +868,11 @@ impl RoutedIlha {
                 }
                 sched.place_task(tp);
             }
+            probe.phase_end(Phase::Step1);
 
             // Step 2: pruned routed earliest-finish for the rest.
             for &task in &deferred {
+                probe.phase_begin(Phase::Scan);
                 let rp = best_routed_placement_with(
                     g,
                     platform,
@@ -802,21 +883,28 @@ impl RoutedIlha {
                     self.policy,
                     &mut scratch,
                 );
+                probe.phase_end(Phase::Scan);
+                probe.phase_begin(Phase::Commit);
                 commit_routed(&mut pool, &mut sched, rp);
+                probe.phase_end(Phase::Commit);
             }
 
             for &task in &chunk {
                 for (succ, _) in g.successors(task) {
-                    pending[succ.index()] -= 1;
-                    if pending[succ.index()] == 0 {
+                    let Some(p) = pending.get_mut(succ.index()) else {
+                        continue;
+                    };
+                    *p -= 1;
+                    if *p == 0 {
                         ready.push(ReadyEntry {
-                            bl: bl[succ.index()],
+                            bl: bl.get(succ.index()).copied().unwrap_or_default(),
                             task: succ,
                         });
                     }
                 }
             }
         }
+        probe.placement_scan(scratch.scan());
         debug_assert!(sched.is_complete());
         Ok(sched)
     }
@@ -829,6 +917,18 @@ impl Scheduler for RoutedIlha {
 
     fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
         self.try_schedule(g, platform, model)
+            .unwrap_or_else(|e| panic!("RoutedIlha: {e}"))
+    }
+
+    fn schedule_with_probe(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn crate::probe::Probe,
+    ) -> Schedule {
+        self.try_schedule_probed(g, platform, model, probe)
+            // analyze:allow(P203): infallible-by-contract mirror of `schedule`
             .unwrap_or_else(|e| panic!("RoutedIlha: {e}"))
     }
 }

@@ -1,5 +1,6 @@
 //! The common scheduler interface.
 
+use crate::probe::Probe;
 use onesched_dag::TaskGraph;
 use onesched_platform::Platform;
 use onesched_sim::{CommModel, Schedule};
@@ -16,6 +17,23 @@ pub trait Scheduler {
     /// Implementations must return schedules that pass
     /// [`onesched_sim::validate()`] for the same `(g, platform, model)`.
     fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule;
+
+    /// [`Scheduler::schedule`] with an observability [`Probe`] receiving
+    /// phase boundaries and placement-scan counters. The probe is
+    /// write-only: instrumented construction MUST return the same
+    /// schedule as [`Scheduler::schedule`] (fingerprint-pinned by the
+    /// service's trace tests). The default ignores the probe — only
+    /// schedulers with phases worth reporting override it.
+    fn schedule_with_probe(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Schedule {
+        let _ = probe;
+        self.schedule(g, platform, model)
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
@@ -25,6 +43,15 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
     fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
         (**self).schedule(g, platform, model)
     }
+    fn schedule_with_probe(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Schedule {
+        (**self).schedule_with_probe(g, platform, model, probe)
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -33,5 +60,14 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
         (**self).schedule(g, platform, model)
+    }
+    fn schedule_with_probe(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Schedule {
+        (**self).schedule_with_probe(g, platform, model, probe)
     }
 }

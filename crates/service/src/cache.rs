@@ -11,9 +11,88 @@
 //! outcome is a few hundred bytes regardless of task count.
 
 use crate::protocol::{LatencyEntry, ResolvedJob, ResolvedSim, StatsResponse};
-use crate::runner::schedule_timed;
+use crate::runner::schedule_timed_probed;
+use onesched_heuristics::{NoProbe, Phase, Probe, ScanStats};
+use onesched_trace::Clock;
+use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
+
+/// A write-only [`Probe`] that accumulates per-phase wall time and
+/// placement-scan counters over one (or several) constructions, timed by
+/// a [`Clock`]. Single-threaded by design (`Cell` state): one worker owns
+/// one probe for the duration of a job, then reads the totals out.
+///
+/// The probe only observes — a probed construction takes decisions
+/// bit-identical to a bare one (the fingerprint-pinned tests hold it to
+/// that).
+pub struct ConstructProbe<'a> {
+    clock: &'a dyn Clock,
+    begin_us: [Cell<u64>; 4],
+    total_us: [Cell<u64>; 4],
+    scan: Cell<ScanStats>,
+}
+
+/// The fixed phase order used for the accumulator arrays and the
+/// synthesized `construct.*` child spans.
+pub const PHASES: [Phase; 4] = [Phase::Rank, Phase::Step1, Phase::Scan, Phase::Commit];
+
+fn phase_slot(phase: Phase) -> usize {
+    match phase {
+        Phase::Rank => 0,
+        Phase::Step1 => 1,
+        Phase::Scan => 2,
+        Phase::Commit => 3,
+    }
+}
+
+impl<'a> ConstructProbe<'a> {
+    /// A zeroed probe reading time from `clock`.
+    pub fn new(clock: &'a dyn Clock) -> ConstructProbe<'a> {
+        ConstructProbe {
+            clock,
+            begin_us: Default::default(),
+            total_us: Default::default(),
+            scan: Cell::new(ScanStats::default()),
+        }
+    }
+
+    /// Accumulated wall time of `phase`, microseconds.
+    pub fn phase_us(&self, phase: Phase) -> u64 {
+        self.total_us
+            .get(phase_slot(phase))
+            .map(Cell::get)
+            .unwrap_or(0)
+    }
+
+    /// Cumulative placement-scan counters reported by the scheduler.
+    pub fn scan(&self) -> ScanStats {
+        self.scan.get()
+    }
+}
+
+impl Probe for ConstructProbe<'_> {
+    fn phase_begin(&self, phase: Phase) {
+        if let Some(b) = self.begin_us.get(phase_slot(phase)) {
+            b.set(self.clock.now_micros());
+        }
+    }
+
+    fn phase_end(&self, phase: Phase) {
+        let slot = phase_slot(phase);
+        let (Some(b), Some(t)) = (self.begin_us.get(slot), self.total_us.get(slot)) else {
+            return;
+        };
+        let d = self.clock.now_micros().saturating_sub(b.get());
+        t.set(t.get().saturating_add(d));
+    }
+
+    fn placement_scan(&self, scan: &ScanStats) {
+        let mut acc = self.scan.get();
+        acc.add(scan);
+        self.scan.set(acc);
+    }
+}
 
 /// The recorded outcome of one schedule construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +121,7 @@ pub struct JobOutcome {
 /// the execution engine.
 fn construct(
     job: &ResolvedJob,
+    probe: &dyn Probe,
 ) -> (
     JobOutcome,
     onesched_dag::TaskGraph,
@@ -51,7 +131,8 @@ fn construct(
     let g = job.build_graph();
     let platform = job.build_platform();
     let scheduler = job.build_scheduler();
-    let (sched, construct) = schedule_timed(&g, &platform, scheduler.as_ref(), job.model());
+    let (sched, construct) =
+        schedule_timed_probed(&g, &platform, scheduler.as_ref(), job.model(), probe);
     let violations = if job.spec.validate {
         onesched_sim::validate(&g, &platform, job.model(), &sched).len()
     } else {
@@ -75,7 +156,13 @@ fn construct(
 /// outcome. Deterministic: equal [`ResolvedJob::key`]s produce equal
 /// outcomes up to the `construct` timing.
 pub fn run_job(job: &ResolvedJob) -> JobOutcome {
-    construct(job).0
+    run_job_probed(job, &NoProbe)
+}
+
+/// [`run_job`] with an observer: `probe` sees phase boundaries and
+/// placement-scan counters but cannot influence the outcome.
+pub fn run_job_probed(job: &ResolvedJob, probe: &dyn Probe) -> JobOutcome {
+    construct(job, probe).0
 }
 
 /// The outcome of one construct-then-execute simulation: the construction
@@ -95,6 +182,8 @@ pub struct SimOutcome {
     pub degradation: f64,
     /// Trace fingerprint of the executed trace.
     pub trace_fingerprint: u64,
+    /// Events drained by the execution engine during the replay.
+    pub events_processed: u64,
     /// Wall-clock time of the engine run alone.
     pub exec: Duration,
 }
@@ -135,7 +224,18 @@ pub fn run_sim_job(
     sim: &ResolvedSim,
     deadline: Option<Instant>,
 ) -> Result<SimOutcome, SimRunError> {
-    let (outcome, g, platform, sched) = construct(job);
+    run_sim_job_probed(job, sim, deadline, &NoProbe)
+}
+
+/// [`run_sim_job`] with an observer: `probe` sees the construction half's
+/// phase boundaries and scan counters but cannot influence the outcome.
+pub fn run_sim_job_probed(
+    job: &ResolvedJob,
+    sim: &ResolvedSim,
+    deadline: Option<Instant>,
+    probe: &dyn Probe,
+) -> Result<SimOutcome, SimRunError> {
+    let (outcome, g, platform, sched) = construct(job, probe);
     if deadline.is_some_and(|d| Instant::now() > d) {
         return Err(SimRunError::DeadlineExceeded(Box::new(outcome)));
     }
@@ -150,6 +250,7 @@ pub fn run_sim_job(
         executed_makespan: report.executed_makespan,
         degradation: report.degradation(),
         trace_fingerprint: report.trace_fingerprint,
+        events_processed: report.events_processed,
         exec,
     })
 }
@@ -278,16 +379,18 @@ pub struct StatsGauges {
     pub uptime_events: u64,
 }
 
-/// Nearest-rank percentile of a *sorted* sample (`q` in `[0, 1]`).
+/// Nearest-rank percentile of a *sorted* sample (`q` in `[0, 1]`): the
+/// value at 1-based rank `⌈q·n⌉` (clamped to `[1, n]`), per the standard
+/// nearest-rank definition. Guarantees at least `q` of the samples are
+/// `<=` the returned value — the previous rounding rule could report a
+/// p50 that a minority of samples sat below.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
+    let n = sorted.len();
+    if n == 0 {
         return 0.0;
     }
-    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-    sorted
-        .get(rank.min(sorted.len() - 1))
-        .copied()
-        .unwrap_or(0.0)
+    let rank = (q * n as f64).ceil() as usize;
+    sorted.get(rank.clamp(1, n) - 1).copied().unwrap_or(0.0)
 }
 
 impl ServiceStats {
@@ -336,6 +439,7 @@ impl ServiceStats {
                 LatencyEntry {
                     scheduler: scheduler.clone(),
                     count: sample.count,
+                    window: sorted.len() as u64,
                     p50_ms: percentile(&sorted, 0.50),
                     p90_ms: percentile(&sorted, 0.90),
                     p99_ms: percentile(&sorted, 0.99),
@@ -471,9 +575,14 @@ mod tests {
     #[test]
     fn percentiles_on_small_samples() {
         let sorted = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&sorted, 0.5), 3.0); // nearest rank of 1.5
+        // nearest rank ⌈0.5·4⌉ = 2 → second sample; exactly half the
+        // samples are <= the reported p50
+        assert_eq!(percentile(&sorted, 0.5), 2.0);
         assert_eq!(percentile(&sorted, 0.0), 1.0);
         assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&sorted, 0.75), 3.0);
+        assert_eq!(percentile(&sorted, 0.76), 4.0);
+        assert_eq!(percentile(&[5.0], 0.5), 5.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         let mut stats = ServiceStats::default();
         stats.record_latency("HEFT", Duration::from_millis(2));
@@ -491,6 +600,7 @@ mod tests {
         );
         assert_eq!(snap.latency.len(), 1);
         assert_eq!(snap.latency[0].count, 2);
+        assert_eq!(snap.latency[0].window, 2);
         assert_eq!(snap.latency[0].max_ms, 8.0);
         assert_eq!(snap.queue_depth, 3);
         assert_eq!(snap.sim_cache_size, 2);
@@ -508,6 +618,7 @@ mod tests {
         let snap = stats.snapshot(StatsGauges::default(), Duration::from_secs(1));
         let l = &snap.latency[0];
         assert_eq!(l.count, LATENCY_WINDOW as u64 + 1, "count is all-time");
+        assert_eq!(l.window, LATENCY_WINDOW as u64, "window is bounded");
         assert_eq!(l.max_ms, 100_000.0, "max is all-time");
         assert_eq!(l.p99_ms, 1.0, "percentiles cover the recent window only");
     }

@@ -210,6 +210,10 @@ pub struct LedgerOutcome {
     /// Engine wall-clock, milliseconds — simulations only.
     #[serde(default)]
     pub exec_ms: Option<f64>,
+    /// Events drained by the execution engine — simulations only; absent
+    /// in records written before the field existed (rehydrates as 0).
+    #[serde(default)]
+    pub events: Option<u64>,
 }
 
 /// Parse 16 hex digits back to the u64 fingerprint.
@@ -242,6 +246,7 @@ impl LedgerOutcome {
             degradation: None,
             trace_fingerprint: None,
             exec_ms: None,
+            events: None,
         }
     }
 
@@ -254,6 +259,7 @@ impl LedgerOutcome {
             degradation: Some(o.degradation),
             trace_fingerprint: Some(format!("{:016x}", o.trace_fingerprint)),
             exec_ms: Some(o.exec.as_secs_f64() * 1e3),
+            events: Some(o.events_processed),
             ..LedgerOutcome::from_job(&o.job)
         }
     }
@@ -281,6 +287,7 @@ impl LedgerOutcome {
             executed_makespan: self.executed_makespan?,
             degradation: self.degradation?,
             trace_fingerprint: parse_fingerprint(self.trace_fingerprint.as_deref()?)?,
+            events_processed: self.events.unwrap_or(0),
             exec: duration_from_ms(self.exec_ms?),
         })
     }
@@ -337,6 +344,96 @@ pub fn parse_ledger(bytes: &[u8]) -> Replay {
         valid_bytes,
         torn,
     }
+}
+
+/// An offline digest of a ledger file (`onesched-svc ledger inspect`):
+/// event counts, the jobs still owed an answer, poison tombstones, and
+/// where the valid prefix ends. Serializable so the inspector prints one
+/// machine-readable JSON object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerSummary {
+    /// Records in the valid prefix.
+    pub records: u64,
+    /// Byte length of the valid prefix (where `Ledger::open` would
+    /// truncate to).
+    pub valid_bytes: u64,
+    /// Whether a torn tail (or mid-file corruption) follows the prefix.
+    pub torn: bool,
+    /// `submitted` records.
+    pub submitted: u64,
+    /// `started` records (construction attempts, retries included).
+    pub started: u64,
+    /// `done` records (outcomes and tombstones).
+    pub done: u64,
+    /// `failed` records.
+    pub failed: u64,
+    /// Records with an event this version does not know.
+    pub other: u64,
+    /// `done` records carrying a recorded outcome.
+    pub outcomes: u64,
+    /// `done` records without one (shed / shutting-down tombstones).
+    pub tombstones: u64,
+    /// Submission seqs with no `done`/`failed` record — the work a
+    /// recovery would re-queue.
+    pub unacknowledged: Vec<u64>,
+    /// Canonical-spec digests tombstoned as poison (crash-looping jobs).
+    pub poisoned: Vec<String>,
+    /// Highest seq seen (0 for an empty ledger).
+    pub max_seq: u64,
+}
+
+/// Summarize a replayed ledger. Pure accounting over
+/// [`parse_ledger`]'s output — reads nothing, never fails.
+pub fn summarize_ledger(replay: &Replay) -> LedgerSummary {
+    use std::collections::BTreeSet;
+    let mut s = LedgerSummary {
+        records: replay.records.len() as u64,
+        valid_bytes: replay.valid_bytes,
+        torn: replay.torn,
+        submitted: 0,
+        started: 0,
+        done: 0,
+        failed: 0,
+        other: 0,
+        outcomes: 0,
+        tombstones: 0,
+        unacknowledged: Vec::new(),
+        poisoned: Vec::new(),
+        max_seq: 0,
+    };
+    let mut waiting: BTreeSet<u64> = BTreeSet::new();
+    let mut poisoned: BTreeSet<String> = BTreeSet::new();
+    for rec in &replay.records {
+        s.max_seq = s.max_seq.max(rec.seq);
+        match rec.event.as_str() {
+            "submitted" => {
+                s.submitted += 1;
+                waiting.insert(rec.seq);
+            }
+            "started" => s.started += 1,
+            "done" => {
+                s.done += 1;
+                if rec.outcome.is_some() {
+                    s.outcomes += 1;
+                } else {
+                    s.tombstones += 1;
+                }
+                waiting.remove(&rec.seq);
+            }
+            "failed" => {
+                s.failed += 1;
+                waiting.remove(&rec.seq);
+                let is_poison = rec.message.as_deref().is_some_and(|m| m.contains("poison"));
+                if let (true, Some(key)) = (is_poison, rec.key.as_deref()) {
+                    poisoned.insert(key.to_string());
+                }
+            }
+            _ => s.other += 1,
+        }
+    }
+    s.unacknowledged = waiting.into_iter().collect();
+    s.poisoned = poisoned.into_iter().collect();
+    s
 }
 
 /// A ledger I/O failure, with the operation and path that failed. The
@@ -591,6 +688,7 @@ mod tests {
             executed_makespan: 130.0,
             degradation: 1.05,
             trace_fingerprint: 0x0123_4567_89ab_cdef,
+            events_processed: 77,
             exec: Duration::from_millis(3),
         };
         let rec = LedgerOutcome::from_sim(&sim);
@@ -599,5 +697,68 @@ mod tests {
         let mut bad = rec.clone();
         bad.fingerprint = "zz".into();
         assert_eq!(bad.to_job(), None);
+    }
+
+    #[test]
+    fn old_sim_records_without_events_rehydrate_as_zero() {
+        let job = JobOutcome {
+            scheduler: "HEFT".into(),
+            tasks: 1,
+            makespan: 1.0,
+            speedup: 1.0,
+            effective_comms: 0,
+            fingerprint: 1,
+            construct: Duration::from_millis(1),
+            violations: 0,
+        };
+        let sim = SimOutcome {
+            job,
+            policy: "static-order".into(),
+            seed: 0,
+            executed_makespan: 1.0,
+            degradation: 1.0,
+            trace_fingerprint: 2,
+            events_processed: 9,
+            exec: Duration::from_millis(1),
+        };
+        let mut rec = LedgerOutcome::from_sim(&sim);
+        assert_eq!(rec.events, Some(9));
+        // a pre-events ledger line simply lacks the field
+        rec.events = None;
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: LedgerOutcome = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.to_sim().unwrap().events_processed, 0);
+    }
+
+    #[test]
+    fn summary_accounts_every_lifecycle_shape() {
+        let hash = key_hash("k");
+        let mut lines = String::new();
+        for rec in [
+            LedgerRecord::submitted(1, "a", &hash, 0, spec(), None),
+            LedgerRecord::started(1, "a", &hash),
+            LedgerRecord::done(1, "a", &hash, None, Some("shutting-down".into())),
+            LedgerRecord::submitted(2, "b", &hash, 0, spec(), None),
+            LedgerRecord::started(2, "b", &hash),
+            LedgerRecord::failed(2, "b", &hash, "poison: 3 attempts panicked".into()),
+            LedgerRecord::submitted(3, "c", &hash, 0, spec(), None),
+        ] {
+            lines.push_str(&serde_json::to_string(&rec).unwrap());
+            lines.push('\n');
+        }
+        lines.push_str("{\"event\":\"torn"); // unterminated tail
+        let replay = parse_ledger(lines.as_bytes());
+        let s = summarize_ledger(&replay);
+        assert_eq!(s.records, 7);
+        assert!(s.torn);
+        assert_eq!((s.submitted, s.started, s.done, s.failed), (3, 2, 1, 1));
+        assert_eq!((s.outcomes, s.tombstones), (0, 1));
+        assert_eq!(s.unacknowledged, vec![3], "only seq 3 is owed an answer");
+        assert_eq!(s.poisoned, vec![hash]);
+        assert_eq!(s.max_seq, 3);
+        // the summary is itself NDJSON-safe
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LedgerSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! Every line sent to the daemon is one [`Request`] object; every line it
 //! writes back is one response object tagged by its `op` field (`"result"`,
-//! `"sim-result"`, `"stats"`, `"error"`, `"ok"`, `"ready"`). A request line
+//! `"sim-result"`, `"stats"`, `"metrics"`, `"error"`, `"ok"`, `"ready"`).
+//! A request line
 //! always produces exactly one response line, so clients can pipeline
 //! submissions and count replies. See `crates/service/README.md` for the
 //! full schema reference and example sessions.
@@ -30,7 +31,7 @@ pub const PROTOCOL_VERSION: &str = "onesched-svc/v1";
 /// One request line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// `"submit"`, `"simulate"`, `"stats"`, or `"shutdown"`.
+    /// `"submit"`, `"simulate"`, `"stats"`, `"metrics"`, or `"shutdown"`.
     pub op: String,
     /// Client-chosen job id echoed in the result (submit/simulate only);
     /// the daemon assigns `job-N` when absent.
@@ -76,6 +77,18 @@ impl Request {
     pub fn stats() -> Request {
         Request {
             op: "stats".into(),
+            id: None,
+            priority: None,
+            job: None,
+            sim: None,
+        }
+    }
+
+    /// A `metrics` request (Prometheus text exposition wrapped in one
+    /// response line).
+    pub fn metrics() -> Request {
+        Request {
+            op: "metrics".into(),
             id: None,
             priority: None,
             job: None,
@@ -1077,6 +1090,10 @@ pub struct LatencyEntry {
     pub scheduler: String,
     /// All-time number of constructions measured.
     pub count: u64,
+    /// Samples currently in the sliding window — the population the
+    /// percentiles below are computed over (`min(count, LATENCY_WINDOW)`).
+    #[serde(default)]
+    pub window: u64,
     /// Median construction time over the window, ms.
     pub p50_ms: f64,
     /// 90th-percentile construction time over the window, ms.
@@ -1133,6 +1150,21 @@ pub struct ReadyResponse {
     pub addr: String,
     /// Worker threads serving the queue.
     pub workers: usize,
+}
+
+/// Prometheus-style metrics snapshot (op `"metrics"`): the full text
+/// exposition as one string, newlines included, wrapped in a single
+/// response line so it composes with the NDJSON protocol. Pipe `text`
+/// through `onesched-svc metrics` (or any JSON tool) to recover the
+/// scrape body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Always `"metrics"`.
+    pub op: String,
+    /// The exposition MIME type (`text/plain; version=0.0.4`).
+    pub content_type: String,
+    /// The metrics body in Prometheus text exposition format.
+    pub text: String,
 }
 
 /// Minimal probe to dispatch a response line on its `op` tag.

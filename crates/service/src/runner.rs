@@ -32,8 +32,21 @@ pub fn schedule_timed(
     scheduler: &dyn Scheduler,
     model: CommModel,
 ) -> (Schedule, Duration) {
+    schedule_timed_probed(g, platform, scheduler, model, &onesched_heuristics::NoProbe)
+}
+
+/// [`schedule_timed`] with an observer: the probe sees phase boundaries
+/// and placement-scan counters but cannot influence the schedule, so
+/// timing and fingerprints match the bare call.
+pub fn schedule_timed_probed(
+    g: &TaskGraph,
+    platform: &Platform,
+    scheduler: &dyn Scheduler,
+    model: CommModel,
+    probe: &dyn onesched_heuristics::Probe,
+) -> (Schedule, Duration) {
     let t0 = Instant::now();
-    let sched = scheduler.schedule(g, platform, model);
+    let sched = scheduler.schedule_with_probe(g, platform, model, probe);
     let construct = t0.elapsed();
     (sched, construct)
 }

@@ -40,20 +40,23 @@
 //! before the job is poisoned.
 
 use crate::cache::{
-    run_job, run_sim_job, Registry, ServiceStats, SimOutcome, SimRunError, StatsGauges,
+    run_job_probed, run_sim_job_probed, ConstructProbe, Registry, ServiceStats, SimOutcome,
+    SimRunError, StatsGauges, PHASES,
 };
 use crate::ledger::{key_hash, Ledger, LedgerError, LedgerOutcome, LedgerRecord, Replay};
 use crate::protocol::{
-    AckResponse, ErrorResponse, ReadyResponse, Request, ResolvedJob, ResolvedSim, ResultResponse,
-    SimResultResponse, PROTOCOL_VERSION,
+    AckResponse, ErrorResponse, MetricsResponse, ReadyResponse, Request, ResolvedJob, ResolvedSim,
+    ResultResponse, SimResultResponse, PROTOCOL_VERSION,
 };
 use crate::queue::PriorityQueue;
+use onesched_heuristics::ScanStats;
+use onesched_trace::{prometheus_text, Clock, Gauge, MetricsHub, TraceEvent, Tracer, WallClock};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -117,6 +120,12 @@ pub struct ServiceConfig {
     /// Setting it to `queue_cap` disables shedding, leaving only the hard
     /// cap.
     pub high_water: Option<usize>,
+    /// Structured-trace sink (`--trace PATH`): every job's span tree is
+    /// appended as `onesched-trace/v1` NDJSON. `None` disables span
+    /// recording entirely; the metrics hub is always on. A path that
+    /// cannot be opened degrades to no tracing (with a stderr note), not
+    /// a dead daemon.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +137,7 @@ impl Default for ServiceConfig {
             max_retries: DEFAULT_MAX_RETRIES,
             timeout: None,
             high_water: None,
+            trace: None,
         }
     }
 }
@@ -163,6 +173,9 @@ struct Ticket {
     attempts: u32,
     /// Wall-clock deadline, when the service has a timeout configured.
     deadline: Option<Instant>,
+    /// Acceptance time on the service clock, microseconds — the root
+    /// `job` span's start and the queue-wait measurement origin.
+    accepted_us: u64,
     /// Canonical-spec digest ([`Work::hash`], precomputed).
     key: String,
     work: Work,
@@ -220,6 +233,20 @@ pub struct Service {
     next_job: AtomicU64,
     next_seq: AtomicU64,
     started: Instant,
+    /// The service clock every span and queue-wait measurement reads
+    /// (the one sanctioned wall-time source besides `Instant` deadlines).
+    clock: Arc<dyn Clock>,
+    /// Span recorder streaming to `cfg.trace`; `None` when tracing is
+    /// off. Spans are write-only observers — fingerprints and response
+    /// bytes are bit-identical either way.
+    tracer: Option<Tracer>,
+    /// Always-on counters and histograms behind the `metrics` op.
+    metrics: MetricsHub,
+    /// Workers currently running a claimed ticket (the
+    /// `onesched_workers_busy` gauge).
+    busy: AtomicU64,
+    /// Worker-thread index allocator (trace `worker` attribution).
+    next_worker: AtomicU64,
 }
 
 /// Poll interval for blocking accept/read loops while checking the
@@ -233,6 +260,25 @@ impl Service {
             workers: cfg.workers.max(1),
             ..cfg
         };
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let tracer = cfg.trace.as_ref().and_then(|path| {
+            match std::fs::File::create(path) {
+                Ok(file) => {
+                    let t = Tracer::new(Arc::clone(&clock));
+                    t.set_sink(Box::new(file));
+                    Some(t)
+                }
+                Err(e) => {
+                    // Tracing is an observer: an unopenable sink degrades
+                    // observability, never availability.
+                    eprintln!(
+                        "onesched-svc: cannot open trace sink {} (tracing disabled): {e}",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
         Service {
             registry: Mutex::new(Registry::new(cfg.cache_capacity)),
             sim_registry: Mutex::new(Registry::new(cfg.cache_capacity)),
@@ -246,6 +292,11 @@ impl Service {
             next_job: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             started: Instant::now(),
+            clock,
+            tracer,
+            metrics: MetricsHub::new(),
+            busy: AtomicU64::new(0),
+            next_worker: AtomicU64::new(0),
         }
     }
 
@@ -395,6 +446,7 @@ impl Service {
                 priority: sub.priority,
                 attempts: sub.starts,
                 deadline: self.cfg.timeout.map(|t| Instant::now() + t),
+                accepted_us: self.clock.now_micros(),
                 key: hash,
                 work,
                 out: sink_writer(),
@@ -481,6 +533,9 @@ impl Service {
         if let Some(l) = &self.ledger {
             let _ = lock(l).sync();
         }
+        if let Some(t) = &self.tracer {
+            t.flush();
+        }
     }
 
     /// Block until the queue is empty (in-flight jobs may still be
@@ -502,17 +557,26 @@ impl Service {
     /// session, which is what the CI smoke test and shell pipelines use.
     pub fn serve_stdio(&self) -> io::Result<()> {
         let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
-        write_line(&out, &to_line(&self.ready_response("stdio")));
+        let stdin = io::stdin().lock();
+        self.serve_batch(stdin, &out, "stdio");
+        Ok(())
+    }
+
+    /// One complete batch session over any reader/writer pair: announce
+    /// `ready` (with `label` as the address), spawn the worker pool,
+    /// accept requests until EOF or shutdown, drain the queue, shut down.
+    /// `serve_stdio` is this over stdin/stdout; integration tests drive it
+    /// with in-memory buffers.
+    pub fn serve_batch<R: BufRead>(&self, reader: R, out: &SharedWriter, label: &str) {
+        write_line(out, &to_line(&self.ready_response(label)));
         std::thread::scope(|scope| {
             for _ in 0..self.cfg.workers {
                 scope.spawn(|| self.worker());
             }
-            let stdin = io::stdin().lock();
-            self.serve_reader(stdin, &out);
+            self.serve_reader(reader, out);
             self.drain_queue();
             self.begin_shutdown();
         });
-        Ok(())
     }
 
     /// Bind `addr` and serve concurrent TCP connections until a `shutdown`
@@ -629,32 +693,16 @@ impl Service {
         match req.op.as_str() {
             "submit" | "simulate" => self.handle_submission(req, out),
             "stats" => {
-                let queue_depth = lock(&self.queue).len();
-                let (cache_size, evictions) = {
-                    let r = lock(&self.registry);
-                    (r.len(), r.evictions)
-                };
-                let (sim_cache_size, sim_evictions) = {
-                    let r = lock(&self.sim_registry);
-                    (r.len(), r.evictions)
-                };
-                let (ledger_bytes, uptime_events) = match &self.ledger {
-                    Some(l) => {
-                        let l = lock(l);
-                        (l.bytes(), l.appended())
-                    }
-                    None => (0, 0),
-                };
-                let gauges = StatsGauges {
-                    queue_depth,
-                    cache_size,
-                    sim_cache_size,
-                    cache_evictions: evictions + sim_evictions,
-                    ledger_bytes,
-                    uptime_events,
-                };
-                let snap = lock(&self.stats).snapshot(gauges, self.started.elapsed());
+                let snap = lock(&self.stats).snapshot(self.gauges(), self.started.elapsed());
                 write_line(out, &to_line(&snap));
+            }
+            "metrics" => {
+                let resp = MetricsResponse {
+                    op: "metrics".into(),
+                    content_type: "text/plain; version=0.0.4".into(),
+                    text: self.metrics_text(),
+                };
+                write_line(out, &to_line(&resp));
             }
             "shutdown" => {
                 let ack = AckResponse {
@@ -718,6 +766,7 @@ impl Service {
             priority,
             attempts: 0,
             deadline: self.cfg.timeout.map(|t| Instant::now() + t),
+            accepted_us: self.clock.now_micros(),
             key: hash,
             work,
             out: Arc::clone(out),
@@ -820,6 +869,111 @@ impl Service {
         self.ready.notify_one();
     }
 
+    /// Sample the point-in-time gauges shared by `stats` and `metrics`.
+    fn gauges(&self) -> StatsGauges {
+        let queue_depth = lock(&self.queue).len();
+        let (cache_size, evictions) = {
+            let r = lock(&self.registry);
+            (r.len(), r.evictions)
+        };
+        let (sim_cache_size, sim_evictions) = {
+            let r = lock(&self.sim_registry);
+            (r.len(), r.evictions)
+        };
+        let (ledger_bytes, uptime_events) = match &self.ledger {
+            Some(l) => {
+                let l = lock(l);
+                (l.bytes(), l.appended())
+            }
+            None => (0, 0),
+        };
+        StatsGauges {
+            queue_depth,
+            cache_size,
+            sim_cache_size,
+            cache_evictions: evictions + sim_evictions,
+            ledger_bytes,
+            uptime_events,
+        }
+    }
+
+    /// The Prometheus text exposition behind the `metrics` op: the hub's
+    /// own counters/histograms, plus counters derived from the same
+    /// [`ServiceStats`] that answers `stats` (so the two views reconcile
+    /// by construction), plus scrape-time gauges.
+    fn metrics_text(&self) -> String {
+        let mut snap = self.metrics.snapshot();
+        let gauges = self.gauges();
+        let misses = lock(&self.registry).executions + lock(&self.sim_registry).executions;
+        {
+            let s = lock(&self.stats);
+            let derived: [(&str, u64); 10] = [
+                ("onesched_jobs_total{outcome=\"done\"}", s.jobs_done),
+                ("onesched_jobs_total{outcome=\"error\"}", s.errors),
+                ("onesched_jobs_total{outcome=\"retried\"}", s.jobs_retried),
+                ("onesched_jobs_total{outcome=\"shed\"}", s.jobs_shed),
+                ("onesched_jobs_total{outcome=\"timeout\"}", s.jobs_timed_out),
+                ("onesched_sims_total", s.sims_done),
+                ("onesched_cache_hits_total", s.cache_hits),
+                ("onesched_cache_misses_total", misses),
+                ("onesched_cache_evictions_total", gauges.cache_evictions),
+                ("onesched_jobs_recovered_total", s.jobs_recovered),
+            ];
+            for (name, v) in derived {
+                snap.counters.insert(name.to_string(), v);
+            }
+        }
+        snap.counters
+            .insert("onesched_ledger_appends_total".into(), gauges.uptime_events);
+        if let Some(t) = &self.tracer {
+            snap.counters
+                .insert("onesched_trace_dropped_total".into(), t.dropped());
+        }
+        let gauge_samples = [
+            Gauge::new("onesched_queue_depth", gauges.queue_depth as f64),
+            Gauge::new(
+                "onesched_workers_busy",
+                self.busy.load(Ordering::Relaxed) as f64,
+            ),
+            Gauge::new("onesched_cache_size", gauges.cache_size as f64),
+            Gauge::new("onesched_sim_cache_size", gauges.sim_cache_size as f64),
+            Gauge::new("onesched_ledger_bytes", gauges.ledger_bytes as f64),
+            Gauge::new(
+                "onesched_uptime_seconds",
+                self.started.elapsed().as_secs_f64(),
+            ),
+        ];
+        prometheus_text(&snap, &gauge_samples)
+    }
+
+    /// Fold a finished construction into the hub: total and per-phase
+    /// histograms plus the placement-scan disposition counters.
+    fn note_construct(&self, construct: Duration, phase_us: &[u64; 4], scan: &ScanStats) {
+        self.metrics
+            .observe_ms("onesched_construct_ms", construct.as_secs_f64() * 1e3);
+        for (phase, &us) in PHASES.iter().zip(phase_us) {
+            self.metrics.observe_ms(
+                &format!("onesched_construct_phase_ms{{phase=\"{}\"}}", phase.name()),
+                us as f64 / 1e3,
+            );
+        }
+        let dispositions: [(&str, u64); 5] = [
+            ("considered", scan.candidates),
+            ("evaluated", scan.evaluated),
+            ("pruned_bound", scan.pruned_bound),
+            ("pruned_contention", scan.pruned_contention),
+            ("aborted", scan.aborted),
+        ];
+        for (label, n) in dispositions {
+            if n > 0 {
+                self.metrics.incr(
+                    &format!("onesched_placement_candidates_total{{disposition=\"{label}\"}}"),
+                    n,
+                );
+            }
+        }
+    }
+
     fn respond_error(&self, out: &SharedWriter, id: Option<String>, message: String) {
         self.respond_error_kind(out, id, message, None, None);
     }
@@ -847,6 +1001,7 @@ impl Service {
     /// or run it, stream the result. Exits once shutdown is requested *and*
     /// the queue is drained.
     fn worker(&self) {
+        let worker = self.next_worker.fetch_add(1, Ordering::Relaxed);
         loop {
             let ticket = {
                 let mut q = lock(&self.queue);
@@ -863,16 +1018,24 @@ impl Service {
                     };
                 }
             };
-            self.run_ticket(ticket);
+            self.busy.fetch_add(1, Ordering::Relaxed);
+            self.run_ticket(ticket, worker);
+            self.busy.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
     /// Run one claimed ticket: deadline gate, `started` journal entry,
     /// then the actual work behind a panic barrier — a panicking job is
     /// re-queued at reduced priority up to `max_retries`, then poisoned.
-    fn run_ticket(&self, ticket: Ticket) {
+    fn run_ticket(&self, ticket: Ticket, worker: u64) {
+        let dequeued_us = self.clock.now_micros();
+        self.metrics.observe_ms(
+            "onesched_queue_wait_ms",
+            dequeued_us.saturating_sub(ticket.accepted_us) as f64 / 1e3,
+        );
         if ticket.deadline.is_some_and(|d| Instant::now() > d) {
             self.answer_timeout(&ticket);
+            self.trace_abort(&ticket, worker, dequeued_us, true);
             return;
         }
         self.ledger_append(&LedgerRecord::started(ticket.seq, &ticket.id, &ticket.key));
@@ -881,15 +1044,19 @@ impl Service {
         // state (locks, counters, caches) is valid at every instruction
         // boundary and `lock` recovers poisoned mutexes, so unwinding
         // cannot leave it inconsistent.
-        let ran = catch_unwind(AssertUnwindSafe(|| self.execute(&ticket)));
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            self.execute(&ticket, worker, dequeued_us)
+        }));
         if ran.is_err() {
-            self.handle_panic(ticket);
+            self.handle_panic(ticket, worker, dequeued_us);
         }
     }
 
     /// Retry-or-poison after a panic escaped a job.
-    fn handle_panic(&self, mut ticket: Ticket) {
+    fn handle_panic(&self, mut ticket: Ticket, worker: u64, dequeued_us: u64) {
         if ticket.attempts < self.cfg.max_retries && !self.is_shutdown() {
+            // A non-terminal attempt span: the job itself is still open.
+            self.trace_abort(&ticket, worker, dequeued_us, false);
             ticket.attempts += 1;
             lock(&self.stats).jobs_retried += 1;
             // Deterministic backoff by *position*, not wall-clock: each
@@ -927,6 +1094,7 @@ impl Service {
                 None,
             );
         }));
+        self.trace_abort(&ticket, worker, dequeued_us, true);
     }
 
     /// Answer a job whose wall-clock deadline passed.
@@ -952,22 +1120,24 @@ impl Service {
         );
     }
 
-    fn execute(&self, ticket: &Ticket) {
+    fn execute(&self, ticket: &Ticket, worker: u64, dequeued_us: u64) {
         match &ticket.work {
-            Work::Job(job) => self.execute_schedule(ticket, job),
-            Work::Sim(job, sim) => self.execute_sim(ticket, job, sim),
+            Work::Job(job) => self.execute_schedule(ticket, job, worker, dequeued_us),
+            Work::Sim(job, sim) => self.execute_sim(ticket, job, sim, worker, dequeued_us),
         }
     }
 
-    fn execute_schedule(&self, ticket: &Ticket, job: &ResolvedJob) {
+    fn execute_schedule(&self, ticket: &Ticket, job: &ResolvedJob, worker: u64, dequeued_us: u64) {
         let cached = lock(&self.registry).get(&job.key).cloned();
-        let (outcome, cache_hit) = match cached {
-            Some(outcome) => (outcome, true),
+        let probe = ConstructProbe::new(self.clock.as_ref());
+        let (outcome, cache_hit, construct_trace) = match cached {
+            Some(outcome) => (outcome, true, None),
             None => {
                 // run WITHOUT holding any lock: construction is the slow part
-                let outcome = run_job(job);
+                let outcome = run_job_probed(job, &probe);
+                let detail = self.finish_construct(&outcome.construct, &probe);
                 lock(&self.registry).insert(job.key.clone(), outcome.clone());
-                (outcome, false)
+                (outcome, false, Some(detail))
             }
         };
         // Deadline re-check between construction and the answer: the
@@ -975,6 +1145,7 @@ impl Service {
         // the client asked for a bounded wait.
         if ticket.deadline.is_some_and(|d| Instant::now() > d) {
             self.answer_timeout(ticket);
+            self.trace_abort(ticket, worker, dequeued_us, true);
             return;
         }
         {
@@ -1007,21 +1178,42 @@ impl Service {
             cache_hit,
             violations: outcome.violations,
         };
+        let respond_us = self.clock.now_micros();
         write_line(&ticket.out, &to_line(&resp));
+        self.trace_finish(FinishTrace {
+            ticket,
+            worker,
+            dequeued_us,
+            respond_us,
+            construct: construct_trace,
+            exec: None,
+            cache_hit,
+        });
     }
 
-    fn execute_sim(&self, ticket: &Ticket, job: &ResolvedJob, sim: &ResolvedSim) {
+    fn execute_sim(
+        &self,
+        ticket: &Ticket,
+        job: &ResolvedJob,
+        sim: &ResolvedSim,
+        worker: u64,
+        dequeued_us: u64,
+    ) {
         // The sim cache key is the job key plus the resolved sim spec:
         // the same schedule under a different seed or policy is a
         // different deterministic experiment.
         let key = format!("{}|{}", job.key, sim.key);
         let cached = lock(&self.sim_registry).get(&key).cloned();
-        let (outcome, cache_hit) = match cached {
-            Some(outcome) => (outcome, true),
-            None => match run_sim_job(job, sim, ticket.deadline) {
+        let probe = ConstructProbe::new(self.clock.as_ref());
+        let (outcome, cache_hit, construct_trace) = match cached {
+            Some(outcome) => (outcome, true, None),
+            None => match run_sim_job_probed(job, sim, ticket.deadline, &probe) {
                 Ok(outcome) => {
+                    let detail = self.finish_construct(&outcome.job.construct, &probe);
+                    self.metrics
+                        .observe_ms("onesched_exec_ms", outcome.exec.as_secs_f64() * 1e3);
                     lock(&self.sim_registry).insert(key, outcome.clone());
-                    (outcome, false)
+                    (outcome, false, Some(detail))
                 }
                 // The deadline passed between construction and execution:
                 // keep the constructed half (a future plain submit of the
@@ -1029,6 +1221,7 @@ impl Service {
                 Err(SimRunError::DeadlineExceeded(constructed)) => {
                     lock(&self.registry).insert(job.key.clone(), *constructed);
                     self.answer_timeout(ticket);
+                    self.trace_abort(ticket, worker, dequeued_us, true);
                     return;
                 }
                 // The engine refused the schedule: answer with a protocol
@@ -1043,12 +1236,14 @@ impl Service {
                         msg.clone(),
                     ));
                     self.respond_error(&ticket.out, Some(ticket.id.clone()), msg);
+                    self.trace_abort(ticket, worker, dequeued_us, true);
                     return;
                 }
             },
         };
         if ticket.deadline.is_some_and(|d| Instant::now() > d) {
             self.answer_timeout(ticket);
+            self.trace_abort(ticket, worker, dequeued_us, true);
             return;
         }
         {
@@ -1086,8 +1281,209 @@ impl Service {
             cache_hit,
             violations: outcome.job.violations,
         };
+        let respond_us = self.clock.now_micros();
         write_line(&ticket.out, &to_line(&resp));
+        let exec_us = duration_us(outcome.exec);
+        self.trace_finish(FinishTrace {
+            ticket,
+            worker,
+            dequeued_us,
+            respond_us,
+            construct: construct_trace,
+            exec: (!cache_hit).then_some(ExecTrace {
+                exec_us,
+                end_us: respond_us,
+                events: outcome.events_processed,
+            }),
+            cache_hit,
+        });
     }
+
+    /// Capture the construct-span detail right after a cache-miss
+    /// construction finishes, and fold its timings into the hub.
+    fn finish_construct(&self, construct: &Duration, probe: &ConstructProbe<'_>) -> ConstructTrace {
+        let phase_us = PHASES.map(|p| probe.phase_us(p));
+        let scan = probe.scan();
+        self.note_construct(*construct, &phase_us, &scan);
+        ConstructTrace {
+            construct_us: duration_us(*construct),
+            end_us: self.clock.now_micros(),
+            phase_us,
+            scan,
+        }
+    }
+
+    /// Emit the full span tree of a successfully answered attempt:
+    /// `job` → `queue.wait` / `job.attempt` → `construct` (with
+    /// synthesized phase children) / `execute` / `respond`. Flushes the
+    /// sink so a SIGKILL right after the response loses no spans for
+    /// answered jobs.
+    fn trace_finish(&self, f: FinishTrace<'_>) {
+        let Some(tracer) = &self.tracer else {
+            return;
+        };
+        let t = f.ticket;
+        let attempt = u64::from(t.attempts) + 1;
+        let end_us = tracer.now();
+        let scope =
+            |ev: TraceEvent| -> TraceEvent { ev.job(t.seq, &t.id, attempt).worker(f.worker) };
+        tracer.record(
+            scope(TraceEvent::span(
+                "queue.wait",
+                t.accepted_us,
+                f.dequeued_us.saturating_sub(t.accepted_us),
+            ))
+            .parent("job"),
+        );
+        if let Some(c) = &f.construct {
+            let start = c.end_us.saturating_sub(c.construct_us);
+            tracer.record(
+                scope(TraceEvent::span("construct", start, c.construct_us)).parent("job.attempt"),
+            );
+            // Phase children are synthesized contiguously from the
+            // probe's accumulated totals: offsets within the construct
+            // span, not absolute re-measurements.
+            let mut offset = start;
+            for (phase, &us) in PHASES.iter().zip(&c.phase_us) {
+                let mut ev = scope(TraceEvent::span(
+                    &format!("construct.{}", phase.name()),
+                    offset,
+                    us,
+                ))
+                .parent("construct");
+                if phase.name() == "scan" {
+                    ev = ev
+                        .field("candidates", c.scan.candidates as f64)
+                        .field("evaluated", c.scan.evaluated as f64)
+                        .field("pruned_bound", c.scan.pruned_bound as f64)
+                        .field("pruned_contention", c.scan.pruned_contention as f64)
+                        .field("aborted", c.scan.aborted as f64);
+                }
+                tracer.record(ev);
+                offset = offset.saturating_add(us);
+            }
+        }
+        if let Some(e) = &f.exec {
+            tracer.record(
+                scope(TraceEvent::span(
+                    "execute",
+                    e.end_us.saturating_sub(e.exec_us),
+                    e.exec_us,
+                ))
+                .parent("job.attempt")
+                .field("events", e.events as f64),
+            );
+        }
+        tracer.record(
+            scope(TraceEvent::span(
+                "respond",
+                f.respond_us,
+                end_us.saturating_sub(f.respond_us),
+            ))
+            .parent("job.attempt"),
+        );
+        tracer.record(
+            scope(TraceEvent::span(
+                "job.attempt",
+                f.dequeued_us,
+                end_us.saturating_sub(f.dequeued_us),
+            ))
+            .parent("job"),
+        );
+        tracer.record(
+            scope(TraceEvent::span(
+                "job",
+                t.accepted_us,
+                end_us.saturating_sub(t.accepted_us),
+            ))
+            .field("ok", 1.0)
+            .field("cache_hit", f64::from(u8::from(f.cache_hit))),
+        );
+        tracer.flush();
+    }
+
+    /// Emit the reduced span tree of an attempt that did not produce a
+    /// result: timeout, execution error, or a panic. `terminal` closes
+    /// the root `job` span too (with `ok = 0`); a retryable panic leaves
+    /// the job open for the next attempt.
+    fn trace_abort(&self, t: &Ticket, worker: u64, dequeued_us: u64, terminal: bool) {
+        let Some(tracer) = &self.tracer else {
+            return;
+        };
+        let attempt = u64::from(t.attempts) + 1;
+        let end_us = tracer.now();
+        let scope = |ev: TraceEvent| -> TraceEvent { ev.job(t.seq, &t.id, attempt).worker(worker) };
+        tracer.record(
+            scope(TraceEvent::span(
+                "queue.wait",
+                t.accepted_us,
+                dequeued_us.saturating_sub(t.accepted_us),
+            ))
+            .parent("job"),
+        );
+        tracer.record(
+            scope(TraceEvent::span(
+                "job.attempt",
+                dequeued_us,
+                end_us.saturating_sub(dequeued_us),
+            ))
+            .parent("job"),
+        );
+        if terminal {
+            tracer.record(
+                scope(TraceEvent::span(
+                    "job",
+                    t.accepted_us,
+                    end_us.saturating_sub(t.accepted_us),
+                ))
+                .field("ok", 0.0),
+            );
+        }
+        tracer.flush();
+    }
+}
+
+/// A `Duration` as saturating whole microseconds.
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Construct-span detail captured by [`Service::finish_construct`] on a
+/// cache miss.
+struct ConstructTrace {
+    /// The timed `schedule()` call, microseconds.
+    construct_us: u64,
+    /// Service-clock time right after construction finished.
+    end_us: u64,
+    /// Per-phase accumulated wall time, in [`PHASES`] order.
+    phase_us: [u64; 4],
+    /// Placement-scan counters reported by the scheduler.
+    scan: ScanStats,
+}
+
+/// Execute-span detail for simulations.
+struct ExecTrace {
+    /// The engine replay, microseconds.
+    exec_us: u64,
+    /// Service-clock time used as the span's end anchor.
+    end_us: u64,
+    /// Events the engine drained.
+    events: u64,
+}
+
+/// Everything [`Service::trace_finish`] needs to emit one answered
+/// attempt's spans.
+struct FinishTrace<'a> {
+    ticket: &'a Ticket,
+    worker: u64,
+    dequeued_us: u64,
+    /// When the response line started being written.
+    respond_us: u64,
+    /// Cache-miss construction detail (`None`: served from cache).
+    construct: Option<ConstructTrace>,
+    /// Simulation execution detail (`None`: plain submit or cache hit).
+    exec: Option<ExecTrace>,
+    cache_hit: bool,
 }
 
 /// Write one complete response line under the writer's lock (the
@@ -1659,7 +2055,7 @@ mod tests {
         let lines = drive_svc(&svc, &[submit("a-again", 0, spec_a.clone())], 1);
         let r: ResultResponse = serde_json::from_str(&lines[0]).unwrap();
         assert!(r.cache_hit, "rehydrated cache answers the resubmission");
-        let direct = run_job(&spec_a.resolve().unwrap());
+        let direct = crate::cache::run_job(&spec_a.resolve().unwrap());
         assert_eq!(
             r.fingerprint,
             format!("{:016x}", direct.fingerprint),

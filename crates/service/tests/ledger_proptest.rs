@@ -61,6 +61,7 @@ fn record(kind: usize, seq: u64, tb_ix: usize, n: usize, priority: i64) -> Ledge
                 degradation: None,
                 trace_fingerprint: None,
                 exec_ms: None,
+                events: None,
             }),
             None,
         ),

@@ -172,6 +172,7 @@ proptest! {
             latency: lat.iter().enumerate().map(|(i, &(ms, count))| LatencyEntry {
                 scheduler: format!("S{i}"),
                 count,
+                window: count.min(256),
                 p50_ms: ms,
                 p90_ms: ms * 1.5,
                 p99_ms: ms * 2.0,

@@ -1,0 +1,132 @@
+//! The clock abstraction that keeps tracing out of the determinism
+//! lints.
+//!
+//! Construction crates (`dag`, `sim`, `heuristics`, …) are audited by
+//! `onesched-analyze` to never read wall-clock time (lints D102/D104):
+//! schedules must be pure functions of their inputs. Tracing, however,
+//! wants timestamps. The resolution is this trait: everything in
+//! `onesched-trace` asks a [`Clock`] for microseconds, and only
+//! [`WallClock`] — in this file, the single allowed `Instant::now()`
+//! site outside the service crate — actually touches the OS. Tests and
+//! deterministic replays use [`ManualClock`]; code that wants spans for
+//! structure but no timing at all uses [`DisabledClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone microsecond clock. Implementations must be cheap and
+/// thread-safe: recorders call [`Clock::now_micros`] on every span edge.
+pub trait Clock: Send + Sync {
+    /// Microseconds elapsed since this clock's epoch. Monotone
+    /// non-decreasing across calls (per implementation contract).
+    fn now_micros(&self) -> u64;
+}
+
+/// The real clock: microseconds since construction, measured with
+/// [`Instant`]. The epoch is per-process, which is exactly what trace
+/// viewers want (small, relatable timestamps).
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        // Saturates at u64::MAX after ~585k years of uptime.
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock for tests and deterministic replays. Starts at
+/// zero; time only moves when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock at t = 0.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `delta` microseconds (saturating).
+    pub fn advance(&self, delta: u64) {
+        // fetch_update never fails with an always-Some closure.
+        let _ = self
+            .micros
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |t| {
+                Some(t.saturating_add(delta))
+            });
+    }
+
+    /// Jump to an absolute time. Callers are responsible for keeping the
+    /// sequence monotone if downstream consumers assume it.
+    pub fn set(&self, micros: u64) {
+        self.micros.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+/// A clock that always reads zero: spans keep their structure (names,
+/// parents, counts) but carry no timing. Useful where timestamps would
+/// perturb golden output.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DisabledClock;
+
+impl Clock for DisabledClock {
+    fn now_micros(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_and_sets() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now_micros(), 12);
+        c.set(100);
+        assert_eq!(c.now_micros(), 100);
+        c.advance(u64::MAX);
+        assert_eq!(c.now_micros(), u64::MAX, "advance saturates");
+    }
+
+    #[test]
+    fn disabled_clock_reads_zero() {
+        assert_eq!(DisabledClock.now_micros(), 0);
+    }
+}

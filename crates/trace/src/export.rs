@@ -1,0 +1,206 @@
+//! Exporters: Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`) and Prometheus-style text exposition.
+//!
+//! Both are pure functions over already-recorded data, so they can run
+//! anywhere — in the daemon answering a `metrics` request, or offline in
+//! `onesched-svc trace export` over a captured NDJSON file.
+
+use crate::record::TraceEvent;
+use crate::recorder::{MetricsSnapshot, HIST_BOUNDS_MS};
+use serde::Value;
+
+fn num(n: u64) -> Value {
+    // The shim's number model is f64: exact up to 2^53, far beyond any
+    // microsecond timestamp (2^53 µs ≈ 285 years) or count we emit.
+    Value::Num(n as f64)
+}
+
+/// Render spans as a Chrome trace-event JSON document (the
+/// `traceEvents` array format). Each span becomes a complete (`ph:"X"`)
+/// event; the job sequence number becomes the thread lane (`tid`), so
+/// every job gets its own row in Perfetto, and span fields travel in
+/// `args`. Counter events in the input are skipped — they carry no
+/// timestamp and belong to the Prometheus exposition instead.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = Vec::new();
+    for ev in events {
+        if ev.kind != "span" {
+            continue;
+        }
+        let (Some(start), Some(dur)) = (ev.start_us, ev.dur_us) else {
+            continue;
+        };
+        let mut args: Vec<(String, Value)> = Vec::new();
+        if let Some(id) = &ev.id {
+            args.push(("id".into(), Value::Str(id.clone())));
+        }
+        if let Some(attempt) = ev.attempt {
+            args.push(("attempt".into(), num(attempt)));
+        }
+        if let Some(parent) = &ev.parent {
+            args.push(("parent".into(), Value::Str(parent.clone())));
+        }
+        if let Some(worker) = ev.worker {
+            args.push(("worker".into(), num(worker)));
+        }
+        for f in ev.fields.as_deref().unwrap_or_default() {
+            args.push((f.k.clone(), Value::Num(f.v)));
+        }
+        let mut entry: Vec<(String, Value)> = vec![
+            ("name".into(), Value::Str(ev.name.clone())),
+            ("cat".into(), Value::Str("onesched".into())),
+            ("ph".into(), Value::Str("X".into())),
+            ("ts".into(), num(start)),
+            ("dur".into(), num(dur)),
+            ("pid".into(), num(1)),
+            ("tid".into(), num(ev.seq.unwrap_or(0))),
+        ];
+        if !args.is_empty() {
+            entry.push(("args".into(), Value::Map(args)));
+        }
+        out.push(Value::Map(entry));
+    }
+    let doc = Value::Map(vec![
+        ("traceEvents".into(), Value::Seq(out)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{\"traceEvents\":[]}".into())
+}
+
+/// One already-evaluated gauge for the exposition (hubs record monotone
+/// counters and histograms; gauges are sampled by the caller at scrape
+/// time — queue depth, busy workers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gauge {
+    /// Metric name, optionally with `{label="v"}` suffix.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+}
+
+impl Gauge {
+    /// A named gauge sample.
+    pub fn new(name: &str, value: f64) -> Gauge {
+        Gauge {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// The metric name without any `{label="v"}` suffix, for `# TYPE` lines.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Format a float the way Prometheus expects (plain decimal; integral
+/// values without a fraction, which is how Rust's `{}` prints them).
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Render a snapshot plus scrape-time gauges as Prometheus text
+/// exposition (version 0.0.4). Counter names may carry
+/// `{label="value"}` suffixes; the `# TYPE` header is emitted once per
+/// base name. Histograms expand to cumulative `_bucket{le="…"}` series
+/// plus `_sum` and `_count`.
+pub fn prometheus_text(snap: &MetricsSnapshot, gauges: &[Gauge]) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<String> = None;
+    let mut typed = |out: &mut String, base: &str, kind: &str| {
+        if last_type.as_deref() != Some(base) {
+            out.push_str(&format!("# TYPE {base} {kind}\n"));
+            last_type = Some(base.to_string());
+        }
+    };
+    for (name, v) in &snap.counters {
+        typed(&mut out, base_name(name), "counter");
+        out.push_str(&format!("{name} {v}\n"));
+    }
+    for g in gauges {
+        typed(&mut out, base_name(&g.name), "gauge");
+        out.push_str(&format!("{} {}\n", g.name, fmt_value(g.value)));
+    }
+    for (name, h) in &snap.hists {
+        typed(&mut out, name, "histogram");
+        let mut cum = 0u64;
+        for (i, bound) in HIST_BOUNDS_MS.iter().enumerate() {
+            cum += h.buckets.get(i).copied().unwrap_or(0);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
+        }
+        cum += h.buckets.last().copied().unwrap_or(0);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+        out.push_str(&format!("{name}_sum {}\n", fmt_value(h.sum_ms)));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MetricsHub;
+    use serde::Value;
+
+    #[test]
+    fn chrome_export_parses_and_keeps_spans() {
+        let events = vec![
+            TraceEvent::span("job", 10, 100).job(3, "j-3", 1),
+            TraceEvent::span("construct.scan", 20, 30)
+                .job(3, "j-3", 1)
+                .parent("construct")
+                .field("pruned_bound", 7.0),
+            TraceEvent::counter("queue_depth", 1.0),
+        ];
+        let json = chrome_trace_json(&events);
+        let doc: Value = serde_json::from_str(&json).expect("chrome JSON parses");
+        let evs = doc
+            .get_field("traceEvents")
+            .and_then(|v| v.as_seq().map(<[Value]>::to_vec))
+            .expect("traceEvents array");
+        assert_eq!(evs.len(), 2, "counters are skipped");
+        let first = evs.first().expect("first event");
+        assert_eq!(
+            first
+                .get_field("ph")
+                .and_then(|v| v.as_str().map(String::from)),
+            Ok("X".into())
+        );
+        assert_eq!(first.get_field("ts").and_then(Value::as_num), Ok(10.0));
+        assert_eq!(first.get_field("tid").and_then(Value::as_num), Ok(3.0));
+        let second = evs.get(1).expect("second event");
+        let args = second.get_field("args").expect("args");
+        assert_eq!(
+            args.get_field("pruned_bound").and_then(Value::as_num),
+            Ok(7.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_text_has_types_labels_and_histograms() {
+        let hub = MetricsHub::new();
+        hub.incr("onesched_jobs_total{outcome=\"result\"}", 5);
+        hub.incr("onesched_jobs_total{outcome=\"error\"}", 1);
+        hub.observe_ms("onesched_queue_wait_ms", 0.3);
+        hub.observe_ms("onesched_queue_wait_ms", 70.0);
+        let text = prometheus_text(&hub.snapshot(), &[Gauge::new("onesched_queue_depth", 2.0)]);
+        assert!(text.contains("# TYPE onesched_jobs_total counter"));
+        assert_eq!(
+            text.matches("# TYPE onesched_jobs_total counter").count(),
+            1,
+            "one TYPE line per base name:\n{text}"
+        );
+        assert!(text.contains("onesched_jobs_total{outcome=\"result\"} 5"));
+        assert!(text.contains("# TYPE onesched_queue_depth gauge"));
+        assert!(text.contains("onesched_queue_depth 2\n"));
+        assert!(text.contains("# TYPE onesched_queue_wait_ms histogram"));
+        assert!(text.contains("onesched_queue_wait_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("onesched_queue_wait_ms_count 2"));
+        // buckets are cumulative: the 100ms bound has seen both samples
+        assert!(text.contains("onesched_queue_wait_ms_bucket{le=\"100\"} 2"));
+    }
+}

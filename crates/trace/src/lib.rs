@@ -1,0 +1,34 @@
+//! `onesched-trace`: zero-dependency structured tracing and metrics.
+//!
+//! The observability layer for the scheduling daemon, built in the same
+//! spirit as the workspace's vendored shims — no external crates, just
+//! four small pieces that compose:
+//!
+//! - [`Clock`] ([`clock`]): the only sanctioned wall-clock read-point.
+//!   Pure construction crates stay deterministic (lints D102/D104);
+//!   [`WallClock`] lives here, [`ManualClock`]/[`DisabledClock`] serve
+//!   tests and replays.
+//! - [`TraceEvent`] ([`record`]): the flat `onesched-trace/v1` NDJSON
+//!   record — completed spans and counter samples — with the same
+//!   torn-tail-tolerant parser contract as the job ledger
+//!   ([`parse_trace`]).
+//! - [`Tracer`] / [`MetricsHub`] ([`recorder`]): lock-sharded bounded
+//!   recorders. Spans ring-buffer in memory and stream to an NDJSON
+//!   sink; counters and fixed-bucket histograms merge into deterministic
+//!   snapshots.
+//! - [`chrome_trace_json`] / [`prometheus_text`] ([`export`]): render a
+//!   captured stream for Perfetto, or a snapshot as Prometheus text
+//!   exposition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+pub mod record;
+pub mod recorder;
+
+pub use clock::{Clock, DisabledClock, ManualClock, WallClock};
+pub use export::{chrome_trace_json, prometheus_text, Gauge};
+pub use record::{parse_trace, Field, TraceEvent, TraceReplay, TRACE_SCHEMA};
+pub use recorder::{Hist, MetricsHub, MetricsSnapshot, Tracer, HIST_BOUNDS_MS};

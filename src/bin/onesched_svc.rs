@@ -3,10 +3,13 @@
 //! ```text
 //! onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N]
 //!                    [--queue-cap N] [--ledger PATH] [--max-retries N]
-//!                    [--timeout-ms N] [--high-water N]
+//!                    [--timeout-ms N] [--high-water N] [--trace PATH]
 //! onesched-svc submit --tcp ADDR [FILE|-]
 //! onesched-svc stats --tcp ADDR
+//! onesched-svc metrics --tcp ADDR
 //! onesched-svc shutdown --tcp ADDR
+//! onesched-svc trace <export IN [--out OUT] | validate PATH>
+//! onesched-svc ledger inspect PATH
 //! onesched-svc gen <smoke | stress | routed | sim | chaos> [--tasks N]
 //!                  [--seed S] [--count K] [--procs P] [--n N]
 //!                  [--testbed NAME]
@@ -22,14 +25,21 @@
 //!   results rehydrate the caches, unacknowledged jobs re-run (producing
 //!   bit-identical results — everything is deterministic), and jobs that
 //!   repeatedly crashed the daemon are tombstoned as poison.
+//!   With `--trace PATH` every job emits an NDJSON span tree
+//!   (`onesched-trace/v1`) covering intake → queue wait → attempt →
+//!   construct phases → execute → respond; tracing never changes results.
 //! * `submit` sends request lines from a file (or stdin with `-`) to a
 //!   running daemon and prints one response line per request.
+//! * `metrics` scrapes the daemon's Prometheus text exposition.
+//! * `trace export` converts a span log to Chrome/Perfetto trace JSON;
+//!   `trace validate` checks schema conformance and reports torn tails.
+//! * `ledger inspect` summarizes a write-ahead ledger without replaying it.
 //! * `gen` prints workload request batches (`onesched-svc gen smoke |
 //!   onesched-svc serve` is the self-contained smoke test).
 //!
 //! Protocol reference: `crates/service/README.md`.
 
-use onesched::service::protocol::{OpProbe, Request};
+use onesched::service::protocol::{MetricsResponse, OpProbe, Request};
 use onesched::service::{workloads, Service, ServiceConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -47,7 +57,10 @@ fn main() {
         "serve" => serve(rest),
         "submit" => submit(rest),
         "stats" => send_one(rest, Request::stats()),
+        "metrics" => metrics(rest),
         "shutdown" => send_one(rest, Request::shutdown()),
+        "trace" => trace_cmd(rest),
+        "ledger" => ledger_cmd(rest),
         "gen" => gen(rest),
         "--help" | "-h" | "help" => {
             eprint!("{}", USAGE);
@@ -61,7 +74,7 @@ fn main() {
     std::process::exit(code);
 }
 
-const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n                     [--ledger PATH] [--max-retries N] [--timeout-ms N] [--high-water N]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc gen <smoke|stress|routed|sim|chaos> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
+const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n                     [--ledger PATH] [--max-retries N] [--timeout-ms N] [--high-water N]\n                     [--trace PATH]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc metrics --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc trace export IN [--out OUT]\n  onesched-svc trace validate PATH\n  onesched-svc ledger inspect PATH\n  onesched-svc gen <smoke|stress|routed|sim|chaos> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
 
 /// Pull `--flag value` out of `args`, leaving positionals behind.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -102,6 +115,7 @@ fn serve(args: &[String]) -> i32 {
         .map(|v| std::time::Duration::from_millis(parse_or_die::<u64>("--timeout-ms", &v)));
     let high_water =
         take_flag(&mut args, "--high-water").map(|v| parse_or_die::<usize>("--high-water", &v));
+    let trace = take_flag(&mut args, "--trace").map(std::path::PathBuf::from);
     args.retain(|a| a != "--stdio");
     if !args.is_empty() {
         eprintln!("onesched-svc: unexpected arguments {args:?}\n{USAGE}");
@@ -114,6 +128,7 @@ fn serve(args: &[String]) -> i32 {
         max_retries,
         timeout,
         high_water,
+        trace,
     };
     let svc = match ledger {
         Some(path) => {
@@ -289,6 +304,157 @@ fn send_one(args: &[String], req: Request) -> i32 {
             1
         }
     }
+}
+
+/// Scrape the daemon's metrics endpoint and print the Prometheus text
+/// exposition (not the NDJSON envelope it travels in).
+fn metrics(args: &[String]) -> i32 {
+    let mut args = args.to_vec();
+    let Some(addr) = take_flag(&mut args, "--tcp") else {
+        eprintln!("onesched-svc: metrics needs --tcp ADDR\n{USAGE}");
+        return 2;
+    };
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("onesched-svc: connect {addr}: {e}");
+            return 1;
+        }
+    };
+    let line = serde_json::to_string(&Request::metrics()).expect("serialize request");
+    if writeln!(stream, "{line}")
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        eprintln!("onesched-svc: send failed");
+        return 1;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    if let Err(e) = reader.read_line(&mut resp) {
+        eprintln!("onesched-svc: receive: {e}");
+        return 1;
+    }
+    match serde_json::from_str::<MetricsResponse>(&resp) {
+        Ok(m) => {
+            print!("{}", m.text);
+            0
+        }
+        Err(_) => {
+            // an error response or schema drift: show the raw line
+            print!("{resp}");
+            1
+        }
+    }
+}
+
+/// `trace export IN [--out OUT]` / `trace validate PATH`.
+fn trace_cmd(args: &[String]) -> i32 {
+    let mut args = args.to_vec();
+    let sub = if args.is_empty() {
+        String::new()
+    } else {
+        args.remove(0)
+    };
+    match sub.as_str() {
+        "export" => {
+            let out = take_flag(&mut args, "--out");
+            let Some(input) = args.first() else {
+                eprintln!("onesched-svc: trace export needs an input file\n{USAGE}");
+                return 2;
+            };
+            let bytes = match std::fs::read(input) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("onesched-svc: read {input}: {e}");
+                    return 1;
+                }
+            };
+            let replay = onesched::trace::parse_trace(&bytes);
+            if replay.torn {
+                eprintln!(
+                    "onesched-svc: {input}: torn tail after {} valid bytes (truncated)",
+                    replay.valid_bytes
+                );
+            }
+            let json = onesched::trace::chrome_trace_json(&replay.events);
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, json) {
+                        eprintln!("onesched-svc: write {path}: {e}");
+                        return 1;
+                    }
+                    eprintln!(
+                        "onesched-svc: exported {} events to {path}",
+                        replay.events.len()
+                    );
+                }
+                None => println!("{json}"),
+            }
+            0
+        }
+        "validate" => {
+            let Some(input) = args.first() else {
+                eprintln!("onesched-svc: trace validate needs a file\n{USAGE}");
+                return 2;
+            };
+            let bytes = match std::fs::read(input) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("onesched-svc: read {input}: {e}");
+                    return 1;
+                }
+            };
+            let replay = onesched::trace::parse_trace(&bytes);
+            let mut invalid = 0usize;
+            for ev in &replay.events {
+                if let Err(msg) = ev.validate() {
+                    invalid += 1;
+                    eprintln!("onesched-svc: invalid event (seq {:?}): {msg}", ev.seq);
+                }
+            }
+            println!(
+                "{{\"events\":{},\"valid_bytes\":{},\"torn\":{},\"invalid\":{}}}",
+                replay.events.len(),
+                replay.valid_bytes,
+                replay.torn,
+                invalid
+            );
+            i32::from(invalid > 0)
+        }
+        other => {
+            eprintln!("onesched-svc: unknown trace subcommand {other:?}\n{USAGE}");
+            2
+        }
+    }
+}
+
+/// `ledger inspect PATH`: parse a write-ahead ledger offline and print a
+/// JSON summary (lifecycle counts, unacknowledged jobs, poison suspects).
+fn ledger_cmd(args: &[String]) -> i32 {
+    let sub = args.first().map(String::as_str).unwrap_or("");
+    if sub != "inspect" {
+        eprintln!("onesched-svc: unknown ledger subcommand {sub:?}\n{USAGE}");
+        return 2;
+    }
+    let Some(path) = args.get(1) else {
+        eprintln!("onesched-svc: ledger inspect needs a file\n{USAGE}");
+        return 2;
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("onesched-svc: read {path}: {e}");
+            return 1;
+        }
+    };
+    let replay = onesched::service::ledger::parse_ledger(&bytes);
+    let summary = onesched::service::ledger::summarize_ledger(&replay);
+    println!(
+        "{}",
+        serde_json::to_string(&summary).expect("serialize summary")
+    );
+    0
 }
 
 /// Print a generated workload batch as request lines.

@@ -62,6 +62,7 @@ pub use onesched_platform as platform;
 pub use onesched_service as service;
 pub use onesched_sim as sim;
 pub use onesched_testbeds as testbeds;
+pub use onesched_trace as trace;
 
 // The sweep runner lives in `onesched-service` (the service worker pool is
 // built on it); re-exported here so `onesched::runner` keeps working.

@@ -91,6 +91,21 @@ impl Value {
     }
 }
 
+// `Value` is its own serialization: this lets callers build or inspect
+// untyped JSON trees through `serde_json::to_string`/`from_str` (the
+// real serde_json offers the same via `serde_json::Value`).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// A type that can render itself into a [`Value`].
 pub trait Serialize {
     /// Convert to the untyped tree.
