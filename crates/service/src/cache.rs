@@ -13,15 +13,21 @@
 use crate::protocol::{LatencyEntry, ResolvedJob, ResolvedSim, StatsResponse};
 use crate::runner::schedule_timed_probed;
 use onesched_heuristics::{NoProbe, Phase, Probe, ScanStats};
+use onesched_prof::AllocSnapshot;
 use onesched_trace::Clock;
 use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// A write-only [`Probe`] that accumulates per-phase wall time and
-/// placement-scan counters over one (or several) constructions, timed by
-/// a [`Clock`]. Single-threaded by design (`Cell` state): one worker owns
-/// one probe for the duration of a job, then reads the totals out.
+/// A write-only [`Probe`] that accumulates per-phase wall time,
+/// allocation deltas, and placement-scan counters over one (or several)
+/// constructions, timed by a [`Clock`]. Single-threaded by design
+/// (`Cell` state): one worker owns one probe for the duration of a job,
+/// then reads the totals out.
+///
+/// Allocation attribution reads the process-global `onesched-prof`
+/// counters at each phase edge; without the `profiling` allocator
+/// registered the counters stay zero and every delta is zero.
 ///
 /// The probe only observes — a probed construction takes decisions
 /// bit-identical to a bare one (the fingerprint-pinned tests hold it to
@@ -30,6 +36,8 @@ pub struct ConstructProbe<'a> {
     clock: &'a dyn Clock,
     begin_us: [Cell<u64>; 4],
     total_us: [Cell<u64>; 4],
+    alloc_begin: [Cell<AllocSnapshot>; 4],
+    alloc_total: [Cell<AllocSnapshot>; 4],
     scan: Cell<ScanStats>,
 }
 
@@ -53,6 +61,8 @@ impl<'a> ConstructProbe<'a> {
             clock,
             begin_us: Default::default(),
             total_us: Default::default(),
+            alloc_begin: Default::default(),
+            alloc_total: Default::default(),
             scan: Cell::new(ScanStats::default()),
         }
     }
@@ -65,6 +75,15 @@ impl<'a> ConstructProbe<'a> {
             .unwrap_or(0)
     }
 
+    /// Accumulated allocation activity of `phase` (zero without the
+    /// `profiling` allocator registered).
+    pub fn phase_allocs(&self, phase: Phase) -> AllocSnapshot {
+        self.alloc_total
+            .get(phase_slot(phase))
+            .map(Cell::get)
+            .unwrap_or_default()
+    }
+
     /// Cumulative placement-scan counters reported by the scheduler.
     pub fn scan(&self) -> ScanStats {
         self.scan.get()
@@ -73,18 +92,29 @@ impl<'a> ConstructProbe<'a> {
 
 impl Probe for ConstructProbe<'_> {
     fn phase_begin(&self, phase: Phase) {
-        if let Some(b) = self.begin_us.get(phase_slot(phase)) {
+        let slot = phase_slot(phase);
+        if let Some(b) = self.begin_us.get(slot) {
             b.set(self.clock.now_micros());
+        }
+        if let Some(a) = self.alloc_begin.get(slot) {
+            a.set(onesched_prof::snapshot());
         }
     }
 
     fn phase_end(&self, phase: Phase) {
         let slot = phase_slot(phase);
-        let (Some(b), Some(t)) = (self.begin_us.get(slot), self.total_us.get(slot)) else {
-            return;
-        };
-        let d = self.clock.now_micros().saturating_sub(b.get());
-        t.set(t.get().saturating_add(d));
+        if let (Some(b), Some(t)) = (self.begin_us.get(slot), self.total_us.get(slot)) {
+            let d = self.clock.now_micros().saturating_sub(b.get());
+            t.set(t.get().saturating_add(d));
+        }
+        if let (Some(b), Some(t)) = (self.alloc_begin.get(slot), self.alloc_total.get(slot)) {
+            let d = onesched_prof::snapshot().delta_since(b.get());
+            let acc = t.get();
+            t.set(AllocSnapshot {
+                allocs: acc.allocs.saturating_add(d.allocs),
+                bytes: acc.bytes.saturating_add(d.bytes),
+            });
+        }
     }
 
     fn placement_scan(&self, scan: &ScanStats) {
@@ -215,16 +245,17 @@ impl std::fmt::Display for SimRunError {
 /// `(job key, sim key)` pairs produce equal outcomes up to the timings.
 ///
 /// Construction from a resolved job cannot fail, but two things can stop
-/// the simulation half: the caller's `deadline` (checked between the
-/// construction and execution stages — the per-job timeout's only
-/// preemption point inside a run) and the engine's own validation, both
-/// reported as a typed [`SimRunError`].
+/// the simulation half: the caller's `deadline_us` (a [`Clock`] timestamp
+/// checked between the construction and execution stages — the per-job
+/// timeout's only preemption point inside a run) and the engine's own
+/// validation, both reported as a typed [`SimRunError`].
 pub fn run_sim_job(
     job: &ResolvedJob,
     sim: &ResolvedSim,
-    deadline: Option<Instant>,
+    deadline_us: Option<u64>,
+    clock: &dyn Clock,
 ) -> Result<SimOutcome, SimRunError> {
-    run_sim_job_probed(job, sim, deadline, &NoProbe)
+    run_sim_job_probed(job, sim, deadline_us, clock, &NoProbe)
 }
 
 /// [`run_sim_job`] with an observer: `probe` sees the construction half's
@@ -232,17 +263,18 @@ pub fn run_sim_job(
 pub fn run_sim_job_probed(
     job: &ResolvedJob,
     sim: &ResolvedSim,
-    deadline: Option<Instant>,
+    deadline_us: Option<u64>,
+    clock: &dyn Clock,
     probe: &dyn Probe,
 ) -> Result<SimOutcome, SimRunError> {
     let (outcome, g, platform, sched) = construct(job, probe);
-    if deadline.is_some_and(|d| Instant::now() > d) {
+    if deadline_us.is_some_and(|d| clock.now_micros() > d) {
         return Err(SimRunError::DeadlineExceeded(Box::new(outcome)));
     }
-    let t0 = Instant::now();
+    let t0 = clock.now_micros();
     let report = onesched_exec::execute(&g, &platform, job.model(), &sched, &sim.exec_config())
         .map_err(SimRunError::Exec)?;
-    let exec = t0.elapsed();
+    let exec = Duration::from_micros(clock.now_micros().saturating_sub(t0));
     Ok(SimOutcome {
         job: outcome,
         policy: sim.policy().name().to_string(),
@@ -377,6 +409,10 @@ pub struct StatsGauges {
     pub ledger_bytes: u64,
     /// Ledger events appended since the daemon started.
     pub uptime_events: u64,
+    /// Trace events dropped by the tracer's ring buffers since startup
+    /// (0 without a tracer). Nonzero means span accounting in the trace
+    /// file under-reports — the `trace report` reconciliation caveat.
+    pub trace_events_dropped: u64,
 }
 
 /// Nearest-rank percentile of a *sorted* sample (`q` in `[0, 1]`): the
@@ -463,6 +499,7 @@ impl ServiceStats {
             jobs_shed: self.jobs_shed,
             ledger_bytes: gauges.ledger_bytes,
             uptime_events: gauges.uptime_events,
+            trace_events_dropped: gauges.trace_events_dropped,
             uptime_ms: uptime.as_secs_f64() * 1e3,
             latency,
         }
@@ -530,21 +567,22 @@ mod tests {
     #[test]
     fn sim_job_executes_and_zero_noise_matches_static() {
         let job = lu_job();
+        let clock = onesched_trace::WallClock::new();
         let sim = crate::protocol::SimSpec::default().resolve().unwrap();
-        let a = run_sim_job(&job, &sim, None).expect("executes");
+        let a = run_sim_job(&job, &sim, None, &clock).expect("executes");
         assert_eq!(a.degradation, 1.0, "zero noise replays exactly");
         assert_eq!(a.executed_makespan, a.job.makespan);
         assert_eq!(a.job.violations, 0);
         // deterministic, including the executed trace
-        let b = run_sim_job(&job, &sim, None).expect("executes");
+        let b = run_sim_job(&job, &sim, None, &clock).expect("executes");
         assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
         assert_eq!(a.job.fingerprint, b.job.fingerprint);
         // noise moves the executed makespan but stays seed-deterministic
         let noisy = crate::protocol::SimSpec::noise("list-dynamic", 0.3, 9)
             .resolve()
             .unwrap();
-        let x = run_sim_job(&job, &noisy, None).expect("executes");
-        let y = run_sim_job(&job, &noisy, None).expect("executes");
+        let x = run_sim_job(&job, &noisy, None, &clock).expect("executes");
+        let y = run_sim_job(&job, &noisy, None, &clock).expect("executes");
         assert_eq!(x.trace_fingerprint, y.trace_fingerprint);
         assert_ne!(x.trace_fingerprint, a.trace_fingerprint);
         assert_eq!(
@@ -557,10 +595,10 @@ mod tests {
     fn sim_deadline_checked_between_construct_and_execute() {
         let job = lu_job();
         let sim = crate::protocol::SimSpec::default().resolve().unwrap();
-        let expired = Instant::now()
-            .checked_sub(Duration::from_secs(1))
-            .unwrap_or_else(Instant::now);
-        match run_sim_job(&job, &sim, Some(expired)) {
+        // a manual clock past the deadline: expired before the engine runs
+        let clock = onesched_trace::ManualClock::new();
+        clock.set(10);
+        match run_sim_job(&job, &sim, Some(5), &clock) {
             Err(SimRunError::DeadlineExceeded(outcome)) => {
                 // the construction half completed and is cacheable
                 assert_eq!(outcome.fingerprint, run_job(&job).fingerprint);
@@ -568,7 +606,7 @@ mod tests {
             other => panic!("expected deadline error, got {other:?}"),
         }
         // a generous deadline lets the run finish
-        let ok = run_sim_job(&job, &sim, Some(Instant::now() + Duration::from_secs(600)));
+        let ok = run_sim_job(&job, &sim, Some(u64::MAX), &clock);
         assert!(ok.is_ok());
     }
 
@@ -595,6 +633,7 @@ mod tests {
                 cache_evictions: 5,
                 ledger_bytes: 0,
                 uptime_events: 0,
+                trace_events_dropped: 0,
             },
             Duration::from_secs(1),
         );

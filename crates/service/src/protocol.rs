@@ -1074,6 +1074,11 @@ pub struct StatsResponse {
     /// tombstones included; the replayed prefix is not).
     #[serde(default)]
     pub uptime_events: u64,
+    /// Trace events dropped by the tracer's ring buffers since startup
+    /// (0 without `--trace`). Nonzero means the trace file under-counts:
+    /// `trace report` totals will not fully reconcile.
+    #[serde(default)]
+    pub trace_events_dropped: u64,
     /// Milliseconds since the daemon started.
     pub uptime_ms: f64,
     /// Per-scheduler construction-latency percentiles (cache hits are

@@ -18,10 +18,11 @@ use onesched_heuristics::{Heft, Ilha, Scheduler};
 use onesched_platform::Platform;
 use onesched_sim::{CommModel, Schedule};
 use onesched_testbeds::{Testbed, PAPER_C};
+use onesched_trace::{Clock, WallClock};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Build one schedule, timing the `schedule()` call alone (graph generation
 /// and statistics excluded). The shared execution step of the sweep runner
@@ -45,9 +46,13 @@ pub fn schedule_timed_probed(
     model: CommModel,
     probe: &dyn onesched_heuristics::Probe,
 ) -> (Schedule, Duration) {
-    let t0 = Instant::now();
+    // Wall time through the trace crate's Clock (the D104 discipline:
+    // no direct Instant reads outside WallClock). Microsecond
+    // resolution, which is what every consumer reports anyway.
+    let clock = WallClock::new();
+    let t0 = clock.now_micros();
     let sched = scheduler.schedule_with_probe(g, platform, model, probe);
-    let construct = t0.elapsed();
+    let construct = Duration::from_micros(clock.now_micros().saturating_sub(t0));
     (sched, construct)
 }
 
@@ -105,6 +110,11 @@ pub struct SweepResult {
     /// Wall-clock time of the `schedule()` call alone (graph generation and
     /// statistics excluded).
     pub construct: Duration,
+    /// Allocation activity of the first `schedule()` call (zero without
+    /// the `profiling` allocator registered).
+    pub alloc: onesched_prof::AllocSnapshot,
+    /// Placement-scan counters of the first `schedule()` call.
+    pub scan: onesched_heuristics::ScanStats,
 }
 
 /// The standard figure-sweep job list: for each testbed and size, one HEFT
@@ -180,10 +190,30 @@ pub fn run_sweep_repeated(
         .collect()
 }
 
+/// A minimal write-only probe for sweeps: placement-scan counters only
+/// (phase timing stays the service probe's job).
+#[derive(Default)]
+struct ScanProbe(std::cell::Cell<onesched_heuristics::ScanStats>);
+
+impl onesched_heuristics::Probe for ScanProbe {
+    fn placement_scan(&self, scan: &onesched_heuristics::ScanStats) {
+        let mut acc = self.0.get();
+        acc.add(scan);
+        self.0.set(acc);
+    }
+}
+
 fn run_job(job: &SweepJob, platform: &Platform, model: CommModel, repeats: usize) -> SweepResult {
     let g = job.testbed.generate(job.size, PAPER_C);
     let scheduler = job.sched.build();
-    let (sched, mut construct) = schedule_timed(&g, platform, scheduler.as_ref(), model);
+    let probe = ScanProbe::default();
+    let a0 = onesched_prof::snapshot();
+    let (sched, mut construct) =
+        schedule_timed_probed(&g, platform, scheduler.as_ref(), model, &probe);
+    let alloc = onesched_prof::snapshot().delta_since(a0);
+    // alloc and scan counters come from the first run only: repeats are
+    // bit-identical, so accumulating them would just multiply the totals
+    let scan = probe.0.get();
     for _ in 1..repeats {
         let (again, t) = schedule_timed(&g, platform, scheduler.as_ref(), model);
         construct = construct.min(t);
@@ -196,6 +226,8 @@ fn run_job(job: &SweepJob, platform: &Platform, model: CommModel, repeats: usize
         speedup: sched.speedup(&g, platform),
         effective_comms: sched.num_effective_comms(),
         construct,
+        alloc,
+        scan,
     }
 }
 
@@ -219,12 +251,23 @@ pub struct BenchEntry {
     pub makespan: f64,
     /// Schedule speedup (quality cross-check).
     pub speedup: f64,
+    /// Allocation count of the construction (v2 column; present only when
+    /// the run registered the profiling allocator).
+    #[serde(default)]
+    pub allocs: Option<u64>,
+    /// Bytes requested by the construction (v2 column, same gating).
+    #[serde(default)]
+    pub alloc_bytes: Option<u64>,
+    /// Fraction of placement-scan candidates pruned before full evaluation
+    /// (v2 column; deterministic, so always present in v2 files).
+    #[serde(default)]
+    pub prune_rate: Option<f64>,
 }
 
 /// The bench JSON file: schema tag, run configuration, entries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchFile {
-    /// Format tag (`onesched-bench/v1`).
+    /// Format tag (`onesched-bench/v1` or `onesched-bench/v2`).
     pub schema: String,
     /// Worker threads the sweep ran with.
     pub threads: usize,
@@ -232,8 +275,12 @@ pub struct BenchFile {
     pub entries: Vec<BenchEntry>,
 }
 
-/// Schema tag written into bench JSON files.
+/// Legacy schema tag (no alloc/prune columns); still readable because the
+/// v2 columns are optional and default to absent.
 pub const BENCH_SCHEMA: &str = "onesched-bench/v1";
+
+/// Schema tag written into bench JSON files produced by this build.
+pub const BENCH_SCHEMA_V2: &str = "onesched-bench/v2";
 
 impl BenchFile {
     /// Package sweep results as a bench file, optionally carrying over the
@@ -256,6 +303,10 @@ impl BenchFile {
                         })
                         .map(|e| e.seed_construct_ms.unwrap_or(e.construct_ms))
                 });
+                // alloc columns mean something only when the counting
+                // allocator actually observed the run; prune_rate is
+                // deterministic and always recorded
+                let profiled = onesched_prof::enabled();
                 BenchEntry {
                     testbed: r.job.testbed.name().to_string(),
                     size: r.job.size,
@@ -265,14 +316,105 @@ impl BenchFile {
                     seed_construct_ms: seed,
                     makespan: r.makespan,
                     speedup: r.speedup,
+                    allocs: profiled.then_some(r.alloc.allocs),
+                    alloc_bytes: profiled.then_some(r.alloc.bytes),
+                    prune_rate: Some(if r.scan.candidates == 0 {
+                        0.0
+                    } else {
+                        r.scan.pruned() as f64 / r.scan.candidates as f64
+                    }),
                 }
             })
             .collect();
         BenchFile {
-            schema: BENCH_SCHEMA.to_string(),
+            schema: BENCH_SCHEMA_V2.to_string(),
             threads,
             entries,
         }
+    }
+}
+
+/// One dated datapoint of the committed perf trajectory
+/// (`BENCH_HISTORY.json`): a full bench file plus when and where it was
+/// recorded.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchHistoryEntry {
+    /// ISO date (`YYYY-MM-DD`) the datapoint was recorded.
+    pub date: String,
+    /// Free-form provenance label (`seed`, `pr9`, `ci`, hostname, ...).
+    pub label: String,
+    /// The recorded bench run.
+    pub bench: BenchFile,
+}
+
+/// The committed perf-trajectory file: an append-only, date-ordered list
+/// of bench runs. The CI `bench-compare` step validates this schema and
+/// appends the run's datapoint as an artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchHistory {
+    /// Format tag (`onesched-bench-history/v1`).
+    pub schema: String,
+    /// Datapoints, oldest first.
+    pub entries: Vec<BenchHistoryEntry>,
+}
+
+/// Schema tag of [`BenchHistory`] files.
+pub const BENCH_HISTORY_SCHEMA: &str = "onesched-bench-history/v1";
+
+impl BenchHistory {
+    /// An empty history with the current schema tag.
+    pub fn new() -> BenchHistory {
+        BenchHistory {
+            schema: BENCH_HISTORY_SCHEMA.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Validate the schema invariants: the format tag, ISO dates in
+    /// non-decreasing order, known per-entry bench schema tags, and
+    /// non-empty entry lists. Returns every violation (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        if self.schema != BENCH_HISTORY_SCHEMA {
+            bad.push(format!(
+                "schema {:?}, expected {BENCH_HISTORY_SCHEMA:?}",
+                self.schema
+            ));
+        }
+        let mut prev = String::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let iso = e.date.len() == 10
+                && e.date.chars().enumerate().all(|(j, c)| match j {
+                    4 | 7 => c == '-',
+                    _ => c.is_ascii_digit(),
+                });
+            if !iso {
+                bad.push(format!("entry {i}: date {:?} is not YYYY-MM-DD", e.date));
+            } else if e.date < prev {
+                bad.push(format!("entry {i}: date {} before {prev}", e.date));
+            } else {
+                prev = e.date.clone();
+            }
+            if e.label.is_empty() {
+                bad.push(format!("entry {i}: empty label"));
+            }
+            if e.bench.schema != BENCH_SCHEMA && e.bench.schema != BENCH_SCHEMA_V2 {
+                bad.push(format!(
+                    "entry {i}: unknown bench schema {:?}",
+                    e.bench.schema
+                ));
+            }
+            if e.bench.entries.is_empty() {
+                bad.push(format!("entry {i}: empty bench entry list"));
+            }
+        }
+        bad
+    }
+}
+
+impl Default for BenchHistory {
+    fn default() -> Self {
+        BenchHistory::new()
     }
 }
 
@@ -337,7 +479,12 @@ mod tests {
         let json = serde_json::to_string(&file).unwrap();
         let back: BenchFile = serde_json::from_str(&json).unwrap();
         assert_eq!(back.entries.len(), file.entries.len());
-        assert_eq!(back.schema, BENCH_SCHEMA);
+        assert_eq!(back.schema, BENCH_SCHEMA_V2);
+        // prune_rate is always recorded; alloc columns only under profiling
+        assert!(back.entries.iter().all(|e| e.prune_rate.is_some()));
+        if !onesched_prof::enabled() {
+            assert!(back.entries.iter().all(|e| e.allocs.is_none()));
+        }
         // identical files never regress against each other
         assert!(bench_regressions(&back, &file, 2.0, 0.0).is_empty());
         // a 3x slowdown is flagged
@@ -346,6 +493,61 @@ mod tests {
             e.construct_ms *= 3.0;
         }
         assert!(!bench_regressions(&slow, &file, 2.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn bench_history_validation_catches_malformed_files() {
+        let jobs = paper_jobs(&[Testbed::ForkJoin], &[10]);
+        let bench = BenchFile::from_results(&run_sweep(&jobs, 1, CommModel::OnePortBidir), 1, None);
+        let mut hist = BenchHistory::new();
+        assert!(hist.validate().is_empty(), "empty history is valid");
+        hist.entries.push(BenchHistoryEntry {
+            date: "2026-07-30".into(),
+            label: "seed".into(),
+            bench: bench.clone(),
+        });
+        hist.entries.push(BenchHistoryEntry {
+            date: "2026-08-08".into(),
+            label: "pr9".into(),
+            bench: bench.clone(),
+        });
+        assert!(hist.validate().is_empty(), "{:?}", hist.validate());
+        // round-trips through JSON
+        let back: BenchHistory =
+            serde_json::from_str(&serde_json::to_string(&hist).unwrap()).unwrap();
+        assert!(back.validate().is_empty());
+        // each invariant is enforced
+        let mut bad = hist.clone();
+        bad.schema = "nope/v0".into();
+        assert!(!bad.validate().is_empty());
+        let mut bad = hist.clone();
+        bad.entries[1].date = "08-08-2026".into();
+        assert!(!bad.validate().is_empty());
+        let mut bad = hist.clone();
+        bad.entries[0].date = "2026-12-31".into();
+        assert!(!bad.validate().is_empty(), "out-of-order dates rejected");
+        let mut bad = hist.clone();
+        bad.entries[0].label.clear();
+        assert!(!bad.validate().is_empty());
+        let mut bad = hist.clone();
+        bad.entries[0].bench.schema = "onesched-bench/v9".into();
+        assert!(!bad.validate().is_empty());
+        let mut bad = hist;
+        bad.entries[0].bench.entries.clear();
+        assert!(!bad.validate().is_empty());
+    }
+
+    #[test]
+    fn v1_bench_files_still_parse() {
+        let v1 = format!(
+            r#"{{"schema":"{BENCH_SCHEMA}","threads":1,"entries":[{{"testbed":"LU","size":10,"scheduler":"HEFT","tasks":55,"construct_ms":1.5,"seed_construct_ms":null,"makespan":10.0,"speedup":3.0}}]}}"#
+        );
+        let back: BenchFile = serde_json::from_str(&v1).unwrap();
+        assert_eq!(back.schema, BENCH_SCHEMA);
+        let e = back.entries.first().unwrap();
+        assert_eq!(e.allocs, None);
+        assert_eq!(e.alloc_bytes, None);
+        assert_eq!(e.prune_rate, None);
     }
 
     #[test]

@@ -50,6 +50,7 @@ use crate::protocol::{
 };
 use crate::queue::PriorityQueue;
 use onesched_heuristics::ScanStats;
+use onesched_prof::AllocSnapshot;
 use onesched_trace::{prometheus_text, Clock, Gauge, MetricsHub, TraceEvent, Tracer, WallClock};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -59,7 +60,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A line-oriented output shared between the intake thread and the workers.
 pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
@@ -171,8 +172,9 @@ struct Ticket {
     /// Construction attempts so far (in-process panics plus, for
     /// recovered jobs, the ledger's `started` count).
     attempts: u32,
-    /// Wall-clock deadline, when the service has a timeout configured.
-    deadline: Option<Instant>,
+    /// Wall-clock deadline on the service clock (microseconds), when the
+    /// service has a timeout configured.
+    deadline: Option<u64>,
     /// Acceptance time on the service clock, microseconds — the root
     /// `job` span's start and the queue-wait measurement origin.
     accepted_us: u64,
@@ -232,9 +234,12 @@ pub struct Service {
     shutdown: AtomicBool,
     next_job: AtomicU64,
     next_seq: AtomicU64,
-    started: Instant,
-    /// The service clock every span and queue-wait measurement reads
-    /// (the one sanctioned wall-time source besides `Instant` deadlines).
+    /// Service start on the service clock (microseconds) — the uptime
+    /// origin.
+    started_us: u64,
+    /// The service clock every span, deadline, queue-wait, and uptime
+    /// measurement reads — the service's only wall-time source (the D104
+    /// discipline: no direct `Instant` reads outside `WallClock`).
     clock: Arc<dyn Clock>,
     /// Span recorder streaming to `cfg.trace`; `None` when tracing is
     /// off. Spans are write-only observers — fingerprints and response
@@ -291,7 +296,7 @@ impl Service {
             shutdown: AtomicBool::new(false),
             next_job: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
-            started: Instant::now(),
+            started_us: clock.now_micros(),
             clock,
             tracer,
             metrics: MetricsHub::new(),
@@ -440,13 +445,17 @@ impl Service {
             // Unacknowledged: re-queue for execution. The original client
             // is gone, so results stream to a sink — the caches and the
             // ledger keep the outcome for when the client resubmits.
+            let accepted_us = self.clock.now_micros();
             let ticket = Ticket {
                 seq,
                 id: sub.id,
                 priority: sub.priority,
                 attempts: sub.starts,
-                deadline: self.cfg.timeout.map(|t| Instant::now() + t),
-                accepted_us: self.clock.now_micros(),
+                deadline: self
+                    .cfg
+                    .timeout
+                    .map(|t| accepted_us.saturating_add(duration_us(t))),
+                accepted_us,
                 key: hash,
                 work,
                 out: sink_writer(),
@@ -693,7 +702,7 @@ impl Service {
         match req.op.as_str() {
             "submit" | "simulate" => self.handle_submission(req, out),
             "stats" => {
-                let snap = lock(&self.stats).snapshot(self.gauges(), self.started.elapsed());
+                let snap = lock(&self.stats).snapshot(self.gauges(), self.uptime());
                 write_line(out, &to_line(&snap));
             }
             "metrics" => {
@@ -760,13 +769,17 @@ impl Service {
             return;
         }
         let priority = req.priority.unwrap_or(0);
+        let accepted_us = self.clock.now_micros();
         let ticket = Ticket {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
             id,
             priority,
             attempts: 0,
-            deadline: self.cfg.timeout.map(|t| Instant::now() + t),
-            accepted_us: self.clock.now_micros(),
+            deadline: self
+                .cfg
+                .timeout
+                .map(|t| accepted_us.saturating_add(duration_us(t))),
+            accepted_us,
             key: hash,
             work,
             out: Arc::clone(out),
@@ -894,7 +907,13 @@ impl Service {
             cache_evictions: evictions + sim_evictions,
             ledger_bytes,
             uptime_events,
+            trace_events_dropped: self.tracer.as_ref().map(Tracer::dropped).unwrap_or(0),
         }
+    }
+
+    /// Time since service construction, on the service clock.
+    fn uptime(&self) -> Duration {
+        Duration::from_micros(self.clock.now_micros().saturating_sub(self.started_us))
     }
 
     /// The Prometheus text exposition behind the `metrics` op: the hub's
@@ -925,10 +944,10 @@ impl Service {
         }
         snap.counters
             .insert("onesched_ledger_appends_total".into(), gauges.uptime_events);
-        if let Some(t) = &self.tracer {
-            snap.counters
-                .insert("onesched_trace_dropped_total".into(), t.dropped());
-        }
+        snap.counters.insert(
+            "onesched_trace_dropped_total".into(),
+            gauges.trace_events_dropped,
+        );
         let gauge_samples = [
             Gauge::new("onesched_queue_depth", gauges.queue_depth as f64),
             Gauge::new(
@@ -938,10 +957,7 @@ impl Service {
             Gauge::new("onesched_cache_size", gauges.cache_size as f64),
             Gauge::new("onesched_sim_cache_size", gauges.sim_cache_size as f64),
             Gauge::new("onesched_ledger_bytes", gauges.ledger_bytes as f64),
-            Gauge::new(
-                "onesched_uptime_seconds",
-                self.started.elapsed().as_secs_f64(),
-            ),
+            Gauge::new("onesched_uptime_seconds", self.uptime().as_secs_f64()),
         ];
         prometheus_text(&snap, &gauge_samples)
     }
@@ -1033,7 +1049,7 @@ impl Service {
             "onesched_queue_wait_ms",
             dequeued_us.saturating_sub(ticket.accepted_us) as f64 / 1e3,
         );
-        if ticket.deadline.is_some_and(|d| Instant::now() > d) {
+        if ticket.deadline.is_some_and(|d| dequeued_us > d) {
             self.answer_timeout(&ticket);
             self.trace_abort(&ticket, worker, dequeued_us, true);
             return;
@@ -1143,7 +1159,7 @@ impl Service {
         // Deadline re-check between construction and the answer: the
         // outcome stays cached (the work is done and deterministic), but
         // the client asked for a bounded wait.
-        if ticket.deadline.is_some_and(|d| Instant::now() > d) {
+        if ticket.deadline.is_some_and(|d| self.clock.now_micros() > d) {
             self.answer_timeout(ticket);
             self.trace_abort(ticket, worker, dequeued_us, true);
             return;
@@ -1207,41 +1223,43 @@ impl Service {
         let probe = ConstructProbe::new(self.clock.as_ref());
         let (outcome, cache_hit, construct_trace) = match cached {
             Some(outcome) => (outcome, true, None),
-            None => match run_sim_job_probed(job, sim, ticket.deadline, &probe) {
-                Ok(outcome) => {
-                    let detail = self.finish_construct(&outcome.job.construct, &probe);
-                    self.metrics
-                        .observe_ms("onesched_exec_ms", outcome.exec.as_secs_f64() * 1e3);
-                    lock(&self.sim_registry).insert(key, outcome.clone());
-                    (outcome, false, Some(detail))
+            None => {
+                match run_sim_job_probed(job, sim, ticket.deadline, self.clock.as_ref(), &probe) {
+                    Ok(outcome) => {
+                        let detail = self.finish_construct(&outcome.job.construct, &probe);
+                        self.metrics
+                            .observe_ms("onesched_exec_ms", outcome.exec.as_secs_f64() * 1e3);
+                        lock(&self.sim_registry).insert(key, outcome.clone());
+                        (outcome, false, Some(detail))
+                    }
+                    // The deadline passed between construction and execution:
+                    // keep the constructed half (a future plain submit of the
+                    // same job is a cache hit), answer the timeout.
+                    Err(SimRunError::DeadlineExceeded(constructed)) => {
+                        lock(&self.registry).insert(job.key.clone(), *constructed);
+                        self.answer_timeout(ticket);
+                        self.trace_abort(ticket, worker, dequeued_us, true);
+                        return;
+                    }
+                    // The engine refused the schedule: answer with a protocol
+                    // error instead of panicking the worker. No outcome is
+                    // cached (the job stays retryable after a fix).
+                    Err(SimRunError::Exec(e)) => {
+                        let msg = format!("execution failed: {e}");
+                        self.ledger_append(&LedgerRecord::failed(
+                            ticket.seq,
+                            &ticket.id,
+                            &ticket.key,
+                            msg.clone(),
+                        ));
+                        self.respond_error(&ticket.out, Some(ticket.id.clone()), msg);
+                        self.trace_abort(ticket, worker, dequeued_us, true);
+                        return;
+                    }
                 }
-                // The deadline passed between construction and execution:
-                // keep the constructed half (a future plain submit of the
-                // same job is a cache hit), answer the timeout.
-                Err(SimRunError::DeadlineExceeded(constructed)) => {
-                    lock(&self.registry).insert(job.key.clone(), *constructed);
-                    self.answer_timeout(ticket);
-                    self.trace_abort(ticket, worker, dequeued_us, true);
-                    return;
-                }
-                // The engine refused the schedule: answer with a protocol
-                // error instead of panicking the worker. No outcome is
-                // cached (the job stays retryable after a fix).
-                Err(SimRunError::Exec(e)) => {
-                    let msg = format!("execution failed: {e}");
-                    self.ledger_append(&LedgerRecord::failed(
-                        ticket.seq,
-                        &ticket.id,
-                        &ticket.key,
-                        msg.clone(),
-                    ));
-                    self.respond_error(&ticket.out, Some(ticket.id.clone()), msg);
-                    self.trace_abort(ticket, worker, dequeued_us, true);
-                    return;
-                }
-            },
+            }
         };
-        if ticket.deadline.is_some_and(|d| Instant::now() > d) {
+        if ticket.deadline.is_some_and(|d| self.clock.now_micros() > d) {
             self.answer_timeout(ticket);
             self.trace_abort(ticket, worker, dequeued_us, true);
             return;
@@ -1303,12 +1321,14 @@ impl Service {
     /// construction finishes, and fold its timings into the hub.
     fn finish_construct(&self, construct: &Duration, probe: &ConstructProbe<'_>) -> ConstructTrace {
         let phase_us = PHASES.map(|p| probe.phase_us(p));
+        let phase_allocs = PHASES.map(|p| probe.phase_allocs(p));
         let scan = probe.scan();
         self.note_construct(*construct, &phase_us, &scan);
         ConstructTrace {
             construct_us: duration_us(*construct),
             end_us: self.clock.now_micros(),
             phase_us,
+            phase_allocs,
             scan,
         }
     }
@@ -1344,13 +1364,15 @@ impl Service {
             // probe's accumulated totals: offsets within the construct
             // span, not absolute re-measurements.
             let mut offset = start;
-            for (phase, &us) in PHASES.iter().zip(&c.phase_us) {
+            for ((phase, &us), alloc) in PHASES.iter().zip(&c.phase_us).zip(c.phase_allocs) {
                 let mut ev = scope(TraceEvent::span(
                     &format!("construct.{}", phase.name()),
                     offset,
                     us,
                 ))
-                .parent("construct");
+                .parent("construct")
+                .field("allocs", alloc.allocs as f64)
+                .field("alloc_bytes", alloc.bytes as f64);
                 if phase.name() == "scan" {
                     ev = ev
                         .field("candidates", c.scan.candidates as f64)
@@ -1457,6 +1479,9 @@ struct ConstructTrace {
     end_us: u64,
     /// Per-phase accumulated wall time, in [`PHASES`] order.
     phase_us: [u64; 4],
+    /// Per-phase allocation activity, in [`PHASES`] order (all zero
+    /// unless the `profiling` allocator is registered).
+    phase_allocs: [AllocSnapshot; 4],
     /// Placement-scan counters reported by the scheduler.
     scan: ScanStats,
 }
@@ -1579,6 +1604,28 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&p);
         p
+    }
+
+    #[test]
+    fn dropped_trace_events_surface_in_stats_and_metrics() {
+        let mut svc = Service::new(ServiceConfig::default());
+        // A tiny sinkless ring: 1 shard × capacity 4, so a handful of
+        // records forces the drop-oldest overflow path.
+        let tracer = Tracer::with_config(Arc::new(onesched_trace::ManualClock::new()), 1, 4);
+        for i in 0..32 {
+            tracer.record(TraceEvent::counter("spill", f64::from(i)));
+        }
+        assert!(tracer.dropped() > 0, "the tiny ring must have dropped");
+        let expected = tracer.dropped();
+        svc.tracer = Some(tracer);
+        let lines = drive_svc(&svc, &[Request::stats()], 1);
+        let snap: StatsResponse = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(snap.trace_events_dropped, expected, "stats gauge");
+        let metrics = svc.metrics_text();
+        assert!(
+            metrics.contains(&format!("onesched_trace_dropped_total {expected}")),
+            "scrape carries the drop counter:\n{metrics}"
+        );
     }
 
     #[test]

@@ -168,6 +168,7 @@ proptest! {
             jobs_shed: counters.1 % 3,
             ledger_bytes: counters.2,
             uptime_events: counters.0 % 1000,
+            trace_events_dropped: counters.1 % 11,
             uptime_ms: construct_ms,
             latency: lat.iter().enumerate().map(|(i, &(ms, count))| LatencyEntry {
                 scheduler: format!("S{i}"),

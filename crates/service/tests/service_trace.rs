@@ -243,6 +243,71 @@ fn traced_run_is_bit_identical_and_accounts_every_job() {
 }
 
 #[test]
+fn trace_report_reconciles_with_job_roots_on_a_real_run() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "onesched-trace-report-{}.ndjson",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&trace_path);
+    let reqs = workload();
+    let (_, lines) = run_batch(&reqs, Some(&trace_path));
+    assert_eq!(lines.len(), reqs.len());
+
+    let bytes = std::fs::read(&trace_path).expect("trace file written");
+    let replay = parse_trace(&bytes);
+    let report = onesched_trace::build_report(&replay);
+    assert!(!report.torn);
+    assert_eq!(report.jobs.len(), reqs.len(), "one profile per job");
+    assert_eq!(report.unscoped_spans, 0, "every span is job-scoped");
+
+    // Per-job reconciliation: the span tree's self-times sum back to the
+    // `job` root span exactly — no time invented, none dropped.
+    for job in &report.jobs {
+        let root = job.job_root().expect("every job has a root span");
+        let root_dur = job.spans.get(root).map(|s| s.dur_us).unwrap_or(0);
+        assert_eq!(
+            job.self_total_us(),
+            root_dur,
+            "seq {} ({}): self-times must sum to the job root",
+            job.seq,
+            job.id
+        );
+        let path = job.critical_path();
+        assert!(!path.is_empty());
+        assert_eq!(path.first().copied(), Some(root), "path starts at the root");
+    }
+
+    // Aggregates carry the alloc fields on every construct phase (zero
+    // without the profiling allocator, but always present), and the
+    // phases the paper names all appear.
+    for phase in [
+        "construct.rank",
+        "construct.step1",
+        "construct.scan",
+        "construct.commit",
+    ] {
+        let agg = report
+            .aggregates
+            .iter()
+            .find(|a| a.name == phase)
+            .unwrap_or_else(|| panic!("phase {phase} missing from aggregates"));
+        assert_eq!(agg.count, 4, "{phase}: one per cache miss");
+    }
+
+    // The rendered report and flamegraph both cover the run: every phase
+    // name appears, and the SVG has one frame per folded path plus "all".
+    let rendered = onesched_trace::render_report(&report, 10);
+    assert!(rendered.contains("construct.scan"));
+    assert!(rendered.contains(&format!("jobs {} (reconciled {})", reqs.len(), reqs.len())));
+    let folded = onesched_trace::fold_jobs(&report.jobs);
+    assert!(!folded.is_empty());
+    let svg = onesched_trace::flamegraph_svg(&folded);
+    assert!(svg.matches("<g>").count() > folded.len(), "frames rendered");
+
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
 fn metrics_endpoint_reconciles_with_stats() {
     let (svc, lines) = run_batch(&workload(), None);
     assert_eq!(lines.len(), workload().len());

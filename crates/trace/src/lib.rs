@@ -19,16 +19,25 @@
 //! - [`chrome_trace_json`] / [`prometheus_text`] ([`export`]): render a
 //!   captured stream for Perfetto, or a snapshot as Prometheus text
 //!   exposition.
+//! - [`build_report`] / [`render_report`] ([`report`]): rebuild the
+//!   per-job span trees, split self- vs child-time, aggregate by span
+//!   name across jobs, and walk each job's critical path.
+//! - [`fold_jobs`] / [`flamegraph_svg`] ([`flame`]): folded stacks over
+//!   the same trees, rendered as a deterministic self-contained SVG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod export;
+pub mod flame;
 pub mod record;
 pub mod recorder;
+pub mod report;
 
 pub use clock::{Clock, DisabledClock, ManualClock, WallClock};
 pub use export::{chrome_trace_json, prometheus_text, Gauge};
+pub use flame::{flamegraph_svg, fold_jobs, folded_text, report_flamegraph_svg, FoldedLine};
 pub use record::{parse_trace, Field, TraceEvent, TraceReplay, TRACE_SCHEMA};
 pub use recorder::{Hist, MetricsHub, MetricsSnapshot, Tracer, HIST_BOUNDS_MS};
+pub use report::{build_report, render_report, JobProfile, NameAgg, Report, SpanNode};

@@ -1,0 +1,259 @@
+//! Property tests for the trace profiler: folded-stack construction must
+//! agree with a naive recursive reference on arbitrary span forests (with
+//! adversarial, XML-hostile span names), the flamegraph SVG must stay
+//! well-formed under those names, and `build_report` over a trace
+//! truncated at *every* byte offset — the same SIGKILL contract the
+//! parser proptests pin — must never panic and must reconcile every job
+//! tree it does recover.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use onesched_trace::{
+    build_report, flamegraph_svg, fold_jobs, parse_trace, FoldedLine, JobProfile, TraceEvent,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A generated span tree node: its own self-time plus children. Total
+/// duration is derived bottom-up, so nesting is exact by construction.
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    own: u64,
+    children: Vec<Node>,
+}
+
+/// Adversarial name stems: XML specials, the folded-stack separator, and
+/// whitespace. A unique index suffix keeps by-name parent links exact.
+const STEMS: [&str; 8] = [
+    "plain",
+    "x&y",
+    "p<q",
+    "r>s",
+    "he said \"hi\"",
+    "it's",
+    "a;b",
+    "two words",
+];
+
+/// Build a forest from flat generator words: word `i` picks a parent among
+/// the previously-built nodes (or a new root), a name stem, and a
+/// self-time. Deterministic in its inputs.
+fn forest(words: &[(usize, usize, u64)]) -> Vec<Node> {
+    // arena of (node, parent index or usize::MAX)
+    let mut arena: Vec<(Node, usize)> = Vec::new();
+    for (i, &(parent_word, stem, own)) in words.iter().enumerate() {
+        let parent = if i == 0 || parent_word % (i + 1) == i {
+            usize::MAX
+        } else {
+            parent_word % i
+        };
+        arena.push((
+            Node {
+                name: format!("{}#{i}", STEMS[stem % STEMS.len()]),
+                own,
+                children: Vec::new(),
+            },
+            parent,
+        ));
+    }
+    // move children into parents, deepest-first (children have larger
+    // indices than their parents by construction)
+    let mut roots = Vec::new();
+    while let Some((node, parent)) = arena.pop() {
+        if parent == usize::MAX {
+            roots.push(node);
+        } else {
+            arena[parent].0.children.insert(0, node);
+        }
+    }
+    roots.reverse();
+    roots
+}
+
+/// Total duration of a node: own self-time plus all descendants.
+fn total(n: &Node) -> u64 {
+    n.own + n.children.iter().map(total).sum::<u64>()
+}
+
+/// Emit the forest as completed-span trace events (self-time first, then
+/// children back-to-back — exact nesting, no gaps).
+fn emit(n: &Node, parent: Option<&str>, start: u64, seq: u64, out: &mut Vec<TraceEvent>) {
+    let ev = TraceEvent::span(&n.name, start, total(n)).job(seq, "job", 1);
+    out.push(match parent {
+        Some(p) => ev.parent(p),
+        None => ev,
+    });
+    let mut cursor = start + n.own;
+    for c in &n.children {
+        emit(c, Some(&n.name), cursor, seq, out);
+        cursor += total(c);
+    }
+}
+
+/// The naive recursive reference for folded stacks: walk the generated
+/// forest directly, accumulating self-time per `;`-joined path with the
+/// same `;`→`,` name sanitization `fold_jobs` documents.
+fn reference_fold(n: &Node, prefix: &str, acc: &mut BTreeMap<String, u64>) {
+    let name = n.name.replace(';', ",");
+    let path = if prefix.is_empty() {
+        name
+    } else {
+        format!("{prefix};{name}")
+    };
+    if n.own > 0 || n.children.is_empty() {
+        *acc.entry(path.clone()).or_insert(0) += n.own;
+    }
+    for c in &n.children {
+        reference_fold(c, &path, acc);
+    }
+}
+
+fn report_jobs(events: &[TraceEvent]) -> Vec<JobProfile> {
+    let ndjson: String = events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("serializable") + "\n")
+        .collect();
+    build_report(&parse_trace(ndjson.as_bytes())).jobs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `fold_jobs` over the rebuilt span trees equals the naive recursive
+    /// fold over the forest the trace was generated from.
+    #[test]
+    fn folded_stacks_match_recursive_reference(
+        words in proptest::collection::vec(
+            (0usize..16, 0usize..8, 0u64..1000), 1..12),
+    ) {
+        let roots = forest(&words);
+        let mut events = Vec::new();
+        let mut cursor = 0;
+        for r in &roots {
+            emit(r, None, cursor, 1, &mut events);
+            cursor += total(r);
+        }
+        let folded = fold_jobs(&report_jobs(&events));
+        let mut reference = BTreeMap::new();
+        for r in &roots {
+            reference_fold(r, "", &mut reference);
+        }
+        let expect: Vec<FoldedLine> = reference
+            .into_iter()
+            .map(|(stack, value)| FoldedLine { stack, value })
+            .collect();
+        prop_assert_eq!(folded, expect);
+    }
+
+    /// The SVG stays well-formed for arbitrary adversarial stacks: every
+    /// `<` opens a known element, tags balance, and no raw XML special
+    /// from a name survives into markup.
+    #[test]
+    fn flamegraph_svg_well_formed_under_adversarial_names(
+        words in proptest::collection::vec(
+            (0usize..16, 0usize..8, 0u64..1000), 1..10),
+    ) {
+        let roots = forest(&words);
+        let mut events = Vec::new();
+        for r in &roots {
+            emit(r, None, 0, 1, &mut events);
+        }
+        let svg = flamegraph_svg(&fold_jobs(&report_jobs(&events)));
+        prop_assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+        prop_assert_eq!(svg.matches("<title>").count(), svg.matches("</title>").count());
+        prop_assert_eq!(svg.matches("<svg").count(), 1);
+        prop_assert!(svg.ends_with("</svg>\n"));
+        // every '<' starts a known tag — escaped names cannot open one
+        for (i, _) in svg.match_indices('<') {
+            let rest = &svg[i..];
+            prop_assert!(
+                ["<svg", "</svg", "<rect", "<text", "</text", "<g>", "</g>", "<title", "</title"]
+                    .iter()
+                    .any(|t| rest.starts_with(t)),
+                "unexpected tag at byte {}: {:?}", i, &rest[..rest.len().min(20)]
+            );
+        }
+        // attribute values never contain a raw quote
+        for frag in svg.split('<').skip(1) {
+            let tag = frag.split('>').next().unwrap_or("");
+            prop_assert!(!tag.contains("\"\"\""), "mangled attributes: {:?}", tag);
+        }
+    }
+}
+
+/// Deterministic two-job trace in the service's span shape: `job` root,
+/// `job.attempt`, `construct` with phase children — the same kind of
+/// stream `onesched-svc trace report` consumes.
+fn service_shaped_events() -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for seq in 1..=2u64 {
+        let base = seq * 10_000;
+        let mk = |name: &str, start: u64, dur: u64, parent: Option<&str>| {
+            let ev = TraceEvent::span(name, start, dur).job(seq, &format!("job-{seq}"), 1);
+            match parent {
+                Some(p) => ev.parent(p),
+                None => ev,
+            }
+        };
+        events.push(mk("construct.rank", base + 20, 100, Some("construct")));
+        events.push(mk("construct.scan", base + 120, 700, Some("construct")));
+        events.push(mk("construct", base + 20, 900, Some("job.attempt")));
+        events.push(mk("execute", base + 920, 50, Some("job.attempt")));
+        events.push(mk("job.attempt", base + 10, 980, Some("job")));
+        events.push(mk("job", base, 1000, None));
+    }
+    events
+}
+
+/// `build_report` over every truncation point of a service-shaped trace:
+/// never panics, flags the torn tail, and every job tree it recovers
+/// reconciles (self-times sum to the covering span) — the report analogue
+/// of the parser's longest-valid-prefix contract.
+#[test]
+fn torn_traces_report_cleanly_at_every_offset() {
+    let events = service_shaped_events();
+    let mut bytes = Vec::new();
+    for ev in &events {
+        bytes.extend_from_slice(
+            serde_json::to_string(ev)
+                .expect("trace events always serialize")
+                .as_bytes(),
+        );
+        bytes.push(b'\n');
+    }
+    let full = build_report(&parse_trace(&bytes));
+    assert!(!full.torn);
+    assert_eq!(full.jobs.len(), 2);
+
+    for cut in 0..bytes.len() {
+        let replay = parse_trace(&bytes[..cut]);
+        let report = build_report(&replay);
+        assert_eq!(report.torn, replay.torn, "cut {cut}");
+        assert!(report.jobs.len() <= 2, "cut {cut}");
+        for job in &report.jobs {
+            // reconciliation holds on whatever prefix of the tree exists:
+            // self-times of every span sum to the widest spans' durations
+            let root_sum: u64 = job
+                .roots
+                .iter()
+                .filter_map(|&r| job.spans.get(r))
+                .map(|s| s.dur_us)
+                .sum();
+            assert_eq!(
+                job.self_total_us(),
+                root_sum,
+                "cut {cut} seq {}: tree does not reconcile",
+                job.seq
+            );
+        }
+        // jobs recovered from the prefix match the full report's values
+        for (got, want) in report.jobs.iter().zip(&full.jobs) {
+            assert_eq!(got.seq, want.seq, "cut {cut}");
+            for (g, w) in got.spans.iter().zip(&want.spans) {
+                assert_eq!(g.name, w.name, "cut {cut}");
+                assert_eq!(g.dur_us, w.dur_us, "cut {cut}");
+            }
+        }
+    }
+}

@@ -14,13 +14,13 @@ fn event(kind: usize, seq: u64, start: u64, dur: u64, nfields: usize) -> TraceEv
     } else {
         TraceEvent::span(&format!("span-{seq}"), start, dur)
     };
-    if seq % 2 == 0 {
+    if seq.is_multiple_of(2) {
         ev = ev.job(seq, &format!("job-{seq}"), seq % 3 + 1);
     }
-    if seq % 3 == 0 {
+    if seq.is_multiple_of(3) {
         ev = ev.parent("job");
     }
-    if seq % 5 == 0 {
+    if seq.is_multiple_of(5) {
         ev = ev.worker(seq % 16);
     }
     for f in 0..nfields {

@@ -33,10 +33,17 @@
 //!                  on every testbed under increasing runtime perturbation
 //!                  and record predicted-vs-executed makespan degradation
 //!                  (seed-deterministic; CI diffs two same-seed runs)
-//!   record-baseline [--fixture PATH]
+//!   record-baseline [--fixture PATH] [--profile]
 //!                  refresh tests/fixtures/schedule_baseline.json (or write
 //!                  to PATH — CI's fixture-drift gate records into a temp
-//!                  file and diffs against the committed fixture)
+//!                  file and diffs against the committed fixture); with
+//!                  --profile, also record an onesched-bench/v2 file
+//!                  (alloc counters + prune rates) to --bench-json
+//!   bench-history [--history PATH] [--date YYYY-MM-DD] [--label L]
+//!                  append a dated datapoint to the committed perf
+//!                  trajectory BENCH_HISTORY.json (schema-validated on
+//!                  read and write); --bench-json FILE appends an existing
+//!                  bench file instead of running a fresh sweep
 //!   bench-compare <current> <baseline> [--max-ratio R]
 //!                  fail (exit 1) if construction time regressed
 //!   all            everything above
@@ -58,6 +65,13 @@ use onesched_sim::stats::ScheduleStats;
 use onesched_sim::{gantt, validate};
 use std::fmt::Write as _;
 
+/// With `--features profiling`, count every allocation so bench entries
+/// (`--profile`) carry alloc columns. Counting changes no allocation
+/// decisions, so recorded fixtures and fingerprints are unaffected.
+#[cfg(feature = "profiling")]
+#[global_allocator]
+static COUNTING_ALLOC: onesched_prof::CountingAlloc = onesched_prof::CountingAlloc::new();
+
 #[derive(Clone)]
 struct Opts {
     sizes: Vec<usize>,
@@ -70,6 +84,10 @@ struct Opts {
     seed: u64,
     procs: usize,
     fixture: Option<String>,
+    profile: bool,
+    history: String,
+    date: Option<String>,
+    label: String,
 }
 
 impl Default for Opts {
@@ -85,6 +103,10 @@ impl Default for Opts {
             seed: 0,
             procs: 8,
             fixture: None,
+            profile: false,
+            history: "BENCH_HISTORY.json".into(),
+            date: None,
+            label: "local".into(),
         }
     }
 }
@@ -145,6 +167,22 @@ fn main() {
                 opts.fixture = Some(args[i + 1].clone());
                 args.drain(i..=i + 1);
             }
+            "--profile" => {
+                opts.profile = true;
+                args.remove(i);
+            }
+            "--history" => {
+                opts.history = args[i + 1].clone();
+                args.drain(i..=i + 1);
+            }
+            "--date" => {
+                opts.date = Some(args[i + 1].clone());
+                args.drain(i..=i + 1);
+            }
+            "--label" => {
+                opts.label = args[i + 1].clone();
+                args.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
@@ -173,6 +211,7 @@ fn main() {
         "perturb" => perturb_sweep(&opts),
         "probe" => probe(&args[1..]),
         "record-baseline" => record_baseline(&opts),
+        "bench-history" => bench_history(&opts),
         "all" => {
             fig1(&opts);
             toy_example(&opts);
@@ -215,6 +254,114 @@ fn record_baseline(opts: &Opts) {
     let json = serde_json::to_string(&file).expect("serialize baseline");
     std::fs::write(path, pretty_json(&json)).expect("write baseline fixture");
     println!("recorded {} schedules -> {path}", file.entries.len());
+    if opts.profile {
+        // --profile: additionally record an onesched-bench/v2 file with
+        // alloc counters and prune-rate columns over the same sizes
+        let bench = profiled_bench(opts, &sizes);
+        let path = opts
+            .bench_json
+            .clone()
+            .unwrap_or_else(|| format!("{}/bench_profile.json", opts.out));
+        let json = serde_json::to_string(&bench).expect("serialize bench file");
+        std::fs::write(&path, pretty_json(&json)).expect("write bench JSON");
+        println!("recorded {} bench entries -> {path}", bench.entries.len());
+    }
+}
+
+/// Run the full paper-jobs sweep serially and package it as a
+/// `onesched-bench/v2` file. Alloc columns are populated only when the
+/// binary was built with `--features profiling` (which registers the
+/// counting allocator); prune rates are deterministic and always present.
+fn profiled_bench(opts: &Opts, sizes: &[usize]) -> BenchFile {
+    if !onesched_prof::enabled() {
+        eprintln!(
+            "note: profiling allocator not registered (build with --features profiling); \
+             alloc columns will be absent"
+        );
+    }
+    let jobs = runner::paper_jobs(&Testbed::ALL, sizes);
+    // threads = 1: allocation counters are process-global, so concurrent
+    // jobs would attribute each other's allocations
+    let results = runner::run_sweep_repeated(&jobs, 1, CommModel::OnePortBidir, opts.bench_repeats);
+    BenchFile::from_results(&results, 1, None)
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), via the Howard Hinnant
+/// days-to-civil algorithm — the vendored tree has no date crate.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("system clock before 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `bench-history`: append a dated datapoint to the committed perf
+/// trajectory (`BENCH_HISTORY.json`). The datapoint is either an existing
+/// bench file (`--bench-json FILE`, what CI appends) or a fresh serial
+/// sweep at `--sizes` (default n = 60). The file is schema-validated on
+/// read and on write; a malformed history fails the run.
+fn bench_history(opts: &Opts) {
+    let bench = match &opts.bench_json {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+            serde_json::from_str::<BenchFile>(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
+        }
+        None => {
+            let sizes = if opts.sizes == Opts::default().sizes {
+                vec![60]
+            } else {
+                opts.sizes.clone()
+            };
+            profiled_bench(opts, &sizes)
+        }
+    };
+    let path = &opts.history;
+    let mut history = match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str::<runner::BenchHistory>(&text)
+            .unwrap_or_else(|e| panic!("parse {path}: {e}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => runner::BenchHistory::new(),
+        Err(e) => panic!("read {path}: {e}"),
+    };
+    let bad = history.validate();
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("INVALID {path}: {b}");
+        }
+        std::process::exit(1);
+    }
+    history.entries.push(runner::BenchHistoryEntry {
+        date: opts.date.clone().unwrap_or_else(today_utc),
+        label: opts.label.clone(),
+        bench,
+    });
+    let bad = history.validate();
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("INVALID after append: {b}");
+        }
+        std::process::exit(1);
+    }
+    let json = serde_json::to_string(&history).expect("serialize history");
+    std::fs::write(path, pretty_json_depth(&json, 5)).expect("write history");
+    let last = history.entries.last().expect("just appended");
+    println!(
+        "appended {} ({}, {} bench entries) -> {path} [{} datapoints]",
+        last.date,
+        last.label,
+        last.bench.entries.len(),
+        history.entries.len()
+    );
 }
 
 /// `bench-compare <current> <baseline>`: gate on construction-time
@@ -465,6 +612,13 @@ fn figure_sweeps(opts: &Opts, testbeds: &[Testbed]) {
 /// and fixture files diff readably. (The serde_json shim has no
 /// pretty-printer; this keeps one object per line.)
 fn pretty_json(json: &str) -> String {
+    pretty_json_depth(json, 2)
+}
+
+/// [`pretty_json`] breaking commas up to `max_depth` levels deep — the
+/// history file nests a bench file per datapoint, so it needs deeper
+/// breaks to stay one-entry-per-line.
+fn pretty_json_depth(json: &str, max_depth: usize) -> String {
     let mut out = String::with_capacity(json.len() + 64);
     let mut depth = 0usize;
     let mut in_str = false;
@@ -493,7 +647,7 @@ fn pretty_json(json: &str) -> String {
                 depth = depth.saturating_sub(1);
                 out.push(ch);
             }
-            ',' if depth <= 2 => {
+            ',' if depth <= max_depth => {
                 out.push(ch);
                 out.push('\n');
             }

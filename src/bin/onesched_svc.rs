@@ -8,7 +8,9 @@
 //! onesched-svc stats --tcp ADDR
 //! onesched-svc metrics --tcp ADDR
 //! onesched-svc shutdown --tcp ADDR
-//! onesched-svc trace <export IN [--out OUT] | validate PATH>
+//! onesched-svc trace <export IN [--out OUT] | validate PATH |
+//!                     report IN [--max-jobs N] |
+//!                     flamegraph IN [--out SVG] [--folded PATH]>
 //! onesched-svc ledger inspect PATH
 //! onesched-svc gen <smoke | stress | routed | sim | chaos> [--tasks N]
 //!                  [--seed S] [--count K] [--procs P] [--n N]
@@ -32,7 +34,11 @@
 //!   running daemon and prints one response line per request.
 //! * `metrics` scrapes the daemon's Prometheus text exposition.
 //! * `trace export` converts a span log to Chrome/Perfetto trace JSON;
-//!   `trace validate` checks schema conformance and reports torn tails.
+//!   `trace validate` checks schema conformance and reports torn tails;
+//!   `trace report` prints per-span-name self-time/alloc aggregates and
+//!   each job's critical path; `trace flamegraph` renders the same span
+//!   trees as a deterministic flamegraph SVG (optionally also writing
+//!   the folded-stack text).
 //! * `ledger inspect` summarizes a write-ahead ledger without replaying it.
 //! * `gen` prints workload request batches (`onesched-svc gen smoke |
 //!   onesched-svc serve` is the self-contained smoke test).
@@ -44,6 +50,14 @@ use onesched::service::{workloads, Service, ServiceConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
+
+/// With `--features profiling`, count every allocation so `construct.*`
+/// spans carry `allocs`/`alloc_bytes` attribution. Counting changes no
+/// allocation decisions — fingerprints stay bit-identical (pinned by
+/// `tests/profiling_fingerprint.rs`).
+#[cfg(feature = "profiling")]
+#[global_allocator]
+static COUNTING_ALLOC: onesched_prof::CountingAlloc = onesched_prof::CountingAlloc::new();
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,7 +88,7 @@ fn main() {
     std::process::exit(code);
 }
 
-const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n                     [--ledger PATH] [--max-retries N] [--timeout-ms N] [--high-water N]\n                     [--trace PATH]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc metrics --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc trace export IN [--out OUT]\n  onesched-svc trace validate PATH\n  onesched-svc ledger inspect PATH\n  onesched-svc gen <smoke|stress|routed|sim|chaos> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
+const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n                     [--ledger PATH] [--max-retries N] [--timeout-ms N] [--high-water N]\n                     [--trace PATH]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc metrics --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc trace export IN [--out OUT]\n  onesched-svc trace validate PATH\n  onesched-svc trace report IN [--max-jobs N]\n  onesched-svc trace flamegraph IN [--out SVG] [--folded PATH]\n  onesched-svc ledger inspect PATH\n  onesched-svc gen <smoke|stress|routed|sim|chaos> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
 
 /// Pull `--flag value` out of `args`, leaving positionals behind.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -421,6 +435,81 @@ fn trace_cmd(args: &[String]) -> i32 {
                 invalid
             );
             i32::from(invalid > 0)
+        }
+        "report" => {
+            let max_jobs = take_flag(&mut args, "--max-jobs")
+                .map(|v| parse_or_die("--max-jobs", &v))
+                .unwrap_or(10);
+            let Some(input) = args.first() else {
+                eprintln!("onesched-svc: trace report needs an input file\n{USAGE}");
+                return 2;
+            };
+            let bytes = match std::fs::read(input) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("onesched-svc: read {input}: {e}");
+                    return 1;
+                }
+            };
+            let replay = onesched::trace::parse_trace(&bytes);
+            if replay.torn {
+                eprintln!(
+                    "onesched-svc: {input}: torn tail after {} valid bytes (truncated)",
+                    replay.valid_bytes
+                );
+            }
+            let report = onesched::trace::build_report(&replay);
+            print!("{}", onesched::trace::render_report(&report, max_jobs));
+            0
+        }
+        "flamegraph" => {
+            let out = take_flag(&mut args, "--out");
+            let folded_out = take_flag(&mut args, "--folded");
+            let Some(input) = args.first() else {
+                eprintln!("onesched-svc: trace flamegraph needs an input file\n{USAGE}");
+                return 2;
+            };
+            let bytes = match std::fs::read(input) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("onesched-svc: read {input}: {e}");
+                    return 1;
+                }
+            };
+            let replay = onesched::trace::parse_trace(&bytes);
+            if replay.torn {
+                eprintln!(
+                    "onesched-svc: {input}: torn tail after {} valid bytes (truncated)",
+                    replay.valid_bytes
+                );
+            }
+            let report = onesched::trace::build_report(&replay);
+            let folded = onesched::trace::fold_jobs(&report.jobs);
+            if let Some(path) = folded_out {
+                if let Err(e) = std::fs::write(&path, onesched::trace::folded_text(&folded)) {
+                    eprintln!("onesched-svc: write {path}: {e}");
+                    return 1;
+                }
+                eprintln!(
+                    "onesched-svc: wrote {} folded stacks to {path}",
+                    folded.len()
+                );
+            }
+            let svg = onesched::trace::flamegraph_svg(&folded);
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, svg) {
+                        eprintln!("onesched-svc: write {path}: {e}");
+                        return 1;
+                    }
+                    eprintln!(
+                        "onesched-svc: rendered {} folded stacks to {path}",
+                        folded.len()
+                    );
+                }
+                None => print!("{svg}"),
+            }
+            0
         }
         other => {
             eprintln!("onesched-svc: unknown trace subcommand {other:?}\n{USAGE}");

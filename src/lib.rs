@@ -22,6 +22,9 @@
 //!   schedule forward in virtual time under seeded runtime perturbation
 //!   (task-duration noise, bandwidth degradation, link outages) and report
 //!   predicted-vs-executed makespan degradation;
+//! * [`prof`] — the counting global allocator behind the `profiling`
+//!   feature: phase-scoped allocation accounting for spans and benches,
+//!   observation-only by construction;
 //! * [`service`] — the long-running batch scheduling service behind the
 //!   `onesched-svc` daemon: NDJSON job protocol, priority queue, schedule
 //!   cache, worker pool, and workload generators;
@@ -59,6 +62,7 @@ pub use onesched_exact as exact;
 pub use onesched_exec as exec;
 pub use onesched_heuristics as heuristics;
 pub use onesched_platform as platform;
+pub use onesched_prof as prof;
 pub use onesched_service as service;
 pub use onesched_sim as sim;
 pub use onesched_testbeds as testbeds;
