@@ -74,6 +74,23 @@ fn determinism_lints_are_crate_scoped() {
 }
 
 #[test]
+fn baselines_is_pure_construction_but_not_hot_path() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() {\n\
+               let m: HashMap<u32, u32> = HashMap::new();\n\
+               let t = std::time::Instant::now();\n\
+               let d = m.len() + v[0];\n\
+               }\n";
+    // `baselines` is in the D102 (pure-construction) scope — wall clocks
+    // fire — but not in D101 (hot-path), so HashMap is tolerated. The
+    // panic family applies like in every scanned crate.
+    assert_eq!(
+        pairs("baselines", src),
+        vec![("D102", 4), ("D104", 4), ("P205", 5)]
+    );
+}
+
+#[test]
 fn unseeded_rng_fires_everywhere() {
     let src = "fn f() {\n\
                let mut rng = rand::rngs::SmallRng::from_entropy();\n\

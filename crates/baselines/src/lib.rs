@@ -27,6 +27,7 @@ mod cpop;
 mod gdl;
 mod minmin;
 mod pct;
+pub mod registry;
 mod simple;
 
 pub use bil::Bil;

@@ -52,7 +52,10 @@ fn batch_schedule(
     let mut pool = ResourcePool::new(platform.num_procs(), model);
     let mut sched = Schedule::with_tasks(g.num_tasks());
     let mut pending: Vec<u32> = g.tasks().map(|v| g.in_degree(v) as u32).collect();
-    let mut ready: Vec<TaskId> = g.tasks().filter(|&v| pending[v.index()] == 0).collect();
+    let mut ready: Vec<TaskId> = g
+        .tasks()
+        .filter(|&v| pending.get(v.index()).is_some_and(|&d| d == 0))
+        .collect();
 
     while !ready.is_empty() {
         let mut chosen: Option<(usize, TentativePlacement)> = None;
@@ -65,7 +68,9 @@ fn batch_schedule(
                     best = Some(tp);
                 }
             }
-            let tp = best.expect("at least one processor");
+            // platforms have at least one processor, so `best` is always
+            // filled; an empty pathological platform just skips the task
+            let Some(tp) = best else { continue };
             let replace = match &chosen {
                 None => true,
                 Some((_, c)) => {
@@ -80,14 +85,18 @@ fn batch_schedule(
                 chosen = Some((ri, tp));
             }
         }
-        let (ri, tp) = chosen.expect("ready set non-empty");
+        // the ready set is non-empty, so something was chosen; bail out
+        // instead of spinning if the invariant ever breaks
+        let Some((ri, tp)) = chosen else { break };
         let task = tp.task;
         commit_placement(&mut pool, &mut sched, tp);
         ready.swap_remove(ri);
         for (succ, _) in g.successors(task) {
-            pending[succ.index()] -= 1;
-            if pending[succ.index()] == 0 {
-                ready.push(succ);
+            if let Some(d) = pending.get_mut(succ.index()) {
+                *d = d.saturating_sub(1);
+                if *d == 0 {
+                    ready.push(succ);
+                }
             }
         }
     }

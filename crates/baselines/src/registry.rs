@@ -1,0 +1,198 @@
+//! The composed workspace scheduler catalog: the core heuristics kinds
+//! plus every baseline this crate ships. This is the catalog the
+//! scheduling service resolves [`SchedulerSpec`]s against.
+
+use crate::{Bil, Cpop, Gdl, MaxMin, MinMin, Pct, RandomAlloc, RoundRobin, Serial};
+use onesched_heuristics::registry::{Catalog, KindInfo, SchedulerSpec};
+use std::sync::OnceLock;
+
+/// The full workspace catalog: `heft`, `ilha`, `routed-heft`,
+/// `routed-ilha` (from `onesched-heuristics`), the nine baseline kinds
+/// registered here, and `portfolio` over all of them. Built once,
+/// deterministic registration order.
+pub fn catalog() -> &'static Catalog {
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    CATALOG.get_or_init(|| {
+        let mut c = Catalog::core();
+        c.register(
+            KindInfo {
+                kind: "cpop",
+                params: "-",
+                routed: false,
+                summary: "Critical-Path-on-a-Processor (Topcuoglu/Hariri/Wu)",
+            },
+            |_| Ok(Box::new(Cpop::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "gdl",
+                params: "-",
+                routed: false,
+                summary: "Generalized Dynamic Level (Sih & Lee)",
+            },
+            |_| Ok(Box::new(Gdl::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "bil",
+                params: "-",
+                routed: false,
+                summary: "Best Imaginary Level (Oh & Ha)",
+            },
+            |_| Ok(Box::new(Bil::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "pct",
+                params: "-",
+                routed: false,
+                summary: "Partial Completion Time (Maheswaran & Siegel)",
+            },
+            |_| Ok(Box::new(Pct::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "min-min",
+                params: "-",
+                routed: false,
+                summary: "min-min batch allocation",
+            },
+            |_| Ok(Box::new(MinMin::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "max-min",
+                params: "-",
+                routed: false,
+                summary: "max-min batch allocation",
+            },
+            |_| Ok(Box::new(MaxMin::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "round-robin",
+                params: "-",
+                routed: false,
+                summary: "cyclic allocation in topological order",
+            },
+            |_| Ok(Box::new(RoundRobin)),
+        );
+        c.register(
+            KindInfo {
+                kind: "random",
+                params: "seed (default 0)",
+                routed: false,
+                summary: "seeded random allocation",
+            },
+            |spec| Ok(Box::new(RandomAlloc::new(spec.seed.unwrap_or(0)))),
+        );
+        c.register(
+            KindInfo {
+                kind: "serial",
+                params: "-",
+                routed: false,
+                summary: "everything on the fastest processor",
+            },
+            |_| Ok(Box::new(Serial)),
+        );
+        c
+    })
+}
+
+/// [`Catalog::build`] against the full workspace catalog.
+pub fn build(
+    spec: &SchedulerSpec,
+) -> Result<Box<dyn onesched_heuristics::Scheduler>, onesched_heuristics::registry::UnknownScheduler>
+{
+    catalog().build(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesched_heuristics::CommModel;
+    use onesched_platform::Platform;
+
+    #[test]
+    fn full_catalog_covers_every_workspace_scheduler() {
+        assert_eq!(
+            catalog().kinds(),
+            vec![
+                "heft",
+                "ilha",
+                "routed-heft",
+                "routed-ilha",
+                "cpop",
+                "gdl",
+                "bil",
+                "pct",
+                "min-min",
+                "max-min",
+                "round-robin",
+                "random",
+                "serial",
+                "portfolio",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_kind_builds_and_schedules() {
+        let g = onesched_testbeds::toy();
+        let p = Platform::homogeneous(3);
+        for info in catalog().list() {
+            let spec = SchedulerSpec {
+                b: Some(2),
+                ..SchedulerSpec::named(info.kind)
+            };
+            let s = build(&spec).unwrap_or_else(|e| panic!("{}: {e}", info.kind));
+            let sched = s
+                .try_schedule(&g, &p, CommModel::OnePortBidir)
+                .unwrap_or_else(|e| panic!("{}: {e}", info.kind));
+            let v = onesched_sim::validate(&g, &p, CommModel::OnePortBidir, &sched);
+            assert!(v.is_empty(), "{}: {v:?}", info.kind);
+        }
+    }
+
+    #[test]
+    fn default_portfolio_members_are_all_non_routed_kinds() {
+        let members = catalog().default_members();
+        let kinds: Vec<&str> = members.iter().map(|m| m.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "heft",
+                "ilha",
+                "cpop",
+                "gdl",
+                "bil",
+                "pct",
+                "min-min",
+                "max-min",
+                "round-robin",
+                "random",
+                "serial",
+            ]
+        );
+    }
+
+    #[test]
+    fn random_kind_is_seed_deterministic() {
+        let g = onesched_testbeds::toy();
+        let p = Platform::homogeneous(3);
+        let spec = SchedulerSpec {
+            seed: Some(42),
+            ..SchedulerSpec::named("random")
+        };
+        let a = build(&spec)
+            .unwrap()
+            .schedule(&g, &p, CommModel::OnePortBidir);
+        let b = build(&spec)
+            .unwrap()
+            .schedule(&g, &p, CommModel::OnePortBidir);
+        assert_eq!(
+            onesched_sim::placement_fingerprint(&a),
+            onesched_sim::placement_fingerprint(&b)
+        );
+    }
+}

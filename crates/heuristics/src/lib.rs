@@ -25,6 +25,9 @@
 //!   [`routed::RoutedHeft`] and the two-step [`routed::RoutedIlha`].
 //! * [`bsweep`] — experimental search for the chunk size `B` (the paper
 //!   found the best `B` by trying several values; §5.3).
+//! * [`registry`] — the scheduler registry: canonical
+//!   [`registry::SchedulerSpec`] addressing for every scheduler in the
+//!   workspace, plus the best-of-all-members [`registry::Portfolio`].
 //!
 //! Every scheduler works under all four [`CommModel`]s through the same
 //! transactional resource machinery — the macro-dataflow variants of HEFT
@@ -45,6 +48,7 @@ mod heft;
 mod ilha;
 mod placement;
 pub mod probe;
+pub mod registry;
 pub mod resched;
 pub mod routed;
 mod scheduler;

@@ -1,0 +1,780 @@
+//! The scheduler registry: one canonical, serde-round-trippable spec for
+//! every scheduler the workspace ships, plus discovery and construction.
+//!
+//! * [`SchedulerSpec`] — `kind` plus optional parameters (`b`, `seed`,
+//!   `members`). Its JSON form is the wire format of the scheduling
+//!   service's `scheduler` field, and [`SchedulerSpec::canonical`] renders
+//!   a stable one-line string (`ilha(b=4)`, `portfolio[heft,min-min]`)
+//!   used for CSV columns, bench labels, and cache keys.
+//!   [`SchedulerSpec::parse`] inverts it.
+//! * [`Catalog`] — the kind table: metadata ([`KindInfo`]) plus a builder
+//!   per kind. [`Catalog::core`] registers the four heuristics this crate
+//!   owns (`heft`, `ilha`, `routed-heft`, `routed-ilha`); downstream
+//!   crates extend it with [`Catalog::register`] — `onesched-baselines`
+//!   adds its nine comparison schedulers and exposes the composed
+//!   workspace catalog as `onesched_baselines::registry::catalog()`.
+//! * [`Portfolio`] — the `portfolio` meta-kind, handled by the catalog
+//!   itself: construct every member's schedule (fanned over scoped
+//!   threads) and keep the best makespan, tie-breaking deterministically
+//!   on the canonical member string.
+//!
+//! The module-level [`build`]/[`list`] helpers operate on the core
+//! catalog; services that want baseline kinds too go through the composed
+//! catalog.
+
+use crate::probe::Probe;
+use crate::routed::RoutedError;
+use crate::{Heft, Ilha, Scheduler};
+use onesched_dag::TaskGraph;
+use onesched_platform::Platform;
+use onesched_sim::{CommModel, Schedule, EPS};
+use serde::{Deserialize, Serialize, Value};
+
+/// Which scheduler to run: a kind name plus optional parameters.
+///
+/// The JSON encoding is stable and backward-compatible: `kind` and `b`
+/// are always emitted (`b` as `null` when unset — the historical wire
+/// format of the service protocol, which cache keys depend on), while
+/// `seed` and `members` appear only when set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulerSpec {
+    /// Registry kind name (`"heft"`, `"ilha"`, `"min-min"`,
+    /// `"portfolio"`, ... — see [`Catalog::list`]). Empty means the
+    /// default (`"heft"`).
+    pub kind: String,
+    /// ILHA chunk size `B` (`ilha` / `routed-ilha`). Defaults to the
+    /// testbed's paper-best value, or the platform's perfect-balance chunk
+    /// for non-testbed DAGs (`routed-ilha` always uses the platform chunk).
+    pub b: Option<usize>,
+    /// RNG seed (`random` only; default 0).
+    pub seed: Option<u64>,
+    /// Portfolio member specs (`portfolio` only; default: every non-routed
+    /// kind in the catalog).
+    pub members: Option<Vec<SchedulerSpec>>,
+}
+
+impl Serialize for SchedulerSpec {
+    fn to_value(&self) -> Value {
+        // `kind` and `b` unconditionally, in this order: the service's
+        // canonical cache keys serialized exactly this shape before the
+        // registry existed, and cached/ledgered results must keep
+        // resolving bit-identically.
+        let mut fields = vec![
+            ("kind".to_string(), Value::Str(self.kind.clone())),
+            ("b".to_string(), self.b.to_value()),
+        ];
+        if let Some(seed) = self.seed {
+            fields.push(("seed".to_string(), seed.to_value()));
+        }
+        if let Some(members) = &self.members {
+            fields.push(("members".to_string(), members.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for SchedulerSpec {
+    fn from_value(v: &Value) -> Result<SchedulerSpec, serde::Error> {
+        let kind = String::from_value(v.get_field("kind")?)?;
+        let opt = |name: &str| v.get_field(name).ok().cloned().unwrap_or(Value::Null);
+        Ok(SchedulerSpec {
+            kind,
+            b: Option::from_value(&opt("b"))?,
+            seed: Option::from_value(&opt("seed"))?,
+            members: Option::from_value(&opt("members"))?,
+        })
+    }
+}
+
+impl SchedulerSpec {
+    /// A bare spec of the given kind, parameters unset.
+    pub fn named(kind: &str) -> SchedulerSpec {
+        SchedulerSpec {
+            kind: kind.to_string(),
+            ..SchedulerSpec::default()
+        }
+    }
+
+    /// One-port HEFT.
+    pub fn heft() -> SchedulerSpec {
+        SchedulerSpec::named("heft")
+    }
+
+    /// ILHA with an explicit chunk size.
+    pub fn ilha(b: usize) -> SchedulerSpec {
+        SchedulerSpec {
+            b: Some(b),
+            ..SchedulerSpec::named("ilha")
+        }
+    }
+
+    /// HEFT with store-and-forward routing (required on non-fully-connected
+    /// platforms).
+    pub fn routed_heft() -> SchedulerSpec {
+        SchedulerSpec::named("routed-heft")
+    }
+
+    /// ILHA with store-and-forward routing (chunk size defaults to the
+    /// platform's perfect-balance chunk).
+    pub fn routed_ilha() -> SchedulerSpec {
+        SchedulerSpec::named("routed-ilha")
+    }
+
+    /// A portfolio over explicit member specs.
+    pub fn portfolio(members: Vec<SchedulerSpec>) -> SchedulerSpec {
+        SchedulerSpec {
+            members: Some(members),
+            ..SchedulerSpec::named("portfolio")
+        }
+    }
+
+    /// The stable canonical string: the kind, then any set parameters in
+    /// `(b=..,seed=..)` form, then portfolio members in `[..]` — e.g.
+    /// `heft`, `ilha(b=4)`, `random(seed=7)`,
+    /// `portfolio[heft,ilha(b=4)]`. Used for CSV columns, bench labels,
+    /// per-member cache keys, and stats attribution;
+    /// [`SchedulerSpec::parse`] inverts it exactly.
+    pub fn canonical(&self) -> String {
+        let mut out = self.kind.clone();
+        let mut params = Vec::new();
+        if let Some(b) = self.b {
+            params.push(format!("b={b}"));
+        }
+        if let Some(seed) = self.seed {
+            params.push(format!("seed={seed}"));
+        }
+        if !params.is_empty() {
+            out.push('(');
+            out.push_str(&params.join(","));
+            out.push(')');
+        }
+        if let Some(members) = &self.members {
+            out.push('[');
+            let inner: Vec<String> = members.iter().map(SchedulerSpec::canonical).collect();
+            out.push_str(&inner.join(","));
+            out.push(']');
+        }
+        out
+    }
+
+    /// Parse a [`SchedulerSpec::canonical`] string back into a spec.
+    /// Syntax errors (not unknown kinds — parsing is catalog-independent)
+    /// are reported with the offending input.
+    pub fn parse(s: &str) -> Result<SchedulerSpec, ParseError> {
+        let (spec, rest) = parse_one(s.trim())?;
+        if !rest.is_empty() {
+            return Err(ParseError::new(s, "trailing input after the spec"));
+        }
+        Ok(spec)
+    }
+}
+
+/// A canonical scheduler string that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending input.
+    pub input: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl ParseError {
+    fn new(input: &str, reason: &str) -> ParseError {
+        ParseError {
+            input: input.to_string(),
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid scheduler spec {:?}: {} \
+             (expected e.g. \"heft\", \"ilha(b=4)\", \"portfolio[heft,min-min]\")",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one spec from the front of `s`; return it and the unconsumed rest.
+fn parse_one(s: &str) -> Result<(SchedulerSpec, &str), ParseError> {
+    let end = s
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    let (kind, mut rest) = s.split_at(end);
+    if kind.is_empty() {
+        return Err(ParseError::new(s, "expected a kind name"));
+    }
+    let mut spec = SchedulerSpec::named(kind);
+    if let Some(inner) = rest.strip_prefix('(') {
+        let close = inner
+            .find(')')
+            .ok_or_else(|| ParseError::new(s, "unclosed parameter list"))?;
+        let (params, after) = inner.split_at(close);
+        for param in params.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = param
+                .split_once('=')
+                .ok_or_else(|| ParseError::new(s, "parameter is not key=value"))?;
+            match key.trim() {
+                "b" => {
+                    let b = value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| ParseError::new(s, "b is not an integer"))?;
+                    spec.b = Some(b);
+                }
+                "seed" => {
+                    let seed = value
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| ParseError::new(s, "seed is not an integer"))?;
+                    spec.seed = Some(seed);
+                }
+                _ => return Err(ParseError::new(s, "unknown parameter (expected b or seed)")),
+            }
+        }
+        rest = after.get(1..).unwrap_or("");
+    }
+    if let Some(mut inner) = rest.strip_prefix('[') {
+        let mut members = Vec::new();
+        loop {
+            if let Some(after) = inner.strip_prefix(']') {
+                rest = after;
+                break;
+            }
+            inner = inner.strip_prefix(',').unwrap_or(inner);
+            if inner.is_empty() {
+                return Err(ParseError::new(s, "unclosed member list"));
+            }
+            let (member, after) = parse_one(inner)?;
+            members.push(member);
+            inner = after;
+        }
+        spec.members = Some(members);
+    }
+    Ok((spec, rest))
+}
+
+/// A spec the catalog cannot build: an unknown kind, or parameters that
+/// do not fit the kind. Carries the valid kind names for discoverable
+/// error messages end to end (the service forwards them to clients).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScheduler {
+    /// The offending spec's kind.
+    pub kind: String,
+    /// What was wrong (empty for a plain unknown kind).
+    pub reason: String,
+    /// Every kind the catalog can build.
+    pub valid: Vec<&'static str>,
+}
+
+impl UnknownScheduler {
+    /// An unknown kind name.
+    pub fn unknown_kind(kind: &str, valid: Vec<&'static str>) -> UnknownScheduler {
+        UnknownScheduler {
+            kind: kind.to_string(),
+            reason: String::new(),
+            valid,
+        }
+    }
+
+    /// A known kind with unusable parameters.
+    pub fn bad_params(kind: &str, reason: &str) -> UnknownScheduler {
+        UnknownScheduler {
+            kind: kind.to_string(),
+            reason: reason.to_string(),
+            valid: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for UnknownScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.reason.is_empty() {
+            write!(
+                f,
+                "unknown scheduler kind {:?} (expected one of: {})",
+                self.kind,
+                self.valid.join(", ")
+            )
+        } else {
+            write!(f, "scheduler kind {:?}: {}", self.kind, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for UnknownScheduler {}
+
+/// Descriptive metadata for one registry kind (drives [`Catalog::list`]
+/// and the service README's generated kinds table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindInfo {
+    /// The kind name ([`SchedulerSpec::kind`]).
+    pub kind: &'static str,
+    /// Parameter summary for docs (`"b (chunk size)"`, `"-"`, ...).
+    pub params: &'static str,
+    /// Whether the scheduler handles non-fully-connected (routed)
+    /// platforms — only routed-capable kinds are valid there.
+    pub routed: bool,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// A kind's builder: construct the scheduler from a spec whose `kind`
+/// already matched. Parameter problems come back as
+/// [`UnknownScheduler::bad_params`].
+pub type KindBuilder = fn(&SchedulerSpec) -> Result<Box<dyn Scheduler>, UnknownScheduler>;
+
+/// The kind table: every scheduler spec the workspace can address, with
+/// metadata and builders. Deterministic by construction — entries live in
+/// registration order in a `Vec`, never a hash table.
+#[derive(Default)]
+pub struct Catalog {
+    entries: Vec<(KindInfo, KindBuilder)>,
+}
+
+/// The `portfolio` meta-kind's catalog row (the catalog itself builds
+/// portfolios, recursively over its member kinds).
+pub const PORTFOLIO_INFO: KindInfo = KindInfo {
+    kind: "portfolio",
+    params: "members (default: all non-routed kinds)",
+    routed: false,
+    summary: "construct every member, keep the best makespan",
+};
+
+impl Catalog {
+    /// An empty catalog (compose your own kind set).
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// The four heuristics this crate owns: `heft`, `ilha`, `routed-heft`,
+    /// `routed-ilha`.
+    pub fn core() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            KindInfo {
+                kind: "heft",
+                params: "-",
+                routed: false,
+                summary: "one-port HEFT (default)",
+            },
+            |_| Ok(Box::new(Heft::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "ilha",
+                params: "b (chunk size)",
+                routed: false,
+                summary: "one-port ILHA, chunks of B ready tasks",
+            },
+            |spec| {
+                let b = spec
+                    .b
+                    .ok_or_else(|| UnknownScheduler::bad_params("ilha", "chunk size b required"))?;
+                if b == 0 {
+                    return Err(UnknownScheduler::bad_params(
+                        "ilha",
+                        "chunk size b must be at least 1",
+                    ));
+                }
+                Ok(Box::new(Ilha::new(b)))
+            },
+        );
+        c.register(
+            KindInfo {
+                kind: "routed-heft",
+                params: "-",
+                routed: true,
+                summary: "HEFT with store-and-forward routing",
+            },
+            |_| Ok(Box::new(crate::routed::RoutedHeft::new())),
+        );
+        c.register(
+            KindInfo {
+                kind: "routed-ilha",
+                params: "b (chunk size)",
+                routed: true,
+                summary: "ILHA with store-and-forward routing",
+            },
+            |spec| {
+                let b = spec.b.ok_or_else(|| {
+                    UnknownScheduler::bad_params("routed-ilha", "chunk size b required")
+                })?;
+                if b == 0 {
+                    return Err(UnknownScheduler::bad_params(
+                        "routed-ilha",
+                        "chunk size b must be at least 1",
+                    ));
+                }
+                Ok(Box::new(crate::routed::RoutedIlha::new(b)))
+            },
+        );
+        c
+    }
+
+    /// Add a kind. First registration of a name wins; later duplicates are
+    /// ignored (so composing catalogs is idempotent).
+    pub fn register(&mut self, info: KindInfo, build: KindBuilder) {
+        if self.find(info.kind).is_none() {
+            self.entries.push((info, build));
+        }
+    }
+
+    fn find(&self, kind: &str) -> Option<&(KindInfo, KindBuilder)> {
+        self.entries.iter().find(|(info, _)| info.kind == kind)
+    }
+
+    /// Every kind, in registration order, `portfolio` last.
+    pub fn list(&self) -> Vec<KindInfo> {
+        let mut infos: Vec<KindInfo> = self.entries.iter().map(|(info, _)| *info).collect();
+        infos.push(PORTFOLIO_INFO);
+        infos
+    }
+
+    /// Every kind name, in [`Catalog::list`] order.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.list().iter().map(|info| info.kind).collect()
+    }
+
+    /// The kind names valid on non-fully-connected platforms.
+    pub fn routed_kinds(&self) -> Vec<&'static str> {
+        self.entries
+            .iter()
+            .filter(|(info, _)| info.routed)
+            .map(|(info, _)| info.kind)
+            .collect()
+    }
+
+    /// Whether `kind` may run on a non-fully-connected platform.
+    pub fn is_routed_kind(&self, kind: &str) -> bool {
+        self.find(kind).is_some_and(|(info, _)| info.routed)
+    }
+
+    /// The default portfolio membership: every non-routed concrete kind,
+    /// parameters unset (callers normalize `b`/`seed` against the job).
+    pub fn default_members(&self) -> Vec<SchedulerSpec> {
+        self.entries
+            .iter()
+            .filter(|(info, _)| !info.routed)
+            .map(|(info, _)| SchedulerSpec::named(info.kind))
+            .collect()
+    }
+
+    /// Construct the scheduler a spec names. `portfolio` builds every
+    /// member through this same catalog (one level deep — portfolios of
+    /// portfolios are rejected). Unknown kinds report the full valid-kind
+    /// list.
+    pub fn build(&self, spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, UnknownScheduler> {
+        if spec.kind == "portfolio" {
+            let members = match &spec.members {
+                Some(m) => m.clone(),
+                None => self.default_members(),
+            };
+            let mut built = Vec::with_capacity(members.len());
+            for member in &members {
+                if member.kind == "portfolio" {
+                    return Err(UnknownScheduler::bad_params(
+                        "portfolio",
+                        "portfolio members must be concrete kinds, not portfolios",
+                    ));
+                }
+                // members inherit the portfolio's own parameters where
+                // they leave them unset (`portfolio(b=4)` = chunk size 4
+                // for every chunked member)
+                let member = SchedulerSpec {
+                    b: member.b.or(spec.b),
+                    seed: member.seed.or(spec.seed),
+                    ..member.clone()
+                };
+                built.push((member.canonical(), self.build(&member)?));
+            }
+            let portfolio = Portfolio::new(built)
+                .ok_or_else(|| UnknownScheduler::bad_params("portfolio", "needs members"))?;
+            return Ok(Box::new(portfolio));
+        }
+        match self.find(&spec.kind) {
+            Some((_, build)) => build(spec),
+            None => Err(UnknownScheduler::unknown_kind(&spec.kind, self.kinds())),
+        }
+    }
+}
+
+/// Build a spec against the **core** catalog (the four heuristics kinds
+/// plus `portfolio` over them). The composed workspace catalog — baseline
+/// kinds included — is `onesched_baselines::registry::catalog()`.
+pub fn build(spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, UnknownScheduler> {
+    Catalog::core().build(spec)
+}
+
+/// List the **core** catalog's kinds (see [`build`]).
+pub fn list() -> Vec<KindInfo> {
+    Catalog::core().list()
+}
+
+/// Pick the winner among `(canonical label, makespan)` candidates: the
+/// smallest makespan, ties within [`EPS`] broken by the lexicographically
+/// smaller label. The single tie-break rule shared by
+/// [`Portfolio::select`] and the service's portfolio fan-out, so the two
+/// paths can never disagree on the winner. Returns the winning index.
+pub fn select_best(candidates: &[(&str, f64)]) -> Option<usize> {
+    let mut best: Option<(usize, &str, f64)> = None;
+    for (i, &(label, ms)) in candidates.iter().enumerate() {
+        let better = match best {
+            None => true,
+            Some((_, blabel, bms)) => ms < bms - EPS || (ms <= bms + EPS && label < blabel),
+        };
+        if better {
+            best = Some((i, label, ms));
+        }
+    }
+    best.map(|(i, _, _)| i)
+}
+
+/// The `portfolio` meta-scheduler: construct every member's schedule and
+/// return the one with the smallest makespan. Members fan out over scoped
+/// threads; ties (within [`EPS`]) break deterministically on the smaller
+/// canonical member string, so the winner never depends on thread timing.
+pub struct Portfolio {
+    members: Vec<(String, Box<dyn Scheduler>)>,
+}
+
+impl Portfolio {
+    /// A portfolio over `(canonical label, scheduler)` members; `None`
+    /// when `members` is empty.
+    pub fn new(members: Vec<(String, Box<dyn Scheduler>)>) -> Option<Portfolio> {
+        if members.is_empty() {
+            None
+        } else {
+            Some(Portfolio { members })
+        }
+    }
+
+    /// The member labels, in member order.
+    pub fn member_labels(&self) -> Vec<&str> {
+        self.members
+            .iter()
+            .map(|(label, _)| label.as_str())
+            .collect()
+    }
+
+    /// Construct every member's schedule in parallel and return them in
+    /// member order (`None` for members that rejected the platform).
+    /// The service's portfolio path uses this to cache each member's
+    /// schedule individually; [`Portfolio::schedule`] is the plain
+    /// best-of wrapper on top.
+    pub fn schedule_members(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+    ) -> Vec<Option<Schedule>> {
+        let mut slots: Vec<Option<Schedule>> = Vec::new();
+        slots.resize_with(self.members.len(), || None);
+        let slot_refs: Vec<std::sync::Mutex<&mut Option<Schedule>>> =
+            slots.iter_mut().map(std::sync::Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for ((_, member), slot) in self.members.iter().zip(&slot_refs) {
+                scope.spawn(move || {
+                    let result = member.try_schedule(g, platform, model).ok();
+                    if let Ok(mut guard) = slot.lock() {
+                        **guard = result;
+                    }
+                });
+            }
+        });
+        drop(slot_refs);
+        slots
+    }
+
+    /// Pick the winner among member schedules: smallest makespan, ties
+    /// within [`EPS`] broken by the smaller canonical member string.
+    /// Returns `(member index, schedule)`.
+    pub fn select<'a>(&self, schedules: &'a [Option<Schedule>]) -> Option<(usize, &'a Schedule)> {
+        let present: Vec<(usize, &str, &Schedule)> = schedules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, sched)| {
+                let sched = sched.as_ref()?;
+                let label = self.members.get(i).map_or("", |(l, _)| l.as_str());
+                Some((i, label, sched))
+            })
+            .collect();
+        let candidates: Vec<(&str, f64)> = present
+            .iter()
+            .map(|&(_, label, sched)| (label, sched.makespan()))
+            .collect();
+        let winner = select_best(&candidates)?;
+        present.get(winner).map(|&(i, _, sched)| (i, sched))
+    }
+}
+
+impl Scheduler for Portfolio {
+    fn name(&self) -> String {
+        format!("portfolio({})", self.members.len())
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        self.try_schedule(g, platform, model)
+            // analyze:allow(P203): infallible-by-contract mirror of `schedule`
+            .unwrap_or_else(|e| panic!("Portfolio: {e}"))
+    }
+
+    /// Members run with their own (silent) probes — a shared probe would
+    /// interleave phases from concurrent constructions meaninglessly. The
+    /// service's portfolio path emits real per-member spans instead.
+    fn try_schedule_probed(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        _probe: &dyn Probe,
+    ) -> Result<Schedule, RoutedError> {
+        let schedules = self.schedule_members(g, platform, model);
+        match self.select(&schedules) {
+            Some((_, sched)) => Ok(sched.clone()),
+            // every member refused: all members are routed-capable only
+            // when the platform is disconnected, so surface that error
+            None => Err(RoutedError::Disconnected {
+                from: onesched_platform::ProcId(0),
+                to: onesched_platform::ProcId(0),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_round_trips() {
+        for spec in [
+            SchedulerSpec::heft(),
+            SchedulerSpec::ilha(4),
+            SchedulerSpec::routed_heft(),
+            SchedulerSpec::routed_ilha(),
+            SchedulerSpec {
+                seed: Some(42),
+                ..SchedulerSpec::named("random")
+            },
+            SchedulerSpec::portfolio(vec![
+                SchedulerSpec::heft(),
+                SchedulerSpec::ilha(8),
+                SchedulerSpec {
+                    seed: Some(7),
+                    ..SchedulerSpec::named("random")
+                },
+            ]),
+            SchedulerSpec::portfolio(vec![]),
+        ] {
+            let canon = spec.canonical();
+            let parsed = SchedulerSpec::parse(&canon).expect(&canon);
+            assert_eq!(parsed, spec, "{canon}");
+            assert_eq!(parsed.canonical(), canon);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "ilha(b=4",
+            "ilha(b=x)",
+            "ilha(q=4)",
+            "heft extra",
+            "portfolio[heft",
+            "ilha(b=4)trailing",
+        ] {
+            assert!(SchedulerSpec::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_wire_format_is_stable() {
+        // the service's cache keys depend on exactly this rendering
+        let v = SchedulerSpec::heft().to_value();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("kind".into(), Value::Str("heft".into())),
+                ("b".into(), Value::Null),
+            ])
+        );
+        let v = SchedulerSpec::ilha(4).to_value();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("kind".into(), Value::Str("ilha".into())),
+                ("b".into(), Value::Num(4.0)),
+            ])
+        );
+        // and new parameters round-trip through the Value tree
+        let spec = SchedulerSpec::portfolio(vec![SchedulerSpec::ilha(2)]);
+        assert_eq!(SchedulerSpec::from_value(&spec.to_value()), Ok(spec));
+    }
+
+    #[test]
+    fn core_catalog_builds_and_lists() {
+        let c = Catalog::core();
+        assert_eq!(
+            c.kinds(),
+            vec!["heft", "ilha", "routed-heft", "routed-ilha", "portfolio"]
+        );
+        assert_eq!(c.routed_kinds(), vec!["routed-heft", "routed-ilha"]);
+        assert_eq!(c.build(&SchedulerSpec::heft()).unwrap().name(), "HEFT");
+        assert_eq!(
+            c.build(&SchedulerSpec::ilha(4)).unwrap().name(),
+            "ILHA(B=4)"
+        );
+        let err = c.build(&SchedulerSpec::named("nope")).err().unwrap();
+        assert!(err.to_string().contains("expected one of"), "{err}");
+        assert!(err.valid.contains(&"routed-ilha"), "{err}");
+        let err = c.build(&SchedulerSpec::ilha(0)).err().unwrap();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn portfolio_picks_the_best_member() {
+        let g = onesched_testbeds::toy();
+        let p = Platform::homogeneous(2);
+        let m = CommModel::OnePortBidir;
+        let c = Catalog::core();
+        let members = vec![SchedulerSpec::heft(), SchedulerSpec::ilha(8)];
+        let portfolio = c.build(&SchedulerSpec::portfolio(members.clone())).unwrap();
+        let best = members
+            .iter()
+            .map(|s| c.build(s).unwrap().schedule(&g, &p, m).makespan())
+            .fold(f64::INFINITY, f64::min);
+        let sched = portfolio.schedule(&g, &p, m);
+        assert_eq!(sched.makespan(), best);
+        assert!(onesched_sim::validate(&g, &p, m, &sched).is_empty());
+    }
+
+    #[test]
+    fn portfolio_tie_breaks_on_canonical_string() {
+        // two copies of the same scheduler under different labels: equal
+        // makespans, so the lexicographically smaller label must win
+        let members = vec![
+            (
+                "z-heft".to_string(),
+                Box::new(Heft::new()) as Box<dyn Scheduler>,
+            ),
+            (
+                "a-heft".to_string(),
+                Box::new(Heft::new()) as Box<dyn Scheduler>,
+            ),
+        ];
+        let p = Portfolio::new(members).unwrap();
+        let g = onesched_testbeds::toy();
+        let schedules = p.schedule_members(&g, &Platform::homogeneous(2), CommModel::OnePortBidir);
+        let (winner, _) = p.select(&schedules).unwrap();
+        assert_eq!(winner, 1, "a-heft sorts before z-heft");
+    }
+}

@@ -639,22 +639,34 @@ impl RoutedHeft {
             policy: PlacementPolicy::paper(),
         }
     }
+}
 
-    /// Schedule `g` on `platform`, rejecting disconnected platforms with a
-    /// typed error instead of panicking mid-schedule.
-    pub fn try_schedule(
+impl Scheduler for RoutedHeft {
+    fn name(&self) -> String {
+        "HEFT-routed".into()
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        self.try_schedule(g, platform, model)
+            .unwrap_or_else(|e| panic!("RoutedHeft: {e}"))
+    }
+
+    fn schedule_with_probe(
         &self,
         g: &TaskGraph,
         platform: &Platform,
         model: CommModel,
-    ) -> Result<Schedule, RoutedError> {
-        self.try_schedule_probed(g, platform, model, &crate::probe::NoProbe)
+        probe: &dyn crate::probe::Probe,
+    ) -> Schedule {
+        self.try_schedule_probed(g, platform, model, probe)
+            // analyze:allow(P203): infallible-by-contract mirror of `schedule`
+            .unwrap_or_else(|e| panic!("RoutedHeft: {e}"))
     }
 
-    /// [`RoutedHeft::try_schedule`] reporting phases and scan counters to
-    /// `probe`. The probe is write-only: every decision is identical to
-    /// an unprobed run.
-    pub fn try_schedule_probed(
+    /// Rejects disconnected platforms with a typed error instead of
+    /// panicking mid-schedule. The probe is write-only: every decision is
+    /// identical to an unprobed run.
+    fn try_schedule_probed(
         &self,
         g: &TaskGraph,
         platform: &Platform,
@@ -716,29 +728,6 @@ impl RoutedHeft {
     }
 }
 
-impl Scheduler for RoutedHeft {
-    fn name(&self) -> String {
-        "HEFT-routed".into()
-    }
-
-    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
-        self.try_schedule(g, platform, model)
-            .unwrap_or_else(|e| panic!("RoutedHeft: {e}"))
-    }
-
-    fn schedule_with_probe(
-        &self,
-        g: &TaskGraph,
-        platform: &Platform,
-        model: CommModel,
-        probe: &dyn crate::probe::Probe,
-    ) -> Schedule {
-        self.try_schedule_probed(g, platform, model, probe)
-            // analyze:allow(P203): infallible-by-contract mirror of `schedule`
-            .unwrap_or_else(|e| panic!("RoutedHeft: {e}"))
-    }
-}
-
 /// ILHA over an arbitrary connected topology (§4.2/§4.4 under the §4.3
 /// routing extension): chunks of `B` ready tasks, a zero-communication step
 /// 1 staged in one transaction and batch-committed
@@ -775,22 +764,34 @@ impl RoutedIlha {
             .max(platform.num_procs());
         RoutedIlha::new(b)
     }
+}
 
-    /// Schedule `g` on `platform`, rejecting disconnected platforms with a
-    /// typed error instead of panicking mid-schedule.
-    pub fn try_schedule(
+impl Scheduler for RoutedIlha {
+    fn name(&self) -> String {
+        format!("ILHA-routed(B={})", self.b)
+    }
+
+    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+        self.try_schedule(g, platform, model)
+            .unwrap_or_else(|e| panic!("RoutedIlha: {e}"))
+    }
+
+    fn schedule_with_probe(
         &self,
         g: &TaskGraph,
         platform: &Platform,
         model: CommModel,
-    ) -> Result<Schedule, RoutedError> {
-        self.try_schedule_probed(g, platform, model, &crate::probe::NoProbe)
+        probe: &dyn crate::probe::Probe,
+    ) -> Schedule {
+        self.try_schedule_probed(g, platform, model, probe)
+            // analyze:allow(P203): infallible-by-contract mirror of `schedule`
+            .unwrap_or_else(|e| panic!("RoutedIlha: {e}"))
     }
 
-    /// [`RoutedIlha::try_schedule`] reporting phases and scan counters to
-    /// `probe`. The probe is write-only: every decision is identical to
-    /// an unprobed run.
-    pub fn try_schedule_probed(
+    /// Rejects disconnected platforms with a typed error instead of
+    /// panicking mid-schedule. The probe is write-only: every decision is
+    /// identical to an unprobed run.
+    fn try_schedule_probed(
         &self,
         g: &TaskGraph,
         platform: &Platform,
@@ -907,29 +908,6 @@ impl RoutedIlha {
         probe.placement_scan(scratch.scan());
         debug_assert!(sched.is_complete());
         Ok(sched)
-    }
-}
-
-impl Scheduler for RoutedIlha {
-    fn name(&self) -> String {
-        format!("ILHA-routed(B={})", self.b)
-    }
-
-    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
-        self.try_schedule(g, platform, model)
-            .unwrap_or_else(|e| panic!("RoutedIlha: {e}"))
-    }
-
-    fn schedule_with_probe(
-        &self,
-        g: &TaskGraph,
-        platform: &Platform,
-        model: CommModel,
-        probe: &dyn crate::probe::Probe,
-    ) -> Schedule {
-        self.try_schedule_probed(g, platform, model, probe)
-            // analyze:allow(P203): infallible-by-contract mirror of `schedule`
-            .unwrap_or_else(|e| panic!("RoutedIlha: {e}"))
     }
 }
 

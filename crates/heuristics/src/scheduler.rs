@@ -1,6 +1,7 @@
 //! The common scheduler interface.
 
 use crate::probe::Probe;
+use crate::routed::RoutedError;
 use onesched_dag::TaskGraph;
 use onesched_platform::Platform;
 use onesched_sim::{CommModel, Schedule};
@@ -8,7 +9,11 @@ use onesched_sim::{CommModel, Schedule};
 /// A static task-graph scheduler: maps every task to a processor and a start
 /// time, emitting explicit communication placements, under a given
 /// communication model.
-pub trait Scheduler {
+///
+/// Schedulers are immutable configuration (`Send + Sync`): one instance may
+/// construct schedules from several threads at once — the portfolio fan-out
+/// and the sweep runner both rely on that.
+pub trait Scheduler: Send + Sync {
     /// Stable display name (used in experiment CSVs and bench labels).
     fn name(&self) -> String;
 
@@ -34,40 +39,77 @@ pub trait Scheduler {
         let _ = probe;
         self.schedule(g, platform, model)
     }
+
+    /// Fallible [`Scheduler::schedule`]: reject the platform with a typed
+    /// error instead of panicking mid-schedule. The default wraps the
+    /// infallible path — only schedulers with a real rejection case (the
+    /// routed ones, which refuse disconnected platforms) override it.
+    /// This is the one call shape the registry and the service use for
+    /// every scheduler, routed or not.
+    fn try_schedule(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+    ) -> Result<Schedule, RoutedError> {
+        self.try_schedule_probed(g, platform, model, &crate::probe::NoProbe)
+    }
+
+    /// [`Scheduler::try_schedule`] reporting phases and scan counters to
+    /// `probe`. Same write-only probe contract as
+    /// [`Scheduler::schedule_with_probe`].
+    fn try_schedule_probed(
+        &self,
+        g: &TaskGraph,
+        platform: &Platform,
+        model: CommModel,
+        probe: &dyn Probe,
+    ) -> Result<Schedule, RoutedError> {
+        Ok(self.schedule_with_probe(g, platform, model, probe))
+    }
+}
+
+macro_rules! forward_scheduler {
+    () => {
+        fn name(&self) -> String {
+            (**self).name()
+        }
+        fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
+            (**self).schedule(g, platform, model)
+        }
+        fn schedule_with_probe(
+            &self,
+            g: &TaskGraph,
+            platform: &Platform,
+            model: CommModel,
+            probe: &dyn Probe,
+        ) -> Schedule {
+            (**self).schedule_with_probe(g, platform, model, probe)
+        }
+        fn try_schedule(
+            &self,
+            g: &TaskGraph,
+            platform: &Platform,
+            model: CommModel,
+        ) -> Result<Schedule, RoutedError> {
+            (**self).try_schedule(g, platform, model)
+        }
+        fn try_schedule_probed(
+            &self,
+            g: &TaskGraph,
+            platform: &Platform,
+            model: CommModel,
+            probe: &dyn Probe,
+        ) -> Result<Schedule, RoutedError> {
+            (**self).try_schedule_probed(g, platform, model, probe)
+        }
+    };
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
-    fn name(&self) -> String {
-        (**self).name()
-    }
-    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
-        (**self).schedule(g, platform, model)
-    }
-    fn schedule_with_probe(
-        &self,
-        g: &TaskGraph,
-        platform: &Platform,
-        model: CommModel,
-        probe: &dyn Probe,
-    ) -> Schedule {
-        (**self).schedule_with_probe(g, platform, model, probe)
-    }
+    forward_scheduler!();
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
-    fn name(&self) -> String {
-        (**self).name()
-    }
-    fn schedule(&self, g: &TaskGraph, platform: &Platform, model: CommModel) -> Schedule {
-        (**self).schedule(g, platform, model)
-    }
-    fn schedule_with_probe(
-        &self,
-        g: &TaskGraph,
-        platform: &Platform,
-        model: CommModel,
-        probe: &dyn Probe,
-    ) -> Schedule {
-        (**self).schedule_with_probe(g, platform, model, probe)
-    }
+    forward_scheduler!();
 }

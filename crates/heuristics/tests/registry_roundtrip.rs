@@ -1,0 +1,79 @@
+//! Property tests: `SchedulerSpec` round-trips bit-exactly through both of
+//! its wire forms — the canonical string (`parse(canonical(s)) == s`) and
+//! the serde shim's JSON value — for every shape the registry produces,
+//! parameterized portfolio members included. The canonical string is the
+//! daemon's cache-key and CSV label syntax, so a round-trip gap would
+//! silently split cache entries.
+
+use onesched_heuristics::registry::SchedulerSpec;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Kind names spanning the full workspace catalog plus the syntax's edge
+/// shapes (dashes, underscores, digits). Parsing is kind-agnostic — the
+/// catalog validates kinds later, the wire forms must carry any name.
+const KINDS: [&str; 15] = [
+    "heft",
+    "ilha",
+    "routed-heft",
+    "routed-ilha",
+    "cpop",
+    "gdl",
+    "bil",
+    "pct",
+    "min-min",
+    "max-min",
+    "round-robin",
+    "random",
+    "serial",
+    "two_phase",
+    "heft2",
+];
+
+fn spec_from(kind_ix: usize, b: Option<usize>, seed: Option<u64>) -> SchedulerSpec {
+    SchedulerSpec {
+        b,
+        seed,
+        ..SchedulerSpec::named(KINDS[kind_ix % KINDS.len()])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn spec_round_trips_through_canonical_string_and_json(
+        kind_ix in 0usize..15,
+        has_b in 0u8..2,
+        b in 1usize..64,
+        has_seed in 0u8..2,
+        seed in 0u64..1_000_000_000,
+        members in proptest::collection::vec((0usize..15, 0u8..2, 1usize..64, 0u8..2, 0u64..1_000_000), 0..5),
+        portfolio in 0u8..2,
+    ) {
+        let spec = if portfolio == 1 && !members.is_empty() {
+            SchedulerSpec::portfolio(
+                members
+                    .iter()
+                    .map(|&(ix, mb, bb, ms, ss)| {
+                        spec_from(ix, (mb == 1).then_some(bb), (ms == 1).then_some(ss))
+                    })
+                    .collect(),
+            )
+        } else {
+            spec_from(kind_ix, (has_b == 1).then_some(b), (has_seed == 1).then_some(seed))
+        };
+
+        // canonical string: parse(canonical(s)) == s, and re-canonicalizing
+        // the parse is a fixpoint
+        let canonical = spec.canonical();
+        let parsed = SchedulerSpec::parse(&canonical).expect("canonical string parses");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.canonical(), canonical);
+
+        // JSON wire form: the daemon's cache keys serialize through this,
+        // so the round-trip must be exact
+        let back = SchedulerSpec::from_value(&spec.to_value()).expect("wire form parses");
+        prop_assert_eq!(back, spec);
+    }
+}

@@ -10,7 +10,7 @@
 //! counts), not schedules: the service streams result summaries, and an
 //! outcome is a few hundred bytes regardless of task count.
 
-use crate::protocol::{LatencyEntry, ResolvedJob, ResolvedSim, StatsResponse};
+use crate::protocol::{LatencyEntry, PortfolioWinEntry, ResolvedJob, ResolvedSim, StatsResponse};
 use crate::runner::schedule_timed_probed;
 use onesched_heuristics::{NoProbe, Phase, Probe, ScanStats};
 use onesched_prof::AllocSnapshot;
@@ -193,6 +193,69 @@ pub fn run_job(job: &ResolvedJob) -> JobOutcome {
 /// placement-scan counters but cannot influence the outcome.
 pub fn run_job_probed(job: &ResolvedJob, probe: &dyn Probe) -> JobOutcome {
     construct(job, probe).0
+}
+
+/// One member's slot in a portfolio fan-out: the member's canonical spec
+/// label, its own schedule-cache key, the recorded outcome, and whether
+/// that outcome was served from the cache instead of constructed.
+#[derive(Debug, Clone)]
+pub struct PortfolioMember {
+    /// Canonical member spec string (e.g. `ilha(b=4)`), the win-count key.
+    pub label: String,
+    /// The member's own job cache key ([`ResolvedJob::key`]).
+    pub key: String,
+    /// The member's construction outcome.
+    pub outcome: JobOutcome,
+    /// Served from the schedule cache — no construction ran for it.
+    pub cached: bool,
+}
+
+/// Construct the not-yet-cached members of a portfolio in parallel over
+/// scoped threads and return every member's outcome in member order.
+/// Input is `(canonical label, resolved member job, cached outcome)`;
+/// members arriving with an outcome are passed through untouched.
+///
+/// Deterministic: each member's construction is the same pure computation
+/// [`run_job`] performs, and the caller picks the winner with the
+/// registry's label tie-break — thread timing never influences the result.
+pub fn run_portfolio_members(
+    members: Vec<(String, ResolvedJob, Option<JobOutcome>)>,
+) -> Vec<PortfolioMember> {
+    let mut slots: Vec<Option<JobOutcome>> = Vec::new();
+    slots.resize_with(members.len(), || None);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<JobOutcome>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for ((_, job, cached), slot) in members.iter().zip(&slot_refs) {
+            if cached.is_some() {
+                continue;
+            }
+            scope.spawn(move || {
+                let outcome = run_job(job);
+                if let Ok(mut guard) = slot.lock() {
+                    **guard = Some(outcome);
+                }
+            });
+        }
+    });
+    drop(slot_refs);
+    members
+        .into_iter()
+        .zip(slots)
+        .map(|((label, job, cached), constructed)| {
+            let was_cached = cached.is_some();
+            // The fallback re-run only fires if a slot mutex was poisoned,
+            // which a pure construction cannot do; it keeps this path
+            // panic-free either way.
+            let outcome = cached.or(constructed).unwrap_or_else(|| run_job(&job));
+            PortfolioMember {
+                label,
+                key: job.key,
+                outcome,
+                cached: was_cached,
+            }
+        })
+        .collect()
 }
 
 /// The outcome of one construct-then-execute simulation: the construction
@@ -391,6 +454,9 @@ pub struct ServiceStats {
     /// Latency samples keyed by scheduler display name. Ordered so the
     /// `stats` latency table is stable run to run.
     latencies: BTreeMap<String, LatencySample>,
+    /// Portfolio win tallies keyed by the winning member's canonical spec
+    /// string. Ordered so the `stats` portfolio table is stable.
+    portfolio_wins: BTreeMap<String, u64>,
 }
 
 /// Point-in-time gauges the service owns (the stats mutex does not), fed
@@ -443,6 +509,12 @@ impl ServiceStats {
         sample.max_ms = sample.max_ms.max(ms);
     }
 
+    /// Count one portfolio construction won by the member with canonical
+    /// spec string `label`.
+    pub fn record_portfolio_win(&mut self, label: &str) {
+        *self.portfolio_wins.entry(label.to_string()).or_insert(0) += 1;
+    }
+
     /// Mean of the recent construction latencies across all schedulers,
     /// in milliseconds — the per-job cost estimate behind the
     /// `retry_after_ms` backoff hint. `fallback_ms` answers for a cold
@@ -483,6 +555,14 @@ impl ServiceStats {
                 }
             })
             .collect();
+        let portfolio: Vec<PortfolioWinEntry> = self
+            .portfolio_wins
+            .iter()
+            .map(|(scheduler, &wins)| PortfolioWinEntry {
+                scheduler: scheduler.clone(),
+                wins,
+            })
+            .collect();
         StatsResponse {
             op: "stats".into(),
             queue_depth: gauges.queue_depth,
@@ -502,6 +582,7 @@ impl ServiceStats {
             trace_events_dropped: gauges.trace_events_dropped,
             uptime_ms: uptime.as_secs_f64() * 1e3,
             latency,
+            portfolio,
         }
     }
 }

@@ -18,8 +18,8 @@
 //! deterministic scheduling problem.
 
 use onesched_dag::TaskGraph;
-use onesched_heuristics::routed::{RoutedHeft, RoutedIlha};
-use onesched_heuristics::{Heft, Ilha, Scheduler};
+use onesched_heuristics::routed::RoutedIlha;
+use onesched_heuristics::{Ilha, Scheduler};
 use onesched_platform::{topology, Platform};
 use onesched_sim::CommModel;
 use onesched_testbeds::{random_layered, RandomDagConfig, Testbed, PAPER_C};
@@ -415,53 +415,60 @@ impl PlatformSpec {
     }
 }
 
-/// Which scheduler to run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SchedulerSpec {
-    /// `"heft"`, `"ilha"`, `"routed-heft"`, or `"routed-ilha"`.
-    pub kind: String,
-    /// ILHA chunk size `B`. Defaults to the testbed's paper-best value, or
-    /// the platform's perfect-balance chunk for non-testbed DAGs
-    /// (`routed-ilha` always uses the platform chunk).
-    #[serde(default)]
-    pub b: Option<usize>,
+// `SchedulerSpec` is the registry's canonical spec type (kind + optional
+// `b`/`seed`/`members`), re-exported so protocol users keep one import
+// path. Its wire format is bit-compatible with the pre-registry protocol
+// struct — `kind` and `b` always serialize (in that order, `b` as `null`
+// when unset), new parameters only when set — so legacy cache keys and
+// ledger records resolve unchanged.
+pub use onesched_heuristics::registry::{SchedulerSpec, UnknownScheduler};
+
+/// A rejected job spec: human-readable message plus, where a client can
+/// act on it programmatically, a machine-readable `kind` mirrored into
+/// [`ErrorResponse::kind`] (e.g. `"unknown-scheduler"`,
+/// `"scheduler-platform-mismatch"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveError {
+    /// What was wrong, for humans.
+    pub message: String,
+    /// Machine-readable category, where one exists.
+    pub kind: Option<&'static str>,
 }
 
-impl SchedulerSpec {
-    /// One-port HEFT.
-    pub fn heft() -> SchedulerSpec {
-        SchedulerSpec {
-            kind: "heft".into(),
-            b: None,
-        }
-    }
-
-    /// ILHA with an explicit chunk size.
-    pub fn ilha(b: usize) -> SchedulerSpec {
-        SchedulerSpec {
-            kind: "ilha".into(),
-            b: Some(b),
-        }
-    }
-
-    /// HEFT with store-and-forward routing (required on non-fully-connected
-    /// platforms).
-    pub fn routed_heft() -> SchedulerSpec {
-        SchedulerSpec {
-            kind: "routed-heft".into(),
-            b: None,
-        }
-    }
-
-    /// ILHA with store-and-forward routing (chunk size defaults to the
-    /// platform's perfect-balance chunk).
-    pub fn routed_ilha() -> SchedulerSpec {
-        SchedulerSpec {
-            kind: "routed-ilha".into(),
-            b: None,
+impl ResolveError {
+    fn kinded(kind: &'static str, message: String) -> ResolveError {
+        ResolveError {
+            message,
+            kind: Some(kind),
         }
     }
 }
+
+impl From<String> for ResolveError {
+    fn from(message: String) -> ResolveError {
+        ResolveError {
+            message,
+            kind: None,
+        }
+    }
+}
+
+impl From<&str> for ResolveError {
+    fn from(message: &str) -> ResolveError {
+        ResolveError {
+            message: message.to_string(),
+            kind: None,
+        }
+    }
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ResolveError {}
 
 /// A validated, fully-defaulted job, ready to run and to key the cache.
 ///
@@ -480,7 +487,7 @@ pub struct ResolvedJob {
     model: CommModel,
     dag: ResolvedDag,
     platform: Platform,
-    scheduler: ResolvedScheduler,
+    scheduler: SchedulerSpec,
 }
 
 /// The validated DAG generator choice inside a [`ResolvedJob`].
@@ -497,15 +504,6 @@ enum ResolvedDag {
     },
     /// The §4.4 toy graph.
     Toy,
-}
-
-/// The validated scheduler choice inside a [`ResolvedJob`].
-#[derive(Debug, Clone, Copy)]
-enum ResolvedScheduler {
-    Heft,
-    Ilha(usize),
-    RoutedHeft,
-    RoutedIlha(usize),
 }
 
 /// Parse a kebab-case communication-model name (`CommModel::name`).
@@ -552,9 +550,10 @@ fn default_cycle_times(procs: usize) -> Vec<f64> {
 
 impl JobSpec {
     /// Validate the spec, fill every default, and derive the canonical
-    /// cache key. Errors are human-readable strings carried back to the
-    /// client in an `error` response.
-    pub fn resolve(&self) -> Result<ResolvedJob, String> {
+    /// cache key. Errors carry a human-readable message (and, where
+    /// useful, a machine-readable kind) back to the client in an `error`
+    /// response.
+    pub fn resolve(&self) -> Result<ResolvedJob, ResolveError> {
         let mut spec = self.clone();
 
         // -- dag --------------------------------------------------------
@@ -581,7 +580,8 @@ impl JobSpec {
                     return Err(format!(
                         "{} at n={n} may reach {est} tasks (limit {MAX_TASKS_PER_JOB})",
                         tb.name()
-                    ));
+                    )
+                    .into());
                 }
                 let c = d.c.unwrap_or(PAPER_C);
                 d.c = Some(c);
@@ -607,11 +607,12 @@ impl JobSpec {
                     return Err(format!(
                         "random dag may reach {} tasks (limit {MAX_TASKS_PER_JOB})",
                         layers.saturating_mul(width)
-                    ));
+                    )
+                    .into());
                 }
                 let prob = d.edge_prob.unwrap_or(0.3);
                 if !(0.0..=1.0).contains(&prob) {
-                    return Err(format!("edge_prob {prob} outside [0, 1]"));
+                    return Err(format!("edge_prob {prob} outside [0, 1]").into());
                 }
                 let seed = d.seed.unwrap_or(0);
                 d.edge_prob = Some(prob);
@@ -630,7 +631,7 @@ impl JobSpec {
                 *d = DagSpec::toy();
                 ResolvedDag::Toy
             }
-            other => return Err(format!("unknown dag kind {other:?}")),
+            other => return Err(format!("unknown dag kind {other:?}").into()),
         };
 
         // -- platform ---------------------------------------------------
@@ -656,7 +657,7 @@ impl JobSpec {
                     return Err("platform needs at least one processor".into());
                 }
                 if procs > MAX_PROCS {
-                    return Err(format!("{procs} processors exceeds the {MAX_PROCS} limit"));
+                    return Err(format!("{procs} processors exceeds the {MAX_PROCS} limit").into());
                 }
                 p.procs = Some(procs);
                 p.cycle_times = None;
@@ -673,10 +674,9 @@ impl JobSpec {
                     None => default_cycle_times(p.procs.unwrap_or(8)),
                 };
                 if ct.len() > MAX_PROCS {
-                    return Err(format!(
-                        "{} processors exceeds the {MAX_PROCS} limit",
-                        ct.len()
-                    ));
+                    return Err(
+                        format!("{} processors exceeds the {MAX_PROCS} limit", ct.len()).into(),
+                    );
                 }
                 if ct.iter().any(|&t| t <= 0.0 || !t.is_finite()) {
                     return Err("cycle_times must be positive and finite".into());
@@ -689,7 +689,7 @@ impl JobSpec {
                 let built = if p.kind == "random-connected" {
                     let prob = p.extra_prob.unwrap_or(0.3);
                     if !(0.0..=1.0).contains(&prob) {
-                        return Err(format!("extra_prob {prob} outside [0, 1]"));
+                        return Err(format!("extra_prob {prob} outside [0, 1]").into());
                     }
                     let seed = p.seed.unwrap_or(0);
                     p.extra_prob = Some(prob);
@@ -712,10 +712,9 @@ impl JobSpec {
                     _ => return Err("custom platform requires non-empty `cycle_times`".into()),
                 };
                 if ct.len() > MAX_PROCS {
-                    return Err(format!(
-                        "{} processors exceeds the {MAX_PROCS} limit",
-                        ct.len()
-                    ));
+                    return Err(
+                        format!("{} processors exceeds the {MAX_PROCS} limit", ct.len()).into(),
+                    );
                 }
                 if ct.iter().any(|&t| t <= 0.0 || !t.is_finite()) {
                     return Err("cycle_times must be positive and finite".into());
@@ -730,22 +729,25 @@ impl JobSpec {
                     let [from, to, lat] = l.as_slice() else {
                         return Err(format!(
                             "custom link {l:?} must be a [from, to, latency] triple"
-                        ));
+                        )
+                        .into());
                     };
                     for (what, v) in [("from", *from), ("to", *to)] {
                         if v.fract() != 0.0 || v < 0.0 || v >= procs as f64 {
                             return Err(format!(
                                 "custom link {what} {v} is not a processor index < {procs}"
-                            ));
+                            )
+                            .into());
                         }
                     }
                     if from == to {
-                        return Err(format!("custom link {from} -> {to} is a self-link"));
+                        return Err(format!("custom link {from} -> {to} is a self-link").into());
                     }
                     if !lat.is_finite() || *lat < 0.0 {
                         return Err(format!(
                             "custom link latency {lat} must be finite and non-negative"
-                        ));
+                        )
+                        .into());
                     }
                     triples.push((*from as usize, *to as usize, *lat));
                 }
@@ -779,54 +781,57 @@ impl JobSpec {
                 p.seed = None;
                 Platform::new(ct, link).map_err(|e| format!("invalid custom platform: {e}"))?
             }
-            other => return Err(format!("unknown platform kind {other:?}")),
+            other => return Err(format!("unknown platform kind {other:?}").into()),
         };
 
         // -- scheduler --------------------------------------------------
+        // Normalization pins every kind-relevant parameter (so the cache
+        // key states exactly what ran), then the full workspace catalog
+        // validates buildability once, here at intake:
+        // `build_scheduler` can never fail on a worker thread.
         let mut s = spec.scheduler.take().unwrap_or_else(SchedulerSpec::heft);
+        let catalog = onesched_baselines::registry::catalog();
+        if s.kind == "portfolio" {
+            let mut members = match s.members.take() {
+                Some(m) => m,
+                // default membership: every non-routed kind in the catalog
+                None => catalog.default_members(),
+            };
+            if members.is_empty() {
+                return Err("portfolio needs at least one member".into());
+            }
+            for m in &mut members {
+                if m.kind == "portfolio" {
+                    return Err("portfolio members must be concrete kinds, not portfolios".into());
+                }
+                // members inherit the portfolio's own parameters where
+                // they leave them unset, then normalize like any job
+                m.b = m.b.or(s.b);
+                m.seed = m.seed.or(s.seed);
+                normalize_member(m, &dag, &platform)?;
+            }
+            s.b = None;
+            s.seed = None;
+            s.members = Some(members);
+        } else {
+            normalize_member(&mut s, &dag, &platform)?;
+        }
+        catalog
+            .build(&s)
+            .map_err(|e| ResolveError::kinded("unknown-scheduler", e.to_string()))?;
         let routed_platform = !platform.is_fully_connected();
-        let scheduler = match s.kind.as_str() {
-            "heft" => {
-                s.b = None;
-                ResolvedScheduler::Heft
-            }
-            "routed-heft" => {
-                s.b = None;
-                ResolvedScheduler::RoutedHeft
-            }
-            "ilha" => {
-                let b = match (s.b, &dag) {
-                    (Some(b), _) => b,
-                    (None, ResolvedDag::Testbed { tb, .. }) => tb.paper_best_b(),
-                    // auto chunk: fix the value now so the cache key is
-                    // explicit about what ran
-                    (None, _) => Ilha::auto(&platform).b,
-                };
-                if b == 0 {
-                    return Err("ilha chunk size b must be at least 1".into());
-                }
-                s.b = Some(b);
-                ResolvedScheduler::Ilha(b)
-            }
-            "routed-ilha" => {
-                // routed platforms have no paper-tuned B; the platform's
-                // perfect-balance chunk is the deterministic default
-                let b = s.b.unwrap_or_else(|| RoutedIlha::auto(&platform).b);
-                if b == 0 {
-                    return Err("routed-ilha chunk size b must be at least 1".into());
-                }
-                s.b = Some(b);
-                ResolvedScheduler::RoutedIlha(b)
-            }
-            other => return Err(format!("unknown scheduler kind {other:?}")),
-        };
-        let routed_scheduler = matches!(s.kind.as_str(), "routed-heft" | "routed-ilha");
         if routed_platform {
-            if !routed_scheduler {
-                return Err(format!(
-                    "platform kind {:?} is not fully connected; use scheduler kind \
-                     \"routed-heft\" or \"routed-ilha\"",
-                    p.kind
+            if !catalog.is_routed_kind(&s.kind) {
+                return Err(ResolveError::kinded(
+                    "scheduler-platform-mismatch",
+                    format!(
+                        "platform kind {:?} is not fully connected; scheduler kind {:?} \
+                         cannot route around missing links (schedulers valid on this \
+                         platform: {})",
+                        p.kind,
+                        s.kind,
+                        catalog.routed_kinds().join(", ")
+                    ),
                 ));
             }
             // Reject disconnected topologies here, at intake, so a worker
@@ -838,7 +843,8 @@ impl JobSpec {
                 return Err(format!(
                     "platform is disconnected: no route from {from} to {to} \
                      (routed schedulers need a connected topology)"
-                ));
+                )
+                .into());
             }
         }
 
@@ -846,7 +852,7 @@ impl JobSpec {
         let model = parse_model(spec.model.as_deref().unwrap_or("one-port-bidir"))?;
         spec.model = Some(model.name().to_string());
         spec.platform = Some(p);
-        spec.scheduler = Some(s);
+        spec.scheduler = Some(s.clone());
 
         // Canonical key: the normalized spec serialized with the daemon's
         // own (deterministic, insertion-ordered) serializer. `validate`
@@ -859,9 +865,56 @@ impl JobSpec {
             model,
             dag,
             platform,
-            scheduler,
+            scheduler: s,
         })
     }
+}
+
+/// Normalize one concrete (non-portfolio) scheduler spec in place: pin
+/// kind-relevant parameter defaults so the cache key states exactly what
+/// ran, and clear parameters the kind does not take (mirroring how the
+/// platform arms canonicalize their specs).
+fn normalize_member(
+    s: &mut SchedulerSpec,
+    dag: &ResolvedDag,
+    platform: &Platform,
+) -> Result<(), ResolveError> {
+    s.members = None;
+    match s.kind.as_str() {
+        "ilha" => {
+            let b = match (s.b, dag) {
+                (Some(b), _) => b,
+                (None, ResolvedDag::Testbed { tb, .. }) => tb.paper_best_b(),
+                // auto chunk: fix the value now so the cache key is
+                // explicit about what ran
+                (None, _) => Ilha::auto(platform).b,
+            };
+            if b == 0 {
+                return Err("ilha chunk size b must be at least 1".into());
+            }
+            s.b = Some(b);
+            s.seed = None;
+        }
+        "routed-ilha" => {
+            // routed platforms have no paper-tuned B; the platform's
+            // perfect-balance chunk is the deterministic default
+            let b = s.b.unwrap_or_else(|| RoutedIlha::auto(platform).b);
+            if b == 0 {
+                return Err("routed-ilha chunk size b must be at least 1".into());
+            }
+            s.b = Some(b);
+            s.seed = None;
+        }
+        "random" => {
+            s.b = None;
+            s.seed = Some(s.seed.unwrap_or(0));
+        }
+        _ => {
+            s.b = None;
+            s.seed = None;
+        }
+    }
+    Ok(())
 }
 
 /// The first ordered pair with no route between them, or `None` when the
@@ -942,14 +995,30 @@ impl ResolvedJob {
         self.platform.clone()
     }
 
-    /// Instantiate the job's scheduler (infallible).
+    /// Instantiate the job's scheduler through the workspace catalog
+    /// (infallible: resolution already validated the normalized spec
+    /// against the same catalog).
+    #[allow(clippy::panic)]
     pub fn build_scheduler(&self) -> Box<dyn Scheduler> {
-        match self.scheduler {
-            ResolvedScheduler::Heft => Box::new(Heft::new()),
-            ResolvedScheduler::Ilha(b) => Box::new(Ilha::new(b)),
-            ResolvedScheduler::RoutedHeft => Box::new(RoutedHeft::new()),
-            ResolvedScheduler::RoutedIlha(b) => Box::new(RoutedIlha::new(b)),
-        }
+        onesched_baselines::registry::build(&self.scheduler)
+            // analyze:allow(P203): resolution validated this spec against the same catalog
+            .unwrap_or_else(|e| panic!("resolved scheduler failed to build: {e}"))
+    }
+
+    /// The normalized scheduler spec this job resolved to (every
+    /// kind-relevant parameter pinned; portfolio members enumerated).
+    pub fn scheduler_spec(&self) -> &SchedulerSpec {
+        &self.scheduler
+    }
+
+    /// Re-resolve this job with a different scheduler: the portfolio path
+    /// uses this to cache each member's schedule under the member's own
+    /// canonical job key. Fails only if `scheduler` itself is invalid for
+    /// the job (e.g. a non-routed member on a routed platform).
+    pub fn with_scheduler(&self, scheduler: &SchedulerSpec) -> Result<ResolvedJob, ResolveError> {
+        let mut spec = self.spec.clone();
+        spec.scheduler = Some(scheduler.clone());
+        spec.resolve()
     }
 }
 
@@ -1084,6 +1153,22 @@ pub struct StatsResponse {
     /// Per-scheduler construction-latency percentiles (cache hits are
     /// excluded — they did not construct anything).
     pub latency: Vec<LatencyEntry>,
+    /// Portfolio win tallies: how often each member (by canonical spec
+    /// string) produced the winning schedule across all portfolio jobs
+    /// answered by this daemon. Empty until a portfolio job runs.
+    #[serde(default)]
+    pub portfolio: Vec<PortfolioWinEntry>,
+}
+
+/// One member's running win count across every portfolio construction the
+/// daemon has answered (cache hits excluded — they did not re-run the
+/// race).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioWinEntry {
+    /// The winning member's canonical spec string (e.g. `ilha(b=4)`).
+    pub scheduler: String,
+    /// Number of portfolio constructions this member won.
+    pub wins: u64,
 }
 
 /// Construction-latency percentiles for one scheduler kind. Percentiles
@@ -1206,10 +1291,7 @@ mod tests {
         let mut job = JobSpec {
             dag: DagSpec::testbed(Testbed::Lu, 10),
             platform: None,
-            scheduler: Some(SchedulerSpec {
-                kind: "ilha".into(),
-                b: None,
-            }),
+            scheduler: Some(SchedulerSpec::named("ilha")),
             model: None,
             validate: false,
         };
@@ -1262,7 +1344,9 @@ mod tests {
             validate: false,
         };
         let err = job.resolve().unwrap_err();
-        assert!(err.contains("routed-heft"), "{err}");
+        assert!(err.message.contains("routed-heft"), "{err}");
+        assert!(err.message.contains("routed-ilha"), "{err}");
+        assert_eq!(err.kind, Some("scheduler-platform-mismatch"));
         let job = JobSpec {
             scheduler: Some(SchedulerSpec::routed_heft()),
             ..job
@@ -1367,8 +1451,8 @@ mod tests {
             validate: false,
         };
         let err = job.resolve().unwrap_err();
-        assert!(err.contains("disconnected"), "{err}");
-        assert!(err.contains("no route"), "{err}");
+        assert!(err.message.contains("disconnected"), "{err}");
+        assert!(err.message.contains("no route"), "{err}");
     }
 
     #[test]
@@ -1425,10 +1509,24 @@ mod tests {
             (
                 "bad scheduler",
                 JobSpec {
-                    scheduler: Some(SchedulerSpec {
-                        kind: "cpop".into(),
-                        b: None,
-                    }),
+                    // "cpop" resolves now (registry kind) — this one doesn't
+                    scheduler: Some(SchedulerSpec::named("two-phase-heft")),
+                    ..base.clone()
+                },
+            ),
+            (
+                "portfolio of portfolios",
+                JobSpec {
+                    scheduler: Some(SchedulerSpec::portfolio(vec![SchedulerSpec::portfolio(
+                        vec![SchedulerSpec::heft()],
+                    )])),
+                    ..base.clone()
+                },
+            ),
+            (
+                "empty portfolio",
+                JobSpec {
+                    scheduler: Some(SchedulerSpec::portfolio(vec![])),
                     ..base.clone()
                 },
             ),

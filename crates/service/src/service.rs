@@ -40,8 +40,8 @@
 //! before the job is poisoned.
 
 use crate::cache::{
-    run_job_probed, run_sim_job_probed, ConstructProbe, Registry, ServiceStats, SimOutcome,
-    SimRunError, StatsGauges, PHASES,
+    run_job_probed, run_portfolio_members, run_sim_job_probed, ConstructProbe, JobOutcome,
+    Registry, ServiceStats, SimOutcome, SimRunError, StatsGauges, PHASES,
 };
 use crate::ledger::{key_hash, Ledger, LedgerError, LedgerOutcome, LedgerRecord, Replay};
 use crate::protocol::{
@@ -739,7 +739,7 @@ impl Service {
         let job = match spec.resolve() {
             Ok(j) => j,
             Err(e) => {
-                self.respond_error(out, req.id, e);
+                self.respond_error_kind(out, req.id, e.message, e.kind, None);
                 return;
             }
         };
@@ -1146,14 +1146,33 @@ impl Service {
     fn execute_schedule(&self, ticket: &Ticket, job: &ResolvedJob, worker: u64, dequeued_us: u64) {
         let cached = lock(&self.registry).get(&job.key).cloned();
         let probe = ConstructProbe::new(self.clock.as_ref());
-        let (outcome, cache_hit, construct_trace) = match cached {
-            Some(outcome) => (outcome, true, None),
+        let (outcome, cache_hit, construct_trace, portfolio_trace) = match cached {
+            Some(outcome) => (outcome, true, None, None),
+            // The portfolio meta-kind gets its own fan-out path: each
+            // member is cached under its own canonical key, and the trace
+            // carries per-member spans instead of per-phase ones.
+            None if job.scheduler_spec().kind == "portfolio" => {
+                match self.construct_portfolio(job) {
+                    Ok((outcome, detail)) => (outcome, false, None, Some(detail)),
+                    Err(msg) => {
+                        self.ledger_append(&LedgerRecord::failed(
+                            ticket.seq,
+                            &ticket.id,
+                            &ticket.key,
+                            msg.clone(),
+                        ));
+                        self.respond_error(&ticket.out, Some(ticket.id.clone()), msg);
+                        self.trace_abort(ticket, worker, dequeued_us, true);
+                        return;
+                    }
+                }
+            }
             None => {
                 // run WITHOUT holding any lock: construction is the slow part
                 let outcome = run_job_probed(job, &probe);
                 let detail = self.finish_construct(&outcome.construct, &probe);
                 lock(&self.registry).insert(job.key.clone(), outcome.clone());
-                (outcome, false, Some(detail))
+                (outcome, false, Some(detail), None)
             }
         };
         // Deadline re-check between construction and the answer: the
@@ -1202,9 +1221,112 @@ impl Service {
             dequeued_us,
             respond_us,
             construct: construct_trace,
+            portfolio: portfolio_trace,
             exec: None,
             cache_hit,
         });
+    }
+
+    /// The portfolio fan-out: resolve each member as its own job, reuse
+    /// any member outcome the schedule cache already holds, construct the
+    /// rest in parallel, cache every constructed member under its own
+    /// canonical key, and pick the winner with the registry's shared
+    /// `(makespan, canonical label)` tie-break. The portfolio's own
+    /// outcome — the winner's schedule summary under the portfolio job
+    /// key, with `construct` covering the whole race — is cached too, so
+    /// a repeat of the portfolio job is a plain cache hit.
+    fn construct_portfolio(
+        &self,
+        job: &ResolvedJob,
+    ) -> Result<(JobOutcome, PortfolioTrace), String> {
+        let member_specs = job.scheduler_spec().members.clone().unwrap_or_default();
+        let t0 = self.clock.now_micros();
+        let mut members = Vec::with_capacity(member_specs.len());
+        for m in &member_specs {
+            // Cannot fail: intake normalized every member against the
+            // same catalog and platform. Surfaced as an error response
+            // rather than a worker panic if that invariant ever breaks.
+            let mj = job.with_scheduler(m).map_err(|e| {
+                format!(
+                    "portfolio member {:?} failed to re-resolve: {}",
+                    m.canonical(),
+                    e.message
+                )
+            })?;
+            members.push((m.canonical(), mj, None));
+        }
+        {
+            let reg = lock(&self.registry);
+            for (_, mj, cached) in &mut members {
+                *cached = reg.get(&mj.key).cloned();
+            }
+        }
+        // Fan out WITHOUT holding any lock: construction is the slow part.
+        let members = run_portfolio_members(members);
+        {
+            let mut reg = lock(&self.registry);
+            for m in &members {
+                if !m.cached {
+                    reg.insert(m.key.clone(), m.outcome.clone());
+                }
+            }
+        }
+        let candidates: Vec<(&str, f64)> = members
+            .iter()
+            .map(|m| (m.label.as_str(), m.outcome.makespan))
+            .collect();
+        let winner = onesched_heuristics::registry::select_best(&candidates)
+            .ok_or_else(|| "portfolio has no members".to_string())?;
+        let won = members
+            .get(winner)
+            .ok_or_else(|| "portfolio winner out of range".to_string())?;
+        let end_us = self.clock.now_micros();
+        let construct = Duration::from_micros(end_us.saturating_sub(t0));
+        let outcome = JobOutcome {
+            scheduler: format!("portfolio({})", members.len()),
+            tasks: won.outcome.tasks,
+            makespan: won.outcome.makespan,
+            speedup: won.outcome.speedup,
+            effective_comms: won.outcome.effective_comms,
+            fingerprint: won.outcome.fingerprint,
+            construct,
+            violations: won.outcome.violations,
+        };
+        lock(&self.registry).insert(job.key.clone(), outcome.clone());
+        {
+            // Member latencies land under each member's display name (the
+            // same key a direct submit of that member uses); the caller
+            // records the portfolio's own total under `portfolio(N)`.
+            let mut stats = lock(&self.stats);
+            for m in &members {
+                if !m.cached {
+                    stats.record_latency(&m.outcome.scheduler, m.outcome.construct);
+                }
+            }
+            stats.record_portfolio_win(&won.label);
+        }
+        self.metrics
+            .observe_ms("onesched_construct_ms", construct.as_secs_f64() * 1e3);
+        self.metrics.incr(
+            &format!("onesched_portfolio_wins_total{{member=\"{}\"}}", won.label),
+            1,
+        );
+        let trace = PortfolioTrace {
+            total_us: duration_us(construct),
+            end_us,
+            members: members
+                .iter()
+                .enumerate()
+                .map(|(i, m)| MemberTrace {
+                    label: m.label.clone(),
+                    construct_us: duration_us(m.outcome.construct),
+                    makespan: m.outcome.makespan,
+                    won: i == winner,
+                    cached: m.cached,
+                })
+                .collect(),
+        };
+        Ok((outcome, trace))
     }
 
     fn execute_sim(
@@ -1308,6 +1430,7 @@ impl Service {
             dequeued_us,
             respond_us,
             construct: construct_trace,
+            portfolio: None,
             exec: (!cache_hit).then_some(ExecTrace {
                 exec_us,
                 end_us: respond_us,
@@ -1383,6 +1506,31 @@ impl Service {
                 }
                 tracer.record(ev);
                 offset = offset.saturating_add(us);
+            }
+        }
+        if let Some(p) = &f.portfolio {
+            // The portfolio race: one parent span for the whole fan-out,
+            // one child lane per member. Members ran concurrently, so
+            // children share the parent's start anchor instead of being
+            // laid out contiguously like the phase children above.
+            let start = p.end_us.saturating_sub(p.total_us);
+            tracer.record(
+                scope(TraceEvent::span("construct.portfolio", start, p.total_us))
+                    .parent("job.attempt")
+                    .field("members", p.members.len() as f64),
+            );
+            for m in &p.members {
+                tracer.record(
+                    scope(TraceEvent::span(
+                        &format!("construct.portfolio.{}", m.label),
+                        start,
+                        m.construct_us,
+                    ))
+                    .parent("construct.portfolio")
+                    .field("makespan", m.makespan)
+                    .field("win", f64::from(u8::from(m.won)))
+                    .field("cached", f64::from(u8::from(m.cached))),
+                );
             }
         }
         if let Some(e) = &f.exec {
@@ -1506,9 +1654,37 @@ struct FinishTrace<'a> {
     respond_us: u64,
     /// Cache-miss construction detail (`None`: served from cache).
     construct: Option<ConstructTrace>,
+    /// Portfolio fan-out detail (`None`: not a portfolio construction).
+    portfolio: Option<PortfolioTrace>,
     /// Simulation execution detail (`None`: plain submit or cache hit).
     exec: Option<ExecTrace>,
     cache_hit: bool,
+}
+
+/// Portfolio-construction detail captured by [`Service::construct_portfolio`]
+/// on a cache miss: the whole race plus one entry per member.
+struct PortfolioTrace {
+    /// The full fan-out (resolve + construct + select), microseconds.
+    total_us: u64,
+    /// Service-clock time right after the winner was selected.
+    end_us: u64,
+    /// Per-member construction detail, in member order.
+    members: Vec<MemberTrace>,
+}
+
+/// One member's slice of a portfolio construction.
+struct MemberTrace {
+    /// Canonical member spec string (e.g. `ilha(b=4)`).
+    label: String,
+    /// The member's own construction time, microseconds (for a member
+    /// served from the schedule cache: the original run's time).
+    construct_us: u64,
+    /// The member's schedule makespan.
+    makespan: f64,
+    /// Whether this member won the race.
+    won: bool,
+    /// Whether this member was served from the schedule cache.
+    cached: bool,
 }
 
 /// Write one complete response line under the writer's lock (the
@@ -1683,6 +1859,75 @@ mod tests {
         assert!(s.cache_hits <= 2);
         assert_eq!(s.op, "stats");
         assert_eq!(s.ledger_bytes, 0, "no ledger configured");
+    }
+
+    #[test]
+    fn portfolio_job_races_members_caches_them_and_reports_wins() {
+        let mut portfolio = lu_spec(10);
+        portfolio.scheduler = Some(SchedulerSpec::portfolio(vec![
+            SchedulerSpec::heft(),
+            SchedulerSpec::ilha(4),
+        ]));
+        let mut heft = lu_spec(10);
+        heft.scheduler = Some(SchedulerSpec::heft());
+        let mut ilha = lu_spec(10);
+        ilha.scheduler = Some(SchedulerSpec::ilha(4));
+        let reqs = vec![
+            submit("p1", 0, portfolio.clone()),
+            submit("p2", 0, portfolio),
+            submit("h", 0, heft),
+            submit("i", 0, ilha),
+        ];
+        // one worker: the portfolio race runs first, so every later
+        // submission must be answered from the caches it populated
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 64,
+            ..ServiceConfig::default()
+        });
+        let lines = drive_svc(&svc, &reqs, 1);
+        let mut results: HashMap<String, ResultResponse> = HashMap::new();
+        for line in &lines {
+            let r: ResultResponse = serde_json::from_str(line).unwrap();
+            results.insert(r.id.clone(), r);
+        }
+        // stats asked *after* the batch drained, so the counters are final
+        let stats_lines = drive_svc(&svc, &[Request::stats()], 1);
+        let stats: Option<StatsResponse> = serde_json::from_str(&stats_lines[0]).ok();
+        let p1 = &results["p1"];
+        assert_eq!(p1.scheduler, "portfolio(2)");
+        assert!(!p1.cache_hit, "first portfolio run constructs");
+        assert_eq!(p1.violations, 0);
+        let p2 = &results["p2"];
+        assert!(p2.cache_hit, "portfolio repeat is a plain cache hit");
+        assert_eq!(p2.fingerprint, p1.fingerprint);
+        let (h, i) = (&results["h"], &results["i"]);
+        assert!(
+            h.cache_hit && i.cache_hit,
+            "the race cached both members under their own keys"
+        );
+        // the portfolio answered with the best member's schedule
+        let best = if h.makespan <= i.makespan { h } else { i };
+        assert_eq!(p1.makespan, best.makespan);
+        assert_eq!(p1.fingerprint, best.fingerprint);
+        let s = stats.expect("stats response");
+        assert_eq!(s.portfolio.len(), 1, "one member won the one race");
+        assert_eq!(s.portfolio[0].wins, 1);
+        let winner_label = if best.scheduler == "HEFT" {
+            "heft"
+        } else {
+            "ilha(b=4)"
+        };
+        assert_eq!(s.portfolio[0].scheduler, winner_label);
+        // member constructions landed in the latency table under their
+        // display names, the race total under the portfolio's
+        let latency_keys: Vec<&str> = s.latency.iter().map(|l| l.scheduler.as_str()).collect();
+        for want in ["HEFT", "ILHA(B=4)", "portfolio(2)"] {
+            assert!(
+                latency_keys.contains(&want),
+                "missing {want:?} in {latency_keys:?}"
+            );
+        }
     }
 
     #[test]

@@ -121,8 +121,10 @@ pub fn routed_requests(procs: usize, n: usize, priority: i64) -> Vec<Request> {
 }
 
 /// The CI smoke batch: small, fast, validated, and covering every
-/// scheduler kind plus the cache path (the LU job appears twice) and a
-/// routed zero-noise simulate (its degradation must report exactly 1).
+/// scheduler kind plus the cache path (the LU job appears twice), a
+/// routed zero-noise simulate (its degradation must report exactly 1),
+/// and a portfolio race whose ILHA member shares a cache key with the
+/// duplicated LU job.
 pub fn smoke_requests() -> Vec<Request> {
     let lu = JobSpec {
         dag: DagSpec::testbed(Testbed::Lu, 20),
@@ -188,6 +190,23 @@ pub fn smoke_requests() -> Vec<Request> {
                 validate: true,
             },
             SimSpec::default(),
+        ),
+        // a portfolio race over both paper heuristics: the ILHA member
+        // resolves to the same cache key as the smoke-lu pair above, so
+        // this also exercises member-level cache reuse
+        Request::submit(
+            Some("smoke-portfolio".into()),
+            0,
+            JobSpec {
+                dag: DagSpec::testbed(Testbed::Lu, 20),
+                platform: None,
+                scheduler: Some(SchedulerSpec::portfolio(vec![
+                    SchedulerSpec::heft(),
+                    SchedulerSpec::ilha(4),
+                ])),
+                model: None,
+                validate: true,
+            },
         ),
         Request::stats(),
     ]

@@ -4,8 +4,8 @@
 //! canonical key — the invariant the schedule cache stands on).
 
 use onesched_service::protocol::{
-    DagSpec, ErrorResponse, JobSpec, LatencyEntry, PlatformSpec, Request, ResultResponse,
-    SchedulerSpec, SimResultResponse, SimSpec, StatsResponse,
+    DagSpec, ErrorResponse, JobSpec, LatencyEntry, PlatformSpec, PortfolioWinEntry, Request,
+    ResultResponse, SchedulerSpec, SimResultResponse, SimSpec, StatsResponse,
 };
 use proptest::prelude::*;
 
@@ -178,6 +178,10 @@ proptest! {
                 p90_ms: ms * 1.5,
                 p99_ms: ms * 2.0,
                 max_ms: ms * 3.0,
+            }).collect(),
+            portfolio: lat.iter().enumerate().map(|(i, &(_, count))| PortfolioWinEntry {
+                scheduler: format!("s{i}"),
+                wins: count,
             }).collect(),
         };
         let back: StatsResponse = serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();

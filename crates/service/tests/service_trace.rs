@@ -66,7 +66,11 @@ fn workload() -> Vec<Request> {
 /// lines minus the `ready` announcement.
 fn run_batch(requests: &[Request], trace: Option<&std::path::Path>) -> (Service, Vec<String>) {
     let cfg = ServiceConfig {
-        workers: 2,
+        // one worker: the duplicate job must dequeue strictly after its
+        // original finishes, so the cache hit/miss accounting these tests
+        // pin is deterministic (two workers may legitimately race the
+        // same key and both construct — see the README's cache semantics)
+        workers: 1,
         trace: trace.map(|p| p.to_path_buf()),
         ..ServiceConfig::default()
     };

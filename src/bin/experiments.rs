@@ -33,6 +33,13 @@
 //!                  on every testbed under increasing runtime perturbation
 //!                  and record predicted-vs-executed makespan degradation
 //!                  (seed-deterministic; CI diffs two same-seed runs)
+//!   league [--seed S]
+//!                  the robustness league: every registry scheduler valid
+//!                  on the paper platform × every testbed × every
+//!                  communication model, executed through `onesched-exec`
+//!                  under the same perturbation seeds; records mean/p95
+//!                  degradation per cell plus an aggregate ranking
+//!                  (seed-deterministic; CI diffs two same-seed runs)
 //!   record-baseline [--fixture PATH] [--profile]
 //!                  refresh tests/fixtures/schedule_baseline.json (or write
 //!                  to PATH — CI's fixture-drift gate records into a temp
@@ -209,6 +216,7 @@ fn main() {
         "routed-figs" => routed_figs(&opts),
         "stress" => stress_sweep(&opts),
         "perturb" => perturb_sweep(&opts),
+        "league" => league(&opts),
         "probe" => probe(&args[1..]),
         "record-baseline" => record_baseline(&opts),
         "bench-history" => bench_history(&opts),
@@ -222,6 +230,7 @@ fn main() {
             routed_sweep(&opts);
             routed_figs(&opts);
             perturb_sweep(&opts);
+            league(&opts);
         }
         other => {
             eprintln!("unknown command: {other}");
@@ -1025,6 +1034,201 @@ fn perturb_sweep(opts: &Opts) {
         );
     }
     write_csv(opts, "perturb.csv", &csv);
+}
+
+/// The robustness league: every registry scheduler valid on the paper
+/// platform — all non-routed kinds plus the routed pair, which degenerate
+/// to direct links on a complete network — on every testbed × every
+/// communication model, each schedule executed through the `onesched-exec`
+/// engine under the same perturbation seeds, ranked by how little the
+/// executed makespan degrades from the static prediction. Schedulers are
+/// labeled by canonical registry spec string (the same syntax the daemon's
+/// cache keys use). Cells fan out over a `std::thread::scope` worker pool
+/// exactly like `figs`; rows are emitted in job order, so two same-seed
+/// runs produce byte-identical CSVs — the CI league determinism gate.
+fn league(opts: &Opts) {
+    use onesched::exec::{execute, DispatchPolicy, ExecConfig, Perturbation};
+    use onesched::registry::{catalog, SchedulerSpec};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Perturbation seeds per league cell (mean/p95 population).
+    const SEEDS: u64 = 8;
+    /// Task-duration noise (with matching bandwidth degradation) applied
+    /// to every run — the σ = 0.2 headline level of `perturb`.
+    const SIGMA: f64 = 0.2;
+
+    let n = (*opts.sizes.iter().min().unwrap_or(&100)).min(20);
+    let p = Platform::paper();
+    let kinds: Vec<&'static str> = catalog()
+        .list()
+        .iter()
+        .filter(|k| k.kind != "portfolio")
+        .map(|k| k.kind)
+        .collect();
+    println!(
+        "== league: robustness table ({} schedulers, n = {n}, sigma {SIGMA}, {SEEDS} seeds from {}) ==",
+        kinds.len(),
+        opts.seed
+    );
+
+    // The per-testbed spec for a kind: parameters pinned the same way the
+    // daemon's intake normalizes them (ILHA takes the testbed's paper-best
+    // chunk size; `random` takes the sweep seed).
+    let spec_for = |kind: &'static str, tb: Testbed| -> SchedulerSpec {
+        let mut s = SchedulerSpec::named(kind);
+        match kind {
+            "ilha" | "routed-ilha" => s.b = Some(tb.paper_best_b()),
+            "random" => s.seed = Some(opts.seed),
+            _ => {}
+        }
+        s
+    };
+
+    struct Job {
+        tb: Testbed,
+        model: CommModel,
+        spec: SchedulerSpec,
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    for tb in Testbed::ALL {
+        for model in CommModel::ALL {
+            for &kind in &kinds {
+                jobs.push(Job {
+                    tb,
+                    model,
+                    spec: spec_for(kind, tb),
+                });
+            }
+        }
+    }
+
+    struct Row {
+        label: String,
+        mean: f64,
+        p95: f64,
+        line: String,
+    }
+    let slots: Vec<Mutex<Option<Row>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = opts.threads.clamp(1, jobs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let j = &jobs[i];
+                let g = j.tb.generate(n, PAPER_C);
+                let sched = onesched::registry::build(&j.spec)
+                    .unwrap_or_else(|e| panic!("league spec must build: {e}"));
+                let s = sched.schedule(&g, &p, j.model);
+                let v = validate(&g, &p, j.model, &s);
+                assert!(
+                    v.is_empty(),
+                    "{}/{}/{}: invalid schedule: {v:?}",
+                    j.tb,
+                    j.model.name(),
+                    j.spec.canonical()
+                );
+                let mut degradations: Vec<f64> = (0..SEEDS)
+                    .map(|k| {
+                        let cfg = ExecConfig {
+                            policy: DispatchPolicy::ListDynamic,
+                            perturb: Perturbation::noise(SIGMA),
+                            seed: opts.seed.wrapping_add(k),
+                        };
+                        execute(&g, &p, j.model, &s, &cfg)
+                            .expect("constructed schedules are executable")
+                            .degradation()
+                    })
+                    .collect();
+                let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
+                degradations.sort_by(f64::total_cmp);
+                let rank = ((0.95 * degradations.len() as f64).ceil() as usize)
+                    .clamp(1, degradations.len());
+                let p95 = degradations.get(rank - 1).copied().unwrap_or(mean);
+                let label = j.spec.canonical();
+                let line = format!(
+                    "{},{n},{},{label},{SIGMA},{SEEDS},{},{mean:.6},{p95:.6}\n",
+                    j.tb,
+                    j.model.name(),
+                    s.makespan(),
+                );
+                *slots[i].lock().expect("slot poisoned") = Some(Row {
+                    label,
+                    mean,
+                    p95,
+                    line,
+                });
+            });
+        }
+    });
+
+    let rows: Vec<Row> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every cell ran")
+        })
+        .collect();
+    let mut csv = String::from(
+        "testbed,n,model,scheduler,sigma,seeds,static_makespan,mean_degradation,p95_degradation\n",
+    );
+    for row in &rows {
+        csv.push_str(&row.line);
+    }
+    write_csv(opts, "league.csv", &csv);
+
+    // Aggregate ranking by *kind* (the canonical label pins per-testbed
+    // parameters like ILHA's chunk size, so kinds — not labels — are the
+    // comparable unit across cells): mean of cell means, worst cell p95,
+    // and cell wins (smallest mean, ties to the smaller label).
+    let mut agg: BTreeMap<String, (f64, f64, u64)> = BTreeMap::new();
+    for (job, row) in jobs.iter().zip(&rows) {
+        let e = agg.entry(job.spec.kind.clone()).or_insert((0.0, 0.0, 0));
+        e.0 += row.mean;
+        e.1 = e.1.max(row.p95);
+        e.2 += 1;
+    }
+    let mut wins: BTreeMap<String, u64> = BTreeMap::new();
+    for (cell_jobs, cell_rows) in jobs.chunks(kinds.len()).zip(rows.chunks(kinds.len())) {
+        let winner = cell_rows.iter().zip(cell_jobs).reduce(|best, cand| {
+            let (brow, _) = best;
+            let (crow, _) = cand;
+            if crow.mean < brow.mean - 1e-9
+                || (crow.mean <= brow.mean + 1e-9 && crow.label < brow.label)
+            {
+                cand
+            } else {
+                best
+            }
+        });
+        if let Some((_, job)) = winner {
+            *wins.entry(job.spec.kind.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut ranking: Vec<(String, f64, f64, u64, u64)> = agg
+        .into_iter()
+        .map(|(kind, (sum_mean, worst_p95, cells))| {
+            let wins = wins.get(&kind).copied().unwrap_or(0);
+            (kind, sum_mean / cells as f64, worst_p95, cells, wins)
+        })
+        .collect();
+    ranking.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let mut rank_csv = String::from("scheduler,cells,wins,mean_degradation,worst_p95\n");
+    println!(
+        "{:>14} {:>6} {:>5} {:>10} {:>10}",
+        "scheduler", "cells", "wins", "mean-degr", "worst-p95"
+    );
+    for (kind, mean, worst, cells, w) in &ranking {
+        let _ = writeln!(rank_csv, "{kind},{cells},{w},{mean:.6},{worst:.6}");
+        println!("{kind:>14} {cells:>6} {w:>5} {mean:>10.4} {worst:>10.4}");
+    }
+    write_csv(opts, "league_rank.csv", &rank_csv);
 }
 
 /// Every scheduler (heuristics + baselines) on every testbed at one size.

@@ -14,7 +14,7 @@
 //! onesched-svc ledger inspect PATH
 //! onesched-svc gen <smoke | stress | routed | sim | chaos> [--tasks N]
 //!                  [--seed S] [--count K] [--procs P] [--n N]
-//!                  [--testbed NAME]
+//!                  [--testbed NAME] [--scheduler SPEC]
 //! ```
 //!
 //! * `serve` runs the daemon. In `--stdio` mode (default) it reads request
@@ -41,7 +41,10 @@
 //!   the folded-stack text).
 //! * `ledger inspect` summarizes a write-ahead ledger without replaying it.
 //! * `gen` prints workload request batches (`onesched-svc gen smoke |
-//!   onesched-svc serve` is the self-contained smoke test).
+//!   onesched-svc serve` is the self-contained smoke test). `--scheduler`
+//!   takes any registry kind by canonical string — `min-min`,
+//!   `ilha(b=4)`, `portfolio[heft,cpop]` — and pins the stress workload
+//!   to it instead of the default HEFT+ILHA pair.
 //!
 //! Protocol reference: `crates/service/README.md`.
 
@@ -88,7 +91,7 @@ fn main() {
     std::process::exit(code);
 }
 
-const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n                     [--ledger PATH] [--max-retries N] [--timeout-ms N] [--high-water N]\n                     [--trace PATH]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc metrics --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc trace export IN [--out OUT]\n  onesched-svc trace validate PATH\n  onesched-svc trace report IN [--max-jobs N]\n  onesched-svc trace flamegraph IN [--out SVG] [--folded PATH]\n  onesched-svc ledger inspect PATH\n  onesched-svc gen <smoke|stress|routed|sim|chaos> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME]\n";
+const USAGE: &str = "usage:\n  onesched-svc serve [--stdio | --tcp ADDR] [--workers N] [--cache N] [--queue-cap N]\n                     [--ledger PATH] [--max-retries N] [--timeout-ms N] [--high-water N]\n                     [--trace PATH]\n  onesched-svc submit --tcp ADDR [FILE|-]\n  onesched-svc stats --tcp ADDR\n  onesched-svc metrics --tcp ADDR\n  onesched-svc shutdown --tcp ADDR\n  onesched-svc trace export IN [--out OUT]\n  onesched-svc trace validate PATH\n  onesched-svc trace report IN [--max-jobs N]\n  onesched-svc trace flamegraph IN [--out SVG] [--folded PATH]\n  onesched-svc ledger inspect PATH\n  onesched-svc gen <smoke|stress|routed|sim|chaos> [--tasks N] [--seed S] [--count K] [--procs P] [--n N] [--testbed NAME] [--scheduler SPEC]\n";
 
 /// Pull `--flag value` out of `args`, leaving positionals behind.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -565,6 +568,17 @@ fn gen(args: &[String]) -> i32 {
         .map(|v| parse_or_die::<usize>("--n", &v))
         .unwrap_or(20);
     let testbed = take_flag(&mut args, "--testbed").unwrap_or_else(|| "LU".into());
+    // any registry kind by canonical string, e.g. "min-min" or "ilha(b=4)"
+    // or "portfolio[heft,cpop]" (stress workloads only; default heft+ilha)
+    let scheduler = take_flag(&mut args, "--scheduler").map(|v| {
+        match onesched::heuristics::registry::SchedulerSpec::parse(&v) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("onesched-svc: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     let kind = args.first().map(String::as_str).unwrap_or("smoke");
     let reqs: Vec<Request> = match kind {
         "smoke" => workloads::smoke_requests(),
@@ -581,15 +595,18 @@ fn gen(args: &[String]) -> i32 {
         "stress" => (0..count)
             .flat_map(|i| {
                 use onesched::service::protocol::SchedulerSpec;
-                // b: None — resolution fills the platform's auto chunk
-                let ilha = SchedulerSpec {
-                    kind: "ilha".into(),
-                    b: None,
-                };
-                [
-                    workloads::stress_request(tasks, seed + i as u64, SchedulerSpec::heft()),
-                    workloads::stress_request(tasks, seed + i as u64, ilha),
-                ]
+                match &scheduler {
+                    Some(s) => vec![workloads::stress_request(tasks, seed + i as u64, s.clone())],
+                    None => vec![
+                        workloads::stress_request(tasks, seed + i as u64, SchedulerSpec::heft()),
+                        // b unset — resolution fills the platform's auto chunk
+                        workloads::stress_request(
+                            tasks,
+                            seed + i as u64,
+                            SchedulerSpec::named("ilha"),
+                        ),
+                    ],
+                }
             })
             .collect(),
         "routed" => workloads::routed_requests(procs, n, 0),

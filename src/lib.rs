@@ -15,6 +15,9 @@
 //!   validator, ASCII Gantt charts;
 //! * [`heuristics`] — HEFT and ILHA under the one-port model (the paper's
 //!   contribution), placement machinery, B-sweeps;
+//! * [`registry`] — canonical `SchedulerSpec` addressing, discovery and
+//!   construction for every scheduler in the workspace, plus the
+//!   best-of-all-members portfolio;
 //! * [`baselines`] — CPOP, GDL, BIL, PCT, min-min, … for comparisons;
 //! * [`testbeds`] — LU, LAPLACE, STENCIL, FORK-JOIN, DOOLITTLE, LDMt;
 //! * [`exact`] — 2-PARTITION, FORK-SCHED and COMM-SCHED exact solvers;
@@ -71,6 +74,22 @@ pub use onesched_trace as trace;
 // The sweep runner lives in `onesched-service` (the service worker pool is
 // built on it); re-exported here so `onesched::runner` keeps working.
 pub use onesched_service::runner;
+
+/// The scheduler registry: canonical `SchedulerSpec` addressing for every
+/// scheduler in the workspace. `registry::build`/`registry::list` here go
+/// through the *full* composed catalog (baselines included), unlike
+/// `heuristics::registry` which only knows the core kinds.
+pub mod registry {
+    pub use onesched_baselines::registry::{build, catalog};
+    pub use onesched_heuristics::registry::{
+        Catalog, KindInfo, ParseError, Portfolio, SchedulerSpec, UnknownScheduler,
+    };
+
+    /// Every kind in the full workspace catalog.
+    pub fn list() -> Vec<KindInfo> {
+        catalog().list()
+    }
+}
 
 pub mod regress;
 

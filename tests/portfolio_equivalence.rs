@@ -1,0 +1,105 @@
+//! Portfolio-equals-best-member regression: a `portfolio[heft,ilha(b=B)]`
+//! schedule must be bit-identical to whichever member the recorded seed
+//! fixture says is better — smaller makespan, ties (within the sim's EPS)
+//! to the lexicographically smaller canonical member label. This pins the
+//! portfolio's winner selection against the same fixture schedules the
+//! schedule-equivalence gate pins, so a tie-break change can never slip
+//! through as "still a valid best member".
+
+use onesched::prelude::*;
+use onesched::registry::{self, SchedulerSpec};
+use onesched::regress::{placement_fingerprint, BaselineFile};
+use onesched::sim::EPS;
+
+const FIXTURE: &str = include_str!("fixtures/schedule_baseline.json");
+
+#[test]
+fn portfolio_schedule_is_the_fixtures_best_member_bit_exactly() {
+    let fixture: BaselineFile = serde_json::from_str(FIXTURE).expect("parse fixture");
+    let model = CommModel::OnePortBidir;
+    let platform = Platform::paper();
+    // The paper-platform entries pair up (HEFT, ILHA) per (testbed, n).
+    let paper: Vec<_> = fixture
+        .entries
+        .iter()
+        .filter(|e| e.topology == "paper")
+        .collect();
+    assert_eq!(paper.len(), 24, "fixture covers every paper instance");
+    for pair in paper.chunks(2) {
+        let (heft_e, ilha_e) = (pair[0], pair[1]);
+        assert_eq!(heft_e.scheduler, "HEFT");
+        assert_eq!(ilha_e.scheduler, "ILHA");
+        assert_eq!((heft_e.n, &heft_e.testbed), (ilha_e.n, &ilha_e.testbed));
+        let tb = Testbed::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == heft_e.testbed)
+            .unwrap_or_else(|| panic!("unknown testbed {:?}", heft_e.testbed));
+        let g = tb.generate(heft_e.n, PAPER_C);
+
+        let spec = SchedulerSpec::portfolio(vec![
+            SchedulerSpec::heft(),
+            SchedulerSpec::ilha(tb.paper_best_b()),
+        ]);
+        let portfolio = registry::build(&spec).expect("portfolio builds");
+        let sched = portfolio.schedule(&g, &platform, model);
+
+        // The winner the fixture predicts, by the registry's own rule:
+        // smaller makespan; within EPS, "heft" < "ilha(b=N)" wins.
+        let best = if ilha_e.makespan < heft_e.makespan - EPS {
+            ilha_e
+        } else {
+            heft_e
+        };
+        let ctx = format!("{} n={}", heft_e.testbed, heft_e.n);
+        assert_eq!(
+            sched.makespan(),
+            best.makespan,
+            "{ctx}: portfolio did not return the best member's makespan"
+        );
+        assert_eq!(
+            format!("{:016x}", placement_fingerprint(&sched)),
+            best.fingerprint,
+            "{ctx}: portfolio schedule is not the best member's bit-exactly"
+        );
+    }
+}
+
+#[test]
+fn default_full_catalog_portfolio_never_loses_to_heft_or_ilha() {
+    let fixture: BaselineFile = serde_json::from_str(FIXTURE).expect("parse fixture");
+    let model = CommModel::OnePortBidir;
+    let platform = Platform::paper();
+    // One representative instance per testbed: the default portfolio
+    // (every non-routed catalog member, chunk size inherited from the
+    // outer spec) is best-of-all, so it can never lose to either paper
+    // heuristic alone.
+    for tb in Testbed::ALL {
+        let n = 30;
+        let g = tb.generate(n, PAPER_C);
+        let spec = SchedulerSpec {
+            b: Some(tb.paper_best_b()),
+            seed: Some(0),
+            ..SchedulerSpec::named("portfolio")
+        };
+        let portfolio = registry::build(&spec).expect("default portfolio builds");
+        let sched = portfolio.schedule(&g, &platform, model);
+        assert!(
+            onesched::sim::validate(&g, &platform, model, &sched).is_empty(),
+            "{tb}: portfolio winner must validate"
+        );
+        for e in fixture
+            .entries
+            .iter()
+            .filter(|e| e.topology == "paper" && e.n == n && e.testbed == tb.name())
+        {
+            assert!(
+                sched.makespan() <= e.makespan + EPS,
+                "{tb}: portfolio ({}) lost to {} ({})",
+                sched.makespan(),
+                e.scheduler,
+                e.makespan
+            );
+        }
+    }
+}

@@ -9,8 +9,8 @@
 use onesched::prelude::*;
 use onesched::regress::{baseline_scheduler, placement_fingerprint, BaselineFile};
 use onesched::service::protocol::{
-    AckResponse, DagSpec, ErrorResponse, JobSpec, OpProbe, ReadyResponse, Request, ResultResponse,
-    SchedulerSpec, SimResultResponse, SimSpec, StatsResponse,
+    AckResponse, DagSpec, ErrorResponse, JobSpec, OpProbe, PlatformSpec, ReadyResponse, Request,
+    ResultResponse, SchedulerSpec, SimResultResponse, SimSpec, StatsResponse,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -97,10 +97,8 @@ fn daemon_schedules_bit_identically_and_serves_cache_hits() {
         platform: None,
         scheduler: match scheduler {
             "HEFT" => None, // exercise the default
-            "ILHA" => Some(SchedulerSpec {
-                kind: "ilha".into(),
-                b: None, // defaults to the testbed's paper-best B
-            }),
+            // b unset: defaults to the testbed's paper-best B
+            "ILHA" => Some(SchedulerSpec::named("ilha")),
             other => panic!("unexpected fixture scheduler {other}"),
         },
         model: None,
@@ -339,6 +337,141 @@ fn queue_cap_rejections_reach_the_client() {
     let stats: StatsResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
     assert_eq!(stats.errors, 3, "rejections are counted");
     assert_eq!(stats.jobs_done, 0);
+    send(&mut stream, &Request::shutdown());
+    let _ = read_response(&mut reader);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.try_wait().expect("poll daemon").is_none() {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not exit");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Every kind the registry advertises constructs through the daemon —
+/// non-routed kinds on the paper platform, routed kinds on a star
+/// topology — then a default-membership portfolio races every non-routed
+/// member (each one already cached by its individual submission) and its
+/// repeat is answered from the cache in a single hit.
+#[test]
+fn every_registry_kind_constructs_and_portfolio_repeat_is_cached() {
+    let (mut child, addr) = spawn_daemon(4);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // One submission per concrete catalog kind, parameters pinned exactly
+    // as the default portfolio below will pin them for its members, so the
+    // portfolio's member cache keys collide with these jobs.
+    let job_for = |scheduler: SchedulerSpec, routed: bool| JobSpec {
+        dag: DagSpec::testbed(Testbed::Lu, 24),
+        platform: routed.then(|| PlatformSpec::routed("star", 5, 1.0)),
+        scheduler: Some(scheduler),
+        model: None,
+        validate: true,
+    };
+    let kinds: Vec<_> = onesched::registry::list()
+        .into_iter()
+        .filter(|info| info.kind != "portfolio")
+        .collect();
+    assert!(kinds.len() >= 13, "full catalog advertised: {kinds:?}");
+    for info in &kinds {
+        let mut spec = SchedulerSpec::named(info.kind);
+        if info.kind == "ilha" || info.kind == "routed-ilha" {
+            spec.b = Some(4);
+        }
+        if info.kind == "random" {
+            spec.seed = Some(7);
+        }
+        send(
+            &mut stream,
+            &Request::submit(Some(info.kind.to_string()), 0, job_for(spec, info.routed)),
+        );
+    }
+    let mut results: HashMap<String, ResultResponse> = HashMap::new();
+    for _ in &kinds {
+        let line = read_response(&mut reader);
+        let r: ResultResponse = serde_json::from_str(&line)
+            .unwrap_or_else(|e| panic!("malformed result line {line:?}: {e}"));
+        assert_eq!(r.op, "result", "{}", r.id);
+        assert_eq!(r.violations, 0, "{}: validator rejected", r.id);
+        assert!(!r.cache_hit, "{}: distinct specs cannot collide", r.id);
+        assert!(results.insert(r.id.clone(), r).is_none(), "duplicate id");
+    }
+
+    // Default-membership portfolio, parameters matching the submissions
+    // above (members inherit the outer b and seed where they need one).
+    let portfolio_spec = SchedulerSpec {
+        b: Some(4),
+        seed: Some(7),
+        ..SchedulerSpec::named("portfolio")
+    };
+    send(
+        &mut stream,
+        &Request::submit(
+            Some("race".into()),
+            0,
+            job_for(portfolio_spec.clone(), false),
+        ),
+    );
+    let race: ResultResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert!(!race.cache_hit, "first portfolio run constructs");
+    assert_eq!(race.violations, 0);
+    let non_routed: Vec<&ResultResponse> = kinds
+        .iter()
+        .filter(|info| !info.routed)
+        .map(|info| &results[info.kind])
+        .collect();
+    let best = non_routed
+        .iter()
+        .map(|r| r.makespan)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        race.makespan <= best + onesched::sim::EPS,
+        "portfolio ({}) lost to the best member ({best})",
+        race.makespan
+    );
+    assert!(
+        non_routed
+            .iter()
+            .any(|r| r.fingerprint == race.fingerprint && r.makespan == race.makespan),
+        "portfolio result is bit-identical to one of its members"
+    );
+
+    send(
+        &mut stream,
+        &Request::submit(Some("race-again".into()), 0, job_for(portfolio_spec, false)),
+    );
+    let again: ResultResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert!(again.cache_hit, "portfolio repeat is served from the cache");
+    assert_eq!(again.fingerprint, race.fingerprint);
+    assert_eq!(again.makespan, race.makespan);
+
+    send(&mut stream, &Request::stats());
+    let stats: StatsResponse = serde_json::from_str(&read_response(&mut reader)).unwrap();
+    assert_eq!(stats.jobs_done, kinds.len() as u64 + 2);
+    assert_eq!(
+        stats.cache_hits, 1,
+        "only the portfolio repeat hits: every member was already cached"
+    );
+    assert_eq!(
+        stats.cache_size,
+        kinds.len() + 1,
+        "one entry per kind plus the portfolio's own key"
+    );
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.portfolio.len(), 1, "one race, one winner");
+    let win = &stats.portfolio[0];
+    assert_eq!(win.wins, 1);
+    assert!(
+        results.contains_key(win.scheduler.split('(').next().unwrap_or("")),
+        "winner {:?} is a catalog kind",
+        win.scheduler
+    );
+
     send(&mut stream, &Request::shutdown());
     let _ = read_response(&mut reader);
     let deadline = Instant::now() + Duration::from_secs(30);
